@@ -1,0 +1,52 @@
+// E15 — Secure v-cloud initialization (§V.A).
+//
+// How fast does a cold fleet join, and through what trust path? Sweep RSU
+// deployment density: with dense infrastructure everyone registers
+// directly; as RSUs thin out, joining cascades peer-to-peer (already-joined
+// neighbors relay registrations) and latency grows; with zero
+// infrastructure nobody can join at all — quantifying the bootstrapping
+// dependence the paper notes even for "infrastructure-light" designs.
+#include <iostream>
+
+#include "core/bootstrap.h"
+#include "core/scenario.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+int main() {
+  std::cout << "E15: fleet bootstrap — join latency vs RSU density\n"
+            << "80 vehicles, 120 s, 8-certificate pools\n\n";
+
+  Table table("bootstrap sweep",
+              {"rsu_spacing_m", "rsus", "joined", "via_rsu", "via_relay",
+               "mean_join_s", "p95_join_s"});
+  for (const double spacing : {400.0, 800.0, 1200.0, 0.0}) {
+    core::ScenarioConfig cfg;
+    cfg.vehicles = 80;
+    cfg.seed = 13;
+    cfg.rsu_spacing = spacing;
+    cfg.rsu_range = 300.0;  // modest RSU radios: coverage really thins out
+    core::Scenario scenario(cfg);
+    scenario.start();
+    auth::TrustedAuthority ta(1);
+    core::BootstrapProtocol bootstrap(scenario.network(), ta);
+    bootstrap.attach(1.0);
+    scenario.run_for(120.0);
+    table.add_row({spacing == 0.0 ? "none" : Table::num(spacing, 0),
+                   std::to_string(scenario.network().rsus().count()),
+                   std::to_string(bootstrap.joined_count()),
+                   std::to_string(bootstrap.via_rsu_count()),
+                   std::to_string(bootstrap.via_relay_count()),
+                   Table::num(bootstrap.join_latency().mean(), 2),
+                   Table::num(bootstrap.join_latency().percentile(95), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Shape vs §V.A: initialization is the one phase that cannot be\n"
+         "fully infrastructure-free — relays extend sparse coverage (the\n"
+         "via_relay column) at higher join latency, but a fleet with no\n"
+         "trust anchor at all never joins.\n";
+  return 0;
+}

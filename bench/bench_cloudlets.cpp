@@ -1,0 +1,76 @@
+// E19 — Hierarchical roadside cloudlets (Yu et al. [45] in the survey).
+//
+// Vehicles prefer the transient cloudlet at their current RSU and fall back
+// to the central cloud over the WAN when uncovered. Sweep RSU density:
+// coverage determines the local/central offload mix and the latency each
+// request sees; roaming handoffs grow with mobility — the maintenance cost
+// "customizing new transient clouds while moving" that the survey flags.
+#include <iostream>
+
+#include "core/scenario.h"
+#include "util/table.h"
+#include "vcloud/cloudlet.h"
+
+using namespace vcl;
+
+int main() {
+  std::cout << "E19: roadside cloudlets vs central cloud\n"
+            << "80 vehicles, 240 s, one task per vehicle every ~6 s\n\n";
+
+  Table table("cloudlet grid sweep",
+              {"rsu_spacing_m", "rsus", "local_tasks", "central_tasks",
+               "local_latency_s", "central_latency_s", "handoffs", "re-attaches"});
+  for (const double spacing : {400.0, 700.0, 1100.0}) {
+    core::ScenarioConfig cfg;
+    cfg.vehicles = 80;
+    cfg.seed = 23;
+    cfg.rsu_spacing = spacing;
+    cfg.rsu_range = 320.0;
+    core::Scenario scenario(cfg);
+    scenario.start();
+
+    vcloud::CloudletGrid grid(scenario.network(), vcloud::CloudletConfig{},
+                              scenario.fork_rng(9));
+    grid.attach();
+
+    vcloud::WorkloadGenerator workload({6.0, 0.5, 0.1, 0.0},
+                                       scenario.fork_rng(10));
+    std::size_t local = 0;
+    Rng pick(11);
+    scenario.simulator().schedule_every(0.5, [&] {
+      std::vector<VehicleId> ids;
+      for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+        ids.push_back(v.id);
+      }
+      if (ids.empty()) return;
+      const auto result = grid.submit(
+          pick.pick(ids), workload.next(scenario.simulator().now()));
+      local += result.to_central ? 0 : 1;
+    });
+    scenario.run_for(240.0);
+
+    Accumulator local_latency;
+    for (const auto& c : grid.cloudlets()) {
+      if (c->stats().latency.count() > 0) {
+        local_latency.add(c->stats().latency.mean());
+      }
+    }
+    table.add_row({Table::num(spacing, 0),
+                   std::to_string(scenario.network().rsus().count()),
+                   std::to_string(local),
+                   std::to_string(grid.central().submitted),
+                   Table::num(local_latency.mean(), 2),
+                   Table::num(grid.central().latency.mean(), 2),
+                   std::to_string(grid.handoffs()),
+                   std::to_string(grid.attaches())});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Shape vs Yu et al. [45]: dense RSUs keep tasks local and fast;\n"
+         "as coverage thins the central share grows and every request pays\n"
+         "the WAN round trip; roaming handoffs track how often moving\n"
+         "vehicles must re-select their cloudlet — overlapping coverage\n"
+         "(400 m) turns coverage-gap re-attaches into seamless handoffs.\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+// E14 — Crypto substrate microbenchmarks (google-benchmark).
+//
+// Measures the toy-group primitives' real wall-clock costs. These are NOT
+// the latencies used by the in-sim experiments (the CostModel charges
+// production OBU-class figures, see crypto/cost_model.h); this bench exists
+// to document the gap and to catch performance regressions in the substrate
+// itself.
+#include <benchmark/benchmark.h>
+
+#include "access/abe.h"
+#include "crypto/elgamal.h"
+#include "crypto/merkle.h"
+#include "crypto/schnorr.h"
+#include "crypto/shamir.h"
+
+namespace {
+
+using namespace vcl;
+using namespace vcl::crypto;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{1});
+  const Bytes data = drbg.generate(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{2});
+  const Bytes data = drbg.generate(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{3});
+  const Bytes key = drbg.generate(32);
+  const Bytes msg = drbg.generate(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{4});
+  const Schnorr schnorr(default_group());
+  const auto kp = schnorr.keygen(drbg);
+  const Bytes msg = drbg.generate(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr.sign(kp.secret, msg, drbg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{5});
+  const Schnorr schnorr(default_group());
+  const auto kp = schnorr.keygen(drbg);
+  const Bytes msg = drbg.generate(128);
+  const auto sig = schnorr.sign(kp.secret, msg, drbg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr.verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ElGamalSeal_1KiB(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{6});
+  const auto& g = default_group();
+  const ElGamal eg(g);
+  const std::uint64_t secret = drbg.next_scalar(g.q());
+  const std::uint64_t pub = g.pow_g(secret);
+  const Bytes plain = drbg.generate(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eg.seal(pub, plain, drbg));
+  }
+}
+BENCHMARK(BM_ElGamalSeal_1KiB);
+
+void BM_ElGamalOpen_1KiB(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{7});
+  const auto& g = default_group();
+  const ElGamal eg(g);
+  const std::uint64_t secret = drbg.next_scalar(g.q());
+  const std::uint64_t pub = g.pow_g(secret);
+  const auto ct = eg.seal(pub, drbg.generate(1024), drbg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eg.open(secret, ct));
+  }
+}
+BENCHMARK(BM_ElGamalOpen_1KiB);
+
+void BM_ShamirSplit(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Drbg drbg(std::uint64_t{8});
+  const Shamir shamir(default_group().q());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir.split(12345, k, 2 * k, drbg));
+  }
+}
+BENCHMARK(BM_ShamirSplit)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Drbg drbg(std::uint64_t{9});
+  const Shamir shamir(default_group().q());
+  auto shares = shamir.split(12345, k, k, drbg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir.reconstruct(shares));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(2)->Arg(5)->Arg(10);
+
+access::Policy wide_policy(int leaves) {
+  std::string text = "a0";
+  for (int i = 1; i < leaves; ++i) text += " & a" + std::to_string(i);
+  return *access::Policy::parse(text);
+}
+
+void BM_AbeEncrypt(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  access::AbeAuthority authority(1);
+  Drbg drbg(std::uint64_t{10});
+  OpCounts ops;
+  const auto policy = wide_policy(leaves);
+  const std::uint64_t m = default_group().pow_g(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(authority.encrypt(m, policy, drbg, ops));
+  }
+}
+BENCHMARK(BM_AbeEncrypt)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_AbeDecrypt(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  access::AbeAuthority authority(1);
+  Drbg drbg(std::uint64_t{11});
+  OpCounts ops;
+  const auto policy = wide_policy(leaves);
+  access::AttributeSet attrs;
+  for (int i = 0; i < leaves; ++i) attrs.add("a" + std::to_string(i));
+  const auto key = authority.keygen(attrs);
+  const std::uint64_t m = default_group().pow_g(7);
+  const auto ct = authority.encrypt(m, policy, drbg, ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(access::AbeAuthority::decrypt(ct, key, attrs, ops));
+  }
+}
+BENCHMARK(BM_AbeDecrypt)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Drbg drbg(std::uint64_t{12});
+  std::vector<Bytes> payloads;
+  for (std::size_t i = 0; i < n; ++i) payloads.push_back(drbg.generate(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::from_payloads(payloads));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(256);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{13});
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 256; ++i) payloads.push_back(drbg.generate(64));
+  const MerkleTree tree = MerkleTree::from_payloads(payloads);
+  const Digest leaf = Sha256::hash(payloads[100]);
+  for (auto _ : state) {
+    const auto proof = tree.prove(100);
+    benchmark::DoNotOptimize(MerkleTree::verify(tree.root(), leaf, proof));
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+void BM_GroupDerivation(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchnorrGroup::derive(seed++));
+  }
+}
+BENCHMARK(BM_GroupDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

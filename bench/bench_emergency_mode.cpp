@@ -1,0 +1,99 @@
+// E13 — Emergency-mode management (§V.A).
+//
+// Timeline experiment: an infrastructure-based cloud and a dynamic fallback
+// share a city. At t=150 s the emergency controller declares a disaster
+// (RSUs in radius fail, listeners fire); at t=300 s all-clear. Reported:
+// per-30s-window task completions for both clouds, mode switch bookkeeping,
+// and the dynamic cloud's takeover latency (first completion after the
+// switch).
+#include <iostream>
+
+#include "core/emergency.h"
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+int main() {
+  std::cout << "E13: emergency mode — infrastructure cloud vs dynamic "
+               "fallback\n\n";
+
+  core::SystemConfig cfg;
+  cfg.scenario.vehicles = 70;
+  cfg.scenario.seed = 17;
+  cfg.scenario.rsu_spacing = 500.0;
+  cfg.architecture = core::CloudArchitecture::kInfrastructureBased;
+  core::VehicularCloudSystem system(cfg);
+  system.start();
+  auto& scenario = system.scenario();
+  auto& sim = scenario.simulator();
+
+  auto membership = vcloud::largest_cluster_membership(system.clusters());
+  vcloud::VehicularCloud dynamic_cloud(
+      CloudId{2}, scenario.network(), membership,
+      vcloud::members_centroid_region(scenario.traffic(), membership, 300.0),
+      std::make_unique<vcloud::DwellAwareScheduler>(), vcloud::CloudConfig{},
+      scenario.fork_rng(12));
+  dynamic_cloud.attach();
+  dynamic_cloud.refresh();
+
+  core::EmergencyController controller(scenario.network());
+  SimTime takeover_latency = -1;
+  SimTime emergency_at = -1;
+  std::size_t rsus_lost = 0;
+  controller.add_listener(
+      [&](core::OperatingMode mode, geo::Vec2, double) {
+        if (mode == core::OperatingMode::kEmergency) {
+          emergency_at = sim.now();
+          rsus_lost = controller.rsus_failed();
+        }
+      });
+
+  vcloud::WorkloadGenerator workload({6.0, 0.5, 0.1, 45.0},
+                                     scenario.fork_rng(13));
+  sim.schedule_every(1.5, [&] {
+    system.cloud().submit(workload.next(sim.now()));
+    dynamic_cloud.submit(workload.next(sim.now()));
+  });
+
+  const auto [lo, hi] = scenario.road().bounding_box();
+  const geo::Vec2 center{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  sim.schedule_at(150.0, [&] { controller.declare_emergency(center, 3000.0); });
+  sim.schedule_at(300.0, [&] { controller.all_clear(); });
+
+  Table table("tasks completed per 30 s window",
+              {"window", "mode", "infra_cloud", "dynamic_cloud"});
+  std::size_t infra_prev = 0;
+  std::size_t dyn_prev = 0;
+  std::size_t dyn_completed_at_emergency = 0;
+  for (int w = 0; w < 14; ++w) {
+    system.run_for(30.0);
+    const auto infra_now = system.cloud().stats().completed;
+    const auto dyn_now = dynamic_cloud.stats().completed;
+    if (emergency_at >= 0 && dyn_completed_at_emergency == 0) {
+      dyn_completed_at_emergency = dyn_now;
+    }
+    if (takeover_latency < 0 && emergency_at >= 0 &&
+        dyn_now > dyn_completed_at_emergency) {
+      takeover_latency = sim.now() - emergency_at;
+    }
+    table.add_row({std::to_string(w * 30) + "-" + std::to_string(w * 30 + 30),
+                   core::to_string(controller.mode()),
+                   std::to_string(infra_now - infra_prev),
+                   std::to_string(dyn_now - dyn_prev)});
+    infra_prev = infra_now;
+    dyn_prev = dyn_now;
+  }
+  table.print(std::cout);
+
+  std::cout << "mode switches: " << controller.mode_switches()
+            << ", RSUs failed during emergency: " << rsus_lost << "\n";
+  std::cout << "dynamic cloud takeover latency after the switch: <= "
+            << Table::num(takeover_latency, 0) << " s (first window bound)\n";
+  std::cout
+      << "\nShape vs §V.A: the authority flips the region to emergency\n"
+         "mode, infrastructure throughput collapses to zero, the dynamic\n"
+         "cloud keeps serving within the first window after the switch,\n"
+         "and normal service resumes on all-clear.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E4 (Fig. 3) — End-to-end secure message pipeline latency.
+//
+// Fig. 3's verifier answers four questions per message (identity? access?
+// action? trustworthiness?). This bench measures the modeled OBU latency of
+// the full authenticate -> authorize -> trust-validate chain for each
+// authentication protocol and policy complexity, and the budget-violation
+// rate against the paper's "stringent time constraints".
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "util/table.h"
+
+using namespace vcl;
+using namespace vcl::core;
+
+namespace {
+
+access::Policy and_policy(int leaves) {
+  std::string text = "a0";
+  for (int i = 1; i < leaves; ++i) text += " & a" + std::to_string(i);
+  return *access::Policy::parse(text);
+}
+
+trust::EventCluster consensus_cluster(int n) {
+  trust::EventCluster c;
+  for (int i = 0; i < n; ++i) {
+    trust::Report r;
+    r.positive = true;
+    r.reporter_pos = {10, 0};
+    c.reports.push_back(r);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E4 (Fig. 3): secure pipeline latency "
+               "(authenticate -> authorize -> trust)\n\n";
+
+  auth::TrustedAuthority ta(1);
+  ta.register_vehicle(VehicleId{1});
+  auth::PseudonymAuth pseudo_signer(ta, VehicleId{1}, 8);
+  auth::GroupManager manager(1, 2);
+  manager.enroll(VehicleId{1});
+  auth::GroupAuth group_signer(manager, VehicleId{1});
+  auth::HybridAuth hybrid_signer(manager, VehicleId{1});
+  access::AbeAuthority abe(3);
+  crypto::Drbg drbg(std::uint64_t{4});
+  const crypto::Bytes owner_key = drbg.generate(32);
+  const trust::MajorityVote validator;
+  const trust::EventCluster cluster = consensus_cluster(6);
+
+  Table table("pipeline latency by protocol and policy size",
+              {"protocol", "policy_leaves", "latency_ms", "accepted",
+               "within_100ms"});
+
+  for (const auto protocol :
+       {AuthProtocolKind::kPseudonym, AuthProtocolKind::kGroup,
+        AuthProtocolKind::kHybrid}) {
+    for (const int leaves : {1, 4, 8}) {
+      SecurePipeline pipeline({});
+      const crypto::Bytes payload{1, 2, 3};
+      crypto::OpCounts sign_ops;
+      SecurePipeline::AuthInput auth_in;
+      auth_in.protocol = protocol;
+      auth_in.ta = &ta;
+      auth_in.manager = &manager;
+      auth_in.payload = payload;
+      switch (protocol) {
+        case AuthProtocolKind::kPseudonym:
+          auth_in.tag = *pseudo_signer.sign(payload, 0.0, sign_ops);
+          break;
+        case AuthProtocolKind::kGroup:
+          auth_in.tag = *group_signer.sign(payload, sign_ops);
+          break;
+        case AuthProtocolKind::kHybrid:
+          auth_in.tag = *hybrid_signer.sign(payload, sign_ops);
+          break;
+      }
+
+      const access::Policy policy = and_policy(leaves);
+      access::AttributeSet attrs;
+      for (int i = 0; i < leaves; ++i) attrs.add("a" + std::to_string(i));
+      crypto::OpCounts seal_ops;
+      access::StickyPackage pkg(abe, crypto::Bytes{7}, policy.clone(),
+                                owner_key, 1, drbg, seal_ops);
+      const access::AbeUserKey key = abe.keygen(attrs);
+      SecurePipeline::AuthzInput authz{&pkg, &key, attrs, 42};
+      SecurePipeline::TrustInput trust_in{&validator, &cluster};
+
+      const PipelineResult result =
+          pipeline.process(auth_in, authz, trust_in, 0.0);
+      table.add_row({to_string(protocol), std::to_string(leaves),
+                     Table::num(result.latency / kMilliseconds, 2),
+                     result.accepted ? "yes" : "NO",
+                     result.within_budget ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  // Budget-violation sweep: how tight can the deadline be?
+  Table budget_table("budget violation rate vs deadline (pseudonym, 4-leaf "
+                     "policy, 200 messages)",
+                     {"budget_ms", "violations", "violation_rate"});
+  for (const double budget_ms : {5.0, 10.0, 20.0, 50.0, 100.0}) {
+    PipelineConfig cfg;
+    cfg.budget = budget_ms * kMilliseconds;
+    SecurePipeline pipeline(cfg);
+    const access::Policy policy = and_policy(4);
+    access::AttributeSet attrs{"a0", "a1", "a2", "a3"};
+    const access::AbeUserKey key = abe.keygen(attrs);
+    int violations = 0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      const crypto::Bytes payload{static_cast<std::uint8_t>(i)};
+      crypto::OpCounts ops;
+      SecurePipeline::AuthInput auth_in;
+      auth_in.protocol = AuthProtocolKind::kPseudonym;
+      auth_in.ta = &ta;
+      auth_in.payload = payload;
+      auth_in.tag = *pseudo_signer.sign(payload, i * 0.1, ops);
+      crypto::OpCounts seal_ops;
+      access::StickyPackage pkg(abe, crypto::Bytes{1}, policy.clone(),
+                                owner_key, 2, drbg, seal_ops);
+      SecurePipeline::AuthzInput authz{&pkg, &key, attrs, 42};
+      SecurePipeline::TrustInput trust_in{&validator, &cluster};
+      const PipelineResult r = pipeline.process(auth_in, authz, trust_in, 0.0);
+      violations += r.within_budget ? 0 : 1;
+    }
+    budget_table.add_row({Table::num(budget_ms, 0), std::to_string(violations),
+                          Table::num(static_cast<double>(violations) / n, 2)});
+  }
+  budget_table.print(std::cout);
+
+  std::cout << "Shape: authentication dominates for small policies; ABE\n"
+               "authorization dominates beyond ~4 leaves. Budgets below the\n"
+               "sum of one verify chain are infeasible on OBU-class\n"
+               "hardware — quantifying §III.C's warning.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E2 (Fig. 4) — The three v-cloud architectures under normal operation and
+// disaster.
+//
+// Stationary, infrastructure-based and dynamic clouds run the same task
+// stream in their natural habitat for 150 s, then every RSU fails for 150 s
+// (earthquake), then recovers for 100 s. Reported per phase: completion
+// rate, mean latency and membership — the quantitative form of §IV.A.2's
+// availability argument.
+#include <iostream>
+
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+namespace {
+
+struct PhaseStats {
+  std::size_t completed = 0;
+  double members = 0;
+};
+
+struct ArchResult {
+  std::string name;
+  PhaseStats normal, disaster, recovery;
+  double mean_latency = 0;
+  std::size_t migrations = 0;
+};
+
+ArchResult run_architecture(core::CloudArchitecture arch) {
+  core::SystemConfig cfg;
+  cfg.architecture = arch;
+  cfg.scenario.seed = 44;
+  cfg.scenario.rsu_spacing = 600.0;
+  if (arch == core::CloudArchitecture::kStationary) {
+    cfg.scenario.environment = core::Environment::kParkingLot;
+    cfg.scenario.vehicles_parked = true;
+    cfg.stationary_radius = 5000.0;
+  }
+  cfg.scenario.vehicles = 60;
+
+  core::VehicularCloudSystem system(cfg);
+  system.start();
+
+  vcloud::WorkloadGenerator workload({8.0, 1.0, 0.2, 60.0},
+                                     system.scenario().fork_rng(66));
+  auto& sim = system.scenario().simulator();
+  sim.schedule_every(2.0, [&] {
+    system.cloud().submit(workload.next(sim.now()));
+  });
+
+  auto run_phase = [&](double seconds) {
+    const std::size_t before = system.cloud().stats().completed;
+    Accumulator members(false);
+    const int steps = static_cast<int>(seconds / 10.0);
+    for (int i = 0; i < steps; ++i) {
+      system.run_for(10.0);
+      members.add(static_cast<double>(system.cloud().member_count()));
+    }
+    PhaseStats ps;
+    ps.completed = system.cloud().stats().completed - before;
+    ps.members = members.mean();
+    return ps;
+  };
+
+  ArchResult result;
+  result.name = core::to_string(arch);
+  result.normal = run_phase(150.0);
+  system.scenario().network().rsus().fail_all();
+  result.disaster = run_phase(150.0);
+  system.scenario().network().rsus().restore_all();
+  result.recovery = run_phase(100.0);
+  result.mean_latency = system.cloud().stats().latency.mean();
+  result.migrations = system.cloud().stats().migrations;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2 (Fig. 4): stationary vs infrastructure-based vs dynamic\n"
+            << "phases: normal 150 s | all RSUs fail 150 s | recovery 100 "
+               "s\n\n";
+
+  Table table("tasks completed per phase (same 1-task/2s stream)",
+              {"architecture", "normal", "disaster", "recovery",
+               "members(normal)", "members(disaster)", "mean_latency_s"});
+  for (const auto arch : {core::CloudArchitecture::kStationary,
+                          core::CloudArchitecture::kInfrastructureBased,
+                          core::CloudArchitecture::kDynamic}) {
+    const ArchResult r = run_architecture(arch);
+    table.add_row({r.name, std::to_string(r.normal.completed),
+                   std::to_string(r.disaster.completed),
+                   std::to_string(r.recovery.completed),
+                   Table::num(r.normal.members, 1),
+                   Table::num(r.disaster.members, 1),
+                   Table::num(r.mean_latency, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Shape vs paper: the infrastructure-based cloud loses its members\n"
+         "(and throughput) the moment RSUs die; the stationary cloud is\n"
+         "unaffected but only exists where parked fleets do; the dynamic\n"
+         "cloud's membership and completions ride through the disaster —\n"
+         "\"the most promising for handling emergency responses\" (§II.C).\n";
+  return 0;
+}

@@ -1,0 +1,249 @@
+// E3 (Fig. 5) — Pseudonym vs group vs hybrid authentication.
+//
+// Reproduces Fig. 5's qualitative comparison quantitatively:
+//   * message authentication overhead: modeled OBU latency (CostModel) and
+//     wire bytes per message;
+//   * pseudonym pain: CRL check cost growth with the revocation history
+//     (and the Bloom filter's mitigation);
+//   * privacy: identifier linkability, anonymity-set size and tracking-
+//     adversary success over a simulated drive;
+//   * infrastructure reliance: authority contacts per 1000 messages.
+//
+// Paper claims to match: pseudonym = high per-message overhead, privacy not
+// fully preserved; group = cheap-ish messages but coordinator knows
+// identities and it leans on a manager; hybrid = middle ground without CRL.
+#include <chrono>
+#include <iostream>
+
+#include "attack/tracker.h"
+#include "auth/group_auth.h"
+#include "auth/hybrid_auth.h"
+#include "auth/privacy_metrics.h"
+#include "core/scenario.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+namespace {
+
+struct ProtocolRow {
+  std::string name;
+  double sign_ms = 0;
+  double verify_ms = 0;
+  std::size_t wire_bytes = 0;
+  double linkability = 0;
+  double anonymity = 0;
+  double tracking_recall = 0;
+  double ta_contacts_per_1k = 0;
+};
+
+// Simulated drive: `n_vehicles` vehicles emit a signed beacon every second
+// for `duration` seconds; an eavesdropper logs what it sees on the wire.
+template <typename SignFn, typename IdFn>
+ProtocolRow run_protocol(const std::string& name, core::Scenario& scenario,
+                         SignFn sign, IdFn visible_id,
+                         std::function<double()> ta_contacts,
+                         std::size_t messages) {
+  ProtocolRow row;
+  row.name = name;
+  crypto::OpCounts sign_ops;
+  crypto::OpCounts verify_ops;
+  std::vector<auth::AirObservation> observations;
+
+  auto& traffic = scenario.traffic();
+  std::vector<VehicleId> ids;
+  for (const auto& [vid, v] : traffic.vehicles()) ids.push_back(v.id);
+  std::sort(ids.begin(), ids.end());
+
+  const double duration = 60.0;
+  std::size_t emitted = 0;
+  for (double t = 0; t < duration; t += 1.0) {
+    scenario.run_for(1.0);
+    for (const VehicleId v : ids) {
+      const mobility::VehicleState* s = traffic.find(v);
+      if (s == nullptr) continue;
+      const std::size_t wire = sign(v, t, sign_ops, verify_ops);
+      if (wire == 0) continue;
+      row.wire_bytes = wire;
+      ++emitted;
+      observations.push_back(
+          auth::AirObservation{t, s->pos, visible_id(v, t), v});
+    }
+  }
+  (void)messages;
+
+  const crypto::CostModel costs;
+  row.sign_ms =
+      costs.total(sign_ops) / std::max<double>(1, emitted) / kMilliseconds;
+  row.verify_ms =
+      costs.total(verify_ops) / std::max<double>(1, emitted) / kMilliseconds;
+  row.linkability = auth::id_linkability(observations);
+  row.anonymity = auth::mean_anonymity_set(observations, ids.size());
+  const attack::TrackingAdversary adversary;
+  row.tracking_recall = adversary.analyze(observations).link_recall;
+  row.ta_contacts_per_1k =
+      ta_contacts() / (static_cast<double>(emitted) / 1000.0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E3 (Fig. 5): authentication protocol comparison\n"
+            << "60 s drive, 40 vehicles, 1 Hz signed beacons; OBU-class "
+               "costs via CostModel\n\n";
+
+  const std::size_t kMessages = 40 * 60;
+
+  // ---- pseudonym ------------------------------------------------------------
+  core::ScenarioConfig sc;
+  sc.vehicles = 40;
+  sc.seed = 11;
+  std::vector<ProtocolRow> rows;
+  {
+    core::Scenario scenario(sc);
+    scenario.start();
+    auth::TrustedAuthority ta(1);
+    std::unordered_map<std::uint64_t, std::unique_ptr<auth::PseudonymAuth>>
+        signers;
+    double ta_contacts = 0;
+    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+      ta.register_vehicle(v.id);
+      // Pool of 8 certificates, 10 s rotation.
+      signers[vid] = std::make_unique<auth::PseudonymAuth>(ta, v.id, 8, 10.0);
+      ta_contacts += 1;  // pool issuance is one TA round-trip
+    }
+    rows.push_back(run_protocol(
+        "pseudonym", scenario,
+        [&](VehicleId v, double t, crypto::OpCounts& so,
+            crypto::OpCounts& vo) -> std::size_t {
+          auto it = signers.find(v.value());
+          if (it == signers.end()) return 0;
+          const crypto::Bytes payload{1, 2, 3, 4};
+          const auto tag = it->second->sign(payload, t, so);
+          if (!tag) return 0;
+          const auto outcome = auth::PseudonymAuth::verify(ta, payload, *tag);
+          vo += outcome.ops;
+          return tag->wire_bytes;
+        },
+        [&](VehicleId v, double) -> std::uint64_t {
+          auto it = signers.find(v.value());
+          return it == signers.end() ? 0 : it->second->current_pseudo_id();
+        },
+        [ta_contacts] { return ta_contacts; }, kMessages));
+  }
+
+  // ---- group ------------------------------------------------------------------
+  {
+    core::Scenario scenario(sc);
+    scenario.start();
+    auth::GroupManager manager(1, 2);
+    std::unordered_map<std::uint64_t, std::unique_ptr<auth::GroupAuth>> signers;
+    double ta_contacts = 0;
+    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+      manager.enroll(v.id);
+      ta_contacts += 1;  // one enrollment with the manager
+      signers[vid] = std::make_unique<auth::GroupAuth>(manager, v.id);
+    }
+    rows.push_back(run_protocol(
+        "group", scenario,
+        [&](VehicleId v, double, crypto::OpCounts& so,
+            crypto::OpCounts& vo) -> std::size_t {
+          auto it = signers.find(v.value());
+          const crypto::Bytes payload{1, 2, 3, 4};
+          const auto tag = it->second->sign(payload, so);
+          if (!tag) return 0;
+          const auto outcome = auth::GroupAuth::verify(manager, payload, *tag);
+          vo += outcome.ops;
+          return tag->wire_bytes;
+        },
+        // Group tags expose no per-sender identifier.
+        [](VehicleId, double) -> std::uint64_t { return 0; },
+        [ta_contacts] { return ta_contacts; }, kMessages));
+  }
+
+  // ---- hybrid ------------------------------------------------------------------
+  {
+    core::Scenario scenario(sc);
+    scenario.start();
+    auth::GroupManager manager(2, 3);
+    std::unordered_map<std::uint64_t, std::unique_ptr<auth::HybridAuth>>
+        signers;
+    double ta_contacts = 0;
+    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+      manager.enroll(v.id);
+      ta_contacts += 1;
+      signers[vid] = std::make_unique<auth::HybridAuth>(manager, v.id);
+    }
+    // Rotate hybrid pseudonyms every 10 s (a manager certification each).
+    double rotations = 0;
+    scenario.simulator().schedule_every(10.0, [&] {
+      crypto::OpCounts ops;
+      for (auto& [vid, s] : signers) {
+        if (s->rotate(ops)) rotations += 1;
+      }
+    });
+    rows.push_back(run_protocol(
+        "hybrid", scenario,
+        [&](VehicleId v, double, crypto::OpCounts& so,
+            crypto::OpCounts& vo) -> std::size_t {
+          auto it = signers.find(v.value());
+          const crypto::Bytes payload{1, 2, 3, 4};
+          const auto tag = it->second->sign(payload, so);
+          if (!tag) return 0;
+          const auto outcome = auth::HybridAuth::verify(manager, payload, *tag);
+          vo += outcome.ops;
+          return tag->wire_bytes;
+        },
+        [&](VehicleId v, double) -> std::uint64_t {
+          return signers[v.value()]->current_pub();
+        },
+        // Evaluated after the drive: counts per-epoch re-certifications.
+        [&] { return ta_contacts + rotations; }, kMessages));
+  }
+
+  Table table("E3 / Fig. 5: protocol comparison (measured)",
+              {"protocol", "sign_ms", "verify_ms", "wire_B", "linkability",
+               "anonymity_set", "tracking_recall", "ta_contacts/1k_msg"});
+  for (const ProtocolRow& r : rows) {
+    table.add_row({r.name, Table::num(r.sign_ms, 2), Table::num(r.verify_ms, 2),
+                   std::to_string(r.wire_bytes), Table::num(r.linkability, 3),
+                   Table::num(r.anonymity, 1),
+                   Table::num(r.tracking_recall, 3),
+                   Table::num(r.ta_contacts_per_1k, 2)});
+  }
+  table.print(std::cout);
+
+  // ---- CRL growth (the pseudonym-specific cost) --------------------------------
+  Table crl_table("CRL lookup cost vs revocation history (pseudonym only)",
+                  {"revoked_certs", "bloom_checks", "exact_probes",
+                   "lookup_us(measured)"});
+  for (const std::size_t revoked : {0UL, 1000UL, 10000UL, 100000UL}) {
+    auth::Crl crl(std::max<std::size_t>(revoked, 16));
+    for (std::size_t i = 0; i < revoked; ++i) crl.revoke(i * 2 + 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t hits = 0;
+    const std::size_t lookups = 100000;
+    for (std::size_t i = 0; i < lookups; ++i) {
+      hits += crl.is_revoked(i * 2) ? 1 : 0;  // all misses
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(lookups);
+    crl_table.add_row({std::to_string(revoked),
+                       std::to_string(crl.bloom_checks()),
+                       std::to_string(crl.exact_probes()),
+                       Table::num(us, 3)});
+    (void)hits;
+  }
+  crl_table.print(std::cout);
+
+  std::cout
+      << "Shape vs paper: pseudonym pays two signature verifications per\n"
+         "message and a CRL lookup that grows with revocation history, and\n"
+         "its pseudonyms are linkable between rotations (linkability > 0).\n"
+         "Group tags are sender-anonymous (anonymity = group size) but the\n"
+         "manager can open them; hybrid avoids the CRL entirely.\n";
+  return 0;
+}

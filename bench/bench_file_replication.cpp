@@ -1,0 +1,101 @@
+// E9 — File replication vs availability under churn (§III.A: "how many
+// copies of a shared file should be distributed").
+//
+// Files are stored in a dynamic cloud over moving traffic; members come and
+// go. Sweep the replica target and the maintenance policy, sample
+// availability every 5 s for 4 minutes, and report availability alongside
+// the copy overhead — the trade-off the paper poses.
+#include <iostream>
+
+#include "cluster/moving_zone.h"
+#include "core/scenario.h"
+#include "vcloud/cloud.h"
+#include "crypto/drbg.h"
+#include "vcloud/replication.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+namespace {
+
+struct ReplResult {
+  double availability = 0;
+  double live_replicas = 0;
+  std::size_t repairs = 0;
+  double mb_copied = 0;
+};
+
+ReplResult run(std::size_t target, bool repair_enabled, std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.vehicles = 60;
+  cfg.seed = seed;
+  core::Scenario scenario(cfg);
+  scenario.start();
+  scenario.run_for(5.0);
+
+  cluster::MovingZone zones(scenario.network());
+  zones.attach(1.0);
+  zones.update();
+
+  auto membership = vcloud::largest_cluster_membership(zones);
+  vcloud::ReplicationConfig rc;
+  rc.target_replicas = target;
+  vcloud::ReplicationManager manager(membership, rc, scenario.fork_rng(9));
+
+  // Store 40 files of 1 MB.
+  crypto::Drbg payload_gen(seed);
+  std::vector<FileId> files;
+  for (int i = 0; i < 40; ++i) {
+    files.push_back(manager.store(payload_gen.generate(1000)));
+  }
+
+  if (repair_enabled) {
+    scenario.simulator().schedule_every(10.0, [&] { manager.refresh(); });
+  }
+
+  Ratio availability;
+  Accumulator live(false);
+  scenario.simulator().schedule_every(5.0, [&] {
+    for (const FileId f : files) {
+      availability.add(manager.available(f));
+      live.add(static_cast<double>(manager.live_replicas(f)));
+    }
+  });
+  scenario.run_for(240.0);
+
+  ReplResult r;
+  r.availability = availability.value();
+  r.live_replicas = live.mean();
+  r.repairs = manager.repair_copies();
+  r.mb_copied = manager.bytes_copied_mb();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9: file availability vs replica target under cluster churn\n"
+            << "40 files in the largest moving cluster, 240 s, sampled "
+               "every 5 s\n\n";
+
+  Table table("replication sweep",
+              {"target_replicas", "repair", "availability", "live_replicas",
+               "repair_copies", "MB_copied"});
+  for (const std::size_t target : {1UL, 2UL, 3UL, 5UL, 8UL}) {
+    for (const bool repair : {false, true}) {
+      const ReplResult r = run(target, repair, 2024);
+      table.add_row({std::to_string(target), repair ? "on" : "off",
+                     Table::num(r.availability, 3),
+                     Table::num(r.live_replicas, 1),
+                     std::to_string(r.repairs), Table::num(r.mb_copied, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Shape vs §III.A: single copies die with their holder; each\n"
+         "additional replica buys availability at linear storage/copy\n"
+         "cost, and active repair keeps availability near 1.0 once the\n"
+         "target covers typical per-interval churn (~3 here).\n";
+  return 0;
+}

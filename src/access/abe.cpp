@@ -1,0 +1,182 @@
+#include "access/abe.h"
+
+#include <functional>
+
+#include "crypto/modmath.h"
+#include "crypto/shamir.h"
+
+namespace vcl::access {
+
+AbeAuthority::AbeAuthority(std::uint64_t seed)
+    : group_(crypto::default_group()), master_seed_(seed) {
+  crypto::Drbg drbg(seed ^ 0x414245ULL /* "ABE" */);
+  y_ = drbg.next_scalar(group_.q());
+  big_y_ = group_.pow_g(y_);
+}
+
+std::uint64_t AbeAuthority::attr_secret(const Attribute& a) const {
+  crypto::Bytes b;
+  crypto::append_u64(b, master_seed_);
+  b.insert(b.end(), a.begin(), a.end());
+  return group_.hash_to_scalar(b);
+}
+
+AbeUserKey AbeAuthority::keygen(const AttributeSet& attrs) const {
+  AbeUserKey key;
+  for (const Attribute& a : attrs.all()) {
+    const std::uint64_t t = attr_secret(a);
+    key.components[a] = group_.scalar_mul(y_, group_.scalar_inv(t));
+  }
+  return key;
+}
+
+AbeCiphertext AbeAuthority::encrypt(std::uint64_t m, const Policy& policy,
+                                    crypto::Drbg& drbg,
+                                    crypto::OpCounts& ops) const {
+  AbeCiphertext ct(policy.clone());
+  const std::uint64_t s = drbg.next_scalar(group_.q());
+  ct.c0 = group_.mul(m % group_.p(), group_.pow(big_y_, s));
+  ct.leaf_components.resize(policy.leaf_count());
+
+  const crypto::Shamir shamir(group_.q());
+  // Recursively share `secret` down the tree.
+  std::function<void(const PolicyNode&, std::uint64_t)> share =
+      [&](const PolicyNode& node, std::uint64_t secret) {
+        switch (node.kind) {
+          case GateKind::kLeaf: {
+            const std::uint64_t t = attr_secret(node.attribute);
+            ct.leaf_components[node.leaf_id] = {
+                node.attribute, group_.pow_g(group_.scalar_mul(t, secret))};
+            ops.abe_encrypt_leaves += 1;
+            return;
+          }
+          case GateKind::kOr:
+            for (const auto& c : node.children) share(*c, secret);
+            return;
+          case GateKind::kAnd: {
+            const auto shares = shamir.split(secret, node.children.size(),
+                                             node.children.size(), drbg);
+            for (std::size_t i = 0; i < node.children.size(); ++i) {
+              share(*node.children[i], shares[i].y);
+            }
+            return;
+          }
+          case GateKind::kThreshold: {
+            const auto shares =
+                shamir.split(secret, node.threshold, node.children.size(),
+                             drbg);
+            for (std::size_t i = 0; i < node.children.size(); ++i) {
+              share(*node.children[i], shares[i].y);
+            }
+            return;
+          }
+        }
+      };
+  share(ct.policy.root(), s);
+  return ct;
+}
+
+std::optional<std::uint64_t> AbeAuthority::decrypt(const AbeCiphertext& ct,
+                                                   const AbeUserKey& key,
+                                                   const AttributeSet& attrs,
+                                                   crypto::OpCounts& ops) {
+  const auto& group = crypto::default_group();
+  const crypto::Shamir shamir(group.q());
+
+  // Recursive combine: returns g^{y * secret_of_node} when satisfiable.
+  std::function<std::optional<std::uint64_t>(const PolicyNode&)> combine =
+      [&](const PolicyNode& node) -> std::optional<std::uint64_t> {
+    switch (node.kind) {
+      case GateKind::kLeaf: {
+        if (!attrs.has(node.attribute)) return std::nullopt;
+        auto it = key.components.find(node.attribute);
+        if (it == key.components.end()) return std::nullopt;
+        const auto& [attr, c_leaf] = ct.leaf_components[node.leaf_id];
+        if (attr != node.attribute) return std::nullopt;  // malformed
+        ops.abe_decrypt_leaves += 1;
+        return group.pow(c_leaf, it->second);  // g^{y * s_leaf}
+      }
+      case GateKind::kOr:
+        for (const auto& c : node.children) {
+          if (auto v = combine(*c)) return v;
+        }
+        return std::nullopt;
+      case GateKind::kAnd:
+      case GateKind::kThreshold: {
+        const std::size_t need = node.kind == GateKind::kAnd
+                                     ? node.children.size()
+                                     : node.threshold;
+        // Collect satisfied children with their Shamir x-coordinates.
+        std::vector<crypto::Share> xs;      // x only; y unused
+        std::vector<std::uint64_t> values;  // g^{y * share_i}
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          if (xs.size() == need) break;
+          if (auto v = combine(*node.children[i])) {
+            xs.push_back(crypto::Share{i + 1, 0});
+            values.push_back(*v);
+          }
+        }
+        if (xs.size() < need) return std::nullopt;
+        // Lagrange interpolation in the exponent.
+        std::uint64_t acc = 1;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          const std::uint64_t li = shamir.lagrange_coefficient(xs, i);
+          acc = group.mul(acc, group.pow(values[i], li));
+        }
+        return acc;
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto ys = combine(ct.policy.root());  // Y^s
+  if (!ys) return std::nullopt;
+  return group.mul(ct.c0, group.inv(*ys));
+}
+
+namespace {
+
+crypto::Bytes dem_key(std::uint64_t m) {
+  crypto::Bytes b;
+  crypto::append_u64(b, m);
+  const crypto::Digest d = crypto::Sha256::hash(b);
+  return crypto::Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+AbePackage AbeAuthority::seal(const crypto::Bytes& plain, const Policy& policy,
+                              crypto::Drbg& drbg,
+                              crypto::OpCounts& ops) const {
+  // Random group element as the DEM key seed.
+  const std::uint64_t m = group_.pow_g(drbg.next_scalar(group_.q()));
+  AbePackage pkg(encrypt(m, policy, drbg, ops));
+  const crypto::Bytes key = dem_key(m);
+  crypto::Drbg keystream(key);
+  pkg.body = plain;
+  const crypto::Bytes pad = keystream.generate(plain.size());
+  for (std::size_t i = 0; i < pkg.body.size(); ++i) pkg.body[i] ^= pad[i];
+  pkg.tag = crypto::hmac_sha256(key, pkg.body);
+  ops.hmac += 1;
+  return pkg;
+}
+
+std::optional<crypto::Bytes> AbeAuthority::open(const AbePackage& pkg,
+                                                const AbeUserKey& key,
+                                                const AttributeSet& attrs,
+                                                crypto::OpCounts& ops) {
+  const auto m = decrypt(pkg.header, key, attrs, ops);
+  if (!m) return std::nullopt;
+  const crypto::Bytes dk = dem_key(*m);
+  ops.hmac += 1;
+  if (!crypto::digest_equal(pkg.tag, crypto::hmac_sha256(dk, pkg.body))) {
+    return std::nullopt;
+  }
+  crypto::Drbg keystream(dk);
+  crypto::Bytes plain = pkg.body;
+  const crypto::Bytes pad = keystream.generate(plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) plain[i] ^= pad[i];
+  return plain;
+}
+
+}  // namespace vcl::access

@@ -1,0 +1,25 @@
+#include "access/attribute.h"
+
+namespace vcl::access {
+
+void AttributeSet::set_keyed(const std::string& key, const std::string& value) {
+  const std::string prefix = key + ":";
+  for (auto it = attrs_.begin(); it != attrs_.end();) {
+    if (it->rfind(prefix, 0) == 0) {
+      it = attrs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  attrs_.insert(prefix + value);
+}
+
+std::string AttributeSet::get_keyed(const std::string& key) const {
+  const std::string prefix = key + ":";
+  for (const Attribute& a : attrs_) {
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace vcl::access

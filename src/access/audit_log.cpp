@@ -1,0 +1,35 @@
+#include "access/audit_log.h"
+
+#include "crypto/hmac.h"
+#include "crypto/schnorr.h"
+
+namespace vcl::access {
+
+crypto::Digest AuditLog::hash_record(const AuditRecord& r,
+                                     const crypto::Digest& prev) {
+  crypto::Sha256 h;
+  crypto::Bytes b;
+  crypto::append_u64(b, static_cast<std::uint64_t>(r.time * 1e6));
+  crypto::append_u64(b, r.accessor);
+  crypto::append_u64(b, r.object);
+  crypto::append_u64(b, r.granted ? 1 : 0);
+  h.update(b);
+  h.update(r.action);
+  h.update(prev.data(), prev.size());
+  return h.finalize();
+}
+
+void AuditLog::append(const AuditRecord& record) {
+  records_.push_back(record);
+  head_ = hash_record(record, head_);
+}
+
+bool AuditLog::verify_chain() const {
+  crypto::Digest acc{};
+  for (const AuditRecord& r : records_) {
+    acc = hash_record(r, acc);
+  }
+  return crypto::digest_equal(acc, head_);
+}
+
+}  // namespace vcl::access

@@ -1,0 +1,49 @@
+// Tamper-evident audit log (paper §V.C: "any access to the data will
+// trigger automatic logging actions for future auditing").
+//
+// Entries are hash-chained: entry_hash_i = H(entry_i || entry_hash_{i-1}),
+// so truncation or in-place edits are detectable from the head hash alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vcl::access {
+
+struct AuditRecord {
+  SimTime time = 0.0;
+  std::uint64_t accessor = 0;   // requester credential/vehicle id
+  std::uint64_t object = 0;     // package/file id
+  std::string action;           // "read", "write", "denied", ...
+  bool granted = false;
+};
+
+class AuditLog {
+ public:
+  void append(const AuditRecord& record);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<AuditRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const crypto::Digest& head() const { return head_; }
+
+  // Recomputes the chain and compares with the stored head.
+  [[nodiscard]] bool verify_chain() const;
+
+  // Test/attack hook: mutate a record in place (then verify_chain fails).
+  std::vector<AuditRecord>& mutable_records() { return records_; }
+
+ private:
+  static crypto::Digest hash_record(const AuditRecord& r,
+                                    const crypto::Digest& prev);
+
+  std::vector<AuditRecord> records_;
+  crypto::Digest head_{};
+};
+
+}  // namespace vcl::access

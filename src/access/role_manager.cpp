@@ -1,0 +1,70 @@
+#include "access/role_manager.h"
+
+#include <algorithm>
+
+namespace vcl::access {
+
+RoleManager::RoleManager() {
+  add_rule({"head",
+            [](const VehicleContext& c) { return c.is_cluster_head; },
+            {"role:head", "can:aggregate", "can:assign-tasks"},
+            false});
+  add_rule({"member",
+            [](const VehicleContext& c) { return !c.is_cluster_head; },
+            {"role:member"},
+            false});
+  add_rule({"zone",
+            [](const VehicleContext& c) { return !c.zone.empty(); },
+            {},  // grant is synthesized below (zone:<label>)
+            false});
+  add_rule({"slow",
+            [](const VehicleContext& c) { return c.speed < 5.0; },
+            {"band:slow", "can:buffer-content"},
+            false});
+  add_rule({"fast",
+            [](const VehicleContext& c) { return c.speed >= 25.0; },
+            {"band:fast"},
+            false});
+  add_rule({"automation-high",
+            [](const VehicleContext& c) {
+              return c.automation >=
+                     mobility::AutomationLevel::kHighAutomation;
+            },
+            {"level:high", "can:sense-rich"},
+            false});
+  add_rule({"emergency-read",
+            [](const VehicleContext&) { return true; },
+            {"emergency:responder", "can:read-safety-data"},
+            true});
+}
+
+void RoleManager::add_rule(RoleRule rule) { rules_.push_back(std::move(rule)); }
+
+AttributeSet RoleManager::attributes_for(const VehicleContext& ctx) const {
+  AttributeSet out;
+  for (const RoleRule& rule : rules_) {
+    if (rule.emergency_only && !ctx.emergency) continue;
+    if (!rule.applies(ctx)) continue;
+    for (const Attribute& a : rule.grants) out.add(a);
+    if (rule.name == "zone" && !ctx.zone.empty()) {
+      out.add("zone:" + ctx.zone);
+    }
+  }
+  return out;
+}
+
+std::size_t RoleManager::switch_delta(const VehicleContext& before,
+                                      const VehicleContext& after) const {
+  const AttributeSet a = attributes_for(before);
+  const AttributeSet b = attributes_for(after);
+  std::size_t delta = 0;
+  for (const Attribute& x : a.all()) {
+    if (!b.has(x)) ++delta;
+  }
+  for (const Attribute& x : b.all()) {
+    if (!a.has(x)) ++delta;
+  }
+  return delta;
+}
+
+}  // namespace vcl::access

@@ -1,0 +1,58 @@
+// Context-dependent role/attribute assignment (paper §III.C).
+//
+// A vehicle's access rights follow its context: cluster role, location
+// zone, speed band, automation level, and the scenario mode (normal vs
+// emergency). The RoleManager projects a VehicleContext onto an
+// AttributeSet through an ordered rule list; emergency escalation rules
+// grant additional attributes that exist only while the emergency flag is
+// set — the "additional permissions ... granted in milliseconds" case.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "access/attribute.h"
+#include "mobility/vehicle.h"
+
+namespace vcl::access {
+
+struct VehicleContext {
+  bool is_cluster_head = false;
+  std::string zone;  // location zone label, e.g. "z12"
+  double speed = 0.0;
+  mobility::AutomationLevel automation =
+      mobility::AutomationLevel::kConditionalAutomation;
+  bool emergency = false;
+};
+
+struct RoleRule {
+  std::string name;
+  std::function<bool(const VehicleContext&)> applies;
+  std::vector<Attribute> grants;
+  bool emergency_only = false;
+};
+
+class RoleManager {
+ public:
+  // Constructs with the standard rule set (head/member, zone, speed band,
+  // automation level, emergency escalations). Custom rules can be added.
+  RoleManager();
+
+  void add_rule(RoleRule rule);
+
+  // Projects a context onto attributes; deterministic and pure.
+  [[nodiscard]] AttributeSet attributes_for(const VehicleContext& ctx) const;
+
+  // Number of attributes that differ between two contexts' projections —
+  // the "policy churn" a context switch causes (E12 measures the cost).
+  [[nodiscard]] std::size_t switch_delta(const VehicleContext& before,
+                                         const VehicleContext& after) const;
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  std::vector<RoleRule> rules_;
+};
+
+}  // namespace vcl::access

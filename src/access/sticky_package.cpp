@@ -1,0 +1,48 @@
+#include "access/sticky_package.h"
+
+namespace vcl::access {
+
+StickyPackage::StickyPackage(const AbeAuthority& authority,
+                             const crypto::Bytes& data, Policy policy,
+                             const crypto::Bytes& owner_key,
+                             std::uint64_t object_id, crypto::Drbg& drbg,
+                             crypto::OpCounts& ops)
+    : object_id_(object_id),
+      sealed_(authority.seal(data, policy, drbg, ops)),
+      policy_text_(policy.to_string()) {
+  envelope_tag_ = envelope_mac(owner_key);
+  ops.hmac += 1;
+}
+
+crypto::Digest StickyPackage::envelope_mac(
+    const crypto::Bytes& owner_key) const {
+  crypto::Bytes b;
+  crypto::append_u64(b, object_id_);
+  b.insert(b.end(), policy_text_.begin(), policy_text_.end());
+  crypto::append_u64(b, sealed_.header.c0);
+  // Bind the DEM tag so body swaps are also caught at the envelope level.
+  b.insert(b.end(), sealed_.tag.begin(), sealed_.tag.end());
+  return crypto::hmac_sha256(owner_key, b);
+}
+
+bool StickyPackage::verify_envelope(const crypto::Bytes& owner_key) const {
+  return crypto::digest_equal(envelope_tag_, envelope_mac(owner_key));
+}
+
+std::optional<crypto::Bytes> StickyPackage::access(const AbeUserKey& key,
+                                                   const AttributeSet& attrs,
+                                                   std::uint64_t accessor,
+                                                   SimTime now,
+                                                   crypto::OpCounts& ops) {
+  auto plain = AbeAuthority::open(sealed_, key, attrs, ops);
+  AuditRecord rec;
+  rec.time = now;
+  rec.accessor = accessor;
+  rec.object = object_id_;
+  rec.action = "read";
+  rec.granted = plain.has_value();
+  log_.append(rec);
+  return plain;
+}
+
+}  // namespace vcl::access

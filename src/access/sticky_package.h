@@ -1,0 +1,60 @@
+// Sticky data-policy packages (paper §V.C "Constructing data-policy
+// package").
+//
+// The package tightly couples a data item with its access-control policy:
+// the payload is ABE-sealed under the policy (enforcement travels with the
+// data — no online policy server), the policy text and metadata are bound
+// by an HMAC under the owner's sealing key (tamper-evidence), and every
+// access attempt — granted or denied — appends to the package's audit log.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "access/abe.h"
+#include "access/audit_log.h"
+
+namespace vcl::access {
+
+class StickyPackage {
+ public:
+  // Seals `data` under `policy`. `owner_key` is the owner's package-sealing
+  // MAC key; `object_id` identifies the data item in audit records.
+  StickyPackage(const AbeAuthority& authority, const crypto::Bytes& data,
+                Policy policy, const crypto::Bytes& owner_key,
+                std::uint64_t object_id, crypto::Drbg& drbg,
+                crypto::OpCounts& ops);
+
+  StickyPackage(StickyPackage&&) = default;
+
+  // Attempts access: checks envelope integrity, evaluates the policy via
+  // actual ABE decryption, logs the attempt, and returns the plaintext on
+  // success. `accessor` is the requester's credential id (pseudonymous).
+  std::optional<crypto::Bytes> access(const AbeUserKey& key,
+                                      const AttributeSet& attrs,
+                                      std::uint64_t accessor, SimTime now,
+                                      crypto::OpCounts& ops);
+
+  // Integrity of the policy/metadata envelope under the owner's key.
+  [[nodiscard]] bool verify_envelope(const crypto::Bytes& owner_key) const;
+
+  [[nodiscard]] const std::string& policy_text() const { return policy_text_; }
+  [[nodiscard]] const AuditLog& log() const { return log_; }
+  [[nodiscard]] std::uint64_t object_id() const { return object_id_; }
+
+  // Attack hook: tamper with the recorded policy text (envelope check must
+  // then fail).
+  void tamper_policy_text(const std::string& text) { policy_text_ = text; }
+
+ private:
+  [[nodiscard]] crypto::Digest envelope_mac(
+      const crypto::Bytes& owner_key) const;
+
+  std::uint64_t object_id_;
+  AbePackage sealed_;
+  std::string policy_text_;
+  crypto::Digest envelope_tag_{};
+  AuditLog log_;
+};
+
+}  // namespace vcl::access

@@ -1,0 +1,52 @@
+#include "attack/false_data.h"
+
+namespace vcl::attack {
+
+trust::Report FalseDataAttacker::base_report(trust::EventType type,
+                                             geo::Vec2 where, SimTime now,
+                                             std::size_t idx) {
+  trust::Report r;
+  r.type = type;
+  // Small jitter: colluding attackers avoid byte-identical claims.
+  r.location = where + geo::Vec2{rng_.uniform(-20, 20), rng_.uniform(-20, 20)};
+  r.time = now + 0.01 * static_cast<double>(idx);
+  r.reporter_credential = credentials_.empty()
+                              ? 0
+                              : credentials_[next_credential_++ %
+                                             credentials_.size()];
+  // Claim to have witnessed from nearby (plausible distance).
+  r.reporter_pos =
+      where + geo::Vec2{rng_.uniform(-80, 80), rng_.uniform(-80, 80)};
+  r.truthful = false;
+  return r;
+}
+
+std::vector<trust::Report> FalseDataAttacker::fabricate(trust::EventType type,
+                                                        geo::Vec2 where,
+                                                        SimTime now,
+                                                        std::size_t n_reports) {
+  std::vector<trust::Report> out;
+  out.reserve(n_reports);
+  for (std::size_t i = 0; i < n_reports; ++i) {
+    trust::Report r = base_report(type, where, now, i);
+    r.positive = true;  // asserts the fake event exists
+    r.truth_event = EventId{};  // no ground-truth event behind it
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<trust::Report> FalseDataAttacker::deny(
+    const trust::GroundTruthEvent& event, SimTime now, std::size_t n_reports) {
+  std::vector<trust::Report> out;
+  out.reserve(n_reports);
+  for (std::size_t i = 0; i < n_reports; ++i) {
+    trust::Report r = base_report(event.type, event.location, now, i);
+    r.positive = false;  // claims the real event is absent
+    r.truth_event = event.id;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace vcl::attack

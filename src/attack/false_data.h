@@ -1,0 +1,45 @@
+// False-data injection: fabricate events that never happened and deny
+// events that did (paper §III, "data disruption").
+#pragma once
+
+#include <vector>
+
+#include "attack/sybil.h"
+#include "trust/report.h"
+#include "util/rng.h"
+
+namespace vcl::attack {
+
+class FalseDataAttacker {
+ public:
+  // `credentials` is the pool of sender identities the attacker controls —
+  // one per compromised vehicle, multiplied by a Sybil factory if present.
+  FalseDataAttacker(std::vector<std::uint64_t> credentials, Rng rng)
+      : credentials_(std::move(credentials)), rng_(rng) {}
+
+  // Reports claiming a non-existent event at `where`. Each report uses a
+  // distinct controlled credential (cycling when n exceeds the pool).
+  [[nodiscard]] std::vector<trust::Report> fabricate(trust::EventType type,
+                                                     geo::Vec2 where,
+                                                     SimTime now,
+                                                     std::size_t n_reports);
+
+  // Denial reports against a real event (claiming the road is clear).
+  [[nodiscard]] std::vector<trust::Report> deny(
+      const trust::GroundTruthEvent& event, SimTime now,
+      std::size_t n_reports);
+
+  [[nodiscard]] std::size_t credential_count() const {
+    return credentials_.size();
+  }
+
+ private:
+  trust::Report base_report(trust::EventType type, geo::Vec2 where,
+                            SimTime now, std::size_t idx);
+
+  std::vector<std::uint64_t> credentials_;
+  Rng rng_;
+  std::size_t next_credential_ = 0;
+};
+
+}  // namespace vcl::attack

@@ -1,0 +1,41 @@
+#include "attack/flow_analysis.h"
+
+#include <algorithm>
+
+namespace vcl::attack {
+
+void FlowAnalyzer::observe(VehicleId sender, std::size_t bytes) {
+  bytes_by_sender_[sender.value()] += bytes;
+  ++observations_;
+}
+
+std::vector<VehicleId> FlowAnalyzer::top_talkers(std::size_t k) const {
+  std::vector<std::pair<std::size_t, std::uint64_t>> ranked;
+  ranked.reserve(bytes_by_sender_.size());
+  for (const auto& [vid, bytes] : bytes_by_sender_) {
+    ranked.emplace_back(bytes, vid);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic ties
+  });
+  std::vector<VehicleId> out;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    out.push_back(VehicleId{ranked[i].second});
+  }
+  return out;
+}
+
+double FlowAnalyzer::role_identification_recall(
+    const std::vector<VehicleId>& true_coordinators) const {
+  if (true_coordinators.empty()) return 0.0;
+  const auto guess = top_talkers(true_coordinators.size());
+  std::size_t hits = 0;
+  for (const VehicleId t : true_coordinators) {
+    hits += std::find(guess.begin(), guess.end(), t) != guess.end() ? 1 : 0;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(true_coordinators.size());
+}
+
+}  // namespace vcl::attack

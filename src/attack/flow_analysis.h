@@ -1,0 +1,42 @@
+// Traffic-flow analysis (paper §III application-level threats: "analyze
+// the characteristics of network flow, such as frequency, size, and
+// destination ... to steal critical information").
+//
+// The adversary only sees WHO transmits HOW MUCH — no payloads. Cluster
+// heads/brokers talk far more than members (task dispatch, aggregation,
+// membership), so transmission volume alone de-anonymizes the coordinator
+// role. The defense is padding: members emit dummy traffic to flatten the
+// distribution, traded off against overhead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace vcl::attack {
+
+class FlowAnalyzer {
+ public:
+  // One observation per transmission overheard.
+  void observe(VehicleId sender, std::size_t bytes);
+
+  // The adversary's guess: the top-k talkers are the coordinators.
+  [[nodiscard]] std::vector<VehicleId> top_talkers(std::size_t k) const;
+
+  // Scores the guess against ground truth: |guess ∩ truth| / |truth|.
+  [[nodiscard]] double role_identification_recall(
+      const std::vector<VehicleId>& true_coordinators) const;
+
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+  [[nodiscard]] std::size_t distinct_senders() const {
+    return bytes_by_sender_.size();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> bytes_by_sender_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace vcl::attack

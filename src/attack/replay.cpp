@@ -1,0 +1,36 @@
+#include "attack/replay.h"
+
+namespace vcl::attack {
+
+void ReplayAttacker::capture(const crypto::Bytes& payload,
+                             const auth::AuthTag& tag, SimTime now) {
+  log_.push_back(CapturedMessage{payload, tag, now});
+}
+
+crypto::Bytes make_fresh_payload(const crypto::Bytes& body, SimTime now,
+                                 std::uint64_t nonce) {
+  crypto::Bytes out;
+  crypto::append_u64(out, static_cast<std::uint64_t>(now * 1e6));
+  crypto::append_u64(out, nonce);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+bool FreshnessChecker::accept(const crypto::Bytes& fresh_payload,
+                              SimTime now) {
+  if (fresh_payload.size() < 16) return false;
+  const auto ts_us = crypto::read_u64(fresh_payload, 0);
+  const auto nonce = crypto::read_u64(fresh_payload, 8);
+  const SimTime ts = static_cast<double>(ts_us) / 1e6;
+  if (now - ts > window_ || ts - now > window_) {
+    ++stale_;
+    return false;
+  }
+  if (!seen_nonces_.insert(nonce).second) {
+    ++duplicate_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vcl::attack

@@ -1,0 +1,57 @@
+// Replay attack and the freshness defense.
+//
+// The attacker records authenticated (payload, tag) pairs off the air and
+// re-injects them later: the signature still verifies, so authentication
+// alone does not stop it. The defense binds a timestamp + nonce into the
+// signed payload; verifiers reject stale timestamps and remembered nonces.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "auth/pseudonym.h"
+#include "util/time.h"
+
+namespace vcl::attack {
+
+struct CapturedMessage {
+  crypto::Bytes payload;
+  auth::AuthTag tag;
+  SimTime captured_at = 0.0;
+};
+
+class ReplayAttacker {
+ public:
+  void capture(const crypto::Bytes& payload, const auth::AuthTag& tag,
+               SimTime now);
+  [[nodiscard]] std::size_t captured() const { return log_.size(); }
+  // All captured messages, unmodified — ready for re-injection.
+  [[nodiscard]] const std::deque<CapturedMessage>& log() const { return log_; }
+
+ private:
+  std::deque<CapturedMessage> log_;
+};
+
+// Freshness envelope helpers: payload = timestamp || nonce || body.
+crypto::Bytes make_fresh_payload(const crypto::Bytes& body, SimTime now,
+                                 std::uint64_t nonce);
+
+class FreshnessChecker {
+ public:
+  explicit FreshnessChecker(SimTime window = 2.0) : window_(window) {}
+
+  // Accepts iff the embedded timestamp is within the window of `now` and the
+  // nonce was never seen. Returns false for malformed payloads.
+  bool accept(const crypto::Bytes& fresh_payload, SimTime now);
+
+  [[nodiscard]] std::size_t rejected_stale() const { return stale_; }
+  [[nodiscard]] std::size_t rejected_duplicate() const { return duplicate_; }
+
+ private:
+  SimTime window_;
+  std::unordered_set<std::uint64_t> seen_nonces_;
+  std::size_t stale_ = 0;
+  std::size_t duplicate_ = 0;
+};
+
+}  // namespace vcl::attack

@@ -1,0 +1,26 @@
+#include "attack/suppression.h"
+
+namespace vcl::attack {
+
+void SuppressedGreedyRouter::forward(VehicleId self, const net::Message& msg) {
+  // The originator never sabotages its own message; only relays do.
+  const bool is_relay = !(msg.src.is_vehicle() && msg.src.as_vehicle() == self)
+                        && msg.hops > 0;
+  if (is_relay && roster_.is_malicious(self)) {
+    if (rng_.bernoulli(config_.drop_prob)) {
+      ++suppressed_;
+      return;  // silent drop
+    }
+    ++delayed_;
+    net::Message held = msg;
+    network().simulator().schedule_after(config_.delay, [this, self, held] {
+      if (network().traffic().find(self) != nullptr) {
+        routing::GreedyGeo::forward(self, held);
+      }
+    });
+    return;
+  }
+  routing::GreedyGeo::forward(self, msg);
+}
+
+}  // namespace vcl::attack

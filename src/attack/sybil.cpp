@@ -1,0 +1,17 @@
+#include "attack/sybil.h"
+
+namespace vcl::attack {
+
+std::vector<std::uint64_t> SybilFactory::credentials(
+    const std::vector<VehicleId>& compromised, std::size_t per_vehicle) {
+  std::vector<std::uint64_t> out;
+  out.reserve(compromised.size() * per_vehicle);
+  for (const VehicleId v : compromised) {
+    for (std::size_t i = 0; i < per_vehicle; ++i) {
+      out.push_back((1ULL << 48) | (v.value() << 16) | i);
+    }
+  }
+  return out;
+}
+
+}  // namespace vcl::attack

@@ -1,0 +1,25 @@
+// Sybil identity factory: one compromised vehicle, many credentials.
+//
+// Against authentication-less or pool-issued-credential systems an attacker
+// multiplies its apparent witness count; the E10/E11 benches show how vote
+// validators collapse under Sybil amplification while per-vehicle enrollment
+// (group protocols) caps it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace vcl::attack {
+
+class SybilFactory {
+ public:
+  // Derives `per_vehicle` fake credential ids for each compromised vehicle.
+  // Credential ids are drawn from a reserved high range so they never
+  // collide with honest credentials in a scenario.
+  [[nodiscard]] static std::vector<std::uint64_t> credentials(
+      const std::vector<VehicleId>& compromised, std::size_t per_vehicle);
+};
+
+}  // namespace vcl::attack

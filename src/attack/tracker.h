@@ -1,0 +1,43 @@
+// Tracking adversary: links pseudonymous air observations into vehicle
+// trajectories (paper §III "privacy breach: tracking movements of
+// vehicles").
+//
+// Two linking signals: (1) identifier reuse — same visible id implies same
+// vehicle; (2) kinematic continuity — an observation within `max_speed x dt`
+// of a trajectory head is chained to it even across an id change. Scoring
+// compares chains against ground truth.
+#pragma once
+
+#include <vector>
+
+#include "auth/privacy_metrics.h"
+
+namespace vcl::attack {
+
+struct TrackerConfig {
+  double max_speed = 40.0;  // m/s bound used for kinematic linking
+  bool use_kinematics = true;
+};
+
+struct TrackingScore {
+  // Fraction of adjacent same-vehicle observation pairs the adversary
+  // correctly chained.
+  double link_recall = 0.0;
+  // Fraction of the adversary's links that are actually same-vehicle.
+  double link_precision = 0.0;
+  std::size_t chains = 0;
+};
+
+class TrackingAdversary {
+ public:
+  explicit TrackingAdversary(TrackerConfig config = {}) : config_(config) {}
+
+  // Consumes time-ordered observations and scores the reconstruction.
+  [[nodiscard]] TrackingScore analyze(
+      std::vector<auth::AirObservation> observations) const;
+
+ private:
+  TrackerConfig config_;
+};
+
+}  // namespace vcl::attack

@@ -1,0 +1,39 @@
+#include "auth/crl.h"
+
+#include <algorithm>
+
+namespace vcl::auth {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Crl::Crl(std::size_t expected_entries)
+    : bits_(std::max<std::size_t>(expected_entries * 10, 64), false) {}
+
+std::uint64_t Crl::bloom_hash(std::uint64_t id, int k) const {
+  return splitmix(id ^ (0x1234567ULL * static_cast<std::uint64_t>(k + 1))) %
+         bits_.size();
+}
+
+void Crl::revoke(std::uint64_t credential_id) {
+  exact_.insert(credential_id);
+  for (int k = 0; k < 7; ++k) bits_[bloom_hash(credential_id, k)] = true;
+}
+
+bool Crl::is_revoked(std::uint64_t credential_id) const {
+  ++bloom_checks_;
+  for (int k = 0; k < 7; ++k) {
+    if (!bits_[bloom_hash(credential_id, k)]) return false;
+  }
+  ++exact_probes_;
+  return exact_.count(credential_id) != 0;
+}
+
+}  // namespace vcl::auth

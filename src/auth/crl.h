@@ -1,0 +1,39 @@
+// Certificate revocation list with a Bloom-filter fast path.
+//
+// Pseudonym-based protocols force every verifier to check the sender's
+// certificate against the CRL; with large pseudonym pools the CRL grows as
+// (revoked vehicles x pool size), which is exactly the overhead Fig. 5 holds
+// against pseudonym schemes. The Bloom filter gives the common "not revoked"
+// answer in O(k) hashes; positives fall back to the exact set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace vcl::auth {
+
+class Crl {
+ public:
+  // `expected_entries` sizes the Bloom filter (10 bits/entry, ~1% FP).
+  explicit Crl(std::size_t expected_entries = 4096);
+
+  void revoke(std::uint64_t credential_id);
+  [[nodiscard]] bool is_revoked(std::uint64_t credential_id) const;
+  [[nodiscard]] std::size_t size() const { return exact_.size(); }
+
+  // Exact-set membership probes performed (Bloom misses skip these);
+  // exposed so benches can show the Bloom filter's effect.
+  [[nodiscard]] std::size_t exact_probes() const { return exact_probes_; }
+  [[nodiscard]] std::size_t bloom_checks() const { return bloom_checks_; }
+
+ private:
+  [[nodiscard]] std::uint64_t bloom_hash(std::uint64_t id, int k) const;
+
+  std::vector<bool> bits_;
+  std::unordered_set<std::uint64_t> exact_;
+  mutable std::size_t exact_probes_ = 0;
+  mutable std::size_t bloom_checks_ = 0;
+};
+
+}  // namespace vcl::auth

@@ -1,0 +1,58 @@
+#include "auth/hybrid_auth.h"
+
+namespace vcl::auth {
+
+HybridAuth::HybridAuth(GroupManager& manager, VehicleId v)
+    : manager_(manager),
+      vehicle_(v),
+      drbg_(0x485942ULL ^ (v.value() * 0x9e3779b9ULL)) {}
+
+bool HybridAuth::rotate(crypto::OpCounts& ops) {
+  const crypto::Schnorr schnorr(crypto::default_group());
+  crypto::SchnorrKeyPair fresh = schnorr.keygen(drbg_);
+  const auto cert = manager_.certify_member_key(vehicle_, fresh.pub);
+  if (!cert) return false;
+  key_ = fresh;
+  cert_ = *cert;
+  cert_epoch_ = manager_.epoch();
+  ops.sign += 1;  // manager-side certification cost
+  return true;
+}
+
+std::optional<AuthTag> HybridAuth::sign(const crypto::Bytes& payload,
+                                        crypto::OpCounts& ops) {
+  if (cert_epoch_ != manager_.epoch()) {
+    if (!rotate(ops)) return std::nullopt;
+  }
+  const crypto::Schnorr schnorr(crypto::default_group());
+  AuthTag tag;
+  tag.credential_id = manager_.group_id();
+  tag.epoch = cert_epoch_;
+  tag.ephemeral_pub = key_.pub;
+  tag.cert_sig = cert_;
+  tag.msg_sig = schnorr.sign(key_.secret, payload, drbg_);
+  tag.wire_bytes = 8 + 8 + 33 + 2 * crypto::SchnorrSignature::kWireSize;
+  ops.sign += 1;
+  return tag;
+}
+
+VerifyOutcome HybridAuth::verify(const GroupManager& manager,
+                                 const crypto::Bytes& payload,
+                                 const AuthTag& tag) {
+  VerifyOutcome out;
+  out.ops.verify += 1;
+  if (!manager.check_member_cert(tag.ephemeral_pub, tag.epoch, tag.cert_sig)) {
+    out.reason = "bad or stale certificate";
+    return out;
+  }
+  out.ops.verify += 1;
+  const crypto::Schnorr schnorr(crypto::default_group());
+  if (!schnorr.verify(tag.ephemeral_pub, payload, tag.msg_sig)) {
+    out.reason = "bad signature";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace vcl::auth

@@ -1,0 +1,46 @@
+// Hybrid authentication (paper §IV.B.1, third family; after Rajput et
+// al. [31]).
+//
+// Members self-generate short-lived pseudonym keys and have the group
+// manager certify them per epoch. Verification is two signature checks —
+// but *no CRL lookup*: revocation is an epoch rotation that silently
+// invalidates every outstanding certificate, so the verifier-side cost
+// neither grows with the revocation history (pseudonym pain) nor leaks
+// membership to coordinators beyond the certification moment.
+#pragma once
+
+#include "auth/group_auth.h"
+
+namespace vcl::auth {
+
+class HybridAuth {
+ public:
+  HybridAuth(GroupManager& manager, VehicleId v);
+
+  [[nodiscard]] static const char* name() { return "hybrid"; }
+
+  // Obtains a fresh manager-certified pseudonym for the current epoch.
+  // Returns false when the vehicle is not enrolled.
+  bool rotate(crypto::OpCounts& ops);
+
+  // Signs a payload; auto-rotates when the held certificate's epoch is
+  // stale. Fails when not enrolled.
+  std::optional<AuthTag> sign(const crypto::Bytes& payload,
+                              crypto::OpCounts& ops);
+
+  static VerifyOutcome verify(const GroupManager& manager,
+                              const crypto::Bytes& payload,
+                              const AuthTag& tag);
+
+  [[nodiscard]] std::uint64_t current_pub() const { return key_.pub; }
+
+ private:
+  GroupManager& manager_;
+  VehicleId vehicle_;
+  crypto::Drbg drbg_;
+  crypto::SchnorrKeyPair key_{};
+  crypto::SchnorrSignature cert_{};
+  std::uint64_t cert_epoch_ = 0;  // 0 = no certificate yet
+};
+
+}  // namespace vcl::auth

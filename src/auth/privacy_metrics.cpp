@@ -1,0 +1,55 @@
+#include "auth/privacy_metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vcl::auth {
+
+double id_linkability(const std::vector<AirObservation>& observations) {
+  // Group observations by ground-truth vehicle, in time order.
+  std::map<std::uint64_t, std::vector<const AirObservation*>> by_vehicle;
+  for (const AirObservation& o : observations) {
+    by_vehicle[o.truth.value()].push_back(&o);
+  }
+  std::size_t pairs = 0;
+  std::size_t linkable = 0;
+  for (auto& [vid, obs] : by_vehicle) {
+    std::sort(obs.begin(), obs.end(),
+              [](const AirObservation* a, const AirObservation* b) {
+                return a->time < b->time;
+              });
+    for (std::size_t i = 1; i < obs.size(); ++i) {
+      ++pairs;
+      if (obs[i]->visible_id != 0 &&
+          obs[i]->visible_id == obs[i - 1]->visible_id) {
+        ++linkable;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(linkable) /
+                          static_cast<double>(pairs);
+}
+
+double mean_anonymity_set(const std::vector<AirObservation>& observations,
+                          std::size_t group_size) {
+  if (observations.empty()) return 0.0;
+  std::map<std::uint64_t, std::set<std::uint64_t>> vehicles_per_id;
+  for (const AirObservation& o : observations) {
+    if (o.visible_id != 0) {
+      vehicles_per_id[o.visible_id].insert(o.truth.value());
+    }
+  }
+  double total = 0.0;
+  for (const AirObservation& o : observations) {
+    if (o.visible_id == 0) {
+      total += static_cast<double>(group_size);
+    } else {
+      total += static_cast<double>(vehicles_per_id[o.visible_id].size());
+    }
+  }
+  return total / static_cast<double>(observations.size());
+}
+
+}  // namespace vcl::auth

@@ -1,0 +1,41 @@
+// Privacy quantification for the authentication protocols (Fig. 5 / E3).
+//
+// Observations are what an eavesdropper sees on the air: time, position and
+// whatever identifier the protocol exposes (pseudonym id, or nothing for
+// group-MAC tags). Linkability measures how often consecutive sightings of
+// the same physical vehicle carry an identical identifier — the handle a
+// tracking adversary needs; anonymity-set size measures how many candidates
+// an observed tag could belong to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vcl::auth {
+
+struct AirObservation {
+  SimTime time = 0.0;
+  geo::Vec2 pos;
+  // Identifier visible on the wire; 0 means "no per-sender identifier"
+  // (group MACs expose only the group id).
+  std::uint64_t visible_id = 0;
+  // Ground truth (not visible to the adversary; used for scoring only).
+  VehicleId truth;
+};
+
+// Fraction of consecutive same-vehicle observation pairs whose visible ids
+// match and are non-zero. 1.0 = fully linkable, 0.0 = unlinkable.
+double id_linkability(const std::vector<AirObservation>& observations);
+
+// Mean anonymity-set size over observations: for an observation with a
+// visible id, the number of distinct ground-truth vehicles that ever showed
+// that id (pseudonym reuse shrinks it to 1); for id-less observations, the
+// candidate count `group_size`.
+double mean_anonymity_set(const std::vector<AirObservation>& observations,
+                          std::size_t group_size);
+
+}  // namespace vcl::auth

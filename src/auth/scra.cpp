@@ -1,0 +1,41 @@
+#include "auth/scra.h"
+
+namespace vcl::auth {
+
+ScraSigner::ScraSigner(const crypto::SchnorrGroup& group,
+                       std::uint64_t secret, std::uint64_t seed)
+    : group_(group),
+      secret_(secret),
+      pub_(group.pow_g(secret)),
+      drbg_(seed ^ 0x53435241ULL /* "SCRA" */) {}
+
+void ScraSigner::precompute(std::size_t n, crypto::OpCounts& ops) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Precomputed p;
+    p.k = drbg_.next_scalar(group_.q());
+    p.r = group_.pow_g(p.k);
+    table_.push_back(p);
+  }
+  ops.sign += n;  // the exponentiation cost, paid offline
+}
+
+std::optional<crypto::SchnorrSignature> ScraSigner::sign(
+    const crypto::Bytes& msg, crypto::OpCounts& ops) {
+  if (table_.empty()) return std::nullopt;
+  const Precomputed p = table_.front();
+  table_.pop_front();
+  // Challenge exactly as crypto::Schnorr computes it, so standard
+  // verification accepts the signature.
+  crypto::Bytes data;
+  crypto::append_u64(data, p.r);
+  crypto::append_u64(data, pub_);
+  data.insert(data.end(), msg.begin(), msg.end());
+  const std::uint64_t e = group_.hash_to_scalar(data);
+  crypto::SchnorrSignature sig;
+  sig.r = p.r;
+  sig.s = group_.scalar_add(p.k, group_.scalar_mul(e, secret_));
+  ops.hash += 1;  // online cost: one hash + scalar arithmetic
+  return sig;
+}
+
+}  // namespace vcl::auth

@@ -1,0 +1,51 @@
+// Structure-free Compact Real-time Authentication (after Yavuz et al.
+// [44], SCRA): shift the expensive part of signing OFFLINE.
+//
+// The idea, realized here with Schnorr algebra: during idle time the signer
+// precomputes nonce commitments (k_i, R_i = g^{k_i}); signing a message
+// online is then one hash and one scalar multiply-add — no exponentiation —
+// which meets the "real-time constraints" of safety messaging. Verification
+// is unchanged (the verifier cannot tell a precomputed signature apart).
+// The table is consumable: each entry signs exactly one message (nonce
+// reuse leaks the key, as in all Schnorr-like schemes), so table size vs
+// refill cadence is the operational trade-off E3 quantifies.
+#pragma once
+
+#include <deque>
+
+#include "auth/pseudonym.h"
+
+namespace vcl::auth {
+
+class ScraSigner {
+ public:
+  // Holds the long-term key; the table starts empty.
+  ScraSigner(const crypto::SchnorrGroup& group, std::uint64_t secret,
+             std::uint64_t seed);
+
+  // Offline phase: precompute `n` nonce commitments. Charged as `n` sign
+  // ops in `ops` (the expensive exponentiations happen here).
+  void precompute(std::size_t n, crypto::OpCounts& ops);
+
+  // Online phase: sign with a precomputed entry. Charged as ONE HASH op —
+  // the whole point of the scheme. Fails when the table is empty.
+  std::optional<crypto::SchnorrSignature> sign(const crypto::Bytes& msg,
+                                               crypto::OpCounts& ops);
+
+  [[nodiscard]] std::size_t table_remaining() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t pub() const { return pub_; }
+
+ private:
+  struct Precomputed {
+    std::uint64_t k = 0;
+    std::uint64_t r = 0;  // g^k
+  };
+
+  const crypto::SchnorrGroup& group_;
+  std::uint64_t secret_;
+  std::uint64_t pub_;
+  crypto::Drbg drbg_;
+  std::deque<Precomputed> table_;
+};
+
+}  // namespace vcl::auth

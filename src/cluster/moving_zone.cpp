@@ -1,0 +1,77 @@
+#include "cluster/moving_zone.h"
+
+#include <algorithm>
+
+namespace vcl::cluster {
+
+bool MovingZone::compatible(geo::Vec2 vel_a, geo::Vec2 vel_b) const {
+  // Parked/near-stationary vehicles group by proximity alone.
+  if (vel_a.norm() < 0.5 && vel_b.norm() < 0.5) return true;
+  if (std::abs(vel_a.norm() - vel_b.norm()) > config_.max_speed_diff) {
+    return false;
+  }
+  return geo::angle_between(vel_a, vel_b) <= config_.max_angle_rad;
+}
+
+void MovingZone::update() {
+  prune_departed();
+  const auto& vehicles = net_.traffic().vehicles();
+
+  // Union-find over the compatibility graph from neighbor tables.
+  std::unordered_map<std::uint64_t, std::uint64_t> parent;
+  std::function<std::uint64_t(std::uint64_t)> find =
+      [&](std::uint64_t x) -> std::uint64_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [vid, v] : vehicles) parent[vid] = vid;
+  for (const auto& [vid, v] : vehicles) {
+    for (const net::NeighborEntry& n : net_.neighbors(v.id)) {
+      if (parent.find(n.id.value()) == parent.end()) continue;
+      if (!compatible(v.vel, n.vel)) continue;
+      const std::uint64_t ra = find(vid);
+      const std::uint64_t rb = find(n.id.value());
+      if (ra != rb) parent[ra] = rb;
+    }
+  }
+
+  // Gather zones.
+  std::unordered_map<std::uint64_t, std::vector<VehicleId>> zones;
+  for (const auto& [vid, v] : vehicles) {
+    zones[find(vid)].push_back(v.id);
+  }
+
+  // Elect captains: member nearest the zone centroid, with hysteresis for
+  // the incumbent captain.
+  for (auto& [root, members] : zones) {
+    geo::Vec2 centroid;
+    for (const VehicleId m : members) {
+      centroid += vehicles.at(m.value()).pos;
+    }
+    centroid = centroid / static_cast<double>(members.size());
+
+    VehicleId captain;
+    double best = 1e300;
+    for (const VehicleId m : members) {
+      double d = geo::distance(vehicles.at(m.value()).pos, centroid);
+      auto cur = assignments_.find(m.value());
+      if (cur != assignments_.end() &&
+          cur->second.role == ClusterRole::kHead) {
+        d -= config_.captain_hysteresis;
+      }
+      if (d < best || (d == best && m.value() < captain.value())) {
+        best = d;
+        captain = m;
+      }
+    }
+    for (const VehicleId m : members) {
+      assign(m, captain,
+             m == captain ? ClusterRole::kHead : ClusterRole::kMember);
+    }
+  }
+}
+
+}  // namespace vcl::cluster

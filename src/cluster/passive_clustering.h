@@ -1,0 +1,31 @@
+// Passive multi-hop clustering (PMC, Zhang et al. [46]).
+//
+// Vehicles passively follow the most stable neighbor within N hops: each
+// vehicle points at the neighbor with the highest priority (lowest relative
+// mobility); chains of "following" relationships terminate at local maxima,
+// which become cluster heads. Members further than `max_hops` from their
+// head break off and form their own cluster.
+#pragma once
+
+#include "cluster/cluster_manager.h"
+
+namespace vcl::cluster {
+
+struct PassiveClusteringConfig {
+  int max_hops = 2;
+  double hysteresis = 0.5;
+};
+
+class PassiveClustering final : public ClusterManager {
+ public:
+  PassiveClustering(net::Network& net, PassiveClusteringConfig config = {})
+      : ClusterManager(net), config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "pmc"; }
+  void update() override;
+
+ private:
+  PassiveClusteringConfig config_;
+};
+
+}  // namespace vcl::cluster

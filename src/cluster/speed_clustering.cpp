@@ -1,0 +1,22 @@
+#include "cluster/speed_clustering.h"
+
+namespace vcl::cluster {
+
+void SpeedClustering::update() {
+  std::unordered_map<std::uint64_t, double> scores;
+  for (const auto& [vid, v] : net_.traffic().vehicles()) {
+    const auto& neighbors = net_.neighbors(v.id);
+    double rel_speed = 0.0;
+    for (const net::NeighborEntry& n : neighbors) {
+      rel_speed += (v.vel - n.vel).norm();
+    }
+    if (!neighbors.empty()) {
+      rel_speed /= static_cast<double>(neighbors.size());
+    }
+    scores[vid] = -config_.speed_weight * rel_speed +
+                  config_.degree_weight * static_cast<double>(neighbors.size());
+  }
+  elect_by_score(scores, config_.hysteresis);
+}
+
+}  // namespace vcl::cluster

@@ -1,0 +1,30 @@
+// Mobility-based cluster-head election (MOBIC-style baseline).
+//
+// A vehicle's suitability as head is high when its velocity matches its
+// neighborhood (low relative mobility) and it hears many neighbors. This is
+// the classical baseline the survey's clustering papers improve upon.
+#pragma once
+
+#include "cluster/cluster_manager.h"
+
+namespace vcl::cluster {
+
+struct SpeedClusteringConfig {
+  double speed_weight = 1.0;     // penalty per m/s of relative speed
+  double degree_weight = 0.2;    // reward per heard neighbor
+  double hysteresis = 0.5;       // incumbent-head score bonus
+};
+
+class SpeedClustering final : public ClusterManager {
+ public:
+  SpeedClustering(net::Network& net, SpeedClusteringConfig config = {})
+      : ClusterManager(net), config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "speed"; }
+  void update() override;
+
+ private:
+  SpeedClusteringConfig config_;
+};
+
+}  // namespace vcl::cluster

@@ -1,0 +1,46 @@
+#include "core/emergency.h"
+
+namespace vcl::core {
+
+const char* to_string(OperatingMode m) {
+  switch (m) {
+    case OperatingMode::kNormal: return "normal";
+    case OperatingMode::kEmergency: return "emergency";
+  }
+  return "unknown";
+}
+
+void EmergencyController::add_listener(ModeListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void EmergencyController::notify(geo::Vec2 center, double radius) {
+  for (const ModeListener& l : listeners_) l(mode_, center, radius);
+}
+
+void EmergencyController::declare_emergency(geo::Vec2 center, double radius) {
+  if (mode_ == OperatingMode::kEmergency) return;
+  mode_ = OperatingMode::kEmergency;
+  ++switches_;
+  last_switch_ = net_.simulator().now();
+  failed_.clear();
+  for (const net::Rsu& r : net_.rsus().all()) {
+    if (r.online && geo::distance(r.pos, center) <= radius) {
+      net_.rsus().set_online(r.id, false);
+      failed_.push_back(r.id);
+    }
+  }
+  notify(center, radius);
+}
+
+void EmergencyController::all_clear() {
+  if (mode_ == OperatingMode::kNormal) return;
+  mode_ = OperatingMode::kNormal;
+  ++switches_;
+  last_switch_ = net_.simulator().now();
+  for (const RsuId id : failed_) net_.rsus().set_online(id, true);
+  failed_.clear();
+  notify({0, 0}, 0.0);
+}
+
+}  // namespace vcl::core

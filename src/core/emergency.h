@@ -1,0 +1,53 @@
+// Emergency-mode management (paper §V.A "V-cloud management").
+//
+// The authority can flip a region into emergency mode: infrastructure inside
+// the disaster radius goes dark (earthquake/hurricane case), registered
+// listeners — clouds, role managers, routing — adapt, and on all-clear the
+// infrastructure restores. E13 measures how fast each architecture regains
+// throughput after the switch.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace vcl::core {
+
+enum class OperatingMode : std::uint8_t { kNormal, kEmergency };
+
+const char* to_string(OperatingMode m);
+
+class EmergencyController {
+ public:
+  using ModeListener = std::function<void(OperatingMode, geo::Vec2 center,
+                                          double radius)>;
+
+  explicit EmergencyController(net::Network& net) : net_(net) {}
+
+  // Declares an emergency centered at `center`: every RSU within `radius`
+  // fails, mode flips, listeners fire. Idempotent while already in
+  // emergency.
+  void declare_emergency(geo::Vec2 center, double radius);
+  // Restores all failed RSUs and returns to normal mode.
+  void all_clear();
+
+  void add_listener(ModeListener listener);
+
+  [[nodiscard]] OperatingMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t mode_switches() const { return switches_; }
+  [[nodiscard]] SimTime last_switch_at() const { return last_switch_; }
+  [[nodiscard]] std::size_t rsus_failed() const { return failed_.size(); }
+
+ private:
+  void notify(geo::Vec2 center, double radius);
+
+  net::Network& net_;
+  OperatingMode mode_ = OperatingMode::kNormal;
+  std::vector<ModeListener> listeners_;
+  std::vector<RsuId> failed_;
+  std::size_t switches_ = 0;
+  SimTime last_switch_ = 0.0;
+};
+
+}  // namespace vcl::core

@@ -1,0 +1,114 @@
+#include "core/system.h"
+
+namespace vcl::core {
+
+const char* to_string(CloudArchitecture a) {
+  switch (a) {
+    case CloudArchitecture::kStationary: return "stationary";
+    case CloudArchitecture::kInfrastructureBased: return "infrastructure";
+    case CloudArchitecture::kDynamic: return "dynamic";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<vcloud::Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return std::make_unique<vcloud::RandomScheduler>();
+    case SchedulerKind::kGreedy:
+      return std::make_unique<vcloud::GreedyResourceScheduler>();
+    case SchedulerKind::kDwellAware:
+      return std::make_unique<vcloud::DwellAwareScheduler>();
+  }
+  return std::make_unique<vcloud::RandomScheduler>();
+}
+
+VehicularCloudSystem::VehicularCloudSystem(SystemConfig config)
+    : config_(std::move(config)),
+      scenario_(config_.scenario),
+      zones_(scenario_.network()),
+      ta_(config_.scenario.seed ^ 0x5441) {}
+
+void VehicularCloudSystem::start() {
+  if (started_) return;
+  started_ = true;
+  scenario_.start();
+  scenario_.network().refresh();
+  zones_.attach(config_.cluster_period);
+  zones_.update();
+
+  // Register the initial population with the TA.
+  for (const auto& [vid, v] : scenario_.traffic().vehicles()) {
+    ta_.register_vehicle(v.id);
+  }
+
+  auto& net = scenario_.network();
+  vcloud::VehicularCloud::MembershipFn membership;
+  vcloud::VehicularCloud::RegionFn region;
+  const auto [lo, hi] = scenario_.road().bounding_box();
+  const geo::Vec2 center{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+
+  switch (config_.architecture) {
+    case CloudArchitecture::kStationary:
+      membership = vcloud::stationary_membership(scenario_.traffic(), center,
+                                                 config_.stationary_radius);
+      region = vcloud::fixed_region(center, config_.stationary_radius);
+      break;
+    case CloudArchitecture::kInfrastructureBased: {
+      // Anchor to the RSU nearest the map center (deploy one if none).
+      if (net.rsus().count() == 0) {
+        net.rsus().add(center, config_.scenario.rsu_range);
+      }
+      RsuId best{0};
+      double best_d = 1e300;
+      for (const auto& r : net.rsus().all()) {
+        const double d = geo::distance(r.pos, center);
+        if (d < best_d) {
+          best_d = d;
+          best = r.id;
+        }
+      }
+      membership = vcloud::rsu_membership(net, best);
+      region = vcloud::rsu_region(net, best);
+      break;
+    }
+    case CloudArchitecture::kDynamic: {
+      membership = vcloud::largest_cluster_membership(zones_);
+      region = vcloud::members_centroid_region(
+          scenario_.traffic(), membership,
+          config_.scenario.channel.max_range);
+      break;
+    }
+  }
+
+  cloud_ = std::make_unique<vcloud::VehicularCloud>(
+      CloudId{1}, net, std::move(membership), std::move(region),
+      make_scheduler(config_.scheduler), config_.cloud,
+      scenario_.fork_rng(7));
+  cloud_->attach();
+  cloud_->refresh();
+}
+
+void VehicularCloudSystem::run_for(SimTime seconds) {
+  start();
+  scenario_.run_for(seconds);
+}
+
+TaskId VehicularCloudSystem::submit(vcloud::Task spec) {
+  start();
+  return cloud_->submit(std::move(spec));
+}
+
+std::vector<TaskId> VehicularCloudSystem::submit_workload(
+    const vcloud::WorkloadConfig& workload, std::size_t n) {
+  start();
+  vcloud::WorkloadGenerator gen(workload, scenario_.fork_rng(8));
+  std::vector<TaskId> ids;
+  ids.reserve(n);
+  for (vcloud::Task& t : gen.batch(scenario_.simulator().now(), n)) {
+    ids.push_back(cloud_->submit(std::move(t)));
+  }
+  return ids;
+}
+
+}  // namespace vcl::core

@@ -1,0 +1,70 @@
+// VehicularCloudSystem: the library's top-level facade.
+//
+// Wires a Scenario with clustering, one of the three Fig. 4 cloud
+// architectures, a scheduler, authentication and (optionally) attack
+// machinery into a running system with a small task-submission API. The
+// examples and several benches are written entirely against this class.
+#pragma once
+
+#include <memory>
+
+#include "auth/authority.h"
+#include "cluster/moving_zone.h"
+#include "core/scenario.h"
+#include "vcloud/cloud.h"
+
+namespace vcl::core {
+
+enum class CloudArchitecture : std::uint8_t {
+  kStationary,
+  kInfrastructureBased,
+  kDynamic,
+};
+
+const char* to_string(CloudArchitecture a);
+
+enum class SchedulerKind : std::uint8_t { kRandom, kGreedy, kDwellAware };
+
+std::unique_ptr<vcloud::Scheduler> make_scheduler(SchedulerKind kind);
+
+struct SystemConfig {
+  ScenarioConfig scenario;
+  CloudArchitecture architecture = CloudArchitecture::kDynamic;
+  SchedulerKind scheduler = SchedulerKind::kDwellAware;
+  vcloud::CloudConfig cloud;
+  // Stationary clouds anchor here (defaults to the road bounding-box
+  // center).
+  double stationary_radius = 400.0;
+  SimTime cluster_period = 1.0;
+};
+
+class VehicularCloudSystem {
+ public:
+  explicit VehicularCloudSystem(SystemConfig config);
+
+  // Builds the world and the cloud; must be called before submit/run.
+  void start();
+  void run_for(SimTime seconds);
+
+  // Submits a task spec to the cloud.
+  TaskId submit(vcloud::Task spec);
+  // Generates and submits `n` tasks from the workload config.
+  std::vector<TaskId> submit_workload(const vcloud::WorkloadConfig& workload,
+                                      std::size_t n);
+
+  [[nodiscard]] Scenario& scenario() { return scenario_; }
+  [[nodiscard]] vcloud::VehicularCloud& cloud() { return *cloud_; }
+  [[nodiscard]] cluster::MovingZone& clusters() { return zones_; }
+  [[nodiscard]] auth::TrustedAuthority& authority() { return ta_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  Scenario scenario_;
+  cluster::MovingZone zones_;
+  auth::TrustedAuthority ta_;
+  std::unique_ptr<vcloud::VehicularCloud> cloud_;
+  bool started_ = false;
+};
+
+}  // namespace vcl::core

@@ -1,0 +1,53 @@
+#include "crypto/chaum_pedersen.h"
+
+#include "crypto/schnorr.h"
+
+namespace vcl::crypto {
+
+std::uint64_t ChaumPedersen::challenge(std::uint64_t g, std::uint64_t a,
+                                       std::uint64_t h, std::uint64_t b,
+                                       const ChaumPedersenProof& proof) const {
+  Bytes data;
+  append_u64(data, g);
+  append_u64(data, a);
+  append_u64(data, h);
+  append_u64(data, b);
+  append_u64(data, proof.commit_g);
+  append_u64(data, proof.commit_h);
+  return group_.hash_to_scalar(data);
+}
+
+ChaumPedersenProof ChaumPedersen::prove(std::uint64_t x, std::uint64_t h,
+                                        std::uint64_t b, Drbg& drbg,
+                                        std::uint64_t g) const {
+  if (g == 0) g = group_.g();
+  const std::uint64_t a = group_.pow(g, x);
+  const std::uint64_t r = drbg.next_scalar(group_.q());
+  ChaumPedersenProof proof;
+  proof.commit_g = group_.pow(g, r);
+  proof.commit_h = group_.pow(h, r);
+  const std::uint64_t c = challenge(g, a, h, b, proof);
+  proof.response = group_.scalar_add(r, group_.scalar_mul(c, x));
+  return proof;
+}
+
+bool ChaumPedersen::verify(std::uint64_t a, std::uint64_t h, std::uint64_t b,
+                           const ChaumPedersenProof& proof,
+                           std::uint64_t g) const {
+  if (g == 0) g = group_.g();
+  if (!group_.is_element(a) || !group_.is_element(b) ||
+      !group_.is_element(h)) {
+    return false;
+  }
+  const std::uint64_t c = challenge(g, a, h, b, proof);
+  // g^s == t_g * a^c  and  h^s == t_h * b^c
+  const bool lhs_ok =
+      group_.pow(g, proof.response) ==
+      group_.mul(proof.commit_g, group_.pow(a, c));
+  const bool rhs_ok =
+      group_.pow(h, proof.response) ==
+      group_.mul(proof.commit_h, group_.pow(b, c));
+  return lhs_ok && rhs_ok;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,61 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+namespace vcl::crypto {
+
+Drbg::Drbg(const Bytes& seed) : seed_(seed) {}
+
+Drbg::Drbg(std::uint64_t seed) {
+  seed_.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    seed_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (block_used_ == block_.size()) {
+      Sha256 h;
+      h.update(seed_);
+      std::uint8_t ctr[8];
+      for (int i = 0; i < 8; ++i) {
+        ctr[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+      }
+      h.update(ctr, sizeof(ctr));
+      block_ = h.finalize();
+      block_used_ = 0;
+      ++counter_;
+    }
+    const std::size_t take = std::min(len, block_.size() - block_used_);
+    std::memcpy(out, block_.data() + block_used_, take);
+    block_used_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes Drbg::generate(std::size_t len) {
+  Bytes out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t buf[8];
+  generate(buf, sizeof(buf));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+  return v;
+}
+
+std::uint64_t Drbg::next_scalar(std::uint64_t modulus) {
+  // Rejection sampling keeps the distribution uniform.
+  for (;;) {
+    const std::uint64_t v = next_u64() % modulus;
+    if (v != 0) return v;
+  }
+}
+
+}  // namespace vcl::crypto

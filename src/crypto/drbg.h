@@ -1,0 +1,34 @@
+// Deterministic random bit generator (hash-counter construction).
+//
+// Protocol components need reproducible "randomness" that is independent of
+// the simulation RNG streams; the DRBG derives bytes as
+// SHA256(seed || counter) blocks. Not NIST SP 800-90A — a simulation-grade
+// generator with the right interface.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace vcl::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(const Bytes& seed);
+  explicit Drbg(std::uint64_t seed);
+
+  // Fills `out` with deterministic pseudo-random bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+  Bytes generate(std::size_t len);
+  std::uint64_t next_u64();
+  // Uniform in [1, modulus-1]; rejection-sampled, modulus > 2.
+  std::uint64_t next_scalar(std::uint64_t modulus);
+
+ private:
+  Bytes seed_;
+  std::uint64_t counter_ = 0;
+  Digest block_{};
+  std::size_t block_used_ = sizeof(Digest);
+};
+
+}  // namespace vcl::crypto

@@ -1,0 +1,66 @@
+#include "crypto/elgamal.h"
+
+#include "crypto/schnorr.h"
+
+namespace vcl::crypto {
+
+ElGamalCiphertext ElGamal::encrypt(std::uint64_t pub, std::uint64_t m,
+                                   Drbg& drbg) const {
+  const std::uint64_t k = drbg.next_scalar(group_.q());
+  ElGamalCiphertext ct;
+  ct.c1 = group_.pow_g(k);
+  ct.c2 = group_.mul(m, group_.pow(pub, k));
+  return ct;
+}
+
+std::uint64_t ElGamal::decrypt(std::uint64_t secret,
+                               const ElGamalCiphertext& ct) const {
+  const std::uint64_t shared = group_.pow(ct.c1, secret);
+  return group_.mul(ct.c2, group_.inv(shared));
+}
+
+Bytes ElGamal::derive_keystream_key(std::uint64_t shared) {
+  Bytes seed;
+  append_u64(seed, shared);
+  const Digest d = Sha256::hash(seed);
+  return Bytes(d.begin(), d.end());
+}
+
+HybridCiphertext ElGamal::seal(std::uint64_t pub, const Bytes& plain,
+                               Drbg& drbg) const {
+  const std::uint64_t k = drbg.next_scalar(group_.q());
+  HybridCiphertext ct;
+  ct.kem_c1 = group_.pow_g(k);
+  const std::uint64_t shared = group_.pow(pub, k);
+  const Bytes key = derive_keystream_key(shared);
+
+  Drbg keystream(key);
+  ct.body = plain;
+  const Bytes pad = keystream.generate(plain.size());
+  for (std::size_t i = 0; i < ct.body.size(); ++i) ct.body[i] ^= pad[i];
+
+  Bytes mac_input;
+  append_u64(mac_input, ct.kem_c1);
+  mac_input.insert(mac_input.end(), ct.body.begin(), ct.body.end());
+  ct.tag = hmac_sha256(key, mac_input);
+  return ct;
+}
+
+std::optional<Bytes> ElGamal::open(std::uint64_t secret,
+                                   const HybridCiphertext& ct) const {
+  const std::uint64_t shared = group_.pow(ct.kem_c1, secret);
+  const Bytes key = derive_keystream_key(shared);
+
+  Bytes mac_input;
+  append_u64(mac_input, ct.kem_c1);
+  mac_input.insert(mac_input.end(), ct.body.begin(), ct.body.end());
+  if (!digest_equal(ct.tag, hmac_sha256(key, mac_input))) return std::nullopt;
+
+  Drbg keystream(key);
+  Bytes plain = ct.body;
+  const Bytes pad = keystream.generate(plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) plain[i] ^= pad[i];
+  return plain;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,50 @@
+// ElGamal over the Schnorr group, plus a hybrid KEM-DEM for byte payloads.
+//
+// Group-element encryption carries key material in the ABE construction;
+// the hybrid mode (ElGamal KEM + SHA256-counter keystream + HMAC tag) seals
+// arbitrary task/data payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "crypto/group.h"
+#include "crypto/hmac.h"
+
+namespace vcl::crypto {
+
+struct ElGamalCiphertext {
+  std::uint64_t c1 = 0;  // g^k
+  std::uint64_t c2 = 0;  // m * y^k
+};
+
+struct HybridCiphertext {
+  std::uint64_t kem_c1 = 0;
+  Bytes body;   // XOR-keystream encrypted payload
+  Digest tag{};  // HMAC over (kem_c1 || body)
+};
+
+class ElGamal {
+ public:
+  explicit ElGamal(const SchnorrGroup& group) : group_(group) {}
+
+  // Element encryption: m must be a subgroup element.
+  [[nodiscard]] ElGamalCiphertext encrypt(std::uint64_t pub, std::uint64_t m,
+                                          Drbg& drbg) const;
+  [[nodiscard]] std::uint64_t decrypt(std::uint64_t secret,
+                                      const ElGamalCiphertext& ct) const;
+
+  // Hybrid byte encryption (authenticated).
+  [[nodiscard]] HybridCiphertext seal(std::uint64_t pub, const Bytes& plain,
+                                      Drbg& drbg) const;
+  [[nodiscard]] std::optional<Bytes> open(std::uint64_t secret,
+                                          const HybridCiphertext& ct) const;
+
+ private:
+  [[nodiscard]] static Bytes derive_keystream_key(std::uint64_t shared);
+
+  const SchnorrGroup& group_;
+};
+
+}  // namespace vcl::crypto

@@ -1,0 +1,47 @@
+#include "crypto/hmac.h"
+
+namespace vcl::crypto {
+
+Digest hmac_sha256(const Bytes& key, const std::uint8_t* data,
+                   std::size_t len) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    const Digest kd = Sha256::hash(k);
+    k.assign(kd.begin(), kd.end());
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data, len);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+Digest hmac_sha256(const Bytes& key, std::string_view msg) {
+  return hmac_sha256(key, reinterpret_cast<const std::uint8_t*>(msg.data()),
+                     msg.size());
+}
+
+Digest hmac_sha256(const Bytes& key, const Bytes& msg) {
+  return hmac_sha256(key, msg.data(), msg.size());
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace vcl::crypto

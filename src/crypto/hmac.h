@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace vcl::crypto {
+
+Digest hmac_sha256(const Bytes& key, const std::uint8_t* data,
+                   std::size_t len);
+Digest hmac_sha256(const Bytes& key, std::string_view msg);
+Digest hmac_sha256(const Bytes& key, const Bytes& msg);
+
+// Constant-time-ish digest comparison (all bytes always inspected).
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace vcl::crypto

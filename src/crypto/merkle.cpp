@@ -1,0 +1,62 @@
+#include "crypto/merkle.h"
+
+namespace vcl::crypto {
+
+Digest MerkleTree::hash_pair(const Digest& a, const Digest& b) {
+  Sha256 h;
+  h.update(a.data(), a.size());
+  h.update(b.data(), b.size());
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaves_(leaves.size()) {
+  if (leaves.empty()) return;
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    auto& prev = levels_.back();
+    if (prev.size() % 2 != 0) prev.push_back(prev.back());  // duplicate last
+    std::vector<Digest> next;
+    next.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      next.push_back(hash_pair(prev[i], prev[i + 1]));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleTree MerkleTree::from_payloads(const std::vector<Bytes>& payloads) {
+  std::vector<Digest> leaves;
+  leaves.reserve(payloads.size());
+  for (const Bytes& p : payloads) leaves.push_back(Sha256::hash(p));
+  return MerkleTree(std::move(leaves));
+}
+
+Digest MerkleTree::root() const {
+  if (levels_.empty()) return Digest{};
+  return levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t leaf_index) const {
+  MerkleProof proof;
+  proof.leaf_index = leaf_index;
+  std::size_t idx = leaf_index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::size_t sibling = idx ^ 1;
+    proof.siblings.push_back(levels_[level][sibling]);
+    idx /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf,
+                        const MerkleProof& proof) {
+  Digest acc = leaf;
+  std::size_t idx = proof.leaf_index;
+  for (const Digest& sib : proof.siblings) {
+    acc = (idx % 2 == 0) ? hash_pair(acc, sib) : hash_pair(sib, acc);
+    idx /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,42 @@
+// Merkle tree over SHA-256, with membership proofs.
+//
+// Used by the v-cloud file replication manager to let readers verify chunk
+// integrity against a root published by the data owner, and by the audit log
+// for tamper-evidence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace vcl::crypto {
+
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<Digest> siblings;  // bottom-up
+};
+
+class MerkleTree {
+ public:
+  // Builds a tree over the leaf digests (empty tree allowed).
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  static MerkleTree from_payloads(const std::vector<Bytes>& payloads);
+
+  [[nodiscard]] Digest root() const;
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_; }
+  [[nodiscard]] MerkleProof prove(std::size_t leaf_index) const;
+
+  static bool verify(const Digest& root, const Digest& leaf,
+                     const MerkleProof& proof);
+
+ private:
+  static Digest hash_pair(const Digest& a, const Digest& b);
+
+  std::size_t leaves_ = 0;
+  // levels_[0] = leaves (padded to even size per level), last = root level.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace vcl::crypto

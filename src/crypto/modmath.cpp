@@ -1,0 +1,88 @@
+#include "crypto/modmath.h"
+
+#include <initializer_list>
+
+namespace vcl::crypto {
+
+using u128 = unsigned __int128;
+
+std::uint64_t mod_add(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  a %= m;
+  b %= m;
+  const std::uint64_t s = a + b;  // cannot overflow: a, b < m <= 2^63 in use,
+                                  // but handle the general case anyway
+  if (s < a || s >= m) return s - m;
+  return s;
+}
+
+std::uint64_t mod_sub(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  a %= m;
+  b %= m;
+  return a >= b ? a - b : a + (m - b);
+}
+
+std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(u128{a} * b % m);
+}
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mod_mul(result, base, m);
+    base = mod_mul(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t mod_inv(std::uint64_t a, std::uint64_t m) {
+  // Extended Euclid on signed 128-bit intermediates.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    const __int128 q = r / new_r;
+    const __int128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const __int128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r > 1) return 0;  // not invertible
+  if (t < 0) t += m;
+  return static_cast<std::uint64_t>(t);
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // These witnesses decide primality for all n < 2^64.
+  for (const std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = mod_pow(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mod_mul(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,18 @@
+// 64-bit modular arithmetic (via unsigned __int128) and primality testing.
+#pragma once
+
+#include <cstdint>
+
+namespace vcl::crypto {
+
+std::uint64_t mod_add(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+std::uint64_t mod_sub(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+// Modular inverse of a (coprime with m); 0 when no inverse exists.
+std::uint64_t mod_inv(std::uint64_t a, std::uint64_t m);
+
+// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+}  // namespace vcl::crypto

@@ -1,0 +1,58 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/drbg.h"
+
+namespace vcl::crypto {
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t read_u64(const Bytes& in, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | in.at(offset + static_cast<std::size_t>(i));
+  }
+  return v;
+}
+
+SchnorrKeyPair Schnorr::keygen(Drbg& drbg) const {
+  SchnorrKeyPair kp;
+  kp.secret = drbg.next_scalar(group_.q());
+  kp.pub = group_.pow_g(kp.secret);
+  return kp;
+}
+
+std::uint64_t Schnorr::challenge(std::uint64_t r, std::uint64_t pub,
+                                 const Bytes& msg) const {
+  Bytes data;
+  data.reserve(16 + msg.size());
+  append_u64(data, r);
+  append_u64(data, pub);
+  data.insert(data.end(), msg.begin(), msg.end());
+  return group_.hash_to_scalar(data);
+}
+
+SchnorrSignature Schnorr::sign(std::uint64_t secret, const Bytes& msg,
+                               Drbg& drbg) const {
+  const std::uint64_t k = drbg.next_scalar(group_.q());
+  SchnorrSignature sig;
+  sig.r = group_.pow_g(k);
+  const std::uint64_t pub = group_.pow_g(secret);
+  const std::uint64_t e = challenge(sig.r, pub, msg);
+  sig.s = group_.scalar_add(k, group_.scalar_mul(e, secret));
+  return sig;
+}
+
+bool Schnorr::verify(std::uint64_t pub, const Bytes& msg,
+                     const SchnorrSignature& sig) const {
+  if (!group_.is_element(pub) || !group_.is_element(sig.r)) return false;
+  const std::uint64_t e = challenge(sig.r, pub, msg);
+  const std::uint64_t lhs = group_.pow_g(sig.s);
+  const std::uint64_t rhs = group_.mul(sig.r, group_.pow(pub, e));
+  return lhs == rhs;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// This is the one cryptographic primitive in the framework that is real at
+// full strength; everything algebraic (signatures, encryption) runs over a
+// deliberately small group — see crypto/group.h for the rationale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcl::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+using Bytes = std::vector<std::uint8_t>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s);
+  void update(const Bytes& b);
+
+  // Finalizes and returns the digest; the object must not be reused after.
+  [[nodiscard]] Digest finalize();
+
+  static Digest hash(std::string_view s);
+  static Digest hash(const Bytes& b);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+std::string to_hex(const Digest& d);
+
+// First 8 bytes of a digest as a big-endian integer (convenient for deriving
+// group exponents and ids from hashes).
+std::uint64_t digest_prefix_u64(const Digest& d);
+
+}  // namespace vcl::crypto

@@ -1,0 +1,52 @@
+#include "crypto/shamir.h"
+
+#include <cassert>
+
+#include "crypto/modmath.h"
+
+namespace vcl::crypto {
+
+std::vector<Share> Shamir::split(std::uint64_t secret, std::size_t k,
+                                 std::size_t n, Drbg& drbg) const {
+  assert(k >= 1 && k <= n);
+  // Random polynomial f of degree k-1 with f(0) = secret.
+  std::vector<std::uint64_t> coeffs(k);
+  coeffs[0] = secret % q_;
+  for (std::size_t i = 1; i < k; ++i) coeffs[i] = drbg.next_u64() % q_;
+
+  std::vector<Share> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = i + 1;
+    // Horner evaluation mod q.
+    std::uint64_t y = 0;
+    for (std::size_t c = k; c-- > 0;) {
+      y = mod_add(mod_mul(y, x, q_), coeffs[c], q_);
+    }
+    shares[i] = Share{x, y};
+  }
+  return shares;
+}
+
+std::uint64_t Shamir::lagrange_coefficient(const std::vector<Share>& shares,
+                                           std::size_t i) const {
+  // lambda_i = prod_{j != i} x_j / (x_j - x_i)  (mod q), evaluated at 0.
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    if (j == i) continue;
+    num = mod_mul(num, shares[j].x % q_, q_);
+    den = mod_mul(den, mod_sub(shares[j].x, shares[i].x, q_), q_);
+  }
+  return mod_mul(num, mod_inv(den, q_), q_);
+}
+
+std::uint64_t Shamir::reconstruct(const std::vector<Share>& shares) const {
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const std::uint64_t li = lagrange_coefficient(shares, i);
+    secret = mod_add(secret, mod_mul(shares[i].y, li, q_), q_);
+  }
+  return secret;
+}
+
+}  // namespace vcl::crypto

@@ -1,0 +1,44 @@
+// Shamir secret sharing over Z_q (the Schnorr group's scalar field).
+//
+// Used directly (threshold escrow of group-signature opening keys) and as
+// the linear secret-sharing backbone of the policy-tree ABE in src/access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/group.h"
+
+namespace vcl::crypto {
+
+struct Share {
+  std::uint64_t x = 0;  // evaluation point (non-zero)
+  std::uint64_t y = 0;  // polynomial value
+};
+
+class Shamir {
+ public:
+  // `modulus` must be prime (use group.q()).
+  explicit Shamir(std::uint64_t modulus) : q_(modulus) {}
+
+  // Splits `secret` into `n` shares with reconstruction threshold `k`
+  // (1 <= k <= n). Share x-coordinates are 1..n.
+  [[nodiscard]] std::vector<Share> split(std::uint64_t secret, std::size_t k,
+                                         std::size_t n, Drbg& drbg) const;
+
+  // Lagrange interpolation at x = 0 over any >= k distinct shares.
+  [[nodiscard]] std::uint64_t reconstruct(
+      const std::vector<Share>& shares) const;
+
+  // Lagrange coefficient for share `i` within the share set (evaluated at 0);
+  // exposed for "reconstruction in the exponent" (ABE decryption combines
+  // g^{y_i * lambda_i} without learning y_i).
+  [[nodiscard]] std::uint64_t lagrange_coefficient(
+      const std::vector<Share>& shares, std::size_t i) const;
+
+ private:
+  std::uint64_t q_;
+};
+
+}  // namespace vcl::crypto

@@ -1,0 +1,78 @@
+// Uniform spatial hash grid for neighbor queries.
+//
+// The radio channel asks "who is within R meters of position p" thousands of
+// times per simulated second; this grid answers in O(items in nearby cells)
+// instead of O(all vehicles).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace vcl::geo {
+
+template <typename Item>
+class SpatialGrid {
+ public:
+  // `cell_size` should be close to the dominant query radius.
+  explicit SpatialGrid(double cell_size) : cell_size_(cell_size) {}
+
+  void clear() { cells_.clear(); }
+
+  void insert(const Item& item, Vec2 pos) {
+    cells_[key(pos)].push_back(Entry{item, pos});
+  }
+
+  // Collects all items within `radius` of `center` into `out` (cleared
+  // first). Exact: candidate cells are range-checked.
+  void query(Vec2 center, double radius, std::vector<Item>& out) const {
+    out.clear();
+    const double r2 = radius * radius;
+    const auto [cx0, cy0] = cell_of({center.x - radius, center.y - radius});
+    const auto [cx1, cy1] = cell_of({center.x + radius, center.y + radius});
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+        auto it = cells_.find(pack(cx, cy));
+        if (it == cells_.end()) continue;
+        for (const Entry& e : it->second) {
+          if (distance2(e.pos, center) <= r2) out.push_back(e.item);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [k, v] : cells_) n += v.size();
+    return n;
+  }
+
+ private:
+  struct Entry {
+    Item item;
+    Vec2 pos;
+  };
+
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> cell_of(Vec2 p) const {
+    return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+            static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+  }
+
+  static std::uint64_t pack(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+
+  [[nodiscard]] std::uint64_t key(Vec2 p) const {
+    const auto [cx, cy] = cell_of(p);
+    return pack(cx, cy);
+  }
+
+  double cell_size_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> cells_;
+};
+
+}  // namespace vcl::geo

@@ -1,0 +1,50 @@
+// Minimal 2-D vector for positions (meters) and velocities (m/s).
+#pragma once
+
+#include <cmath>
+
+namespace vcl::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+
+  // Unit vector; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+// Angle between two direction vectors in radians, in [0, pi].
+inline double angle_between(Vec2 a, Vec2 b) {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  c = c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c);
+  return std::acos(c);
+}
+
+}  // namespace vcl::geo

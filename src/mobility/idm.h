@@ -1,0 +1,21 @@
+// Intelligent Driver Model (Treiber et al.) car-following acceleration.
+#pragma once
+
+namespace vcl::mobility {
+
+struct IdmParams {
+  double desired_speed = 30.0;     // v0, m/s
+  double time_headway = 1.5;       // T, s
+  double max_accel = 1.5;          // a, m/s^2
+  double comfort_decel = 2.0;      // b, m/s^2
+  double min_gap = 2.0;            // s0, m
+  double exponent = 4.0;           // delta
+};
+
+// Acceleration for a follower at `speed` with closing speed `approach_rate`
+// (= follower speed - leader speed) and bumper-to-bumper `gap` to the leader.
+// Pass an infinite gap for a free road.
+double idm_acceleration(double speed, double approach_rate, double gap,
+                        const IdmParams& p);
+
+}  // namespace vcl::mobility

@@ -1,0 +1,54 @@
+// Per-vehicle kinematic and capability state.
+#pragma once
+
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vcl::mobility {
+
+// SAE J3016 automation levels (paper Fig. 1). Higher levels carry richer
+// on-board equipment and therefore contribute more resources to a v-cloud.
+enum class AutomationLevel {
+  kNoAutomation = 0,
+  kDriverAssistance = 1,
+  kPartialAutomation = 2,
+  kConditionalAutomation = 3,
+  kHighAutomation = 4,
+  kFullAutomation = 5,
+};
+
+struct VehicleState {
+  VehicleId id;
+
+  // Position on the road network.
+  LinkId link;
+  int lane = 0;
+  double offset = 0.0;  // meters from link start
+  double speed = 0.0;   // m/s
+  double accel = 0.0;   // m/s^2
+  double length = 4.5;  // meters
+
+  // Route as a sequence of links; `route_index` points at `link`.
+  std::vector<LinkId> route;
+  std::size_t route_index = 0;
+
+  bool parked = false;
+  // Desired-speed multiplier relative to the speed limit (driver style).
+  double speed_factor = 1.0;
+  AutomationLevel automation = AutomationLevel::kConditionalAutomation;
+
+  SimTime spawn_time = 0.0;
+
+  // World-frame position/velocity, refreshed by TrafficModel each step.
+  geo::Vec2 pos;
+  geo::Vec2 vel;
+
+  [[nodiscard]] bool has_more_links() const {
+    return route_index + 1 < route.size();
+  }
+};
+
+}  // namespace vcl::mobility

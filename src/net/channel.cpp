@@ -1,0 +1,53 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcl::net {
+
+double Channel::reception_probability(geo::Vec2 from, geo::Vec2 to,
+                                      std::size_t local_density) const {
+  const double d = geo::distance(from, to);
+  if (d > config_.max_range) return 0.0;
+  double p = 1.0 - config_.base_loss;
+  if (d > config_.reference_range) {
+    // Log-distance fade: success decays with (d/ref)^(-alpha), smoothed so
+    // p -> ~0 at the cutoff. Shadowing sigma widens the transition band.
+    const double ratio =
+        (d - config_.reference_range) /
+        std::max(config_.max_range - config_.reference_range, 1.0);
+    const double fade =
+        std::pow(1.0 - ratio, config_.path_loss_exponent / 2.0);
+    p *= std::clamp(fade + 0.02 * config_.shadowing_sigma * (1.0 - ratio),
+                    0.0, 1.0);
+  }
+  // CSMA contention: every concurrent transmitter in range erodes success.
+  p *= std::max(0.0, 1.0 - config_.contention_per_neighbor *
+                               static_cast<double>(local_density));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+SimTime Channel::hop_delay(std::size_t size_bytes,
+                           std::size_t local_density) const {
+  const SimTime tx_time =
+      static_cast<double>(size_bytes) * 8.0 / config_.data_rate_bps;
+  // Expected backoff grows with contenders (simplified binary backoff).
+  const SimTime backoff =
+      config_.slot_time * (1.0 + static_cast<double>(local_density) * 0.5);
+  return tx_time + backoff;
+}
+
+ReceptionResult Channel::attempt(geo::Vec2 from, geo::Vec2 to,
+                                 std::size_t size_bytes,
+                                 std::size_t local_density, Rng& rng) const {
+  ReceptionResult r;
+  const double p = reception_probability(from, to, local_density);
+  if (!rng.bernoulli(p)) return r;
+  r.received = true;
+  // Jitter the deterministic delay by up to one extra backoff round.
+  r.delay = hop_delay(size_bytes, local_density) *
+            rng.uniform(1.0, 1.5);
+  return r;
+}
+
+}  // namespace vcl::net

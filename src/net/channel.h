@@ -1,0 +1,60 @@
+// Radio channel model for DSRC-class V2V/V2I links.
+//
+// Reception combines (1) a deterministic range cutoff, (2) log-distance path
+// loss with log-normal shadowing mapped to a reception probability, and
+// (3) a CSMA-style contention penalty that grows with local transmitter
+// density. Per-hop delay is transmission time (size / data rate) plus a
+// density-dependent channel-access backoff. This reproduces the phenomena
+// the paper's challenges hinge on — lossy links, density collapse, hop
+// latency — without a bit-level PHY (see DESIGN.md substitutions).
+#pragma once
+
+#include "geo/vec2.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vcl::net {
+
+struct ChannelConfig {
+  double max_range = 300.0;        // hard cutoff, meters (DSRC-class)
+  double reference_range = 150.0;  // distance where loss starts to bite
+  double path_loss_exponent = 2.7;
+  double shadowing_sigma = 3.0;    // dB
+  double data_rate_bps = 6e6;      // 802.11p nominal 6 Mbit/s
+  SimTime slot_time = 50 * kMicroseconds;
+  double contention_per_neighbor = 0.004;  // loss added per local transmitter
+  double base_loss = 0.02;                 // irreducible packet error rate
+};
+
+struct ReceptionResult {
+  bool received = false;
+  SimTime delay = 0.0;  // valid when received
+};
+
+class Channel {
+ public:
+  explicit Channel(ChannelConfig config = {}) : config_(config) {}
+
+  // Probability that a packet from `from` reaches `to` given `local_density`
+  // concurrent transmitters in range (deterministic; no RNG).
+  [[nodiscard]] double reception_probability(geo::Vec2 from, geo::Vec2 to,
+                                             std::size_t local_density) const;
+
+  // Samples one transmission attempt.
+  [[nodiscard]] ReceptionResult attempt(geo::Vec2 from, geo::Vec2 to,
+                                        std::size_t size_bytes,
+                                        std::size_t local_density,
+                                        Rng& rng) const;
+
+  // Deterministic per-hop latency (used for expectation-style accounting).
+  [[nodiscard]] SimTime hop_delay(std::size_t size_bytes,
+                                  std::size_t local_density) const;
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+  ChannelConfig& config() { return config_; }
+
+ private:
+  ChannelConfig config_;
+};
+
+}  // namespace vcl::net

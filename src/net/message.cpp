@@ -1,0 +1,19 @@
+#include "net/message.h"
+
+namespace vcl::net {
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kBeacon: return "beacon";
+    case MessageKind::kData: return "data";
+    case MessageKind::kControl: return "control";
+    case MessageKind::kAuth: return "auth";
+    case MessageKind::kTaskAssign: return "task_assign";
+    case MessageKind::kTaskResult: return "task_result";
+    case MessageKind::kTaskMigrate: return "task_migrate";
+    case MessageKind::kEventReport: return "event_report";
+  }
+  return "unknown";
+}
+
+}  // namespace vcl::net

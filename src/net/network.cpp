@@ -1,0 +1,245 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace vcl::net {
+
+Network::Network(sim::Simulator& sim, mobility::TrafficModel& traffic,
+                 ChannelConfig channel_cfg, Rng rng)
+    : sim_(sim),
+      traffic_(traffic),
+      channel_(channel_cfg),
+      rng_(rng),
+      index_(channel_cfg.max_range) {}
+
+void Network::set_handler(Address addr, Handler handler) {
+  handlers_[addr.key()] = std::move(handler);
+}
+
+void Network::clear_handler(Address addr) { handlers_.erase(addr.key()); }
+
+void Network::start_beacons(SimTime period) {
+  refresh();
+  sim_.schedule_every(period, [this] { beacon_round(); });
+}
+
+void Network::refresh() {
+  rebuild_index();
+  beacon_round_tables();
+}
+
+void Network::rebuild_index() {
+  index_.clear();
+  for (const auto& [vid, v] : traffic_.vehicles()) {
+    index_.insert(v.id, v.pos);
+  }
+}
+
+void Network::beacon_round() {
+  rebuild_index();
+  beacon_round_tables();
+}
+
+void Network::beacon_round_tables() {
+  const double range = channel_.config().max_range;
+  const SimTime now = sim_.now();
+  std::vector<VehicleId> nearby;
+
+  // Drop tables of departed vehicles.
+  for (auto it = neighbor_tables_.begin(); it != neighbor_tables_.end();) {
+    if (traffic_.find(VehicleId{it->first}) == nullptr) {
+      it = neighbor_tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const auto& [vid, v] : traffic_.vehicles()) {
+    index_.query(v.pos, range, nearby);
+    auto& table = neighbor_tables_[v.id.value()];
+    const std::size_t density = nearby.size();
+    for (const VehicleId nid : nearby) {
+      if (nid == v.id) continue;
+      const mobility::VehicleState* n = traffic_.find(nid);
+      if (n == nullptr) continue;
+      // Sample beacon reception from neighbor -> v; refresh on success.
+      if (!rng_.bernoulli(
+              channel_.reception_probability(n->pos, v.pos, density))) {
+        continue;
+      }
+      auto existing =
+          std::find_if(table.begin(), table.end(),
+                       [nid](const NeighborEntry& e) { return e.id == nid; });
+      if (existing != table.end()) {
+        *existing = NeighborEntry{n->id, n->pos, n->vel, now};
+      } else {
+        table.push_back(NeighborEntry{n->id, n->pos, n->vel, now});
+      }
+    }
+    // Expire stale entries and entries for departed or out-of-range-departed
+    // vehicles.
+    std::erase_if(table, [&](const NeighborEntry& e) {
+      if (now - e.last_heard > neighbor_ttl_) return true;
+      return traffic_.find(e.id) == nullptr;
+    });
+  }
+}
+
+const std::vector<NeighborEntry>& Network::neighbors(VehicleId v) const {
+  auto it = neighbor_tables_.find(v.value());
+  return it == neighbor_tables_.end() ? empty_ : it->second;
+}
+
+const Rsu* Network::reachable_rsu(VehicleId v) const {
+  const mobility::VehicleState* s = traffic_.find(v);
+  if (s == nullptr) return nullptr;
+  return rsus_.covering(s->pos);
+}
+
+std::optional<geo::Vec2> Network::position_of(Address addr) const {
+  if (addr.is_vehicle()) {
+    const mobility::VehicleState* s = traffic_.find(addr.as_vehicle());
+    if (s == nullptr) return std::nullopt;
+    return s->pos;
+  }
+  if (addr.is_rsu()) {
+    const Rsu* r = rsus_.find(addr.as_rsu());
+    if (r == nullptr || !r->online) return std::nullopt;
+    return r->pos;
+  }
+  return std::nullopt;
+}
+
+std::size_t Network::local_density(geo::Vec2 pos) const {
+  std::vector<VehicleId> nearby;
+  index_.query(pos, channel_.config().reference_range, nearby);
+  double extra = 0.0;
+  if (!extra_load_.empty()) {
+    for (const VehicleId v : nearby) {
+      auto it = extra_load_.find(v.value());
+      if (it != extra_load_.end()) extra += it->second;
+    }
+  }
+  return nearby.size() + static_cast<std::size_t>(extra);
+}
+
+void Network::set_extra_load(VehicleId v, double load) {
+  if (load <= 0.0) {
+    extra_load_.erase(v.value());
+  } else {
+    extra_load_[v.value()] = load;
+  }
+}
+
+void Network::set_default_vehicle_handler(VehicleHandler handler) {
+  vehicle_default_handler_ = std::move(handler);
+}
+
+void Network::deliver(const Message& msg, Address to, SimTime delay) {
+  Message delivered = msg;
+  delivered.hops += 1;
+  auto it = handlers_.find(to.key());
+  if (it != handlers_.end()) {
+    const Handler& handler = it->second;
+    sim_.schedule_after(delay, [handler, delivered] { handler(delivered); });
+    return;
+  }
+  if (to.is_vehicle() && vehicle_default_handler_) {
+    const VehicleId self = to.as_vehicle();
+    sim_.schedule_after(delay, [this, self, delivered] {
+      if (vehicle_default_handler_) vehicle_default_handler_(self, delivered);
+    });
+  }
+}
+
+bool Network::transmit(const Message& msg, Address to_addr) {
+  ++stats_.unicast_sent;
+  stats_.bytes_sent += msg.size_bytes;
+  const auto from = position_of(msg.src);
+  const auto to = position_of(to_addr);
+  if (!from || !to) {
+    ++stats_.dropped;
+    return false;
+  }
+  // RSUs have stronger radios: use the RSU's own range for either endpoint.
+  double range_bonus = 1.0;
+  if (msg.src.is_rsu() || to_addr.is_rsu()) {
+    const Rsu* r = msg.src.is_rsu() ? rsus_.find(msg.src.as_rsu())
+                                    : rsus_.find(to_addr.as_rsu());
+    if (r != nullptr) {
+      range_bonus = r->range / channel_.config().max_range;
+    }
+  }
+  const double dist = geo::distance(*from, *to);
+  if (dist > channel_.config().max_range * range_bonus) {
+    ++stats_.dropped;
+    return false;
+  }
+  // Scale position difference so the channel sees an equivalent distance
+  // within its nominal range.
+  geo::Vec2 eff_to = *from + (*to - *from) / range_bonus;
+  const ReceptionResult r = channel_.attempt(
+      *from, eff_to, msg.size_bytes, local_density(*from), rng_);
+  if (!r.received) {
+    ++stats_.dropped;
+    return false;
+  }
+  ++stats_.unicast_delivered;
+  stats_.hop_delay.add(r.delay);
+  deliver(msg, to_addr, r.delay);
+  return true;
+}
+
+bool Network::send(Message msg) { return transmit(msg, msg.dst); }
+
+bool Network::send_via(const Message& msg, Address next_hop) {
+  return transmit(msg, next_hop);
+}
+
+std::size_t Network::broadcast(Message msg) {
+  ++stats_.broadcast_sent;
+  stats_.bytes_sent += msg.size_bytes;
+  const auto from = position_of(msg.src);
+  if (!from) return 0;
+  const std::size_t density = local_density(*from);
+
+  std::size_t reached = 0;
+  std::vector<VehicleId> nearby;
+  index_.query(*from, channel_.config().max_range, nearby);
+  for (const VehicleId nid : nearby) {
+    const Address addr = Address::vehicle(nid);
+    if (addr == msg.src) continue;
+    const mobility::VehicleState* n = traffic_.find(nid);
+    if (n == nullptr) continue;
+    const ReceptionResult r =
+        channel_.attempt(*from, n->pos, msg.size_bytes, density, rng_);
+    if (!r.received) continue;
+    ++reached;
+    ++stats_.broadcast_receptions;
+    deliver(msg, addr, r.delay);
+  }
+  // RSUs in range also hear broadcasts.
+  for (const Rsu& rsu : rsus_.all()) {
+    if (!rsu.online) continue;
+    if (geo::distance(rsu.pos, *from) > rsu.range) continue;
+    const ReceptionResult r =
+        channel_.attempt(*from, *from, msg.size_bytes, density, rng_);
+    if (!r.received) continue;
+    ++reached;
+    deliver(msg, Address::rsu(rsu.id), r.delay);
+  }
+  return reached;
+}
+
+void Network::send_backhaul(RsuId from, RsuId to, Message msg) {
+  const Rsu* src = rsus_.find(from);
+  const Rsu* dst = rsus_.find(to);
+  if (src == nullptr || dst == nullptr || !src->online || !dst->online) {
+    ++stats_.dropped;
+    return;
+  }
+  stats_.bytes_sent += msg.size_bytes;
+  deliver(msg, Address::rsu(to), backhaul_latency_);
+}
+
+}  // namespace vcl::net

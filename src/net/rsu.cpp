@@ -1,0 +1,60 @@
+#include "net/rsu.h"
+
+#include <limits>
+
+namespace vcl::net {
+
+RsuId RsuField::add(geo::Vec2 pos, double range) {
+  const RsuId id{rsus_.size()};
+  rsus_.push_back(Rsu{id, pos, range, true});
+  return id;
+}
+
+const Rsu* RsuField::find(RsuId id) const {
+  if (id.value() >= rsus_.size()) return nullptr;
+  return &rsus_[id.value()];
+}
+
+std::size_t RsuField::online_count() const {
+  std::size_t n = 0;
+  for (const Rsu& r : rsus_) n += r.online ? 1 : 0;
+  return n;
+}
+
+void RsuField::set_online(RsuId id, bool online) {
+  if (id.value() < rsus_.size()) rsus_[id.value()].online = online;
+}
+
+void RsuField::fail_all() {
+  for (Rsu& r : rsus_) r.online = false;
+}
+
+void RsuField::restore_all() {
+  for (Rsu& r : rsus_) r.online = true;
+}
+
+const Rsu* RsuField::covering(geo::Vec2 pos) const {
+  const Rsu* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Rsu& r : rsus_) {
+    if (!r.online) continue;
+    const double d = geo::distance(r.pos, pos);
+    if (d <= r.range && d < best_d) {
+      best = &r;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+void RsuField::place_grid(const geo::RoadNetwork& net, double spacing,
+                          double range) {
+  const auto [lo, hi] = net.bounding_box();
+  for (double x = lo.x; x <= hi.x + 1e-9; x += spacing) {
+    for (double y = lo.y; y <= hi.y + 1e-9; y += spacing) {
+      add({x, y}, range);
+    }
+  }
+}
+
+}  // namespace vcl::net

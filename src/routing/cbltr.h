@@ -1,0 +1,32 @@
+// Cluster-Based Lifetime Routing (after Abuashour & Kadoch's CBLTR [1]).
+//
+// Next-hop selection maximizes the *expected link lifetime* among neighbors
+// that make geographic progress: favoring links that will survive longest
+// trades a little per-hop progress for far fewer broken-route retransmits
+// in high-relative-speed traffic.
+#pragma once
+
+#include "routing/router.h"
+
+namespace vcl::routing {
+
+struct CbltrConfig {
+  double min_progress = 5.0;  // meters of required progress per hop
+};
+
+class Cbltr final : public Router {
+ public:
+  Cbltr(net::Network& net, CbltrConfig cbltr_config = {},
+        RouterConfig config = {})
+      : Router(net, config), cbltr_config_(cbltr_config) {}
+
+  [[nodiscard]] const char* name() const override { return "cbltr"; }
+
+ protected:
+  void forward(VehicleId self, const net::Message& msg) override;
+
+ private:
+  CbltrConfig cbltr_config_;
+};
+
+}  // namespace vcl::routing

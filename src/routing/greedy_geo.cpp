@@ -1,0 +1,39 @@
+#include "routing/greedy_geo.h"
+
+namespace vcl::routing {
+
+void GreedyGeo::forward(VehicleId self, const net::Message& msg) {
+  // Direct delivery when the destination is a live neighbor.
+  const VehicleId dst = msg.dst.as_vehicle();
+  for (const net::NeighborEntry& n : net_.neighbors(self)) {
+    if (n.id == dst) {
+      if (send_to(self, msg.dst, msg)) return;
+      break;
+    }
+  }
+  if (!msg.has_dst_pos) {
+    // No location info: degrade to a single local broadcast.
+    broadcast_from(self, msg);
+    return;
+  }
+  const mobility::VehicleState* me = net_.traffic().find(self);
+  if (me == nullptr) return;
+  const double my_dist = geo::distance(me->pos, msg.dst_pos);
+
+  VehicleId best;
+  double best_dist = my_dist;
+  for (const net::NeighborEntry& n : net_.neighbors(self)) {
+    const double d = geo::distance(n.pos, msg.dst_pos);
+    if (d < best_dist) {
+      best_dist = d;
+      best = n.id;
+    }
+  }
+  if (best.valid()) {
+    if (send_to(self, net::Address::vehicle(best), msg)) return;
+  }
+  // Local maximum or hop loss: carry and retry after the vehicle has moved.
+  buffer_message(self, msg);
+}
+
+}  // namespace vcl::routing

@@ -1,0 +1,48 @@
+#include "routing/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vcl::routing {
+
+void RoutingMetrics::on_originate(const net::Message& msg) {
+  (void)msg;
+  ++originated_;
+}
+
+void RoutingMetrics::on_deliver(const net::Message& msg, SimTime now) {
+  if (!delivered_.insert(msg.id.value()).second) return;
+  delay_.add(now - msg.created);
+  hops_.add(static_cast<double>(msg.hops));
+}
+
+double RoutingMetrics::delivery_ratio() const {
+  return originated_ == 0
+             ? 0.0
+             : static_cast<double>(delivered_.size()) /
+                   static_cast<double>(originated_);
+}
+
+double RoutingMetrics::overhead() const {
+  return originated_ == 0 ? 0.0
+                          : static_cast<double>(transmissions_) /
+                                static_cast<double>(originated_);
+}
+
+double link_lifetime(geo::Vec2 pos_a, geo::Vec2 vel_a, geo::Vec2 pos_b,
+                     geo::Vec2 vel_b, double range) {
+  const geo::Vec2 dp = pos_b - pos_a;
+  const geo::Vec2 dv = vel_b - vel_a;
+  const double c = dp.norm2() - range * range;
+  if (c > 0.0) return 0.0;  // already out of range
+  const double a = dv.norm2();
+  if (a < 1e-12) return std::numeric_limits<double>::infinity();
+  const double b = 2.0 * dp.dot(dv);
+  // Solve |dp + t dv|^2 = range^2 for the positive root.
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return std::numeric_limits<double>::infinity();
+  const double t = (-b + std::sqrt(disc)) / (2.0 * a);
+  return t < 0.0 ? 0.0 : t;
+}
+
+}  // namespace vcl::routing

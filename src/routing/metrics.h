@@ -1,0 +1,46 @@
+// Delivery / latency / overhead accounting shared by all routing protocols.
+#pragma once
+
+#include <unordered_set>
+
+#include "net/message.h"
+#include "util/stats.h"
+
+namespace vcl::routing {
+
+class RoutingMetrics {
+ public:
+  void on_originate(const net::Message& msg);
+  // Records first delivery of a message to its destination; duplicates are
+  // ignored. `now` is the delivery time.
+  void on_deliver(const net::Message& msg, SimTime now);
+  void on_transmit() { ++transmissions_; }
+
+  [[nodiscard]] std::size_t originated() const { return originated_; }
+  [[nodiscard]] std::size_t delivered() const { return delivered_.size(); }
+  [[nodiscard]] std::size_t transmissions() const { return transmissions_; }
+  [[nodiscard]] double delivery_ratio() const;
+  // Transmissions per originated message (protocol overhead).
+  [[nodiscard]] double overhead() const;
+  [[nodiscard]] const Accumulator& delay() const { return delay_; }
+  [[nodiscard]] const Accumulator& hops() const { return hops_; }
+  [[nodiscard]] bool was_delivered(MessageId id) const {
+    return delivered_.count(id.value()) != 0;
+  }
+
+ private:
+  std::size_t originated_ = 0;
+  std::size_t transmissions_ = 0;
+  std::unordered_set<std::uint64_t> delivered_;
+  Accumulator delay_;
+  Accumulator hops_;
+};
+
+// Predicted seconds two nodes stay within `range`, given their kinematics
+// (constant-velocity extrapolation; used by CBLTR-style head/next-hop
+// selection). Returns +inf when they never separate, 0 when already out of
+// range.
+double link_lifetime(geo::Vec2 pos_a, geo::Vec2 vel_a, geo::Vec2 pos_b,
+                     geo::Vec2 vel_b, double range);
+
+}  // namespace vcl::routing

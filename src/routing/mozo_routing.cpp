@@ -1,0 +1,68 @@
+#include "routing/mozo_routing.h"
+
+namespace vcl::routing {
+
+void MozoRouting::forward(VehicleId self, const net::Message& msg) {
+  const VehicleId dst = msg.dst.as_vehicle();
+
+  // Direct delivery when the destination is in range.
+  for (const net::NeighborEntry& n : net_.neighbors(self)) {
+    if (n.id == dst) {
+      if (send_to(self, msg.dst, msg)) return;
+      break;
+    }
+  }
+
+  const VehicleId my_zone = zones_.head_of(self);
+  const VehicleId dst_zone = zones_.head_of(dst);
+
+  if (my_zone.valid() && my_zone == dst_zone) {
+    // Same zone: the captain's member table yields the destination's fresh
+    // position; relay greedily toward it, preferring intra-zone members
+    // (they share our trajectory, so links last).
+    const mobility::VehicleState* d = net_.traffic().find(dst);
+    const mobility::VehicleState* me = net_.traffic().find(self);
+    if (d != nullptr && me != nullptr) {
+      const double my_dist = geo::distance(me->pos, d->pos);
+      VehicleId best;
+      double best_score = 0.0;
+      for (const net::NeighborEntry& n : net_.neighbors(self)) {
+        const double progress = my_dist - geo::distance(n.pos, d->pos);
+        if (progress <= 0.0) continue;
+        const bool in_zone = zones_.head_of(n.id) == my_zone;
+        const double score = progress * (in_zone ? 1.5 : 1.0);
+        if (score > best_score) {
+          best_score = score;
+          best = n.id;
+        }
+      }
+      if (best.valid() && send_to(self, net::Address::vehicle(best), msg)) {
+        return;
+      }
+    }
+  } else if (msg.has_dst_pos) {
+    // Inter-zone: greedy toward the destination, preferring captains (they
+    // have the freshest zone-level knowledge and the longest tenure).
+    const mobility::VehicleState* me = net_.traffic().find(self);
+    if (me == nullptr) return;
+    const double my_dist = geo::distance(me->pos, msg.dst_pos);
+    VehicleId best;
+    double best_score = 0.0;
+    for (const net::NeighborEntry& n : net_.neighbors(self)) {
+      const double progress = my_dist - geo::distance(n.pos, msg.dst_pos);
+      if (progress <= 0.0) continue;
+      const bool is_captain = zones_.role(n.id) == cluster::ClusterRole::kHead;
+      const double score = progress * (is_captain ? 1.5 : 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = n.id;
+      }
+    }
+    if (best.valid() && send_to(self, net::Address::vehicle(best), msg)) {
+      return;
+    }
+  }
+  buffer_message(self, msg);
+}
+
+}  // namespace vcl::routing

@@ -1,0 +1,41 @@
+#include "routing/quality_greedy.h"
+
+namespace vcl::routing {
+
+void QualityGreedy::forward(VehicleId self, const net::Message& msg) {
+  const VehicleId dst = msg.dst.as_vehicle();
+  for (const net::NeighborEntry& n : net_.neighbors(self)) {
+    if (n.id == dst) {
+      if (send_to(self, msg.dst, msg)) return;
+      break;
+    }
+  }
+  if (!msg.has_dst_pos) {
+    broadcast_from(self, msg);
+    return;
+  }
+  const mobility::VehicleState* me = net_.traffic().find(self);
+  if (me == nullptr) return;
+  const double my_dist = geo::distance(me->pos, msg.dst_pos);
+  const std::size_t density = net_.local_density(me->pos);
+
+  VehicleId best;
+  double best_score = 0.0;
+  for (const net::NeighborEntry& n : net_.neighbors(self)) {
+    const double progress = my_dist - geo::distance(n.pos, msg.dst_pos);
+    if (progress <= 0.0) continue;
+    const double p =
+        net_.channel().reception_probability(me->pos, n.pos, density);
+    const double score = progress * p;  // expected progress this hop
+    if (score > best_score) {
+      best_score = score;
+      best = n.id;
+    }
+  }
+  if (best.valid() && send_to(self, net::Address::vehicle(best), msg)) {
+    return;
+  }
+  buffer_message(self, msg);
+}
+
+}  // namespace vcl::routing

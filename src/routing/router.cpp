@@ -1,0 +1,98 @@
+#include "routing/router.h"
+
+namespace vcl::routing {
+
+Router::Router(net::Network& net, RouterConfig config)
+    : net_(net), config_(config) {}
+
+void Router::attach() {
+  net_.set_default_vehicle_handler(
+      [this](VehicleId self, const net::Message& msg) {
+        on_receive(self, msg);
+      });
+  net_.simulator().schedule_every(config_.retry_period,
+                                  [this] { retry_tick(); });
+}
+
+MessageId Router::originate(VehicleId src, VehicleId dst,
+                            std::size_t size_bytes) {
+  net::Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = net::Address::vehicle(src);
+  msg.dst = net::Address::vehicle(dst);
+  msg.kind = net::MessageKind::kData;
+  msg.size_bytes = size_bytes;
+  msg.created = net_.simulator().now();
+  msg.ttl = config_.default_ttl;
+  if (const auto pos = net_.position_of(msg.dst)) {
+    msg.dst_pos = *pos;
+    msg.has_dst_pos = true;
+  }
+  metrics_.on_originate(msg);
+  mark_seen(src, msg.id);
+  forward(src, msg);
+  return msg.id;
+}
+
+void Router::on_receive(VehicleId self, const net::Message& msg) {
+  if (msg.dst.is_vehicle() && msg.dst.as_vehicle() == self) {
+    metrics_.on_deliver(msg, net_.simulator().now());
+    return;
+  }
+  if (seen(self, msg.id)) return;
+  mark_seen(self, msg.id);
+  if (msg.hops >= msg.ttl) return;
+  if (net_.simulator().now() - msg.created > config_.max_age) return;
+  forward(self, msg);
+}
+
+void Router::buffer_message(VehicleId self, const net::Message& msg) {
+  auto& buf = buffers_[self.value()];
+  if (buf.size() >= config_.buffer_limit) buf.pop_front();
+  buf.push_back(msg);
+}
+
+void Router::retry(VehicleId self, const net::Message& msg) {
+  forward(self, msg);
+}
+
+void Router::retry_tick() {
+  const SimTime now = net_.simulator().now();
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    const VehicleId self{it->first};
+    if (net_.traffic().find(self) == nullptr) {
+      it = buffers_.erase(it);  // carrier left the simulation
+      continue;
+    }
+    std::deque<net::Message> pending;
+    pending.swap(it->second);
+    ++it;
+    for (const net::Message& msg : pending) {
+      if (now - msg.created > config_.max_age) continue;
+      retry(self, msg);
+    }
+  }
+}
+
+bool Router::send_to(VehicleId from, net::Address to, net::Message msg) {
+  msg.src = net::Address::vehicle(from);
+  metrics_.on_transmit();
+  return net_.send_via(msg, to);
+}
+
+std::size_t Router::broadcast_from(VehicleId from, net::Message msg) {
+  msg.src = net::Address::vehicle(from);
+  metrics_.on_transmit();
+  return net_.broadcast(msg);
+}
+
+bool Router::seen(VehicleId self, MessageId id) const {
+  auto it = seen_.find(self.value());
+  return it != seen_.end() && it->second.count(id.value()) != 0;
+}
+
+void Router::mark_seen(VehicleId self, MessageId id) {
+  seen_[self.value()].insert(id.value());
+}
+
+}  // namespace vcl::routing

@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace vcl::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{std::max(at, now_), seq, std::move(fn)});
+  return EventHandle{seq};
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+EventHandle Simulator::schedule_every(SimTime period, std::function<void()> fn,
+                                      SimTime first) {
+  const std::uint64_t rid = next_seq_++;  // identity of the recurrence
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  // The tick looks itself up in recurring_ rather than capturing itself:
+  // cancellation is the map erase, and there is no ownership cycle.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, rid, period, shared_fn]() {
+    if (recurring_.find(rid) == recurring_.end()) return;  // cancelled
+    (*shared_fn)();
+    auto it = recurring_.find(rid);  // fn may have cancelled the recurrence
+    if (it != recurring_.end()) schedule_after(period, *it->second);
+  };
+  recurring_[rid] = tick;
+  const SimTime start = first >= 0.0 ? first : now_ + period;
+  schedule_at(start, *tick);
+  return EventHandle{rid};
+}
+
+void Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  cancelled_.insert(h.seq_);
+  recurring_.erase(h.seq_);
+}
+
+bool Simulator::step(SimTime until) {
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.seq) != 0) continue;  // skip cancelled event
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::run_until(SimTime until) {
+  while (step(until)) {
+  }
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+}  // namespace vcl::sim

@@ -1,0 +1,89 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events fire in (time, sequence) order, so
+// two runs with the same seed produce identical traces. Components schedule
+// closures; periodic activities (mobility steps, beacons) reschedule
+// themselves through `schedule_every`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace vcl::sim {
+
+class Simulator;
+
+// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  // Schedules `fn` at absolute time `at` (>= now, clamped otherwise).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  // Schedules `fn` after a relative delay (>= 0).
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+  // Runs `fn` every `period` seconds, first firing after `period` (or at
+  // `first` when given). Returns a handle to the recurring activity;
+  // cancelling it stops the recurrence.
+  EventHandle schedule_every(SimTime period, std::function<void()> fn,
+                             SimTime first = -1.0);
+
+  // Cancels a pending event; cancelled events are skipped when popped.
+  void cancel(EventHandle h);
+
+  // Runs until the queue drains or `until` is reached; returns final time.
+  SimTime run_until(SimTime until);
+  // Runs exactly one event if any is pending before `until`; returns whether
+  // an event was run.
+  bool step(SimTime until);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    // Min-heap by (time, sequence): ties break in scheduling order.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Live recurring activities, keyed by their handle id. Owning the tick
+  // closure here (instead of the closure owning itself) avoids a
+  // shared_ptr cycle and makes cancellation free the activity immediately.
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::function<void()>>>
+      recurring_;
+};
+
+}  // namespace vcl::sim

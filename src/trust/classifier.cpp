@@ -1,0 +1,64 @@
+#include "trust/classifier.h"
+
+#include <algorithm>
+
+namespace vcl::trust {
+
+std::vector<EventCluster> MessageClassifier::classify(
+    const std::vector<Report>& reports) const {
+  std::vector<EventCluster> clusters;
+  // Process in time order so the window check is incremental.
+  std::vector<const Report*> sorted;
+  sorted.reserve(reports.size());
+  for (const Report& r : reports) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Report* a, const Report* b) { return a->time < b->time; });
+
+  for (const Report* r : sorted) {
+    EventCluster* best = nullptr;
+    double best_dist = config_.radius;
+    for (EventCluster& c : clusters) {
+      if (c.type != r->type) continue;
+      if (r->time - c.last > config_.window) continue;
+      const double d = geo::distance(c.centroid, r->location);
+      if (d <= best_dist) {
+        best_dist = d;
+        best = &c;
+      }
+    }
+    if (best == nullptr) {
+      EventCluster c;
+      c.type = r->type;
+      c.centroid = r->location;
+      c.first = c.last = r->time;
+      c.reports.push_back(*r);
+      clusters.push_back(std::move(c));
+    } else {
+      best->reports.push_back(*r);
+      best->last = std::max(best->last, r->time);
+      // Incremental centroid update.
+      const double n = static_cast<double>(best->reports.size());
+      best->centroid =
+          best->centroid + (r->location - best->centroid) / n;
+    }
+  }
+  return clusters;
+}
+
+double MessageClassifier::purity(const std::vector<EventCluster>& clusters) {
+  if (clusters.empty()) return 1.0;
+  std::size_t pure = 0;
+  for (const EventCluster& c : clusters) {
+    bool same = true;
+    for (const Report& r : c.reports) {
+      if (!(r.truth_event == c.reports.front().truth_event)) {
+        same = false;
+        break;
+      }
+    }
+    pure += same ? 1 : 0;
+  }
+  return static_cast<double>(pure) / static_cast<double>(clusters.size());
+}
+
+}  // namespace vcl::trust

@@ -1,0 +1,62 @@
+#include "trust/plausibility.h"
+
+#include <cmath>
+
+namespace vcl::trust {
+
+const char* to_string(PlausibilityVerdict v) {
+  switch (v) {
+    case PlausibilityVerdict::kPlausible: return "plausible";
+    case PlausibilityVerdict::kSpeedViolation: return "speed_violation";
+    case PlausibilityVerdict::kPositionJump: return "position_jump";
+    case PlausibilityVerdict::kKinematicMismatch: return "kinematic_mismatch";
+  }
+  return "unknown";
+}
+
+PlausibilityVerdict PlausibilityChecker::check(const BeaconClaim& claim) {
+  ++checked_;
+  auto finish = [&](PlausibilityVerdict verdict) {
+    if (verdict != PlausibilityVerdict::kPlausible) ++flagged_;
+    // The track always advances — even for implausible claims, which keeps
+    // a persistent liar producing fresh verdicts instead of being compared
+    // against an ancient honest baseline forever.
+    tracks_[claim.credential] = claim;
+    return verdict;
+  };
+
+  if (claim.vel.norm() > config_.max_speed) {
+    return finish(PlausibilityVerdict::kSpeedViolation);
+  }
+
+  auto it = tracks_.find(claim.credential);
+  if (it == tracks_.end() ||
+      claim.time - it->second.time > config_.track_timeout ||
+      claim.time <= it->second.time) {
+    return finish(PlausibilityVerdict::kPlausible);  // no usable history
+  }
+  const BeaconClaim& prev = it->second;
+  const double dt = claim.time - prev.time;
+  const geo::Vec2 displacement = claim.pos - prev.pos;
+
+  // Teleport check against the physical bound.
+  if (displacement.norm() >
+      config_.max_speed * dt + config_.jump_tolerance) {
+    return finish(PlausibilityVerdict::kPositionJump);
+  }
+
+  // Consistency between displacement and the previously claimed velocity
+  // (only meaningful when actually moving).
+  const double claimed_travel = prev.vel.norm() * dt;
+  if (claimed_travel > 5.0) {
+    const geo::Vec2 predicted = prev.pos + prev.vel * dt;
+    const double error = geo::distance(predicted, claim.pos);
+    if (error > config_.direction_tolerance * claimed_travel +
+                    config_.jump_tolerance) {
+      return finish(PlausibilityVerdict::kKinematicMismatch);
+    }
+  }
+  return finish(PlausibilityVerdict::kPlausible);
+}
+
+}  // namespace vcl::trust

@@ -1,0 +1,15 @@
+#include "trust/report.h"
+
+namespace vcl::trust {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kAccident: return "accident";
+    case EventType::kIce: return "ice";
+    case EventType::kCongestion: return "congestion";
+    case EventType::kRoadBlocked: return "road_blocked";
+  }
+  return "unknown";
+}
+
+}  // namespace vcl::trust

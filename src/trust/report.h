@@ -1,0 +1,52 @@
+// Event reports: what vehicles tell each other about the physical world.
+//
+// The paper's §III.D argument: trusting the *sender* is not enough — the
+// *content* must be validated against other observations of the same event,
+// under stringent time constraints. A Report is one vehicle's claim about
+// one event; the classifier groups reports into event clusters, validators
+// score each cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vcl::trust {
+
+enum class EventType : std::uint8_t {
+  kAccident,
+  kIce,
+  kCongestion,
+  kRoadBlocked,
+};
+
+const char* to_string(EventType type);
+
+struct Report {
+  // Claim content (visible to everyone).
+  EventType type = EventType::kAccident;
+  geo::Vec2 location;       // claimed event location
+  SimTime time = 0.0;       // report emission time
+  bool positive = true;     // asserts the event IS there (false = denial)
+  std::uint64_t reporter_credential = 0;  // pseudonymous sender id
+  geo::Vec2 reporter_pos;   // claimed reporter position at observation
+
+  // Scoring-only ground truth (never read by validators).
+  EventId truth_event;
+  bool truthful = true;
+};
+
+// A ground-truth physical event for experiment scoring.
+struct GroundTruthEvent {
+  EventId id;
+  EventType type = EventType::kAccident;
+  geo::Vec2 location;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  bool real = true;  // false = fabricated event (attack injects these)
+};
+
+}  // namespace vcl::trust

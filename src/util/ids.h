@@ -1,0 +1,70 @@
+// Strong identifier types used across the framework.
+//
+// A plain `uint64_t` invites accidental mixing of vehicle ids, cluster ids
+// and message ids; the `Id<Tag>` wrapper makes each id family a distinct
+// type while remaining a trivially copyable value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace vcl {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct VehicleTag {};
+struct NodeTag {};     // road-network intersection
+struct LinkTag {};     // road-network directed link
+struct MessageTag {};
+struct ClusterTag {};
+struct CloudTag {};
+struct TaskTag {};
+struct FileTag {};
+struct EventTag {};    // physical event observed by vehicles (trust module)
+struct RsuTag {};
+
+using VehicleId = Id<VehicleTag>;
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+using MessageId = Id<MessageTag>;
+using ClusterId = Id<ClusterTag>;
+using CloudId = Id<CloudTag>;
+using TaskId = Id<TaskTag>;
+using FileId = Id<FileTag>;
+using EventId = Id<EventTag>;
+using RsuId = Id<RsuTag>;
+
+}  // namespace vcl
+
+namespace std {
+template <typename Tag>
+struct hash<vcl::Id<Tag>> {
+  size_t operator()(vcl::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

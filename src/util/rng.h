@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every stochastic component draws from an `Rng` seeded from the scenario
+// seed, so a scenario replays bit-identically. `fork()` derives independent
+// child streams (e.g. one per vehicle) without correlated sequences.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace vcl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Derives an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  double normal(double mean, double stddev);
+  double exponential(double rate);
+  bool bernoulli(double p);
+  int poisson(double mean);
+
+  // Picks a uniformly random element index of a container of size n (n > 0).
+  std::size_t index(std::size_t n);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vcl

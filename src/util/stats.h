@@ -1,0 +1,82 @@
+// Statistics accumulators used by experiments and runtime metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vcl {
+
+// Streaming accumulator (Welford) with optional sample retention for
+// percentile queries. Retention is on by default; experiments that stream
+// millions of values can disable it.
+class Accumulator {
+ public:
+  explicit Accumulator(bool keep_samples = true)
+      : keep_samples_(keep_samples) {}
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  // Percentile in [0, 100]; requires sample retention. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  bool keep_samples_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Ratio counter for success/failure style metrics.
+class Ratio {
+ public:
+  void hit() { ++hits_; ++total_; }
+  void miss() { ++total_; }
+  void add(bool success) { success ? hit() : miss(); }
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double value() const {
+    return total_ ? static_cast<double>(hits_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vcl

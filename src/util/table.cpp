@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace vcl {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace vcl

@@ -1,0 +1,35 @@
+// Aligned plain-text table printer for experiment harnesses.
+//
+// Every bench binary reports its results through this class so the output
+// format is uniform and grep-friendly:
+//
+//   Table t("E6: routing", {"protocol", "density", "delivery", "latency_ms"});
+//   t.add_row({"mozo", "40", "0.93", "81.2"});
+//   t.print(std::cout);
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vcl {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Formats a double with a fixed number of decimals (helper for callers).
+  static std::string num(double v, int decimals = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcl

@@ -1,0 +1,17 @@
+// Simulation time.
+//
+// Time is kept as double seconds. All modules agree on this unit; helper
+// constants make call sites read naturally (e.g. `50 * kMilliseconds`).
+#pragma once
+
+namespace vcl {
+
+using SimTime = double;  // seconds since simulation start
+
+inline constexpr SimTime kMilliseconds = 1e-3;
+inline constexpr SimTime kMicroseconds = 1e-6;
+inline constexpr SimTime kSeconds = 1.0;
+inline constexpr SimTime kMinutes = 60.0;
+inline constexpr SimTime kHours = 3600.0;
+
+}  // namespace vcl

@@ -1,0 +1,358 @@
+#include "vcloud/cloud.h"
+
+#include <algorithm>
+
+#include "cluster/cluster_manager.h"
+
+namespace vcl::vcloud {
+
+VehicularCloud::VehicularCloud(CloudId id, net::Network& net,
+                               MembershipFn membership, RegionFn region,
+                               std::unique_ptr<Scheduler> scheduler,
+                               CloudConfig config, Rng rng)
+    : id_(id),
+      net_(net),
+      membership_fn_(std::move(membership)),
+      region_fn_(std::move(region)),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      rng_(rng) {}
+
+void VehicularCloud::attach() {
+  net_.simulator().schedule_every(config_.refresh_period,
+                                  [this] { refresh(); });
+}
+
+double VehicularCloud::dwell_of(VehicleId v) {
+  const CloudRegion region = region_fn_();
+  if (region.radius <= 0.0) return 0.0;
+  return estimate_dwell(net_.traffic(), v, region.center, region.radius,
+                        config_.dwell_mode);
+}
+
+std::vector<WorkerView> VehicularCloud::views() {
+  std::vector<WorkerView> out;
+  out.reserve(workers_.size());
+  for (const auto& [vid, w] : workers_) {
+    WorkerView view;
+    view.id = VehicleId{vid};
+    view.profile = w.profile;
+    view.busy = w.running.valid();
+    view.dwell_seconds = dwell_of(view.id);
+    out.push_back(view);
+  }
+  // Deterministic order (unordered_map iteration is not).
+  std::sort(out.begin(), out.end(),
+            [](const WorkerView& a, const WorkerView& b) { return a.id < b.id; });
+  return out;
+}
+
+ResourcePool VehicularCloud::pool() const {
+  ResourcePool pool;
+  for (const auto& [vid, w] : workers_) pool.add(w.profile);
+  return pool;
+}
+
+const Task* VehicularCloud::find_task(TaskId id) const {
+  auto it = tasks_.find(id.value());
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+bool VehicularCloud::drained() const {
+  for (const auto& [tid, t] : tasks_) {
+    if (!t.terminal()) return false;
+  }
+  return true;
+}
+
+TaskId VehicularCloud::submit(Task spec) {
+  spec.id = TaskId{next_task_id_++};
+  spec.state = TaskState::kPending;
+  if (spec.created == 0.0) spec.created = net_.simulator().now();
+  const TaskId id = spec.id;
+  tasks_.emplace(id.value(), std::move(spec));
+  task_epoch_[id.value()] = 0;
+  pending_.push_back(id);
+  ++stats_.submitted;
+  dispatch();
+  return id;
+}
+
+void VehicularCloud::assign(Task& task, WorkerState& worker,
+                            VehicleId worker_id, bool charge_input) {
+  const SimTime now = net_.simulator().now();
+  task.state = TaskState::kRunning;
+  task.worker = worker_id;
+  const SimTime input_delay =
+      charge_input
+          ? task.input_mb * 8.0 / std::max(worker.profile.bandwidth_mbps, 0.1)
+          : 0.0;
+  task.run_started = now + input_delay;
+  worker.running = task.id;
+
+  const SimTime exec = task.remaining() / worker.profile.compute;
+  const std::uint64_t epoch = ++task_epoch_[task.id.value()];
+  const TaskId tid = task.id;
+  net_.simulator().schedule_after(input_delay + exec, [this, tid, epoch] {
+    on_complete(tid, epoch);
+  });
+}
+
+void VehicularCloud::dispatch() {
+  while (!pending_.empty()) {
+    const TaskId tid = pending_.front();
+    auto task_it = tasks_.find(tid.value());
+    if (task_it == tasks_.end() || task_it->second.terminal()) {
+      pending_.pop_front();
+      continue;
+    }
+    Task& task = task_it->second;
+    const auto worker_views = views();
+    const VehicleId pick = scheduler_->pick(task, worker_views, rng_);
+    if (!pick.valid()) return;  // no idle worker: stay queued
+    auto worker_it = workers_.find(pick.value());
+    if (worker_it == workers_.end() || worker_it->second.running.valid()) {
+      return;  // scheduler picked a busy/gone worker: wait for refresh
+    }
+    pending_.pop_front();
+    stats_.queue_delay.add(net_.simulator().now() - task.created);
+    assign(task, worker_it->second, pick, /*charge_input=*/true);
+  }
+}
+
+void VehicularCloud::on_complete(TaskId id, std::uint64_t epoch) {
+  auto it = tasks_.find(id.value());
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  if (task_epoch_[id.value()] != epoch) return;  // stale completion event
+  if (task.state != TaskState::kRunning) return;
+
+  const SimTime now = net_.simulator().now();
+  task.progress = task.work;
+  task.completed_at = now;
+  auto worker_it = workers_.find(task.worker.value());
+  if (worker_it != workers_.end() && worker_it->second.running == id) {
+    worker_it->second.running = TaskId{};
+  }
+  if (task.deadline > 0.0 && now > task.deadline) {
+    task.state = TaskState::kExpired;
+    ++stats_.expired;
+  } else {
+    task.state = TaskState::kCompleted;
+    ++stats_.completed;
+    stats_.latency.add(now - task.created);
+    if (completion_hook_) completion_hook_(task);
+  }
+  dispatch();
+}
+
+void VehicularCloud::interrupt_and_recover(Task& task,
+                                           const WorkerState& departed) {
+  const SimTime now = net_.simulator().now();
+  // Progress earned so far on the departed worker — only when it was
+  // actually executing. A task whose MIGRATION TARGET departed mid-transfer
+  // is in kMigrating and earned nothing there (and its run_started still
+  // refers to the previous worker).
+  if (task.state == TaskState::kRunning && now > task.run_started) {
+    task.progress = std::min(
+        task.work, task.progress + (now - task.run_started) *
+                                       departed.profile.compute);
+  }
+  ++task_epoch_[task.id.value()];  // invalidate the scheduled completion
+
+  if (config_.handover.enabled) {
+    // Migrate the encrypted checkpoint to the best idle member.
+    const auto worker_views = views();
+    const VehicleId target = scheduler_->pick(task, worker_views, rng_);
+    auto target_it = target.valid() ? workers_.find(target.value())
+                                    : workers_.end();
+    if (target_it != workers_.end() && !target_it->second.running.valid()) {
+      const SimTime latency =
+          migration_latency(task, departed.profile, target_it->second.profile,
+                            config_.handover, config_.costs);
+      task.state = TaskState::kMigrating;
+      task.worker = target;
+      ++task.migrations;
+      ++stats_.migrations;
+      target_it->second.running = task.id;  // reserve the target
+      const TaskId tid = task.id;
+      const std::uint64_t epoch = task_epoch_[tid.value()];
+      net_.simulator().schedule_after(latency, [this, tid, epoch] {
+        auto it = tasks_.find(tid.value());
+        if (it == tasks_.end()) return;
+        Task& t = it->second;
+        if (task_epoch_[tid.value()] != epoch ||
+            t.state != TaskState::kMigrating) {
+          return;
+        }
+        auto w = workers_.find(t.worker.value());
+        if (w == workers_.end()) {
+          // Target vanished during the transfer: back to the queue with
+          // progress preserved (the checkpoint still exists at the broker).
+          t.state = TaskState::kPending;
+          pending_.push_back(t.id);
+          dispatch();
+          return;
+        }
+        assign(t, w->second, t.worker, /*charge_input=*/false);
+      });
+      return;
+    }
+    // No target: keep the checkpoint, re-queue with progress preserved.
+    task.state = TaskState::kPending;
+    task.worker = VehicleId{};
+    pending_.push_back(task.id);
+    return;
+  }
+
+  // No handover: the paper's drop-and-recompute case.
+  stats_.wasted_work += task.progress;
+  ++stats_.reallocations;
+  task.progress = 0.0;
+  task.state = TaskState::kPending;
+  task.worker = VehicleId{};
+  pending_.push_back(task.id);
+}
+
+void VehicularCloud::refresh() {
+  const SimTime now = net_.simulator().now();
+  const std::vector<VehicleId> members = membership_fn_();
+  std::unordered_map<std::uint64_t, bool> present;
+  for (const VehicleId v : members) present[v.value()] = true;
+
+  // Departures first: their tasks need recovery before dispatch reuses the
+  // freed capacity.
+  std::vector<std::uint64_t> departed;
+  for (const auto& [vid, w] : workers_) {
+    if (present.find(vid) == present.end()) departed.push_back(vid);
+  }
+  for (const std::uint64_t vid : departed) {
+    WorkerState state = workers_[vid];
+    workers_.erase(vid);
+    if (state.running.valid()) {
+      auto it = tasks_.find(state.running.value());
+      if (it != tasks_.end() && !it->second.terminal()) {
+        interrupt_and_recover(it->second, state);
+      }
+    }
+  }
+
+  // Arrivals.
+  for (const VehicleId v : members) {
+    if (workers_.find(v.value()) != workers_.end()) continue;
+    const mobility::VehicleState* s = net_.traffic().find(v);
+    if (s == nullptr) continue;
+    workers_.emplace(v.value(),
+                     WorkerState{profile_for(s->automation), TaskId{}});
+  }
+
+  // Broker re-election.
+  broker_.elect(views());
+
+  // Expire pending tasks past their deadlines.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto task_it = tasks_.find(it->value());
+    if (task_it != tasks_.end() && task_it->second.deadline > 0.0 &&
+        now > task_it->second.deadline) {
+      task_it->second.state = TaskState::kExpired;
+      ++stats_.expired;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Abort running/migrating tasks past their deadlines: finishing them
+  // late has no value and blocks the worker.
+  for (auto& [tid, task] : tasks_) {
+    if (task.terminal() || task.deadline <= 0.0 || now <= task.deadline) {
+      continue;
+    }
+    if (task.state == TaskState::kRunning ||
+        task.state == TaskState::kMigrating) {
+      ++task_epoch_[tid];  // invalidate completion/migration events
+      auto worker_it = workers_.find(task.worker.value());
+      if (worker_it != workers_.end() &&
+          worker_it->second.running == task.id) {
+        worker_it->second.running = TaskId{};
+      }
+      task.state = TaskState::kExpired;
+      ++stats_.expired;
+    }
+  }
+
+  dispatch();
+}
+
+// ---- architecture factories --------------------------------------------------
+
+VehicularCloud::MembershipFn stationary_membership(
+    const mobility::TrafficModel& traffic, geo::Vec2 center, double radius) {
+  return [&traffic, center, radius] {
+    std::vector<VehicleId> out;
+    for (const auto& [vid, v] : traffic.vehicles()) {
+      if (v.parked && geo::distance(v.pos, center) <= radius) {
+        out.push_back(v.id);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+}
+
+VehicularCloud::RegionFn fixed_region(geo::Vec2 center, double radius) {
+  return [center, radius] { return CloudRegion{center, radius}; };
+}
+
+VehicularCloud::MembershipFn rsu_membership(const net::Network& net,
+                                            RsuId rsu) {
+  return [&net, rsu] {
+    std::vector<VehicleId> out;
+    const net::Rsu* r = net.rsus().find(rsu);
+    if (r == nullptr || !r->online) return out;
+    for (const auto& [vid, v] : net.traffic().vehicles()) {
+      if (geo::distance(v.pos, r->pos) <= r->range) out.push_back(v.id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+}
+
+VehicularCloud::RegionFn rsu_region(const net::Network& net, RsuId rsu) {
+  return [&net, rsu] {
+    const net::Rsu* r = net.rsus().find(rsu);
+    if (r == nullptr || !r->online) return CloudRegion{{0, 0}, 0.0};
+    return CloudRegion{r->pos, r->range};
+  };
+}
+
+VehicularCloud::MembershipFn largest_cluster_membership(
+    const cluster::ClusterManager& manager) {
+  return [&manager] {
+    std::vector<VehicleId> best;
+    for (const auto& [head, members] : manager.clusters()) {
+      if (members.size() > best.size()) best = members;
+    }
+    return best;
+  };
+}
+
+VehicularCloud::RegionFn members_centroid_region(
+    const mobility::TrafficModel& traffic,
+    VehicularCloud::MembershipFn membership, double radius) {
+  return [&traffic, membership = std::move(membership), radius] {
+    const std::vector<VehicleId> members = membership();
+    if (members.empty()) return CloudRegion{{0, 0}, 0.0};
+    geo::Vec2 centroid;
+    std::size_t n = 0;
+    for (const VehicleId v : members) {
+      const mobility::VehicleState* s = traffic.find(v);
+      if (s == nullptr) continue;
+      centroid += s->pos;
+      ++n;
+    }
+    if (n == 0) return CloudRegion{{0, 0}, 0.0};
+    return CloudRegion{centroid / static_cast<double>(n), radius};
+  };
+}
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,147 @@
+// VehicularCloud: the operational unit pooling member vehicles' resources
+// and running tasks on them (paper §II.C / §IV.A.2 / Fig. 4).
+//
+// One class serves all three architectures; what differs is where members
+// come from (a MembershipFn) and what region anchors dwell estimates (a
+// RegionFn). Factories for the three Fig. 4 types live at the bottom.
+//
+// Execution model: a worker runs one task at a time. Dispatch charges the
+// input transfer, then the task runs at the worker's compute rate; a
+// departing worker interrupts its task, which is either migrated (encrypted
+// checkpoint, see handover.h) or re-queued from zero with the lost progress
+// counted as wasted work — the exact trade-off §III.A calls out.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "util/stats.h"
+#include "vcloud/broker.h"
+#include "vcloud/dwell.h"
+#include "vcloud/handover.h"
+#include "vcloud/scheduler.h"
+
+namespace vcl::cluster {
+class ClusterManager;
+}
+
+namespace vcl::vcloud {
+
+struct CloudRegion {
+  geo::Vec2 center;
+  double radius = 0.0;  // 0 = cloud currently has no operating area
+};
+
+struct CloudStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;      // lost with no recovery path
+  std::size_t expired = 0;     // missed deadline
+  std::size_t migrations = 0;
+  std::size_t reallocations = 0;  // re-queued from zero after a departure
+  double wasted_work = 0.0;       // work units thrown away
+  Accumulator latency;            // completion - creation, seconds
+  Accumulator queue_delay;        // dispatch - creation, seconds
+};
+
+struct CloudConfig {
+  DwellMode dwell_mode = DwellMode::kKinematic;
+  HandoverConfig handover;
+  crypto::CostModel costs;
+  SimTime refresh_period = 1.0;
+};
+
+class VehicularCloud {
+ public:
+  using MembershipFn = std::function<std::vector<VehicleId>()>;
+  using RegionFn = std::function<CloudRegion()>;
+
+  VehicularCloud(CloudId id, net::Network& net, MembershipFn membership,
+                 RegionFn region, std::unique_ptr<Scheduler> scheduler,
+                 CloudConfig config, Rng rng);
+
+  // Schedules the periodic refresh.
+  void attach();
+  // Re-reads membership, handles departures/arrivals, re-elects the broker,
+  // expires stale tasks and dispatches the queue. Public for tests.
+  void refresh();
+
+  // Submits a task spec; returns its assigned id.
+  TaskId submit(Task spec);
+
+  // Invoked when a task completes successfully (after state/stat updates);
+  // the incentive ledger and aggregation layers hook in here.
+  using CompletionHook = std::function<void(const Task&)>;
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const CloudStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t member_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] ResourcePool pool() const;
+  [[nodiscard]] VehicleId broker() const { return broker_.current(); }
+  [[nodiscard]] std::size_t broker_changes() const {
+    return broker_.changes();
+  }
+  [[nodiscard]] const Task* find_task(TaskId id) const;
+  [[nodiscard]] CloudRegion region() const { return region_fn_(); }
+  [[nodiscard]] CloudId id() const { return id_; }
+
+  // True when every submitted task reached a terminal state.
+  [[nodiscard]] bool drained() const;
+
+ private:
+  struct WorkerState {
+    ResourceProfile profile;
+    TaskId running;  // invalid when idle
+  };
+
+  void dispatch();
+  void assign(Task& task, WorkerState& worker, VehicleId worker_id,
+              bool charge_input);
+  void on_complete(TaskId id, std::uint64_t epoch);
+  void interrupt_and_recover(Task& task, const WorkerState& departed);
+  [[nodiscard]] std::vector<WorkerView> views();
+  [[nodiscard]] double dwell_of(VehicleId v);
+
+  CloudId id_;
+  net::Network& net_;
+  MembershipFn membership_fn_;
+  RegionFn region_fn_;
+  std::unique_ptr<Scheduler> scheduler_;
+  CloudConfig config_;
+  Rng rng_;
+  BrokerElection broker_;
+
+  std::unordered_map<std::uint64_t, WorkerState> workers_;
+  std::unordered_map<std::uint64_t, Task> tasks_;
+  std::unordered_map<std::uint64_t, std::uint64_t> task_epoch_;
+  std::deque<TaskId> pending_;
+  std::uint64_t next_task_id_ = 1;
+  CloudStats stats_;
+  CompletionHook completion_hook_;
+};
+
+// ---- Fig. 4 architecture factories ------------------------------------------
+
+// (a) Stationary: parked vehicles inside a fixed disc (airport lot, garage).
+VehicularCloud::MembershipFn stationary_membership(
+    const mobility::TrafficModel& traffic, geo::Vec2 center, double radius);
+VehicularCloud::RegionFn fixed_region(geo::Vec2 center, double radius);
+
+// (b) Infrastructure-based: vehicles under an RSU's (online) coverage.
+VehicularCloud::MembershipFn rsu_membership(const net::Network& net, RsuId rsu);
+VehicularCloud::RegionFn rsu_region(const net::Network& net, RsuId rsu);
+
+// (c) Dynamic: the largest V2V cluster, wherever it drives.
+VehicularCloud::MembershipFn largest_cluster_membership(
+    const cluster::ClusterManager& manager);
+VehicularCloud::RegionFn members_centroid_region(
+    const mobility::TrafficModel& traffic,
+    VehicularCloud::MembershipFn membership, double radius);
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,29 @@
+#include "vcloud/dwell.h"
+
+#include <limits>
+
+namespace vcl::vcloud {
+
+const char* to_string(DwellMode mode) {
+  switch (mode) {
+    case DwellMode::kNaive: return "naive";
+    case DwellMode::kKinematic: return "kinematic";
+    case DwellMode::kOracle: return "oracle";
+  }
+  return "unknown";
+}
+
+double estimate_dwell(const mobility::TrafficModel& traffic, VehicleId v,
+                      geo::Vec2 center, double radius, DwellMode mode) {
+  switch (mode) {
+    case DwellMode::kNaive:
+      return std::numeric_limits<double>::infinity();
+    case DwellMode::kKinematic:
+      return traffic.predict_time_to_exit(v, center, radius);
+    case DwellMode::kOracle:
+      return traffic.oracle_time_to_exit(v, center, radius);
+  }
+  return 0.0;
+}
+
+}  // namespace vcl::vcloud

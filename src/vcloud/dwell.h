@@ -1,0 +1,26 @@
+// Dwell-time estimation (paper §III.A: "how to estimate the duration of
+// stay of this vehicle ... under-estimated wastes resources, over-estimated
+// fails the task").
+//
+// Three estimators for the ablation in E8:
+//  * kNaive:     assume the vehicle stays forever (what a conventional cloud
+//                scheduler would implicitly do).
+//  * kKinematic: walk the vehicle's remaining route at its current speed
+//                (what an on-board estimator can actually compute).
+//  * kOracle:    walk the route at per-link speed limits (upper bound on
+//                knowledge; only the simulator can do this).
+#pragma once
+
+#include "mobility/traffic.h"
+
+namespace vcl::vcloud {
+
+enum class DwellMode : std::uint8_t { kNaive, kKinematic, kOracle };
+
+const char* to_string(DwellMode mode);
+
+// Seconds until `v` leaves the disc (center, radius); +inf possible.
+double estimate_dwell(const mobility::TrafficModel& traffic, VehicleId v,
+                      geo::Vec2 center, double radius, DwellMode mode);
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,28 @@
+#include "vcloud/handover.h"
+
+#include <algorithm>
+
+namespace vcl::vcloud {
+
+double checkpoint_mb(const Task& task, const HandoverConfig& config) {
+  return config.checkpoint_mb_base +
+         config.checkpoint_mb_per_work * task.progress;
+}
+
+SimTime migration_latency(const Task& task, const ResourceProfile& from,
+                          const ResourceProfile& to,
+                          const HandoverConfig& config,
+                          const crypto::CostModel& costs) {
+  const double mb = checkpoint_mb(task, config);
+  const double link_mbps = std::min(from.bandwidth_mbps, to.bandwidth_mbps);
+  SimTime latency = mb * 8.0 / std::max(link_mbps, 0.1);
+  if (config.encrypted) {
+    latency += costs.cost(crypto::Op::kKemEncap) +
+               costs.cost(crypto::Op::kKemDecap) +
+               // Integrity over the checkpoint, one HMAC per MB equivalent.
+               costs.cost(crypto::Op::kHmac) * std::max(1.0, mb);
+  }
+  return latency;
+}
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,17 @@
+#include "vcloud/resource.h"
+
+namespace vcl::vcloud {
+
+ResourceProfile profile_for(mobility::AutomationLevel level) {
+  const int l = static_cast<int>(level);
+  ResourceProfile p;
+  // Roughly doubling equipment per two levels: an L5 vehicle carries an
+  // order of magnitude more capability than an L0 one.
+  p.compute = 1.0 + 0.8 * l;
+  p.storage_mb = 256.0 * (1 << (l / 2));
+  p.bandwidth_mbps = 6.0 + 2.0 * l;
+  p.sensor_count = 1 + l;
+  return p;
+}
+
+}  // namespace vcl::vcloud

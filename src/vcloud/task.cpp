@@ -1,0 +1,35 @@
+#include "vcloud/task.h"
+
+namespace vcl::vcloud {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kPending: return "pending";
+    case TaskState::kRunning: return "running";
+    case TaskState::kMigrating: return "migrating";
+    case TaskState::kCompleted: return "completed";
+    case TaskState::kFailed: return "failed";
+    case TaskState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+Task WorkloadGenerator::next(SimTime now) {
+  Task t;
+  t.work = std::max(0.5, rng_.exponential(1.0 / config_.mean_work));
+  t.input_mb = std::max(0.05, rng_.exponential(1.0 / config_.mean_input_mb));
+  t.output_mb = std::max(0.01, rng_.exponential(1.0 / config_.mean_output_mb));
+  t.created = now;
+  t.deadline =
+      config_.relative_deadline > 0 ? now + config_.relative_deadline : 0.0;
+  return t;
+}
+
+std::vector<Task> WorkloadGenerator::batch(SimTime now, std::size_t n) {
+  std::vector<Task> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next(now));
+  return out;
+}
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,66 @@
+// Task model and workload generation for vehicular cloud computing.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vcl::vcloud {
+
+enum class TaskState : std::uint8_t {
+  kPending,    // queued at the broker
+  kRunning,
+  kMigrating,  // checkpoint in flight to a new worker
+  kCompleted,
+  kFailed,     // worker lost, no handover possible
+  kExpired,    // missed its deadline
+};
+
+const char* to_string(TaskState s);
+
+struct Task {
+  TaskId id;
+  double work = 10.0;       // total work units
+  double input_mb = 1.0;    // shipped to the worker at dispatch
+  double output_mb = 0.1;   // shipped back on completion
+  SimTime created = 0.0;
+  SimTime deadline = 0.0;   // absolute; 0 = none
+
+  TaskState state = TaskState::kPending;
+  VehicleId worker;         // current assignee (when running/migrating)
+  double progress = 0.0;    // completed work units
+  SimTime run_started = 0.0;
+  int migrations = 0;
+  SimTime completed_at = 0.0;
+
+  [[nodiscard]] double remaining() const { return work - progress; }
+  [[nodiscard]] bool terminal() const {
+    return state == TaskState::kCompleted || state == TaskState::kFailed ||
+           state == TaskState::kExpired;
+  }
+};
+
+struct WorkloadConfig {
+  double mean_work = 20.0;        // exponential
+  double mean_input_mb = 2.0;
+  double mean_output_mb = 0.5;
+  SimTime relative_deadline = 60.0;  // 0 = no deadlines
+};
+
+// Draws task specs (ids are assigned by the cloud on submit).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  [[nodiscard]] Task next(SimTime now);
+  [[nodiscard]] std::vector<Task> batch(SimTime now, std::size_t n);
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace vcl::vcloud

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "auth/authority.h"
+#include "auth/crl.h"
+#include "auth/group_auth.h"
+#include "auth/hybrid_auth.h"
+#include "auth/privacy_metrics.h"
+#include "auth/pseudonym.h"
+
+namespace vcl::auth {
+namespace {
+
+TEST(Crl, RevokedIdsAreFound) {
+  Crl crl;
+  crl.revoke(42);
+  crl.revoke(77);
+  EXPECT_TRUE(crl.is_revoked(42));
+  EXPECT_TRUE(crl.is_revoked(77));
+  EXPECT_FALSE(crl.is_revoked(43));
+  EXPECT_EQ(crl.size(), 2u);
+}
+
+TEST(Crl, BloomSkipsExactProbesForMisses) {
+  Crl crl(1024);
+  for (std::uint64_t i = 0; i < 100; ++i) crl.revoke(i);
+  for (std::uint64_t i = 1000; i < 2000; ++i) {
+    EXPECT_FALSE(crl.is_revoked(i));
+  }
+  // With ~1% FP target, the vast majority of misses skip the exact set.
+  EXPECT_LT(crl.exact_probes(), 100u);
+  EXPECT_EQ(crl.bloom_checks(), 1000u);
+}
+
+class AuthorityFixture : public ::testing::Test {
+ protected:
+  AuthorityFixture() : ta_(2024) {
+    ta_.register_vehicle(VehicleId{1});
+    ta_.register_vehicle(VehicleId{2});
+  }
+  TrustedAuthority ta_;
+};
+
+TEST_F(AuthorityFixture, IssuesOnlyToRegistered) {
+  EXPECT_EQ(ta_.issue_pseudonyms(VehicleId{1}, 5).size(), 5u);
+  EXPECT_TRUE(ta_.issue_pseudonyms(VehicleId{99}, 5).empty());
+}
+
+TEST_F(AuthorityFixture, CertificatesVerify) {
+  const auto creds = ta_.issue_pseudonyms(VehicleId{1}, 3);
+  for (const auto& c : creds) {
+    EXPECT_TRUE(ta_.check_cert(c.cert));
+  }
+  PseudonymCert forged = creds[0].cert;
+  forged.pub ^= 1;
+  EXPECT_FALSE(ta_.check_cert(forged));
+}
+
+TEST_F(AuthorityFixture, PseudonymIdsAreDistinct) {
+  const auto a = ta_.issue_pseudonyms(VehicleId{1}, 10);
+  const auto b = ta_.issue_pseudonyms(VehicleId{2}, 10);
+  std::set<std::uint64_t> ids;
+  for (const auto& c : a) ids.insert(c.cert.pseudo_id);
+  for (const auto& c : b) ids.insert(c.cert.pseudo_id);
+  EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST_F(AuthorityFixture, RevocationHitsAllPseudonyms) {
+  const auto creds = ta_.issue_pseudonyms(VehicleId{1}, 5);
+  ta_.revoke_vehicle(VehicleId{1});
+  for (const auto& c : creds) {
+    EXPECT_TRUE(ta_.crl().is_revoked(c.cert.pseudo_id));
+  }
+  EXPECT_FALSE(ta_.is_registered(VehicleId{1}));
+}
+
+TEST_F(AuthorityFixture, OpeningRequiresShareQuorum) {
+  const auto creds = ta_.issue_pseudonyms(VehicleId{1}, 1);
+  const std::uint64_t pid = creds[0].cert.pseudo_id;
+  // One share: refused.
+  EXPECT_FALSE(ta_.open(pid, {ta_.escrow_share(0)}).has_value());
+  // Two shares (threshold): opens to the right vehicle.
+  const auto opened = ta_.open(pid, {ta_.escrow_share(0), ta_.escrow_share(2)});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, VehicleId{1});
+}
+
+TEST_F(AuthorityFixture, OpeningWithWrongSharesFails) {
+  const auto creds = ta_.issue_pseudonyms(VehicleId{1}, 1);
+  crypto::Share bogus{1, 12345};
+  crypto::Share bogus2{2, 54321};
+  EXPECT_FALSE(
+      ta_.open(creds[0].cert.pseudo_id, {bogus, bogus2}).has_value());
+}
+
+// ---- Pseudonym protocol -----------------------------------------------------
+
+class PseudonymFixture : public ::testing::Test {
+ protected:
+  PseudonymFixture() : ta_(7) {
+    ta_.register_vehicle(VehicleId{1});
+    auth_ = std::make_unique<PseudonymAuth>(ta_, VehicleId{1}, 10, 60.0);
+  }
+  TrustedAuthority ta_;
+  std::unique_ptr<PseudonymAuth> auth_;
+  crypto::OpCounts ops_;
+};
+
+TEST_F(PseudonymFixture, SignVerifyRoundTrip) {
+  const crypto::Bytes payload{1, 2, 3};
+  const auto tag = auth_->sign(payload, 0.0, ops_);
+  ASSERT_TRUE(tag.has_value());
+  const VerifyOutcome v = PseudonymAuth::verify(ta_, payload, *tag);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.ops.verify, 2u);  // cert + message: Fig. 5's double check
+}
+
+TEST_F(PseudonymFixture, TamperRejected) {
+  crypto::Bytes payload{1, 2, 3};
+  const auto tag = auth_->sign(payload, 0.0, ops_);
+  payload[0] = 9;
+  EXPECT_FALSE(PseudonymAuth::verify(ta_, payload, *tag).ok);
+}
+
+TEST_F(PseudonymFixture, RevokedSenderRejected) {
+  const crypto::Bytes payload{5};
+  const auto tag = auth_->sign(payload, 0.0, ops_);
+  ta_.revoke_vehicle(VehicleId{1});
+  const VerifyOutcome v = PseudonymAuth::verify(ta_, payload, *tag);
+  EXPECT_FALSE(v.ok);
+  EXPECT_STREQ(v.reason, "revoked");
+}
+
+TEST_F(PseudonymFixture, RotationChangesPseudonym) {
+  const auto id0 = auth_->current_pseudo_id();
+  crypto::Bytes p{1};
+  (void)auth_->sign(p, 0.0, ops_);
+  EXPECT_EQ(auth_->current_pseudo_id(), id0);
+  (void)auth_->sign(p, 61.0, ops_);  // past the rotation period
+  EXPECT_NE(auth_->current_pseudo_id(), id0);
+}
+
+TEST_F(PseudonymFixture, ForgedTagWithoutCertFails) {
+  // An unregistered key signing with a self-made "certificate".
+  crypto::Drbg drbg(std::uint64_t{99});
+  const crypto::Schnorr schnorr(ta_.group());
+  const auto kp = schnorr.keygen(drbg);
+  AuthTag tag;
+  tag.credential_id = 4242;
+  tag.ephemeral_pub = kp.pub;
+  const crypto::Bytes payload{7};
+  tag.msg_sig = schnorr.sign(kp.secret, payload, drbg);
+  tag.cert_sig = schnorr.sign(kp.secret, payload, drbg);  // not TA's key
+  EXPECT_FALSE(PseudonymAuth::verify(ta_, payload, tag).ok);
+}
+
+// ---- Group protocol ----------------------------------------------------------
+
+class GroupFixture : public ::testing::Test {
+ protected:
+  GroupFixture() : mgr_(1, 99) {
+    mgr_.enroll(VehicleId{1});
+    mgr_.enroll(VehicleId{2});
+  }
+  GroupManager mgr_;
+  crypto::OpCounts ops_;
+};
+
+TEST_F(GroupFixture, MemberSignVerify) {
+  GroupAuth member(mgr_, VehicleId{1});
+  const crypto::Bytes payload{1, 2};
+  const auto tag = member.sign(payload, ops_);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_TRUE(GroupAuth::verify(mgr_, payload, *tag).ok);
+}
+
+TEST_F(GroupFixture, NonMemberCannotSign) {
+  GroupAuth outsider(mgr_, VehicleId{99});
+  EXPECT_FALSE(outsider.sign({1}, ops_).has_value());
+}
+
+TEST_F(GroupFixture, TamperRejected) {
+  GroupAuth member(mgr_, VehicleId{1});
+  crypto::Bytes payload{1, 2};
+  const auto tag = member.sign(payload, ops_);
+  payload[1] = 9;
+  EXPECT_FALSE(GroupAuth::verify(mgr_, payload, *tag).ok);
+}
+
+TEST_F(GroupFixture, RevocationRotatesEpoch) {
+  GroupAuth alice(mgr_, VehicleId{1});
+  const crypto::Bytes payload{3};
+  const auto old_tag = alice.sign(payload, ops_);
+  const auto epoch_before = mgr_.epoch();
+  mgr_.revoke(VehicleId{2});
+  EXPECT_GT(mgr_.epoch(), epoch_before);
+  // Pre-rotation tags no longer verify (stale epoch).
+  EXPECT_FALSE(GroupAuth::verify(mgr_, payload, *old_tag).ok);
+  // Remaining members keep working with the fresh key.
+  const auto new_tag = alice.sign(payload, ops_);
+  EXPECT_TRUE(GroupAuth::verify(mgr_, payload, *new_tag).ok);
+}
+
+TEST_F(GroupFixture, ManagerOpensIdentity) {
+  GroupAuth member(mgr_, VehicleId{2});
+  const auto tag = member.sign({1}, ops_);
+  const auto opened = mgr_.open(*tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, VehicleId{2});
+}
+
+TEST_F(GroupFixture, VerifiableOpeningProvesHonestDecryption) {
+  GroupAuth member(mgr_, VehicleId{2});
+  const auto tag = member.sign({1}, ops_);
+  auto opening = mgr_.open_verifiable(*tag);
+  ASSERT_TRUE(opening.has_value());
+  EXPECT_EQ(opening->vehicle, VehicleId{2});
+  EXPECT_TRUE(GroupManager::check_opening(*tag, mgr_.escrow_pub(), *opening));
+}
+
+TEST_F(GroupFixture, FabricatedOpeningRejected) {
+  GroupAuth alice(mgr_, VehicleId{1});
+  const auto tag = alice.sign({1}, ops_);
+  auto opening = mgr_.open_verifiable(*tag);
+  ASSERT_TRUE(opening.has_value());
+  // A framing manager claims the message decrypts to a different member:
+  // altering the claimed element breaks the check.
+  GroupManager::VerifiableOpening forged = *opening;
+  forged.member_element =
+      crypto::default_group().mul(forged.member_element,
+                                  crypto::default_group().g());
+  EXPECT_FALSE(GroupManager::check_opening(*tag, mgr_.escrow_pub(), forged));
+  // Faking the decryption witness itself also fails (the proof binds it).
+  GroupManager::VerifiableOpening forged2 = *opening;
+  forged2.shared = crypto::default_group().mul(forged2.shared,
+                                               crypto::default_group().g());
+  EXPECT_FALSE(GroupManager::check_opening(*tag, mgr_.escrow_pub(), forged2));
+}
+
+TEST_F(GroupFixture, TagExposesNoSenderId) {
+  GroupAuth member(mgr_, VehicleId{1});
+  const auto tag = member.sign({1}, ops_);
+  // Only the group id is on the wire.
+  EXPECT_EQ(tag->credential_id, mgr_.group_id());
+  EXPECT_EQ(tag->ephemeral_pub, 0u);
+}
+
+// ---- Hybrid protocol ---------------------------------------------------------
+
+class HybridFixture : public ::testing::Test {
+ protected:
+  HybridFixture() : mgr_(5, 123) {
+    mgr_.enroll(VehicleId{1});
+    mgr_.enroll(VehicleId{2});
+  }
+  GroupManager mgr_;
+  crypto::OpCounts ops_;
+};
+
+TEST_F(HybridFixture, SignVerifyRoundTrip) {
+  HybridAuth member(mgr_, VehicleId{1});
+  const crypto::Bytes payload{9, 9};
+  const auto tag = member.sign(payload, ops_);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_TRUE(HybridAuth::verify(mgr_, payload, *tag).ok);
+}
+
+TEST_F(HybridFixture, RevocationInvalidatesByEpoch) {
+  HybridAuth alice(mgr_, VehicleId{1});
+  const crypto::Bytes payload{4};
+  const auto tag = alice.sign(payload, ops_);
+  mgr_.revoke(VehicleId{2});
+  EXPECT_FALSE(HybridAuth::verify(mgr_, payload, *tag).ok);
+  // Auto-rotation recovers enrolled members.
+  const auto tag2 = alice.sign(payload, ops_);
+  EXPECT_TRUE(HybridAuth::verify(mgr_, payload, *tag2).ok);
+}
+
+TEST_F(HybridFixture, RevokedMemberCannotRotate) {
+  HybridAuth bob(mgr_, VehicleId{2});
+  (void)bob.sign({1}, ops_);
+  mgr_.revoke(VehicleId{2});
+  EXPECT_FALSE(bob.sign({1}, ops_).has_value());
+}
+
+TEST_F(HybridFixture, ManagerOpensHybridPseudonym) {
+  HybridAuth alice(mgr_, VehicleId{1});
+  const auto tag = alice.sign({1}, ops_);
+  const auto opened = mgr_.open_hybrid(tag->ephemeral_pub);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, VehicleId{1});
+}
+
+TEST_F(HybridFixture, NoCrlNeeded) {
+  HybridAuth alice(mgr_, VehicleId{1});
+  const crypto::Bytes payload{1};
+  const auto tag = alice.sign(payload, ops_);
+  const auto v = HybridAuth::verify(mgr_, payload, *tag);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.ops.hash, 0u);  // no CRL lookup in the verify path
+}
+
+// ---- Privacy metrics ---------------------------------------------------------
+
+TEST(PrivacyMetrics, StableIdFullyLinkable) {
+  std::vector<AirObservation> obs;
+  for (int i = 0; i < 10; ++i) {
+    obs.push_back({static_cast<double>(i), {0, 0}, 77, VehicleId{1}});
+  }
+  EXPECT_DOUBLE_EQ(id_linkability(obs), 1.0);
+}
+
+TEST(PrivacyMetrics, RotatingIdsUnlinkable) {
+  std::vector<AirObservation> obs;
+  for (int i = 0; i < 10; ++i) {
+    obs.push_back({static_cast<double>(i), {0, 0},
+                   static_cast<std::uint64_t>(100 + i), VehicleId{1}});
+  }
+  EXPECT_DOUBLE_EQ(id_linkability(obs), 0.0);
+}
+
+TEST(PrivacyMetrics, GroupTagsHaveGroupSizeAnonymity) {
+  std::vector<AirObservation> obs;
+  obs.push_back({0.0, {0, 0}, 0, VehicleId{1}});
+  obs.push_back({1.0, {0, 0}, 0, VehicleId{2}});
+  EXPECT_DOUBLE_EQ(mean_anonymity_set(obs, 25), 25.0);
+}
+
+TEST(PrivacyMetrics, ReusedPseudonymShrinksAnonymity) {
+  std::vector<AirObservation> obs;
+  obs.push_back({0.0, {0, 0}, 55, VehicleId{1}});
+  obs.push_back({1.0, {0, 0}, 55, VehicleId{1}});
+  EXPECT_DOUBLE_EQ(mean_anonymity_set(obs, 25), 1.0);
+}
+
+}  // namespace
+}  // namespace vcl::auth

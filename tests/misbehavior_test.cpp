@@ -1,0 +1,165 @@
+// Tests for beacon plausibility checking (§III.D single-message content
+// validation) and 2FLIP-style two-factor authentication [38].
+#include <gtest/gtest.h>
+
+#include "auth/two_factor.h"
+#include "trust/plausibility.h"
+
+namespace vcl {
+namespace {
+
+using trust::BeaconClaim;
+using trust::PlausibilityChecker;
+using trust::PlausibilityVerdict;
+
+BeaconClaim claim(std::uint64_t cred, geo::Vec2 pos, geo::Vec2 vel,
+                  SimTime t) {
+  return BeaconClaim{cred, pos, vel, t};
+}
+
+TEST(Plausibility, HonestTrackStaysPlausible) {
+  PlausibilityChecker checker;
+  // Vehicle driving east at 20 m/s, beaconing every second.
+  for (int t = 0; t < 20; ++t) {
+    const auto v = checker.check(
+        claim(1, {t * 20.0, 0}, {20, 0}, static_cast<double>(t)));
+    EXPECT_EQ(v, PlausibilityVerdict::kPlausible) << "t=" << t;
+  }
+  EXPECT_EQ(checker.flagged(), 0u);
+  EXPECT_EQ(checker.checked(), 20u);
+}
+
+TEST(Plausibility, ImpossibleSpeedFlagged) {
+  PlausibilityChecker checker;
+  EXPECT_EQ(checker.check(claim(1, {0, 0}, {150, 0}, 0.0)),
+            PlausibilityVerdict::kSpeedViolation);
+}
+
+TEST(Plausibility, TeleportFlagged) {
+  PlausibilityChecker checker;
+  EXPECT_EQ(checker.check(claim(1, {0, 0}, {20, 0}, 0.0)),
+            PlausibilityVerdict::kPlausible);
+  // One second later, 2 km away: impossible.
+  EXPECT_EQ(checker.check(claim(1, {2000, 0}, {20, 0}, 1.0)),
+            PlausibilityVerdict::kPositionJump);
+}
+
+TEST(Plausibility, GhostPositionAttackFlagged) {
+  // Attacker claims to drive east fast but reports a position far off the
+  // predicted trajectory (ghost-vehicle injection).
+  PlausibilityChecker checker;
+  EXPECT_EQ(checker.check(claim(1, {0, 0}, {30, 0}, 0.0)),
+            PlausibilityVerdict::kPlausible);
+  EXPECT_EQ(checker.check(claim(1, {0, 100}, {30, 0}, 2.0)),
+            PlausibilityVerdict::kKinematicMismatch);
+}
+
+TEST(Plausibility, StaleTrackForgotten) {
+  PlausibilityChecker checker;
+  EXPECT_EQ(checker.check(claim(1, {0, 0}, {20, 0}, 0.0)),
+            PlausibilityVerdict::kPlausible);
+  // 100 s later anywhere is fine: the track timed out.
+  EXPECT_EQ(checker.check(claim(1, {50000, 0}, {20, 0}, 100.0)),
+            PlausibilityVerdict::kPlausible);
+}
+
+TEST(Plausibility, IndependentTracksPerCredential) {
+  PlausibilityChecker checker;
+  EXPECT_EQ(checker.check(claim(1, {0, 0}, {20, 0}, 0.0)),
+            PlausibilityVerdict::kPlausible);
+  // A DIFFERENT credential at a far position is fine (no shared track).
+  EXPECT_EQ(checker.check(claim(2, {5000, 0}, {20, 0}, 1.0)),
+            PlausibilityVerdict::kPlausible);
+  EXPECT_EQ(checker.tracked_senders(), 2u);
+}
+
+TEST(Plausibility, ParkedVehicleNeverMisflagged) {
+  PlausibilityChecker checker;
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(checker.check(claim(7, {100, 100}, {0, 0},
+                                  static_cast<double>(t))),
+              PlausibilityVerdict::kPlausible);
+  }
+}
+
+// ---- Two-factor (2FLIP) ---------------------------------------------------------
+
+class TwoFactorFixture : public ::testing::Test {
+ protected:
+  TwoFactorFixture()
+      : system_key_(32, 0x5a),
+        device_(system_key_),
+        alice_bio_(crypto::Sha256::hash("alice-fingerprint")) {
+    device_.enroll_driver(1, alice_bio_);
+  }
+
+  crypto::Bytes system_key_;
+  auth::TwoFactorDevice device_;
+  crypto::Digest alice_bio_;
+  crypto::OpCounts ops_;
+};
+
+TEST_F(TwoFactorFixture, UnlockSignVerify) {
+  ASSERT_TRUE(device_.unlock(alice_bio_, 0.0).has_value());
+  const auto msg = device_.sign({1, 2, 3}, 1.0, ops_);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(auth::TwoFactorDevice::verify(system_key_, *msg, ops_));
+}
+
+TEST_F(TwoFactorFixture, LockedDeviceCannotSign) {
+  // Stolen OBU: nobody presented a biometric.
+  EXPECT_FALSE(device_.sign({1}, 0.0, ops_).has_value());
+}
+
+TEST_F(TwoFactorFixture, WrongBiometricRejected) {
+  const auto eve_bio = crypto::Sha256::hash("eve-fingerprint");
+  EXPECT_FALSE(device_.unlock(eve_bio, 0.0).has_value());
+  EXPECT_FALSE(device_.sign({1}, 0.0, ops_).has_value());
+}
+
+TEST_F(TwoFactorFixture, UnlockExpires) {
+  device_.unlock(alice_bio_, 0.0);
+  EXPECT_TRUE(device_.sign({1}, 299.0, ops_).has_value());
+  EXPECT_FALSE(device_.sign({1}, 301.0, ops_).has_value());  // stale unlock
+}
+
+TEST_F(TwoFactorFixture, TamperDetected) {
+  device_.unlock(alice_bio_, 0.0);
+  auto msg = device_.sign({1, 2, 3}, 0.0, ops_);
+  msg->payload[0] ^= 1;
+  EXPECT_FALSE(auth::TwoFactorDevice::verify(system_key_, *msg, ops_));
+}
+
+TEST_F(TwoFactorFixture, WrongSystemKeyRejected) {
+  device_.unlock(alice_bio_, 0.0);
+  const auto msg = device_.sign({1}, 0.0, ops_);
+  const crypto::Bytes other_key(32, 0xa5);
+  EXPECT_FALSE(auth::TwoFactorDevice::verify(other_key, *msg, ops_));
+}
+
+TEST_F(TwoFactorFixture, MultipleDriversBindDistinctly) {
+  const auto bob_bio = crypto::Sha256::hash("bob-fingerprint");
+  device_.enroll_driver(2, bob_bio);
+  device_.unlock(alice_bio_, 0.0);
+  const auto alice_msg = device_.sign({9}, 0.0, ops_);
+  device_.unlock(bob_bio, 0.0);
+  const auto bob_msg = device_.sign({9}, 0.0, ops_);
+  // Same payload, same vehicle — but the driver binding differs, so the
+  // authority can attribute messages to the responsible driver.
+  EXPECT_FALSE(crypto::digest_equal(alice_msg->driver_binding,
+                                    bob_msg->driver_binding));
+  EXPECT_TRUE(auth::TwoFactorDevice::verify(system_key_, *alice_msg, ops_));
+  EXPECT_TRUE(auth::TwoFactorDevice::verify(system_key_, *bob_msg, ops_));
+}
+
+TEST_F(TwoFactorFixture, VerificationIsCheap) {
+  device_.unlock(alice_bio_, 0.0);
+  const auto msg = device_.sign({1}, 0.0, ops_);
+  crypto::OpCounts verify_ops;
+  (void)auth::TwoFactorDevice::verify(system_key_, *msg, verify_ops);
+  EXPECT_EQ(verify_ops.hmac, 1u);    // one MAC, no signatures
+  EXPECT_EQ(verify_ops.verify, 0u);  // the DoS-resilience argument
+}
+
+}  // namespace
+}  // namespace vcl

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "mobility/idm.h"
+#include "mobility/traffic.h"
+#include "mobility/trip_generator.h"
+#include "sim/simulator.h"
+
+namespace vcl::mobility {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Idm, FreeRoadAcceleratesTowardDesiredSpeed) {
+  IdmParams p;
+  p.desired_speed = 30.0;
+  EXPECT_GT(idm_acceleration(10.0, 0.0, kInf, p), 0.0);
+  EXPECT_NEAR(idm_acceleration(30.0, 0.0, kInf, p), 0.0, 1e-9);
+  EXPECT_LT(idm_acceleration(35.0, 0.0, kInf, p), 0.0);
+}
+
+TEST(Idm, BrakesWhenGapSmall) {
+  IdmParams p;
+  EXPECT_LT(idm_acceleration(20.0, 0.0, 3.0, p), -1.0);
+}
+
+TEST(Idm, DecelerationIsBounded) {
+  IdmParams p;
+  const double a = idm_acceleration(40.0, 40.0, 0.1, p);
+  EXPECT_GE(a, -3.0 * p.comfort_decel - 1e-9);
+}
+
+// Property sweep: across speeds/gaps, acceleration stays within the
+// physical envelope.
+class IdmEnvelope : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdmEnvelope, AccelWithinBounds) {
+  IdmParams p;
+  const double speed = GetParam();
+  for (double gap = 0.5; gap < 200.0; gap *= 2) {
+    for (double approach = -10.0; approach <= 20.0; approach += 5.0) {
+      const double a = idm_acceleration(speed, approach, gap, p);
+      EXPECT_LE(a, p.max_accel + 1e-9);
+      EXPECT_GE(a, -3.0 * p.comfort_decel - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, IdmEnvelope,
+                         ::testing::Values(0.0, 5.0, 15.0, 30.0, 45.0));
+
+class TrafficFixture : public ::testing::Test {
+ protected:
+  TrafficFixture()
+      : net_(geo::make_manhattan_grid(4, 4, 200.0)),
+        traffic_(net_, Rng(42)) {}
+
+  geo::RoadNetwork net_;
+  TrafficModel traffic_;
+};
+
+TEST_F(TrafficFixture, SpawnPlacesVehicleAtRouteStart) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{15});
+  ASSERT_TRUE(path);
+  const VehicleId id = traffic_.spawn(*path, 10.0);
+  const VehicleState* v = traffic_.find(id);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->link, path->front());
+  EXPECT_DOUBLE_EQ(v->offset, 0.0);
+  EXPECT_DOUBLE_EQ(v->speed, 10.0);
+}
+
+TEST_F(TrafficFixture, StepAdvancesVehicle) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{15});
+  const VehicleId id = traffic_.spawn(*path, 10.0);
+  traffic_.step(1.0);
+  const VehicleState* v = traffic_.find(id);
+  ASSERT_NE(v, nullptr);
+  EXPECT_GT(v->offset, 5.0);  // moved roughly speed * dt
+}
+
+TEST_F(TrafficFixture, VehicleCrossesLinkBoundaries) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{15});
+  const VehicleId id = traffic_.spawn(*path, 13.0);
+  for (int i = 0; i < 300; ++i) traffic_.step(0.5);
+  // After 150 s at ~13 m/s the vehicle passed several 200 m links (or
+  // finished the trip and was despawned — also evidence of link crossing).
+  const VehicleState* v = traffic_.find(id);
+  if (v != nullptr) {
+    EXPECT_GT(v->route_index, 0u);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST_F(TrafficFixture, ArrivedVehicleDespawnsWithoutHandler) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{1});  // one link
+  const VehicleId id = traffic_.spawn(*path, 15.0);
+  for (int i = 0; i < 100; ++i) traffic_.step(0.5);
+  EXPECT_EQ(traffic_.find(id), nullptr);
+}
+
+TEST_F(TrafficFixture, ArrivalHandlerKeepsVehicleAlive) {
+  traffic_.set_arrival_handler(
+      [this](const VehicleState& v) -> std::optional<std::vector<LinkId>> {
+        const NodeId end = net_.link(v.link).to;
+        // Bounce back along any outgoing link.
+        return std::vector<LinkId>{net_.node(end).out_links.front()};
+      });
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{1});
+  const VehicleId id = traffic_.spawn(*path, 15.0);
+  for (int i = 0; i < 200; ++i) traffic_.step(0.5);
+  EXPECT_NE(traffic_.find(id), nullptr);
+}
+
+TEST_F(TrafficFixture, ParkedVehicleDoesNotMove) {
+  const VehicleId id = traffic_.spawn_parked(LinkId{0}, 50.0);
+  const geo::Vec2 before = traffic_.find(id)->pos;
+  for (int i = 0; i < 50; ++i) traffic_.step(0.5);
+  const VehicleState* v = traffic_.find(id);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->pos, before);
+  EXPECT_TRUE(v->parked);
+}
+
+TEST_F(TrafficFixture, FollowerNeverOvertakesLeaderOnLane) {
+  // Leader crawls; follower starts fast behind it.
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(path);
+  const VehicleId leader = traffic_.spawn(*path, 1.0, {}, 0.1);
+  VehicleState* lv = traffic_.find_mutable(leader);
+  lv->offset = 60.0;
+  const VehicleId follower = traffic_.spawn(*path, 20.0);
+  for (int i = 0; i < 200; ++i) {
+    traffic_.step(0.1);
+    const VehicleState* l = traffic_.find(leader);
+    const VehicleState* f = traffic_.find(follower);
+    if (l == nullptr || f == nullptr) break;
+    if (l->link == f->link && l->lane == f->lane) {
+      EXPECT_GE(l->offset - f->offset, 0.0)
+          << "follower overtook leader in-lane at step " << i;
+    }
+  }
+}
+
+TEST_F(TrafficFixture, WorldFramePositionsOnNetwork) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{15});
+  const VehicleId id = traffic_.spawn(*path, 10.0);
+  traffic_.step(0.5);
+  const VehicleState* v = traffic_.find(id);
+  const auto [lo, hi] = net_.bounding_box();
+  EXPECT_GE(v->pos.x, lo.x - 10);
+  EXPECT_LE(v->pos.x, hi.x + 10);
+}
+
+TEST_F(TrafficFixture, DwellPredictionFiniteForExitingVehicle) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{3});
+  const VehicleId id = traffic_.spawn(*path, 10.0);
+  // Disc around the start; the route exits it.
+  const double t = traffic_.predict_time_to_exit(id, {0, 0}, 150.0);
+  EXPECT_TRUE(std::isfinite(t));
+  // Roughly 150 m at 10 m/s.
+  EXPECT_NEAR(t, 15.0, 5.0);
+}
+
+TEST_F(TrafficFixture, DwellPredictionInfiniteForParked) {
+  const VehicleId id = traffic_.spawn_parked(LinkId{0}, 10.0);
+  EXPECT_TRUE(std::isinf(traffic_.predict_time_to_exit(id, {0, 0}, 500.0)));
+}
+
+TEST_F(TrafficFixture, OracleUsesSpeedLimits) {
+  const auto path = net_.shortest_path(NodeId{0}, NodeId{3});
+  const VehicleId id = traffic_.spawn(*path, 2.0);  // crawling now
+  const double est = traffic_.predict_time_to_exit(id, {0, 0}, 150.0);
+  const double oracle = traffic_.oracle_time_to_exit(id, {0, 0}, 150.0);
+  // Oracle assumes the vehicle will speed up to the limit, so exits sooner.
+  EXPECT_LT(oracle, est);
+}
+
+TEST(TripGenerator, PrefillReachesTarget) {
+  const auto net = geo::make_manhattan_grid(5, 5, 150.0);
+  TrafficModel traffic(net, Rng(1));
+  TripGeneratorConfig cfg;
+  cfg.target_population = 40;
+  TripGenerator gen(traffic, cfg, Rng(2));
+  gen.prefill();
+  EXPECT_EQ(traffic.vehicle_count(), 40u);
+}
+
+TEST(TripGenerator, KeepAliveMaintainsPopulation) {
+  const auto net = geo::make_manhattan_grid(5, 5, 150.0);
+  TrafficModel traffic(net, Rng(1));
+  TripGeneratorConfig cfg;
+  cfg.target_population = 30;
+  TripGenerator gen(traffic, cfg, Rng(2));
+  sim::Simulator sim;
+  traffic.attach(sim, 0.1);
+  gen.attach(sim);
+  gen.prefill();
+  sim.run_until(120.0);
+  EXPECT_GE(traffic.vehicle_count(), 25u);
+  EXPECT_LE(traffic.vehicle_count(), 31u);
+}
+
+TEST(TripGenerator, RoutesAreConnected) {
+  const auto net = geo::make_manhattan_grid(5, 5, 150.0);
+  TrafficModel traffic(net, Rng(1));
+  TripGenerator gen(traffic, {}, Rng(3));
+  for (int i = 0; i < 20; ++i) {
+    const auto route = gen.random_route();
+    ASSERT_FALSE(route.empty());
+    for (std::size_t j = 0; j + 1 < route.size(); ++j) {
+      EXPECT_EQ(net.link(route[j]).to, net.link(route[j + 1]).from);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcl::mobility

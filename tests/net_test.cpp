@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "mobility/traffic.h"
+#include "net/channel.h"
+#include "net/network.h"
+#include "net/rsu.h"
+#include "sim/simulator.h"
+
+namespace vcl::net {
+namespace {
+
+TEST(Channel, PerfectAtShortRange) {
+  const Channel ch;
+  const double p = ch.reception_probability({0, 0}, {50, 0}, 0);
+  EXPECT_GT(p, 0.9);
+}
+
+TEST(Channel, ZeroBeyondMaxRange) {
+  const Channel ch;
+  EXPECT_DOUBLE_EQ(ch.reception_probability({0, 0}, {301, 0}, 0), 0.0);
+}
+
+TEST(Channel, MonotoneInDistance) {
+  const Channel ch;
+  double prev = 1.0;
+  for (double d = 10; d <= 300; d += 10) {
+    const double p = ch.reception_probability({0, 0}, {d, 0}, 0);
+    EXPECT_LE(p, prev + 1e-12) << "at distance " << d;
+    prev = p;
+  }
+}
+
+TEST(Channel, DensityErodesReception) {
+  const Channel ch;
+  const double quiet = ch.reception_probability({0, 0}, {100, 0}, 0);
+  const double busy = ch.reception_probability({0, 0}, {100, 0}, 100);
+  EXPECT_LT(busy, quiet);
+}
+
+TEST(Channel, HopDelayGrowsWithSizeAndDensity) {
+  const Channel ch;
+  EXPECT_LT(ch.hop_delay(100, 0), ch.hop_delay(10000, 0));
+  EXPECT_LT(ch.hop_delay(100, 0), ch.hop_delay(100, 50));
+  EXPECT_GT(ch.hop_delay(100, 0), 0.0);
+}
+
+TEST(Channel, AttemptRespectsCutoff) {
+  const Channel ch;
+  Rng rng(1);
+  const ReceptionResult r = ch.attempt({0, 0}, {500, 0}, 100, 0, rng);
+  EXPECT_FALSE(r.received);
+}
+
+TEST(RsuField, CoveringPicksNearestOnline) {
+  RsuField field;
+  const RsuId a = field.add({0, 0}, 300);
+  const RsuId b = field.add({400, 0}, 300);
+  const Rsu* r = field.covering({350, 0});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, b);
+  field.set_online(b, false);
+  r = field.covering({350, 0});
+  // a is 350 m away with 300 m range: uncovered now.
+  EXPECT_EQ(r, nullptr);
+  (void)a;
+}
+
+TEST(RsuField, FailAllAndRestore) {
+  RsuField field;
+  field.add({0, 0});
+  field.add({100, 0});
+  EXPECT_EQ(field.online_count(), 2u);
+  field.fail_all();
+  EXPECT_EQ(field.online_count(), 0u);
+  EXPECT_EQ(field.covering({0, 0}), nullptr);
+  field.restore_all();
+  EXPECT_EQ(field.online_count(), 2u);
+}
+
+TEST(RsuField, PlaceGridCoversBoundingBox) {
+  const auto net = geo::make_manhattan_grid(3, 3, 500.0);
+  RsuField field;
+  field.place_grid(net, 500.0, 400.0);
+  EXPECT_EQ(field.count(), 9u);  // 3x3 grid of RSUs
+}
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture()
+      : road_(geo::make_manhattan_grid(3, 3, 200.0)),
+        traffic_(road_, Rng(1)),
+        net_(sim_, traffic_, ChannelConfig{}, Rng(2)) {}
+
+  // Parks a vehicle at a fixed world position (via link 0 offsets).
+  VehicleId park_at(double offset) {
+    return traffic_.spawn_parked(LinkId{0}, offset);
+  }
+
+  geo::RoadNetwork road_;
+  sim::Simulator sim_;
+  mobility::TrafficModel traffic_;
+  Network net_;
+};
+
+TEST_F(NetworkFixture, UnicastDeliversInRange) {
+  const VehicleId a = park_at(0.0);
+  const VehicleId b = park_at(100.0);
+  net_.refresh();
+  int received = 0;
+  net_.set_handler(Address::vehicle(b), [&](const Message& m) {
+    ++received;
+    EXPECT_EQ(m.src, Address::vehicle(a));
+    EXPECT_EQ(m.hops, 1);
+  });
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::vehicle(b);
+  EXPECT_TRUE(net_.send(msg));
+  sim_.run_until(1.0);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net_.stats().unicast_delivered, 1u);
+}
+
+TEST_F(NetworkFixture, UnicastFailsOutOfRange) {
+  const VehicleId a = park_at(0.0);
+  // 200 m links: offset on a far link. Use grid node distances: put the
+  // second vehicle on the opposite corner link (distance >> 300 m).
+  const VehicleId b = traffic_.spawn_parked(LinkId{road_.link_count() - 1},
+                                            100.0);
+  net_.refresh();
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::vehicle(b);
+  EXPECT_FALSE(net_.send(msg));
+  EXPECT_EQ(net_.stats().dropped, 1u);
+}
+
+TEST_F(NetworkFixture, SendViaPreservesFinalDestination) {
+  const VehicleId a = park_at(0.0);
+  const VehicleId relay = park_at(150.0);
+  const VehicleId b = park_at(190.0);
+  net_.refresh();
+  Address seen_dst;
+  net_.set_handler(Address::vehicle(relay), [&](const Message& m) {
+    seen_dst = m.dst;
+  });
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::vehicle(b);  // final destination
+  EXPECT_TRUE(net_.send_via(msg, Address::vehicle(relay)));
+  sim_.run_until(1.0);
+  EXPECT_EQ(seen_dst, Address::vehicle(b));
+}
+
+TEST_F(NetworkFixture, BroadcastReachesNeighbors) {
+  const VehicleId a = park_at(100.0);
+  park_at(0.0);
+  park_at(180.0);
+  net_.refresh();
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::broadcast();
+  const std::size_t reached = net_.broadcast(msg);
+  EXPECT_EQ(reached, 2u);
+}
+
+TEST_F(NetworkFixture, DefaultVehicleHandlerReceives) {
+  const VehicleId a = park_at(0.0);
+  const VehicleId b = park_at(120.0);
+  net_.refresh();
+  VehicleId handled;
+  net_.set_default_vehicle_handler(
+      [&](VehicleId self, const Message&) { handled = self; });
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::vehicle(b);
+  EXPECT_TRUE(net_.send(msg));
+  sim_.run_until(1.0);
+  EXPECT_EQ(handled, b);
+}
+
+TEST_F(NetworkFixture, BeaconsFillNeighborTables) {
+  const VehicleId a = park_at(0.0);
+  const VehicleId b = park_at(150.0);
+  net_.start_beacons(1.0);
+  sim_.run_until(2.5);
+  const auto& na = net_.neighbors(a);
+  ASSERT_EQ(na.size(), 1u);
+  EXPECT_EQ(na[0].id, b);
+  EXPECT_GT(na[0].last_heard, 0.0);
+}
+
+TEST_F(NetworkFixture, RsuCoversVehicle) {
+  const VehicleId a = park_at(50.0);
+  net_.rsus().add({60.0, 0.0}, 500.0);
+  net_.refresh();
+  EXPECT_NE(net_.reachable_rsu(a), nullptr);
+  net_.rsus().fail_all();
+  EXPECT_EQ(net_.reachable_rsu(a), nullptr);
+}
+
+TEST_F(NetworkFixture, VehicleToRsuUnicastUsesRsuRange) {
+  const VehicleId a = park_at(0.0);
+  const RsuId r = net_.rsus().add({450.0, 0.0}, 1200.0);
+  net_.refresh();
+  int received = 0;
+  net_.set_handler(Address::rsu(r), [&](const Message&) { ++received; });
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::vehicle(a);
+  msg.dst = Address::rsu(r);
+  // 450 m exceeds vehicle range (300) but sits well inside the RSU's reach.
+  EXPECT_TRUE(net_.send(msg));
+  sim_.run_until(1.0);
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkFixture, BackhaulIsReliableAndDelayed) {
+  const RsuId r1 = net_.rsus().add({0, 0});
+  const RsuId r2 = net_.rsus().add({5000, 0});
+  SimTime arrival = -1;
+  net_.set_handler(Address::rsu(r2),
+                   [&](const Message&) { arrival = sim_.now(); });
+  Message msg;
+  msg.id = net_.next_message_id();
+  msg.src = Address::rsu(r1);
+  msg.dst = Address::rsu(r2);
+  net_.send_backhaul(r1, r2, msg);
+  sim_.run_until(1.0);
+  EXPECT_NEAR(arrival, net_.backhaul_latency(), 1e-9);
+}
+
+TEST_F(NetworkFixture, BackhaulDropsWhenOffline) {
+  const RsuId r1 = net_.rsus().add({0, 0});
+  const RsuId r2 = net_.rsus().add({5000, 0});
+  net_.rsus().set_online(r2, false);
+  int received = 0;
+  net_.set_handler(Address::rsu(r2), [&](const Message&) { ++received; });
+  Message msg;
+  msg.src = Address::rsu(r1);
+  msg.dst = Address::rsu(r2);
+  net_.send_backhaul(r1, r2, msg);
+  sim_.run_until(1.0);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(MessageKind, Names) {
+  EXPECT_STREQ(to_string(MessageKind::kBeacon), "beacon");
+  EXPECT_STREQ(to_string(MessageKind::kTaskMigrate), "task_migrate");
+}
+
+TEST(Address, KeysDistinguishTypes) {
+  EXPECT_NE(Address::vehicle(VehicleId{5}).key(),
+            Address::rsu(RsuId{5}).key());
+  EXPECT_EQ(Address::vehicle(VehicleId{5}),
+            Address::vehicle(VehicleId{5}));
+}
+
+}  // namespace
+}  // namespace vcl::net

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace vcl::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(10.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_until(10.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RecurringFiresPeriodically) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_every(1.0, [&] { ++count; });
+  sim.run_until(5.5);
+  EXPECT_EQ(count, 5);  // at t=1..5
+}
+
+TEST(Simulator, RecurringFirstOverride) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_every(2.0, [&] { times.push_back(sim.now()); }, 0.5);
+  sim.run_until(5.0);
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+  EXPECT_DOUBLE_EQ(times[2], 4.5);
+}
+
+TEST(Simulator, CancelRecurringStopsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  const EventHandle h = sim.schedule_every(1.0, [&] { ++count; });
+  sim.schedule_at(3.5, [&] { sim.cancel(h); });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_FALSE(sim.step(10.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StepRespectsHorizon) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(5.0, [&] { ++count; });
+  EXPECT_FALSE(sim.step(4.0));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run_until(100.0);
+  EXPECT_EQ(depth, 5);
+}
+
+}  // namespace
+}  // namespace vcl::sim

@@ -1,0 +1,283 @@
+// Tests for the remaining §III threats (MITM, traffic-flow analysis) and
+// the §V.A management snapshot archive, plus an end-to-end integration
+// test: a sticky data-policy package crossing the multi-hop network.
+#include <gtest/gtest.h>
+
+#include "access/sticky_package.h"
+#include "attack/flow_analysis.h"
+#include "attack/mitm.h"
+#include "auth/pseudonym.h"
+#include "core/scenario.h"
+#include "core/snapshot.h"
+
+namespace vcl {
+namespace {
+
+// ---- MITM -------------------------------------------------------------------------
+
+class MitmFixture : public ::testing::Test {
+ protected:
+  MitmFixture() : traffic_(make_road(), Rng(1)) {}
+
+  // three parked vehicles in a line; middle one can be made malicious
+  static geo::RoadNetwork& make_road() {
+    static geo::RoadNetwork road = [] {
+      geo::RoadNetwork r;
+      const auto a = r.add_node({0, 0});
+      const auto b = r.add_node({600, 0});
+      r.add_link(a, b, 14.0);
+      return r;
+    }();
+    return road;
+  }
+
+  mobility::TrafficModel traffic_;
+  sim::Simulator sim_;
+};
+
+TEST_F(MitmFixture, RelayAltersPayloadAndSignatureCatchesIt) {
+  net::Network net(sim_, traffic_, net::ChannelConfig{}, Rng(2));
+  const auto src = traffic_.spawn_parked(LinkId{0}, 0.0);
+  const auto mid = traffic_.spawn_parked(LinkId{0}, 250.0);
+  const auto dst = traffic_.spawn_parked(LinkId{0}, 500.0);
+  net.start_beacons(0.5);
+
+  attack::AdversaryRoster roster;
+  roster.add(mid);
+  attack::MitmGreedyRouter router(net, roster, attack::MitmConfig{1.0},
+                                  Rng(3));
+  router.attach();
+  net.refresh();
+
+  // Sign the payload end-to-end before sending.
+  auth::TrustedAuthority ta(7);
+  ta.register_vehicle(src);
+  auth::PseudonymAuth signer(ta, src, 4);
+  crypto::OpCounts ops;
+  const crypto::Bytes payload{10, 20, 30, 40};
+  const auto tag = signer.sign(payload, 0.0, ops);
+
+  // Intercept delivery at the destination to inspect the payload.
+  crypto::Bytes received;
+  net.set_handler(net::Address::vehicle(dst), [&](const net::Message& m) {
+    if (m.dst.is_vehicle() && m.dst.as_vehicle() == dst) {
+      received = m.payload;
+    } else {
+      // Not for us: hand back to the router's forwarding logic. (The
+      // specific handler overrides the default; emulate pass-through.)
+    }
+  });
+
+  // Originate manually so we can attach the payload.
+  net::Message msg;
+  msg.id = net.next_message_id();
+  msg.src = net::Address::vehicle(src);
+  msg.dst = net::Address::vehicle(dst);
+  msg.created = sim_.now();
+  msg.ttl = 8;
+  msg.payload = payload;
+  if (const auto pos = net.position_of(msg.dst)) {
+    msg.dst_pos = *pos;
+    msg.has_dst_pos = true;
+  }
+  // First hop: src -> mid (the MITM relay); the router's handler runs on
+  // mid because the specific handler is only registered for dst. The 250 m
+  // hop is lossy; retry until one attempt lands (independent samples).
+  bool sent = false;
+  for (int attempt = 0; attempt < 500 && !sent; ++attempt) {
+    sent = net.send_via(msg, net::Address::vehicle(mid));
+  }
+  ASSERT_TRUE(sent);
+  sim_.run_until(25.0);
+
+  ASSERT_FALSE(received.empty());
+  EXPECT_NE(received, payload);  // altered in flight
+  EXPECT_GE(router.tampered(), 1u);
+  // End-to-end signature detects the alteration.
+  EXPECT_TRUE(auth::PseudonymAuth::verify(ta, payload, *tag).ok);
+  EXPECT_FALSE(auth::PseudonymAuth::verify(ta, received, *tag).ok);
+}
+
+TEST_F(MitmFixture, HonestRelayPreservesPayload) {
+  net::Network net(sim_, traffic_, net::ChannelConfig{}, Rng(4));
+  const auto src = traffic_.spawn_parked(LinkId{0}, 0.0);
+  traffic_.spawn_parked(LinkId{0}, 250.0);
+  const auto dst = traffic_.spawn_parked(LinkId{0}, 500.0);
+  net.start_beacons(0.5);
+  attack::AdversaryRoster empty_roster;
+  attack::MitmGreedyRouter router(net, empty_roster, attack::MitmConfig{1.0},
+                                  Rng(5));
+  router.attach();
+  net.refresh();
+  crypto::Bytes received;
+  net.set_handler(net::Address::vehicle(dst), [&](const net::Message& m) {
+    received = m.payload;
+  });
+  // Broadcast fresh copies until one crosses the lossy first hop (the
+  // 250 m link fails often by design; retrying is what real senders do).
+  sim_.schedule_every(1.0, [&] {
+    if (!received.empty()) return;
+    net::Message msg;
+    msg.id = net.next_message_id();
+    msg.src = net::Address::vehicle(src);
+    msg.dst = net::Address::vehicle(dst);
+    msg.payload = {1, 2, 3};
+    msg.ttl = 8;
+    msg.created = sim_.now();
+    if (const auto pos = net.position_of(msg.dst)) {
+      msg.dst_pos = *pos;
+      msg.has_dst_pos = true;
+    }
+    net.broadcast(msg);
+  });
+  sim_.run_until(60.0);
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(received, (crypto::Bytes{1, 2, 3}));
+  EXPECT_EQ(router.tampered(), 0u);
+}
+
+// ---- Flow analysis -----------------------------------------------------------------
+
+TEST(FlowAnalysis, IdentifiesHeavyTalkers) {
+  attack::FlowAnalyzer analyzer;
+  // Coordinators 1 and 2 send lots; members 3..10 send beacons only.
+  for (int round = 0; round < 50; ++round) {
+    analyzer.observe(VehicleId{1}, 1024);
+    analyzer.observe(VehicleId{2}, 800);
+    for (std::uint64_t m = 3; m <= 10; ++m) {
+      analyzer.observe(VehicleId{m}, 100);
+    }
+  }
+  const auto top = analyzer.top_talkers(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], VehicleId{1});
+  EXPECT_EQ(top[1], VehicleId{2});
+  EXPECT_DOUBLE_EQ(
+      analyzer.role_identification_recall({VehicleId{1}, VehicleId{2}}), 1.0);
+}
+
+TEST(FlowAnalysis, PaddingDefenseFlattensTheSignal) {
+  attack::FlowAnalyzer analyzer;
+  Rng rng(3);
+  // With padding, every vehicle emits the same volume; the adversary's
+  // top-k is as good as random.
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t m = 1; m <= 20; ++m) {
+      analyzer.observe(VehicleId{m}, 1024);  // uniform dummy-padded traffic
+    }
+  }
+  const double recall =
+      analyzer.role_identification_recall({VehicleId{7}, VehicleId{13}});
+  // Deterministic tie-break picks lowest ids: recall for {7,13} is 0.
+  EXPECT_LE(recall, 0.5);
+}
+
+TEST(FlowAnalysis, RecallWithEmptyTruthIsZero) {
+  attack::FlowAnalyzer analyzer;
+  analyzer.observe(VehicleId{1}, 10);
+  EXPECT_DOUBLE_EQ(analyzer.role_identification_recall({}), 0.0);
+}
+
+// ---- Topology archive ----------------------------------------------------------------
+
+TEST(TopologyArchive, CapturesAndQueries) {
+  core::ScenarioConfig cfg;
+  cfg.vehicles = 20;
+  cfg.seed = 9;
+  core::Scenario scenario(cfg);
+  scenario.start();
+  core::TopologyArchive archive(scenario.network(), {5.0, 10});
+  archive.attach();
+  scenario.run_for(30.0);
+  EXPECT_GE(archive.snapshot_count(), 5u);
+  EXPECT_GT(archive.records_held(), 0u);
+  // Query the whole map over the whole window: everything comes back.
+  const auto [lo, hi] = scenario.road().bounding_box();
+  const geo::Vec2 center{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  const auto hits = archive.query(center, 1e6, 0.0, 1e6);
+  EXPECT_EQ(hits.size(), archive.records_held());
+  // A zero-radius query around nowhere returns nothing.
+  EXPECT_TRUE(archive.query({-9999, -9999}, 1.0, 0.0, 1e6).empty());
+}
+
+TEST(TopologyArchive, RetentionBoundsPrivacyExposure) {
+  core::ScenarioConfig cfg;
+  cfg.vehicles = 10;
+  cfg.seed = 10;
+  core::Scenario scenario(cfg);
+  scenario.start();
+  core::TopologyArchive small(scenario.network(), {1.0, 5});
+  core::TopologyArchive large(scenario.network(), {1.0, 50});
+  small.attach();
+  large.attach();
+  scenario.run_for(60.0);
+  EXPECT_EQ(small.snapshot_count(), 5u);     // ring buffer capped
+  EXPECT_GT(large.snapshot_count(), 40u);
+  EXPECT_LT(small.records_held(), large.records_held());
+  // The short-retention archive cannot answer old queries.
+  EXPECT_TRUE(small.query({0, 0}, 1e6, 0.0, small.oldest() - 0.5).empty());
+}
+
+TEST(TopologyArchive, UsesCredentialMapping) {
+  core::ScenarioConfig cfg;
+  cfg.vehicles = 5;
+  core::Scenario scenario(cfg);
+  scenario.start();
+  core::TopologyArchive archive(
+      scenario.network(), {1.0, 10},
+      [](VehicleId v) { return v.value() + 5000; });
+  archive.capture();
+  const auto hits = archive.query({0, 0}, 1e9, 0.0, 1e9);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& e : hits) {
+    EXPECT_EQ(e.credential, e.vehicle.value() + 5000);
+  }
+}
+
+// ---- Integration: sticky package over the multi-hop network ----------------------------
+
+TEST(Integration, PolicyPackageTravelsWithData) {
+  // Owner seals data under a policy, ships the package id over the routed
+  // network to a far vehicle; the receiver enforces the policy locally —
+  // no callback to the owner (paper §V.C "access control travels with the
+  // data").
+  core::ScenarioConfig cfg;
+  cfg.vehicles = 60;
+  cfg.seed = 21;
+  core::Scenario scenario(cfg);
+  scenario.start();
+  scenario.run_for(3.0);
+
+  access::AbeAuthority authority(1);
+  crypto::Drbg drbg(std::uint64_t{2});
+  const crypto::Bytes owner_key = drbg.generate(32);
+  const auto policy = access::Policy::parse("role:head | clearance:gold");
+  crypto::OpCounts ops;
+  access::StickyPackage package(authority, crypto::Bytes{42, 43, 44},
+                                policy->clone(), owner_key, 555, drbg, ops);
+
+  routing::GreedyGeo router(scenario.network());
+  router.attach();
+  scenario.network().refresh();
+  std::vector<VehicleId> ids;
+  for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+    ids.push_back(v.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  const MessageId mid = router.originate(ids.front(), ids.back(), 2048);
+  scenario.run_for(30.0);
+  ASSERT_TRUE(router.metrics().was_delivered(mid));
+
+  // Receiver-side enforcement, far from the owner.
+  const access::AttributeSet good{"clearance:gold"};
+  const auto good_key = authority.keygen(good);
+  EXPECT_TRUE(package.access(good_key, good, 9001, 30.0, ops).has_value());
+  const access::AttributeSet bad{"role:member"};
+  const auto bad_key = authority.keygen(bad);
+  EXPECT_FALSE(package.access(bad_key, bad, 9002, 31.0, ops).has_value());
+  EXPECT_EQ(package.log().size(), 2u);
+  EXPECT_TRUE(package.log().verify_chain());
+}
+
+}  // namespace
+}  // namespace vcl

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace vcl {
+namespace {
+
+TEST(Ids, DistinctTypesCompare) {
+  const VehicleId a{1};
+  const VehicleId b{1};
+  const VehicleId c{2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Ids, DefaultIsInvalid) {
+  const VehicleId v;
+  EXPECT_FALSE(v.valid());
+  EXPECT_TRUE(VehicleId{0}.valid());
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_map<VehicleId, int> m;
+  m[VehicleId{7}] = 42;
+  EXPECT_EQ(m.at(VehicleId{7}), 42);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  Rng a(42);
+  const Rng child1 = a.fork(7);
+  a.uniform();  // consume from parent
+  const Rng child2 = Rng(42).fork(7);
+  Rng c1 = child1, c2 = child2;
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, ForkSaltsProduceDistinctStreams) {
+  Rng a(42);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (f1.uniform() == f2.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, PoissonMeanRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += r.poisson(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
+}
+
+TEST(Accumulator, Percentiles) {
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(i);
+  EXPECT_NEAR(acc.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(acc.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(acc.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(acc.percentile(95), 95.05, 0.2);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first
+  h.add(100.0);   // clamps to last
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Ratio, Value) {
+  Ratio r;
+  r.hit();
+  r.hit();
+  r.miss();
+  EXPECT_NEAR(r.value(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.total(), 3u);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t("demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vcl

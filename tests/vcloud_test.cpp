@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "cluster/moving_zone.h"
+#include "vcloud/cloud.h"
+#include "vcloud/replication.h"
+
+namespace vcl::vcloud {
+namespace {
+
+TEST(ResourceProfile, ScalesWithAutomation) {
+  const auto lo = profile_for(mobility::AutomationLevel::kNoAutomation);
+  const auto hi = profile_for(mobility::AutomationLevel::kFullAutomation);
+  EXPECT_GT(hi.compute, lo.compute);
+  EXPECT_GT(hi.storage_mb, lo.storage_mb);
+  EXPECT_GT(hi.sensor_count, lo.sensor_count);
+}
+
+TEST(ResourcePool, Aggregates) {
+  ResourcePool pool;
+  pool.add(profile_for(mobility::AutomationLevel::kNoAutomation));
+  pool.add(profile_for(mobility::AutomationLevel::kFullAutomation));
+  EXPECT_EQ(pool.members, 2u);
+  EXPECT_GT(pool.compute, 0.0);
+}
+
+TEST(Workload, GeneratesPositiveTasks) {
+  WorkloadGenerator gen({}, Rng(1));
+  for (const Task& t : gen.batch(10.0, 50)) {
+    EXPECT_GT(t.work, 0.0);
+    EXPECT_GT(t.input_mb, 0.0);
+    EXPECT_EQ(t.created, 10.0);
+    EXPECT_GT(t.deadline, 10.0);
+  }
+}
+
+TEST(Handover, CheckpointGrowsWithProgress) {
+  HandoverConfig cfg;
+  Task t;
+  t.work = 100;
+  t.progress = 0;
+  const double empty = checkpoint_mb(t, cfg);
+  t.progress = 50;
+  EXPECT_GT(checkpoint_mb(t, cfg), empty);
+}
+
+TEST(Handover, EncryptionAddsLatency) {
+  HandoverConfig enc;
+  HandoverConfig plain = enc;
+  plain.encrypted = false;
+  Task t;
+  t.progress = 10;
+  const crypto::CostModel costs;
+  const ResourceProfile p;
+  EXPECT_GT(migration_latency(t, p, p, enc, costs),
+            migration_latency(t, p, p, plain, costs));
+}
+
+TEST(Schedulers, GreedyPicksFastestIdle) {
+  GreedyResourceScheduler sched;
+  Rng rng(1);
+  std::vector<WorkerView> workers(3);
+  workers[0].id = VehicleId{1};
+  workers[0].profile.compute = 5;
+  workers[1].id = VehicleId{2};
+  workers[1].profile.compute = 9;
+  workers[1].busy = true;  // fastest but busy
+  workers[2].id = VehicleId{3};
+  workers[2].profile.compute = 7;
+  Task t;
+  EXPECT_EQ(sched.pick(t, workers, rng), VehicleId{3});
+}
+
+TEST(Schedulers, DwellAwareAvoidsShortStayers) {
+  DwellAwareScheduler sched;
+  Rng rng(1);
+  std::vector<WorkerView> workers(2);
+  workers[0].id = VehicleId{1};
+  workers[0].profile.compute = 10;  // fast...
+  workers[0].dwell_seconds = 1.0;   // ...but leaving immediately
+  workers[1].id = VehicleId{2};
+  workers[1].profile.compute = 2;
+  workers[1].dwell_seconds = 1000.0;
+  Task t;
+  t.work = 20;  // needs 2 s on fast, 10 s on slow
+  EXPECT_EQ(sched.pick(t, workers, rng), VehicleId{2});
+}
+
+TEST(Schedulers, DwellAwareFallsBackToLongestStayer) {
+  DwellAwareScheduler sched;
+  Rng rng(1);
+  std::vector<WorkerView> workers(2);
+  workers[0].id = VehicleId{1};
+  workers[0].dwell_seconds = 3.0;
+  workers[0].profile.compute = 1;
+  workers[1].id = VehicleId{2};
+  workers[1].dwell_seconds = 5.0;
+  workers[1].profile.compute = 1;
+  Task t;
+  t.work = 100;  // nobody can finish: prefer the longest stayer
+  EXPECT_EQ(sched.pick(t, workers, rng), VehicleId{2});
+}
+
+TEST(Schedulers, NoIdleWorkerDefers) {
+  RandomScheduler sched;
+  Rng rng(1);
+  std::vector<WorkerView> workers(1);
+  workers[0].id = VehicleId{1};
+  workers[0].busy = true;
+  Task t;
+  EXPECT_FALSE(sched.pick(t, workers, rng).valid());
+}
+
+TEST(Broker, ElectsCapableLongStayer) {
+  BrokerElection broker;
+  std::vector<WorkerView> members(2);
+  members[0].id = VehicleId{1};
+  members[0].profile.compute = 10;
+  members[0].dwell_seconds = 2.0;  // capable but leaving
+  members[1].id = VehicleId{2};
+  members[1].profile.compute = 4;
+  members[1].dwell_seconds = 200.0;
+  EXPECT_EQ(broker.elect(members), VehicleId{2});
+  EXPECT_EQ(broker.changes(), 0u);  // first election is free
+}
+
+TEST(Broker, HysteresisPreventsChurn) {
+  BrokerElection broker;
+  std::vector<WorkerView> members(2);
+  members[0].id = VehicleId{1};
+  members[0].profile.compute = 5;
+  members[0].dwell_seconds = 100;
+  members[1].id = VehicleId{2};
+  members[1].profile.compute = 5.1;  // marginally better
+  members[1].dwell_seconds = 100;
+  broker.elect(members);
+  const VehicleId first = broker.current();
+  // Marginal difference: the incumbent must survive repeated elections.
+  for (int i = 0; i < 5; ++i) broker.elect(members);
+  EXPECT_EQ(broker.current(), first);
+}
+
+// ---- VehicularCloud end-to-end -------------------------------------------------
+
+class CloudFixture : public ::testing::Test {
+ protected:
+  CloudFixture()
+      : road_(geo::make_manhattan_grid(3, 3, 200.0)),
+        traffic_(road_, Rng(1)),
+        net_(sim_, traffic_, net::ChannelConfig{}, Rng(2)) {}
+
+  // A stationary member cloud over parked vehicles.
+  std::unique_ptr<VehicularCloud> make_stationary_cloud(
+      int members, CloudConfig config = {},
+      std::unique_ptr<Scheduler> sched = nullptr) {
+    for (int i = 0; i < members; ++i) {
+      traffic_.spawn_parked(LinkId{0}, 10.0 * i);
+    }
+    net_.refresh();
+    auto cloud = std::make_unique<VehicularCloud>(
+        CloudId{1}, net_, stationary_membership(traffic_, {100, 0}, 400.0),
+        fixed_region({100, 0}, 400.0),
+        sched != nullptr ? std::move(sched)
+                         : std::make_unique<GreedyResourceScheduler>(),
+        config, Rng(3));
+    cloud->refresh();
+    return cloud;
+  }
+
+  geo::RoadNetwork road_;
+  sim::Simulator sim_;
+  mobility::TrafficModel traffic_;
+  net::Network net_;
+};
+
+TEST_F(CloudFixture, MembersJoin) {
+  auto cloud = make_stationary_cloud(5);
+  EXPECT_EQ(cloud->member_count(), 5u);
+  EXPECT_TRUE(cloud->broker().valid());
+  EXPECT_EQ(cloud->pool().members, 5u);
+}
+
+TEST_F(CloudFixture, TasksComplete) {
+  auto cloud = make_stationary_cloud(4);
+  Task t;
+  t.work = 5.0;
+  t.deadline = 0.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(60.0);
+  const Task* done = cloud->find_task(id);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->state, TaskState::kCompleted);
+  EXPECT_EQ(cloud->stats().completed, 1u);
+  EXPECT_GT(done->completed_at, 0.0);
+}
+
+TEST_F(CloudFixture, ParallelTasksUseMultipleWorkers) {
+  auto cloud = make_stationary_cloud(4);
+  for (int i = 0; i < 4; ++i) {
+    Task t;
+    t.work = 10.0;
+    cloud->submit(t);
+  }
+  sim_.run_until(300.0);
+  EXPECT_EQ(cloud->stats().completed, 4u);
+  EXPECT_TRUE(cloud->drained());
+}
+
+TEST_F(CloudFixture, QueueDrainsWhenWorkersFree) {
+  auto cloud = make_stationary_cloud(1);
+  for (int i = 0; i < 3; ++i) {
+    Task t;
+    t.work = 2.0;
+    cloud->submit(t);
+  }
+  EXPECT_GE(cloud->pending_count(), 2u);  // one runs, rest queue
+  sim_.run_until(60.0);
+  cloud->refresh();
+  sim_.run_until(120.0);
+  EXPECT_EQ(cloud->stats().completed, 3u);
+}
+
+TEST_F(CloudFixture, DeadlineExpiry) {
+  auto cloud = make_stationary_cloud(1);
+  Task t;
+  t.work = 1000.0;  // cannot finish in time
+  t.deadline = 5.0;
+  cloud->submit(t);
+  // Refresh periodically so expiry is detected.
+  for (double time = 1.0; time <= 20.0; time += 1.0) {
+    sim_.run_until(time);
+    cloud->refresh();
+  }
+  EXPECT_EQ(cloud->stats().expired, 1u);
+}
+
+TEST_F(CloudFixture, DepartureWithHandoverMigrates) {
+  CloudConfig config;
+  config.handover.enabled = true;
+  auto cloud = make_stationary_cloud(3, config);
+  Task t;
+  t.work = 50.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(5.0);
+  // Remove the worker running the task.
+  const Task* running = cloud->find_task(id);
+  ASSERT_NE(running, nullptr);
+  ASSERT_EQ(running->state, TaskState::kRunning);
+  traffic_.despawn(running->worker);
+  cloud->refresh();
+  sim_.run_until(300.0);
+  cloud->refresh();
+  sim_.run_until(600.0);
+  const Task* done = cloud->find_task(id);
+  EXPECT_EQ(done->state, TaskState::kCompleted);
+  EXPECT_GE(done->migrations, 1);
+  EXPECT_EQ(cloud->stats().migrations, 1u);
+  EXPECT_DOUBLE_EQ(cloud->stats().wasted_work, 0.0);  // progress preserved
+}
+
+TEST_F(CloudFixture, MigrationTargetDepartingDoesNotInflateProgress) {
+  // Regression: a task whose migration TARGET dies mid-transfer must not
+  // double-count progress from its stale run_started.
+  CloudConfig config;
+  config.handover.enabled = true;
+  // Big checkpoints make the transfer slow enough to interrupt.
+  config.handover.checkpoint_mb_base = 50.0;
+  auto cloud = make_stationary_cloud(3, config);
+  Task t;
+  t.work = 100.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(5.0);
+  const Task* running = cloud->find_task(id);
+  ASSERT_EQ(running->state, TaskState::kRunning);
+  const double progress_before = running->progress;  // 0: counted lazily
+  (void)progress_before;
+  // Kill the worker: migration to a new target begins.
+  traffic_.despawn(running->worker);
+  cloud->refresh();
+  const Task* migrating = cloud->find_task(id);
+  ASSERT_EQ(migrating->state, TaskState::kMigrating);
+  const double progress_at_interrupt = migrating->progress;
+  EXPECT_GT(progress_at_interrupt, 0.0);
+  EXPECT_LT(progress_at_interrupt, 100.0);
+  // Kill the migration target mid-transfer.
+  traffic_.despawn(migrating->worker);
+  cloud->refresh();
+  const Task* after = cloud->find_task(id);
+  // No progress may have appeared out of thin air.
+  EXPECT_DOUBLE_EQ(after->progress, progress_at_interrupt);
+  // And the task still finishes on the remaining worker.
+  for (int i = 0; i < 200; ++i) {
+    sim_.run_until(sim_.now() + 5.0);
+    cloud->refresh();
+  }
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+}
+
+TEST_F(CloudFixture, DepartureWithoutHandoverWastesWork) {
+  CloudConfig config;
+  config.handover.enabled = false;
+  auto cloud = make_stationary_cloud(3, config);
+  Task t;
+  t.work = 50.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(5.0);
+  const Task* running = cloud->find_task(id);
+  ASSERT_EQ(running->state, TaskState::kRunning);
+  traffic_.despawn(running->worker);
+  cloud->refresh();
+  sim_.run_until(600.0);
+  cloud->refresh();
+  sim_.run_until(1200.0);
+  const Task* done = cloud->find_task(id);
+  EXPECT_EQ(done->state, TaskState::kCompleted);
+  EXPECT_GT(cloud->stats().wasted_work, 0.0);
+  EXPECT_EQ(cloud->stats().reallocations, 1u);
+  EXPECT_EQ(done->migrations, 0);
+}
+
+TEST_F(CloudFixture, RsuCloudEmptiesWhenRsuFails) {
+  for (int i = 0; i < 4; ++i) traffic_.spawn_parked(LinkId{0}, 20.0 * i);
+  const RsuId rsu = net_.rsus().add({50, 0}, 500.0);
+  net_.refresh();
+  VehicularCloud cloud(CloudId{2}, net_, rsu_membership(net_, rsu),
+                       rsu_region(net_, rsu),
+                       std::make_unique<GreedyResourceScheduler>(), {},
+                       Rng(4));
+  cloud.refresh();
+  EXPECT_EQ(cloud.member_count(), 4u);
+  net_.rsus().set_online(rsu, false);
+  cloud.refresh();
+  EXPECT_EQ(cloud.member_count(), 0u);
+}
+
+TEST_F(CloudFixture, DynamicCloudFollowsCluster) {
+  for (int i = 0; i < 5; ++i) traffic_.spawn_parked(LinkId{0}, 30.0 * i);
+  net_.refresh();
+  cluster::MovingZone zones(net_);
+  zones.update();
+  auto membership = largest_cluster_membership(zones);
+  VehicularCloud cloud(CloudId{3}, net_, membership,
+                       members_centroid_region(traffic_, membership, 300.0),
+                       std::make_unique<GreedyResourceScheduler>(), {},
+                       Rng(5));
+  cloud.refresh();
+  EXPECT_EQ(cloud.member_count(), 5u);
+  EXPECT_GT(cloud.region().radius, 0.0);
+}
+
+// ---- Replication ----------------------------------------------------------------
+
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  ReplicationFixture() {
+    for (int i = 0; i < 10; ++i) live_.push_back(VehicleId{static_cast<std::uint64_t>(i)});
+  }
+
+  ReplicationManager make_manager(std::size_t target) {
+    ReplicationConfig cfg;
+    cfg.target_replicas = target;
+    return ReplicationManager([this] { return live_; }, cfg, Rng(1));
+  }
+
+  std::vector<VehicleId> live_;
+};
+
+TEST_F(ReplicationFixture, StorePlacesTargetReplicas) {
+  auto mgr = make_manager(3);
+  const FileId id = mgr.store(crypto::Bytes(1000, 7));
+  EXPECT_EQ(mgr.live_replicas(id), 3u);
+  EXPECT_TRUE(mgr.available(id));
+  const StoredFile* f = mgr.find(id);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->merkle_root, crypto::Digest{});
+}
+
+TEST_F(ReplicationFixture, ChurnReducesThenRepairRestores) {
+  auto mgr = make_manager(4);
+  const FileId id = mgr.store(crypto::Bytes(1000, 7));
+  // Kill 7 of 10 members.
+  live_.erase(live_.begin(), live_.begin() + 7);
+  const std::size_t after_churn = mgr.live_replicas(id);
+  EXPECT_LT(after_churn, 4u);
+  mgr.refresh();
+  // Only 3 members remain: replicas capped by population.
+  EXPECT_EQ(mgr.live_replicas(id), 3u);
+  EXPECT_GT(mgr.repair_copies(), 0u);
+}
+
+TEST_F(ReplicationFixture, FileLostWhenAllHoldersDie) {
+  auto mgr = make_manager(2);
+  const FileId id = mgr.store(crypto::Bytes(100, 1));
+  const StoredFile* f = mgr.find(id);
+  // Remove exactly the holders.
+  std::erase_if(live_, [&](VehicleId v) {
+    return std::find(f->holders.begin(), f->holders.end(), v.value()) !=
+           f->holders.end();
+  });
+  EXPECT_FALSE(mgr.available(id));
+  mgr.refresh();  // nothing to copy from
+  EXPECT_FALSE(mgr.available(id));
+}
+
+TEST_F(ReplicationFixture, MoreReplicasSurviveMoreChurn) {
+  auto low = make_manager(1);
+  auto high = make_manager(5);
+  std::vector<FileId> low_ids, high_ids;
+  for (int i = 0; i < 30; ++i) {
+    low_ids.push_back(low.store(crypto::Bytes(100, 1)));
+    high_ids.push_back(high.store(crypto::Bytes(100, 1)));
+  }
+  // Half the population goes offline.
+  live_.resize(5);
+  std::size_t low_alive = 0, high_alive = 0;
+  for (int i = 0; i < 30; ++i) {
+    low_alive += low.available(low_ids[static_cast<std::size_t>(i)]);
+    high_alive += high.available(high_ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GT(high_alive, low_alive);
+}
+
+}  // namespace
+}  // namespace vcl::vcloud
