@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloudlets.dir/bench_cloudlets.cpp.o"
+  "CMakeFiles/bench_cloudlets.dir/bench_cloudlets.cpp.o.d"
+  "bench_cloudlets"
+  "bench_cloudlets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloudlets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

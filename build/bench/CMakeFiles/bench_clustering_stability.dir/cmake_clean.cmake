@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_stability.dir/bench_clustering_stability.cpp.o"
+  "CMakeFiles/bench_clustering_stability.dir/bench_clustering_stability.cpp.o.d"
+  "bench_clustering_stability"
+  "bench_clustering_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dissemination.dir/bench_dissemination.cpp.o"
+  "CMakeFiles/bench_dissemination.dir/bench_dissemination.cpp.o.d"
+  "bench_dissemination"
+  "bench_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

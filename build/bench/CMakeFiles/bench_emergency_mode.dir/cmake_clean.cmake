@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emergency_mode.dir/bench_emergency_mode.cpp.o"
+  "CMakeFiles/bench_emergency_mode.dir/bench_emergency_mode.cpp.o.d"
+  "bench_emergency_mode"
+  "bench_emergency_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emergency_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_resource_pool.dir/bench_fig1_resource_pool.cpp.o"
+  "CMakeFiles/bench_fig1_resource_pool.dir/bench_fig1_resource_pool.cpp.o.d"
+  "bench_fig1_resource_pool"
+  "bench_fig1_resource_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_resource_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

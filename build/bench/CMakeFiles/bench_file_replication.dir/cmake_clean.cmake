@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_replication.dir/bench_file_replication.cpp.o"
+  "CMakeFiles/bench_file_replication.dir/bench_file_replication.cpp.o.d"
+  "bench_file_replication"
+  "bench_file_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

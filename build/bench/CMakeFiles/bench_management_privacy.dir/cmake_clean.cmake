@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_management_privacy.dir/bench_management_privacy.cpp.o"
+  "CMakeFiles/bench_management_privacy.dir/bench_management_privacy.cpp.o.d"
+  "bench_management_privacy"
+  "bench_management_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_management_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_protocols.dir/bench_routing_protocols.cpp.o"
+  "CMakeFiles/bench_routing_protocols.dir/bench_routing_protocols.cpp.o.d"
+  "bench_routing_protocols"
+  "bench_routing_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

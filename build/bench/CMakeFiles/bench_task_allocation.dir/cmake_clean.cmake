@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_allocation.dir/bench_task_allocation.cpp.o"
+  "CMakeFiles/bench_task_allocation.dir/bench_task_allocation.cpp.o.d"
+  "bench_task_allocation"
+  "bench_task_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

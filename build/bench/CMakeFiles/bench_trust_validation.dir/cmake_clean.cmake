@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trust_validation.dir/bench_trust_validation.cpp.o"
+  "CMakeFiles/bench_trust_validation.dir/bench_trust_validation.cpp.o.d"
+  "bench_trust_validation"
+  "bench_trust_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trust_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verifiable.dir/bench_verifiable.cpp.o"
+  "CMakeFiles/bench_verifiable.dir/bench_verifiable.cpp.o.d"
+  "bench_verifiable"
+  "bench_verifiable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verifiable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disaster_response.dir/disaster_response.cpp.o"
+  "CMakeFiles/example_disaster_response.dir/disaster_response.cpp.o.d"
+  "example_disaster_response"
+  "example_disaster_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disaster_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_compute.dir/fleet_compute.cpp.o"
+  "CMakeFiles/example_fleet_compute.dir/fleet_compute.cpp.o.d"
+  "example_fleet_compute"
+  "example_fleet_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

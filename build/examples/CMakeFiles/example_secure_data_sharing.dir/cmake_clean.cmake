@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_data_sharing.dir/secure_data_sharing.cpp.o"
+  "CMakeFiles/example_secure_data_sharing.dir/secure_data_sharing.cpp.o.d"
+  "example_secure_data_sharing"
+  "example_secure_data_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

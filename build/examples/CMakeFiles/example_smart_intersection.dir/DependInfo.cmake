@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/smart_intersection.cpp" "examples/CMakeFiles/example_smart_intersection.dir/smart_intersection.cpp.o" "gcc" "examples/CMakeFiles/example_smart_intersection.dir/smart_intersection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_vcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_intersection.dir/smart_intersection.cpp.o"
+  "CMakeFiles/example_smart_intersection.dir/smart_intersection.cpp.o.d"
+  "example_smart_intersection"
+  "example_smart_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

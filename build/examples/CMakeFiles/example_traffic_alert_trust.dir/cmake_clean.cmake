@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_alert_trust.dir/traffic_alert_trust.cpp.o"
+  "CMakeFiles/example_traffic_alert_trust.dir/traffic_alert_trust.cpp.o.d"
+  "example_traffic_alert_trust"
+  "example_traffic_alert_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_alert_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_traffic_alert_trust.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/abe.cpp" "src/CMakeFiles/vcl_access.dir/access/abe.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/abe.cpp.o.d"
+  "/root/repo/src/access/attribute.cpp" "src/CMakeFiles/vcl_access.dir/access/attribute.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/attribute.cpp.o.d"
+  "/root/repo/src/access/audit_log.cpp" "src/CMakeFiles/vcl_access.dir/access/audit_log.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/audit_log.cpp.o.d"
+  "/root/repo/src/access/policy.cpp" "src/CMakeFiles/vcl_access.dir/access/policy.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/policy.cpp.o.d"
+  "/root/repo/src/access/role_manager.cpp" "src/CMakeFiles/vcl_access.dir/access/role_manager.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/role_manager.cpp.o.d"
+  "/root/repo/src/access/sticky_package.cpp" "src/CMakeFiles/vcl_access.dir/access/sticky_package.cpp.o" "gcc" "src/CMakeFiles/vcl_access.dir/access/sticky_package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

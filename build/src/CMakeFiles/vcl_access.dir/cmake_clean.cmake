@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_access.dir/access/abe.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/abe.cpp.o.d"
+  "CMakeFiles/vcl_access.dir/access/attribute.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/attribute.cpp.o.d"
+  "CMakeFiles/vcl_access.dir/access/audit_log.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/audit_log.cpp.o.d"
+  "CMakeFiles/vcl_access.dir/access/policy.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/policy.cpp.o.d"
+  "CMakeFiles/vcl_access.dir/access/role_manager.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/role_manager.cpp.o.d"
+  "CMakeFiles/vcl_access.dir/access/sticky_package.cpp.o"
+  "CMakeFiles/vcl_access.dir/access/sticky_package.cpp.o.d"
+  "libvcl_access.a"
+  "libvcl_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adversary.cpp" "src/CMakeFiles/vcl_attack.dir/attack/adversary.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/adversary.cpp.o.d"
+  "/root/repo/src/attack/dos.cpp" "src/CMakeFiles/vcl_attack.dir/attack/dos.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/dos.cpp.o.d"
+  "/root/repo/src/attack/false_data.cpp" "src/CMakeFiles/vcl_attack.dir/attack/false_data.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/false_data.cpp.o.d"
+  "/root/repo/src/attack/flow_analysis.cpp" "src/CMakeFiles/vcl_attack.dir/attack/flow_analysis.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/flow_analysis.cpp.o.d"
+  "/root/repo/src/attack/mitm.cpp" "src/CMakeFiles/vcl_attack.dir/attack/mitm.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/mitm.cpp.o.d"
+  "/root/repo/src/attack/replay.cpp" "src/CMakeFiles/vcl_attack.dir/attack/replay.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/replay.cpp.o.d"
+  "/root/repo/src/attack/suppression.cpp" "src/CMakeFiles/vcl_attack.dir/attack/suppression.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/suppression.cpp.o.d"
+  "/root/repo/src/attack/sybil.cpp" "src/CMakeFiles/vcl_attack.dir/attack/sybil.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/sybil.cpp.o.d"
+  "/root/repo/src/attack/tracker.cpp" "src/CMakeFiles/vcl_attack.dir/attack/tracker.cpp.o" "gcc" "src/CMakeFiles/vcl_attack.dir/attack/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

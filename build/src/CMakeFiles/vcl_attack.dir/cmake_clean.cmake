@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_attack.dir/attack/adversary.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/adversary.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/dos.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/dos.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/false_data.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/false_data.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/flow_analysis.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/flow_analysis.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/mitm.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/mitm.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/replay.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/replay.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/suppression.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/suppression.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/sybil.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/sybil.cpp.o.d"
+  "CMakeFiles/vcl_attack.dir/attack/tracker.cpp.o"
+  "CMakeFiles/vcl_attack.dir/attack/tracker.cpp.o.d"
+  "libvcl_attack.a"
+  "libvcl_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/authority.cpp" "src/CMakeFiles/vcl_auth.dir/auth/authority.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/authority.cpp.o.d"
+  "/root/repo/src/auth/crl.cpp" "src/CMakeFiles/vcl_auth.dir/auth/crl.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/crl.cpp.o.d"
+  "/root/repo/src/auth/group_auth.cpp" "src/CMakeFiles/vcl_auth.dir/auth/group_auth.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/group_auth.cpp.o.d"
+  "/root/repo/src/auth/hybrid_auth.cpp" "src/CMakeFiles/vcl_auth.dir/auth/hybrid_auth.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/hybrid_auth.cpp.o.d"
+  "/root/repo/src/auth/privacy_metrics.cpp" "src/CMakeFiles/vcl_auth.dir/auth/privacy_metrics.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/privacy_metrics.cpp.o.d"
+  "/root/repo/src/auth/pseudonym.cpp" "src/CMakeFiles/vcl_auth.dir/auth/pseudonym.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/pseudonym.cpp.o.d"
+  "/root/repo/src/auth/scra.cpp" "src/CMakeFiles/vcl_auth.dir/auth/scra.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/scra.cpp.o.d"
+  "/root/repo/src/auth/two_factor.cpp" "src/CMakeFiles/vcl_auth.dir/auth/two_factor.cpp.o" "gcc" "src/CMakeFiles/vcl_auth.dir/auth/two_factor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_auth.dir/auth/authority.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/authority.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/crl.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/crl.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/group_auth.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/group_auth.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/hybrid_auth.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/hybrid_auth.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/privacy_metrics.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/privacy_metrics.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/pseudonym.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/pseudonym.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/scra.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/scra.cpp.o.d"
+  "CMakeFiles/vcl_auth.dir/auth/two_factor.cpp.o"
+  "CMakeFiles/vcl_auth.dir/auth/two_factor.cpp.o.d"
+  "libvcl_auth.a"
+  "libvcl_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_manager.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/cluster_manager.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/cluster_manager.cpp.o.d"
+  "/root/repo/src/cluster/fuzzy_clustering.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/fuzzy_clustering.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/fuzzy_clustering.cpp.o.d"
+  "/root/repo/src/cluster/moving_zone.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/moving_zone.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/moving_zone.cpp.o.d"
+  "/root/repo/src/cluster/passive_clustering.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/passive_clustering.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/passive_clustering.cpp.o.d"
+  "/root/repo/src/cluster/speed_clustering.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/speed_clustering.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/speed_clustering.cpp.o.d"
+  "/root/repo/src/cluster/stability.cpp" "src/CMakeFiles/vcl_cluster.dir/cluster/stability.cpp.o" "gcc" "src/CMakeFiles/vcl_cluster.dir/cluster/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

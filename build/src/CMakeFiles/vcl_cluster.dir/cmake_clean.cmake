@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_cluster.dir/cluster/cluster_manager.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/cluster_manager.cpp.o.d"
+  "CMakeFiles/vcl_cluster.dir/cluster/fuzzy_clustering.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/fuzzy_clustering.cpp.o.d"
+  "CMakeFiles/vcl_cluster.dir/cluster/moving_zone.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/moving_zone.cpp.o.d"
+  "CMakeFiles/vcl_cluster.dir/cluster/passive_clustering.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/passive_clustering.cpp.o.d"
+  "CMakeFiles/vcl_cluster.dir/cluster/speed_clustering.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/speed_clustering.cpp.o.d"
+  "CMakeFiles/vcl_cluster.dir/cluster/stability.cpp.o"
+  "CMakeFiles/vcl_cluster.dir/cluster/stability.cpp.o.d"
+  "libvcl_cluster.a"
+  "libvcl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

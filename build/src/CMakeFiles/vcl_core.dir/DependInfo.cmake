@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/CMakeFiles/vcl_core.dir/core/bootstrap.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/bootstrap.cpp.o.d"
+  "/root/repo/src/core/emergency.cpp" "src/CMakeFiles/vcl_core.dir/core/emergency.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/emergency.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/vcl_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/vcl_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/CMakeFiles/vcl_core.dir/core/snapshot.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/snapshot.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/vcl_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/vtl.cpp" "src/CMakeFiles/vcl_core.dir/core/vtl.cpp.o" "gcc" "src/CMakeFiles/vcl_core.dir/core/vtl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_vcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

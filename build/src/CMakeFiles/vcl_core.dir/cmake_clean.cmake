@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_core.dir/core/bootstrap.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/bootstrap.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/emergency.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/emergency.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/snapshot.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/snapshot.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/system.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/vcl_core.dir/core/vtl.cpp.o"
+  "CMakeFiles/vcl_core.dir/core/vtl.cpp.o.d"
+  "libvcl_core.a"
+  "libvcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

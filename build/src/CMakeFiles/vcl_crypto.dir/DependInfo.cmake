@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chaum_pedersen.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/chaum_pedersen.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/chaum_pedersen.cpp.o.d"
+  "/root/repo/src/crypto/cost_model.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/cost_model.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/cost_model.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/drbg.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/drbg.cpp.o.d"
+  "/root/repo/src/crypto/elgamal.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/elgamal.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/elgamal.cpp.o.d"
+  "/root/repo/src/crypto/group.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/group.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/group.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/modmath.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/modmath.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/CMakeFiles/vcl_crypto.dir/crypto/shamir.cpp.o" "gcc" "src/CMakeFiles/vcl_crypto.dir/crypto/shamir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_crypto.dir/crypto/chaum_pedersen.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/chaum_pedersen.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/cost_model.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/cost_model.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/drbg.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/drbg.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/elgamal.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/elgamal.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/group.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/group.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/merkle.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/merkle.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/modmath.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/modmath.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/schnorr.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/schnorr.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/vcl_crypto.dir/crypto/shamir.cpp.o"
+  "CMakeFiles/vcl_crypto.dir/crypto/shamir.cpp.o.d"
+  "libvcl_crypto.a"
+  "libvcl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_geo.dir/geo/road_network.cpp.o"
+  "CMakeFiles/vcl_geo.dir/geo/road_network.cpp.o.d"
+  "libvcl_geo.a"
+  "libvcl_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

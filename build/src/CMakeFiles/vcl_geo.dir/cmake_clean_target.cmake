@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcl_geo.a"
+)

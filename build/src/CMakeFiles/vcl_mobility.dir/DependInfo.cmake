@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/idm.cpp" "src/CMakeFiles/vcl_mobility.dir/mobility/idm.cpp.o" "gcc" "src/CMakeFiles/vcl_mobility.dir/mobility/idm.cpp.o.d"
+  "/root/repo/src/mobility/intersection.cpp" "src/CMakeFiles/vcl_mobility.dir/mobility/intersection.cpp.o" "gcc" "src/CMakeFiles/vcl_mobility.dir/mobility/intersection.cpp.o.d"
+  "/root/repo/src/mobility/traffic.cpp" "src/CMakeFiles/vcl_mobility.dir/mobility/traffic.cpp.o" "gcc" "src/CMakeFiles/vcl_mobility.dir/mobility/traffic.cpp.o.d"
+  "/root/repo/src/mobility/trip_generator.cpp" "src/CMakeFiles/vcl_mobility.dir/mobility/trip_generator.cpp.o" "gcc" "src/CMakeFiles/vcl_mobility.dir/mobility/trip_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

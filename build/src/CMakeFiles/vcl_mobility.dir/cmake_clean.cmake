@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_mobility.dir/mobility/idm.cpp.o"
+  "CMakeFiles/vcl_mobility.dir/mobility/idm.cpp.o.d"
+  "CMakeFiles/vcl_mobility.dir/mobility/intersection.cpp.o"
+  "CMakeFiles/vcl_mobility.dir/mobility/intersection.cpp.o.d"
+  "CMakeFiles/vcl_mobility.dir/mobility/traffic.cpp.o"
+  "CMakeFiles/vcl_mobility.dir/mobility/traffic.cpp.o.d"
+  "CMakeFiles/vcl_mobility.dir/mobility/trip_generator.cpp.o"
+  "CMakeFiles/vcl_mobility.dir/mobility/trip_generator.cpp.o.d"
+  "libvcl_mobility.a"
+  "libvcl_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

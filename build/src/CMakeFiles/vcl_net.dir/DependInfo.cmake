@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/vcl_net.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/vcl_net.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/dissemination.cpp" "src/CMakeFiles/vcl_net.dir/net/dissemination.cpp.o" "gcc" "src/CMakeFiles/vcl_net.dir/net/dissemination.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/vcl_net.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/vcl_net.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/vcl_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/vcl_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/rsu.cpp" "src/CMakeFiles/vcl_net.dir/net/rsu.cpp.o" "gcc" "src/CMakeFiles/vcl_net.dir/net/rsu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

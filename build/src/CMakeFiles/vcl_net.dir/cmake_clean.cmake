@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_net.dir/net/channel.cpp.o"
+  "CMakeFiles/vcl_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/vcl_net.dir/net/dissemination.cpp.o"
+  "CMakeFiles/vcl_net.dir/net/dissemination.cpp.o.d"
+  "CMakeFiles/vcl_net.dir/net/message.cpp.o"
+  "CMakeFiles/vcl_net.dir/net/message.cpp.o.d"
+  "CMakeFiles/vcl_net.dir/net/network.cpp.o"
+  "CMakeFiles/vcl_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/vcl_net.dir/net/rsu.cpp.o"
+  "CMakeFiles/vcl_net.dir/net/rsu.cpp.o.d"
+  "libvcl_net.a"
+  "libvcl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

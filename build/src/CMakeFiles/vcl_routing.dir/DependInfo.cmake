@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bus_ferry.cpp" "src/CMakeFiles/vcl_routing.dir/routing/bus_ferry.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/bus_ferry.cpp.o.d"
+  "/root/repo/src/routing/cbltr.cpp" "src/CMakeFiles/vcl_routing.dir/routing/cbltr.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/cbltr.cpp.o.d"
+  "/root/repo/src/routing/flooding.cpp" "src/CMakeFiles/vcl_routing.dir/routing/flooding.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/flooding.cpp.o.d"
+  "/root/repo/src/routing/greedy_geo.cpp" "src/CMakeFiles/vcl_routing.dir/routing/greedy_geo.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/greedy_geo.cpp.o.d"
+  "/root/repo/src/routing/metrics.cpp" "src/CMakeFiles/vcl_routing.dir/routing/metrics.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/metrics.cpp.o.d"
+  "/root/repo/src/routing/mozo_routing.cpp" "src/CMakeFiles/vcl_routing.dir/routing/mozo_routing.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/mozo_routing.cpp.o.d"
+  "/root/repo/src/routing/quality_greedy.cpp" "src/CMakeFiles/vcl_routing.dir/routing/quality_greedy.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/quality_greedy.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/CMakeFiles/vcl_routing.dir/routing/router.cpp.o" "gcc" "src/CMakeFiles/vcl_routing.dir/routing/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

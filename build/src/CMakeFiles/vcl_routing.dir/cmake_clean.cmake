@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_routing.dir/routing/bus_ferry.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/bus_ferry.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/cbltr.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/cbltr.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/flooding.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/flooding.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/greedy_geo.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/greedy_geo.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/metrics.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/metrics.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/mozo_routing.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/mozo_routing.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/quality_greedy.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/quality_greedy.cpp.o.d"
+  "CMakeFiles/vcl_routing.dir/routing/router.cpp.o"
+  "CMakeFiles/vcl_routing.dir/routing/router.cpp.o.d"
+  "libvcl_routing.a"
+  "libvcl_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/vcl_sim.dir/sim/simulator.cpp.o.d"
+  "libvcl_sim.a"
+  "libvcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/classifier.cpp" "src/CMakeFiles/vcl_trust.dir/trust/classifier.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/classifier.cpp.o.d"
+  "/root/repo/src/trust/dempster_shafer.cpp" "src/CMakeFiles/vcl_trust.dir/trust/dempster_shafer.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/dempster_shafer.cpp.o.d"
+  "/root/repo/src/trust/plausibility.cpp" "src/CMakeFiles/vcl_trust.dir/trust/plausibility.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/plausibility.cpp.o.d"
+  "/root/repo/src/trust/report.cpp" "src/CMakeFiles/vcl_trust.dir/trust/report.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/report.cpp.o.d"
+  "/root/repo/src/trust/reputation.cpp" "src/CMakeFiles/vcl_trust.dir/trust/reputation.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/reputation.cpp.o.d"
+  "/root/repo/src/trust/validators.cpp" "src/CMakeFiles/vcl_trust.dir/trust/validators.cpp.o" "gcc" "src/CMakeFiles/vcl_trust.dir/trust/validators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_trust.dir/trust/classifier.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/classifier.cpp.o.d"
+  "CMakeFiles/vcl_trust.dir/trust/dempster_shafer.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/dempster_shafer.cpp.o.d"
+  "CMakeFiles/vcl_trust.dir/trust/plausibility.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/plausibility.cpp.o.d"
+  "CMakeFiles/vcl_trust.dir/trust/report.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/report.cpp.o.d"
+  "CMakeFiles/vcl_trust.dir/trust/reputation.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/reputation.cpp.o.d"
+  "CMakeFiles/vcl_trust.dir/trust/validators.cpp.o"
+  "CMakeFiles/vcl_trust.dir/trust/validators.cpp.o.d"
+  "libvcl_trust.a"
+  "libvcl_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

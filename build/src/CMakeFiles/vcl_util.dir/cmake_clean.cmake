@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_util.dir/util/rng.cpp.o"
+  "CMakeFiles/vcl_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/vcl_util.dir/util/stats.cpp.o"
+  "CMakeFiles/vcl_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/vcl_util.dir/util/table.cpp.o"
+  "CMakeFiles/vcl_util.dir/util/table.cpp.o.d"
+  "libvcl_util.a"
+  "libvcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

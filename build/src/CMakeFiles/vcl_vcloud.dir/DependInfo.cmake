@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcloud/aggregate.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/aggregate.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/aggregate.cpp.o.d"
+  "/root/repo/src/vcloud/broker.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/broker.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/broker.cpp.o.d"
+  "/root/repo/src/vcloud/cloud.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/cloud.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/cloud.cpp.o.d"
+  "/root/repo/src/vcloud/cloudlet.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/cloudlet.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/cloudlet.cpp.o.d"
+  "/root/repo/src/vcloud/dwell.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/dwell.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/dwell.cpp.o.d"
+  "/root/repo/src/vcloud/handover.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/handover.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/handover.cpp.o.d"
+  "/root/repo/src/vcloud/incentive.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/incentive.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/incentive.cpp.o.d"
+  "/root/repo/src/vcloud/replication.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/replication.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/replication.cpp.o.d"
+  "/root/repo/src/vcloud/resource.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/resource.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/resource.cpp.o.d"
+  "/root/repo/src/vcloud/scheduler.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/scheduler.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/scheduler.cpp.o.d"
+  "/root/repo/src/vcloud/task.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/task.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/task.cpp.o.d"
+  "/root/repo/src/vcloud/verifiable.cpp" "src/CMakeFiles/vcl_vcloud.dir/vcloud/verifiable.cpp.o" "gcc" "src/CMakeFiles/vcl_vcloud.dir/vcloud/verifiable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

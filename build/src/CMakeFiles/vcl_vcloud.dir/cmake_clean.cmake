@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_vcloud.dir/vcloud/aggregate.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/aggregate.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/broker.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/broker.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/cloud.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/cloud.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/cloudlet.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/cloudlet.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/dwell.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/dwell.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/handover.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/handover.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/incentive.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/incentive.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/replication.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/replication.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/resource.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/resource.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/scheduler.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/scheduler.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/task.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/task.cpp.o.d"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/verifiable.cpp.o"
+  "CMakeFiles/vcl_vcloud.dir/vcloud/verifiable.cpp.o.d"
+  "libvcl_vcloud.a"
+  "libvcl_vcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_vcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

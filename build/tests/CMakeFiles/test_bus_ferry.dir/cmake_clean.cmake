@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_ferry.dir/bus_ferry_test.cpp.o"
+  "CMakeFiles/test_bus_ferry.dir/bus_ferry_test.cpp.o.d"
+  "test_bus_ferry"
+  "test_bus_ferry.pdb"
+  "test_bus_ferry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_ferry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

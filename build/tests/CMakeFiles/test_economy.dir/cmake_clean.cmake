@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_economy.dir/economy_test.cpp.o"
+  "CMakeFiles/test_economy.dir/economy_test.cpp.o.d"
+  "test_economy"
+  "test_economy.pdb"
+  "test_economy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intersection.dir/intersection_test.cpp.o"
+  "CMakeFiles/test_intersection.dir/intersection_test.cpp.o.d"
+  "test_intersection"
+  "test_intersection.pdb"
+  "test_intersection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threats.dir/threats_test.cpp.o"
+  "CMakeFiles/test_threats.dir/threats_test.cpp.o.d"
+  "test_threats"
+  "test_threats.pdb"
+  "test_threats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust.dir/trust_test.cpp.o"
+  "CMakeFiles/test_trust.dir/trust_test.cpp.o.d"
+  "test_trust"
+  "test_trust.pdb"
+  "test_trust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

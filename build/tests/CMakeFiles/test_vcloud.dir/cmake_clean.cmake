@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcloud.dir/vcloud_test.cpp.o"
+  "CMakeFiles/test_vcloud.dir/vcloud_test.cpp.o.d"
+  "test_vcloud"
+  "test_vcloud.pdb"
+  "test_vcloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verifiable.dir/verifiable_test.cpp.o"
+  "CMakeFiles/test_verifiable.dir/verifiable_test.cpp.o.d"
+  "test_verifiable"
+  "test_verifiable.pdb"
+  "test_verifiable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verifiable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
