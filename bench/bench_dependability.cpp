@@ -1,0 +1,182 @@
+// E22 — Dependability under injected faults (paper §III).
+//
+// A stationary parking-lot cloud serves a steady deadline-bearing task
+// stream while a FaultPlan injects vehicle crashes, broker crashes and
+// radio blackout windows. The SAME scenario seed is used for every
+// mitigation mode at a given fault intensity, so all modes face the
+// *identical* fault schedule (plans are drawn from a dedicated forked RNG
+// stream) and differences are attributable to the recovery machinery:
+//
+//   none         no detector/retry/checkpoint — a crashed worker is a
+//                zombie forever; its task hangs until the deadline reaper
+//                expires it (the paper's no-recovery collapse);
+//   detect       heartbeat failure detector only: crashes are noticed after
+//                k missed beats, tasks re-queue FROM ZERO;
+//   detect+ckpt  + periodic checkpoints: a crash loses only the delta since
+//                the last checkpoint;
+//   full         + ack/retry with exponential backoff for dispatch/result
+//                and speculative replicas for deadline tasks.
+//
+// Expected shape: completion(none) collapses as the crash rate grows;
+// detect recovers most of it; checkpointing cuts wasted work vs
+// requeue-from-zero; full buys the last few points of completion at the
+// price of redundant replica work.
+#include <iostream>
+
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+namespace {
+
+struct Mode {
+  std::string name;
+  vcloud::DependabilityConfig dep;
+};
+
+std::vector<Mode> modes() {
+  Mode none;
+  none.name = "none";
+
+  Mode detect;
+  detect.name = "detect";
+  detect.dep.detector.enabled = true;
+  // 50 parked transmitters add ~0.2 contention loss per beat; k=6 keeps the
+  // baseline false-positive rate negligible while blackouts still trip it.
+  detect.dep.detector.missed_beats_to_kill = 6;
+
+  Mode ckpt = detect;
+  ckpt.name = "detect+ckpt";
+  ckpt.dep.checkpoint.enabled = true;
+  ckpt.dep.checkpoint.period = 5.0;
+
+  Mode full = ckpt;
+  full.name = "full";
+  full.dep.retry.enabled = true;
+  full.dep.speculation.enabled = true;
+  full.dep.broker_resync_delay = 0.5;
+
+  return {none, detect, ckpt, full};
+}
+
+struct Row {
+  std::string mode;
+  double crash_rate = 0.0;
+  std::size_t crashes = 0;
+  vcloud::CloudStats stats;
+};
+
+Row run_mode(const Mode& mode, double crash_rate) {
+  core::SystemConfig cfg;
+  cfg.scenario.environment = core::Environment::kParkingLot;
+  cfg.scenario.vehicles = 50;
+  cfg.scenario.vehicles_parked = true;
+  cfg.scenario.seed = 1234;  // shared: identical fault plan across modes
+  cfg.architecture = core::CloudArchitecture::kStationary;
+  cfg.stationary_radius = 5000.0;
+  cfg.cloud.dependability = mode.dep;
+  cfg.faults.horizon = 240.0;
+  cfg.faults.vehicle_crash_rate = crash_rate;
+  cfg.faults.broker_crash_rate = crash_rate / 4.0;
+  cfg.faults.blackout_rate = crash_rate > 0.0 ? 0.01 : 0.0;
+  cfg.faults.blackout_mean_duration = 5.0;
+  cfg.faults.blackout_radius = 400.0;
+
+  core::VehicularCloudSystem system(cfg);
+  system.start();
+
+  // Heavy enough that roughly half the fleet is busy at any time: a crash
+  // usually lands on a mid-flight task, which is what the modes differ on.
+  vcloud::WorkloadGenerator workload({30.0, 1.0, 0.2, 60.0},
+                                     system.scenario().fork_rng(77));
+  auto& sim = system.scenario().simulator();
+  sim.schedule_every(0.5, [&] {
+    if (sim.now() < 240.0) system.cloud().submit(workload.next(sim.now()));
+  });
+  // 240 s of load + 60 s of drain (deadlines settle everything in flight).
+  system.run_for(300.0);
+
+  Row row;
+  row.mode = mode.name;
+  row.crash_rate = crash_rate;
+  row.stats = system.cloud().stats();
+  if (system.injector() != nullptr) {
+    row.crashes = system.injector()->stats().vehicle_crashes +
+                  system.injector()->stats().broker_crashes;
+  }
+  return row;
+}
+
+const Row& find_row(const std::vector<Row>& rows, const std::string& mode,
+                    double rate) {
+  for (const Row& r : rows) {
+    if (r.mode == mode && r.crash_rate == rate) return r;
+  }
+  return rows.front();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E22 (paper §III): task dependability under injected faults\n"
+            << "50 parked workers, task every 0.5 s (mean work 30, deadline "
+               "60 s),\n300 s per cell; every mode at a given intensity faces "
+               "the identical\nfault schedule (same seed, dedicated plan RNG "
+               "stream).\n\n";
+
+  const std::vector<double> rates = {0.0, 0.02, 0.05};
+  std::vector<Row> rows;
+  for (const double rate : rates) {
+    for (const Mode& mode : modes()) {
+      rows.push_back(run_mode(mode, rate));
+    }
+  }
+
+  Table table("E22: completion and overheads by mitigation mode",
+              {"crash_rate", "mode", "crashes", "completed", "expired",
+               "completion", "wasted", "redundant", "retries", "kills",
+               "fp_kills", "det_lat_s"});
+  for (const Row& r : rows) {
+    const vcloud::CloudStats& s = r.stats;
+    table.add_row({Table::num(r.crash_rate, 2), r.mode,
+                   std::to_string(r.crashes), std::to_string(s.completed),
+                   std::to_string(s.expired), Table::num(s.completion_rate(), 2),
+                   Table::num(s.wasted_work, 1), Table::num(s.redundant_work, 1),
+                   std::to_string(s.retries), std::to_string(s.crash_kills),
+                   std::to_string(s.false_positive_kills),
+                   Table::num(s.detection_latency.mean(), 2)});
+  }
+  table.print(std::cout);
+
+  // Qualitative acceptance checks (printed, not asserted: this is a bench).
+  const double high = rates.back();
+  const Row& none_hi = find_row(rows, "none", high);
+  const Row& detect_hi = find_row(rows, "detect", high);
+  const Row& ckpt_hi = find_row(rows, "detect+ckpt", high);
+  const Row& full_hi = find_row(rows, "full", high);
+  const bool recovery_wins =
+      full_hi.stats.completion_rate() > none_hi.stats.completion_rate();
+  const bool ckpt_cheaper = ckpt_hi.stats.wasted_work <
+                            detect_hi.stats.wasted_work;
+  std::cout << "\n[" << (recovery_wins ? "PASS" : "FAIL")
+            << "] full recovery completes more than no recovery at crash "
+               "rate "
+            << high << " (" << Table::num(full_hi.stats.completion_rate(), 2)
+            << " vs " << Table::num(none_hi.stats.completion_rate(), 2)
+            << ")\n";
+  std::cout << "[" << (ckpt_cheaper ? "PASS" : "FAIL")
+            << "] checkpointed recovery wastes less work than "
+               "requeue-from-zero ("
+            << Table::num(ckpt_hi.stats.wasted_work, 1) << " vs "
+            << Table::num(detect_hi.stats.wasted_work, 1) << ")\n";
+  std::cout << "\nShape vs paper §III: with no failure detection a crashed\n"
+               "worker silently pins its task until the deadline reaper\n"
+               "fires — completion collapses with fault intensity. Heartbeat\n"
+               "detection restores most completion at the cost of detection\n"
+               "latency and occasional false-positive kills under radio\n"
+               "blackouts; checkpoints shrink the wasted-work bill; retry +\n"
+               "speculation trade redundant compute for the last points of\n"
+               "completion.\n";
+  return 0;
+}

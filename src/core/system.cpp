@@ -87,6 +87,24 @@ void VehicularCloudSystem::start() {
       scenario_.fork_rng(7));
   cloud_->attach();
   cloud_->refresh();
+
+  // Fault injection: the plan is drawn from its own forked stream so the
+  // fault schedule is a pure function of (config, seed) and never perturbs
+  // mobility/channel/cloud randomness.
+  fault::FaultPlanConfig faults = config_.faults;
+  if (faults.blackout_lo.x == 0.0 && faults.blackout_lo.y == 0.0 &&
+      faults.blackout_hi.x == 0.0 && faults.blackout_hi.y == 0.0) {
+    faults.blackout_lo = lo;
+    faults.blackout_hi = hi;
+  }
+  Rng plan_rng = scenario_.fork_rng(13);
+  fault::FaultPlan plan = fault::make_fault_plan(faults, plan_rng);
+  if (!plan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        net, std::move(plan), scenario_.fork_rng(14));
+    injector_->register_cloud(*cloud_);
+    injector_->attach();
+  }
 }
 
 void VehicularCloudSystem::run_for(SimTime seconds) {

@@ -11,6 +11,7 @@
 #include "auth/authority.h"
 #include "cluster/moving_zone.h"
 #include "core/scenario.h"
+#include "fault/fault_injector.h"
 #include "vcloud/cloud.h"
 
 namespace vcl::core {
@@ -36,6 +37,9 @@ struct SystemConfig {
   // center).
   double stationary_radius = 400.0;
   SimTime cluster_period = 1.0;
+  // Fault injection (paper §III): all rates default to 0 = no faults. The
+  // blackout box is filled from the road bounding box unless set explicitly.
+  fault::FaultPlanConfig faults;
 };
 
 class VehicularCloudSystem {
@@ -56,6 +60,8 @@ class VehicularCloudSystem {
   [[nodiscard]] vcloud::VehicularCloud& cloud() { return *cloud_; }
   [[nodiscard]] cluster::MovingZone& clusters() { return zones_; }
   [[nodiscard]] auth::TrustedAuthority& authority() { return ta_; }
+  // Present only when the fault config has a non-empty plan.
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
@@ -64,6 +70,7 @@ class VehicularCloudSystem {
   cluster::MovingZone zones_;
   auth::TrustedAuthority ta_;
   std::unique_ptr<vcloud::VehicularCloud> cloud_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool started_ = false;
 };
 

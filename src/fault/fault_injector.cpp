@@ -1,0 +1,103 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace vcl::fault {
+
+void FaultInjector::attach() {
+  sim::Simulator& sim = net_.simulator();
+  for (const FaultEvent& e : plan_) {
+    const SimTime delay = std::max(0.0, e.at - sim.now());
+    sim.schedule_after(delay, [this, e] { fire(e); });
+  }
+}
+
+VehicleId FaultInjector::pick_crash_victim() {
+  // Pool = live workers of registered clouds, sorted and deduplicated so the
+  // draw is deterministic regardless of cloud registration order.
+  std::vector<VehicleId> pool;
+  for (const vcloud::VehicularCloud* cloud : clouds_) {
+    for (const VehicleId v : cloud->worker_ids()) {
+      if (cloud->worker_crashed(v)) continue;  // already dead
+      if (net_.traffic().find(v) == nullptr) continue;
+      pool.push_back(v);
+    }
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  if (pool.empty()) {
+    // No cloud workers: any live vehicle will do (still a fault, just not
+    // one the cloud feels directly).
+    for (const auto& [vid, v] : net_.traffic().vehicles()) {
+      pool.push_back(v.id);
+    }
+    std::sort(pool.begin(), pool.end());
+  }
+  if (pool.empty()) return VehicleId{};
+  return pool[rng_.index(pool.size())];
+}
+
+void FaultInjector::crash_vehicle(VehicleId v) {
+  if (!v.valid() || net_.traffic().find(v) == nullptr) return;
+  // Order matters: the clouds must snapshot in-flight progress while the
+  // vehicle still exists; only then does it vanish from traffic.
+  for (vcloud::VehicularCloud* cloud : clouds_) cloud->crash_worker(v);
+  net_.traffic().despawn(v);
+}
+
+void FaultInjector::fire(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kVehicleCrash: {
+      const VehicleId victim = e.vehicle.valid() ? e.vehicle
+                                                 : pick_crash_victim();
+      if (!victim.valid() || net_.traffic().find(victim) == nullptr) return;
+      crash_vehicle(victim);
+      ++stats_.vehicle_crashes;
+      return;
+    }
+    case FaultKind::kBrokerCrash: {
+      // Kill the first registered cloud's current broker (round-robin over
+      // clouds would add plan-order coupling for little realism gain).
+      for (vcloud::VehicularCloud* cloud : clouds_) {
+        const VehicleId broker = cloud->broker();
+        if (broker.valid() && net_.traffic().find(broker) != nullptr) {
+          crash_vehicle(broker);
+          ++stats_.broker_crashes;
+          return;
+        }
+      }
+      return;
+    }
+    case FaultKind::kRsuOutage: {
+      const std::size_t n = net_.rsus().count();
+      if (n == 0) return;
+      RsuId target = e.rsu;
+      if (!target.valid() || target.value() >= n) {
+        target = RsuId{rng_.index(n)};
+      }
+      const net::Rsu* rsu = net_.rsus().find(target);
+      if (rsu == nullptr || !rsu->online) return;
+      net_.rsus().set_online(target, false);
+      ++stats_.rsu_outages;
+      if (e.repair_after > 0.0) {
+        net_.simulator().schedule_after(e.repair_after, [this, target] {
+          net_.rsus().set_online(target, true);
+          ++stats_.rsu_repairs;
+        });
+      }
+      return;
+    }
+    case FaultKind::kRadioBlackout: {
+      if (e.duration <= 0.0) return;
+      const std::uint64_t token =
+          net_.channel().add_blackout({e.center, e.radius});
+      ++stats_.blackouts;
+      net_.simulator().schedule_after(e.duration, [this, token] {
+        net_.channel().remove_blackout(token);
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace vcl::fault

@@ -1,0 +1,70 @@
+// FaultInjector: applies a FaultPlan to a live simulation (paper §III).
+//
+// The injector is the adversary the dependability machinery in
+// vcloud/dependability.h defends against. It schedules every FaultEvent on
+// the sim clock at attach() time; each fires exactly once:
+//
+//  * kVehicleCrash — picks a victim (a random busy-or-idle worker of a
+//    registered cloud, falling back to any live vehicle), tells each
+//    registered cloud crash_worker() (zombie bookkeeping: the cloud is NOT
+//    notified of the loss) and despawns the vehicle from traffic.
+//  * kBrokerCrash — same, but the victim is a registered cloud's current
+//    broker: the worst-case single failure (§III.A — broker state IS cloud
+//    state).
+//  * kRsuOutage — takes an RSU offline and schedules its repair.
+//  * kRadioBlackout — installs a Channel blackout region for a window;
+//    every transmission with an endpoint inside it is lost (heartbeats
+//    included — this is what makes failure detection false-positive).
+//
+// Victim choice consumes the injector's OWN forked RNG, so the fault
+// sequence never perturbs the scenario's other stochastic streams.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "vcloud/cloud.h"
+
+namespace vcl::fault {
+
+struct FaultStats {
+  std::size_t vehicle_crashes = 0;
+  std::size_t broker_crashes = 0;
+  std::size_t rsu_outages = 0;
+  std::size_t rsu_repairs = 0;
+  std::size_t blackouts = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& net, FaultPlan plan, Rng rng)
+      : net_(net), plan_(std::move(plan)), rng_(rng) {}
+
+  // Clouds whose workers are crash candidates (and which must be told about
+  // crashes so their zombie bookkeeping starts at the right instant).
+  void register_cloud(vcloud::VehicularCloud& cloud) {
+    clouds_.push_back(&cloud);
+  }
+
+  // Schedules every planned event. Call once, before (or at) t=0 of the run.
+  void attach();
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void fire(const FaultEvent& e);
+  void crash_vehicle(VehicleId v);
+  // Random live worker across registered clouds (sorted pool, injector RNG);
+  // falls back to any live vehicle. Invalid when nothing is alive.
+  [[nodiscard]] VehicleId pick_crash_victim();
+
+  net::Network& net_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<vcloud::VehicularCloud*> clouds_;
+  FaultStats stats_;
+};
+
+}  // namespace vcl::fault

@@ -1,0 +1,105 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vcl::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVehicleCrash: return "vehicle_crash";
+    case FaultKind::kBrokerCrash: return "broker_crash";
+    case FaultKind::kRsuOutage: return "rsu_outage";
+    case FaultKind::kRadioBlackout: return "radio_blackout";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Draws a homogeneous Poisson arrival sequence over [0, horizon].
+std::vector<SimTime> arrivals(double rate, SimTime horizon, Rng& rng) {
+  std::vector<SimTime> times;
+  if (rate <= 0.0 || horizon <= 0.0) return times;
+  SimTime t = rng.exponential(rate);
+  while (t < horizon) {
+    times.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return times;
+}
+
+}  // namespace
+
+FaultPlan make_fault_plan(const FaultPlanConfig& config, Rng& rng) {
+  FaultPlan plan;
+
+  // Class order is fixed so the RNG consumption sequence — and therefore
+  // the plan — is identical for identical (config, seed).
+  for (const SimTime t :
+       arrivals(config.vehicle_crash_rate, config.horizon, rng)) {
+    FaultEvent e;
+    e.kind = FaultKind::kVehicleCrash;
+    e.at = t;  // victim chosen at fire time from the live worker pool
+    plan.push_back(e);
+  }
+  for (const SimTime t :
+       arrivals(config.broker_crash_rate, config.horizon, rng)) {
+    FaultEvent e;
+    e.kind = FaultKind::kBrokerCrash;
+    e.at = t;
+    plan.push_back(e);
+  }
+  for (const SimTime t :
+       arrivals(config.rsu_outage_rate, config.horizon, rng)) {
+    FaultEvent e;
+    e.kind = FaultKind::kRsuOutage;
+    e.at = t;  // RSU chosen at fire time (rotates over deployed units)
+    e.repair_after = config.rsu_repair_mean > 0.0
+                         ? rng.exponential(1.0 / config.rsu_repair_mean)
+                         : 0.0;
+    plan.push_back(e);
+  }
+  for (const SimTime t : arrivals(config.blackout_rate, config.horizon, rng)) {
+    FaultEvent e;
+    e.kind = FaultKind::kRadioBlackout;
+    e.at = t;
+    e.center = {rng.uniform(config.blackout_lo.x, config.blackout_hi.x),
+                rng.uniform(config.blackout_lo.y, config.blackout_hi.y)};
+    e.radius = config.blackout_radius;
+    e.duration = config.blackout_mean_duration > 0.0
+                     ? rng.exponential(1.0 / config.blackout_mean_duration)
+                     : 0.0;
+    plan.push_back(e);
+  }
+
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return plan;
+}
+
+std::string to_string(const FaultEvent& e) {
+  std::ostringstream os;
+  os << "t=" << e.at << " " << to_string(e.kind);
+  switch (e.kind) {
+    case FaultKind::kVehicleCrash:
+      if (e.vehicle.valid()) os << " v=" << e.vehicle.value();
+      break;
+    case FaultKind::kBrokerCrash:
+      break;
+    case FaultKind::kRsuOutage:
+      if (e.rsu.valid()) os << " rsu=" << e.rsu.value();
+      os << " repair_after=" << e.repair_after;
+      break;
+    case FaultKind::kRadioBlackout:
+      os << " center=(" << e.center.x << "," << e.center.y << ") r=" << e.radius
+         << " dur=" << e.duration;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace vcl::fault

@@ -1,0 +1,71 @@
+// Declarative fault schedules (paper §III: dependability threats).
+//
+// A FaultPlan is a list of timed fault events generated ONCE from a seeded
+// RNG — the same (config, seed) pair always yields the same schedule, so a
+// dependability experiment is exactly reproducible and two mitigation
+// configurations can be compared under the *identical* fault sequence.
+// The plan is pure data; FaultInjector (fault_injector.h) applies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vcl::fault {
+
+enum class FaultKind : std::uint8_t {
+  kVehicleCrash,   // a worker vanishes mid-task, no handover
+  kBrokerCrash,    // the elected broker vanishes (metadata re-sync)
+  kRsuOutage,      // an RSU goes offline, repaired later
+  kRadioBlackout,  // reception forced to ~0 inside a region for a window
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kVehicleCrash;
+  SimTime at = 0.0;
+  // kVehicleCrash: explicit victim, or invalid = pick a random worker when
+  // the event fires (the common case for generated plans).
+  VehicleId vehicle;
+  // kRsuOutage.
+  RsuId rsu;
+  SimTime repair_after = 0.0;  // outage duration; 0 = never repaired
+  // kRadioBlackout.
+  geo::Vec2 center;
+  double radius = 0.0;
+  SimTime duration = 0.0;
+};
+
+// Poisson-process intensities for each fault class over [0, horizon].
+struct FaultPlanConfig {
+  SimTime horizon = 300.0;
+  double vehicle_crash_rate = 0.0;  // crashes per second (per cloud pool)
+  double broker_crash_rate = 0.0;
+  double rsu_outage_rate = 0.0;
+  SimTime rsu_repair_mean = 30.0;  // exponential repair time
+  double blackout_rate = 0.0;
+  SimTime blackout_mean_duration = 10.0;
+  double blackout_radius = 300.0;
+  // Blackout centers are drawn uniformly from this box (set from the road
+  // network's bounding box by the caller).
+  geo::Vec2 blackout_lo;
+  geo::Vec2 blackout_hi;
+};
+
+using FaultPlan = std::vector<FaultEvent>;
+
+// Draws a plan: exponential inter-arrivals per fault class, merged and
+// sorted by fire time (ties broken by kind then draw order). Deterministic
+// for a given (config, rng-state).
+[[nodiscard]] FaultPlan make_fault_plan(const FaultPlanConfig& config,
+                                        Rng& rng);
+
+// One line per event, for logs/tests.
+[[nodiscard]] std::string to_string(const FaultEvent& e);
+
+}  // namespace vcl::fault

@@ -5,10 +5,31 @@
 
 namespace vcl::net {
 
+std::uint64_t Channel::add_blackout(BlackoutRegion region) {
+  const std::uint64_t token = next_blackout_token_++;
+  blackouts_.emplace_back(token, region);
+  return token;
+}
+
+void Channel::remove_blackout(std::uint64_t token) {
+  std::erase_if(blackouts_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+bool Channel::blacked_out(geo::Vec2 pos) const {
+  for (const auto& [token, region] : blackouts_) {
+    if (geo::distance(pos, region.center) <= region.radius) return true;
+  }
+  return false;
+}
+
 double Channel::reception_probability(geo::Vec2 from, geo::Vec2 to,
                                       std::size_t local_density) const {
   const double d = geo::distance(from, to);
   if (d > config_.max_range) return 0.0;
+  if (!blackouts_.empty() && (blacked_out(from) || blacked_out(to))) {
+    return 0.0;
+  }
   double p = 1.0 - config_.base_loss;
   if (d > config_.reference_range) {
     // Log-distance fade: success decays with (d/ref)^(-alpha), smoothed so

@@ -9,6 +9,10 @@
 // latency — without a bit-level PHY (see DESIGN.md substitutions).
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "geo/vec2.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -29,6 +33,14 @@ struct ChannelConfig {
 struct ReceptionResult {
   bool received = false;
   SimTime delay = 0.0;  // valid when received
+};
+
+// A circular region where radio reception is dead (jamming, tunnel, urban
+// canyon, post-disaster partition). While active, any transmission with an
+// endpoint inside the region fails.
+struct BlackoutRegion {
+  geo::Vec2 center;
+  double radius = 0.0;
 };
 
 class Channel {
@@ -53,8 +65,19 @@ class Channel {
   [[nodiscard]] const ChannelConfig& config() const { return config_; }
   ChannelConfig& config() { return config_; }
 
+  // Radio blackout windows (fault injection): while any region covers
+  // either endpoint, reception probability is forced to 0. Returns a token
+  // for removal when the window ends.
+  std::uint64_t add_blackout(BlackoutRegion region);
+  void remove_blackout(std::uint64_t token);
+  void clear_blackouts() { blackouts_.clear(); }
+  [[nodiscard]] bool blacked_out(geo::Vec2 pos) const;
+  [[nodiscard]] std::size_t blackout_count() const { return blackouts_.size(); }
+
  private:
   ChannelConfig config_;
+  std::vector<std::pair<std::uint64_t, BlackoutRegion>> blackouts_;
+  std::uint64_t next_blackout_token_ = 1;
 };
 
 }  // namespace vcl::net

@@ -12,6 +12,7 @@ const char* to_string(MessageKind kind) {
     case MessageKind::kTaskResult: return "task_result";
     case MessageKind::kTaskMigrate: return "task_migrate";
     case MessageKind::kEventReport: return "event_report";
+    case MessageKind::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }

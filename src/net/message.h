@@ -53,6 +53,7 @@ enum class MessageKind : std::uint8_t {
   kTaskResult,   // v-cloud result return
   kTaskMigrate,  // encrypted checkpoint handover
   kEventReport,  // trust module: observed physical event
+  kHeartbeat,    // worker liveness beat to the cloud broker
 };
 
 // Human-readable kind label for traces and tables.

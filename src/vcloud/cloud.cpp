@@ -1,10 +1,61 @@
 #include "vcloud/cloud.h"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
 
 #include "cluster/cluster_manager.h"
+#include "util/table.h"
 
 namespace vcl::vcloud {
+
+namespace {
+// run_started sentinel while a task is assigned but not yet executing
+// (dispatch ack outstanding, or its worker crashed): no progress accrues.
+constexpr SimTime kNeverStarted = std::numeric_limits<double>::infinity();
+// Control-plane descriptor size for dispatch/result envelopes; the bulk
+// input/output transfer is charged separately as bandwidth time.
+constexpr std::size_t kControlBytes = 512;
+}  // namespace
+
+// ---- CloudStats reporting ---------------------------------------------------
+
+std::string CloudStats::to_string() const {
+  std::ostringstream os;
+  os << "completed " << completed << "/" << submitted << " (rate "
+     << Table::num(completion_rate(), 2) << "), expired " << expired
+     << ", migrations " << migrations << ", reallocations " << reallocations
+     << ", retries " << retries << ", kills " << crash_kills << " crash + "
+     << false_positive_kills << " false, wasted "
+     << Table::num(wasted_work, 1) << ", redundant "
+     << Table::num(redundant_work, 1) << ", detect_mean "
+     << Table::num(detection_latency.mean(), 2) << " s";
+  return os.str();
+}
+
+std::vector<std::string> CloudStats::table_columns() {
+  return {"submitted", "completed", "expired",   "migr",      "realloc",
+          "retries",   "kills",     "fp_kills",  "replicas",  "wasted",
+          "redundant", "det_lat_s", "p95_lat_s"};
+}
+
+std::vector<std::string> CloudStats::table_row() const {
+  return {std::to_string(submitted),
+          std::to_string(completed),
+          std::to_string(expired),
+          std::to_string(migrations),
+          std::to_string(reallocations),
+          std::to_string(retries),
+          std::to_string(crash_kills),
+          std::to_string(false_positive_kills),
+          std::to_string(replicas_launched),
+          Table::num(wasted_work, 1),
+          Table::num(redundant_work, 1),
+          Table::num(detection_latency.mean(), 2),
+          Table::num(latency.percentile(95), 1)};
+}
+
+// ---- VehicularCloud ---------------------------------------------------------
 
 VehicularCloud::VehicularCloud(CloudId id, net::Network& net,
                                MembershipFn membership, RegionFn region,
@@ -16,11 +67,21 @@ VehicularCloud::VehicularCloud(CloudId id, net::Network& net,
       region_fn_(std::move(region)),
       scheduler_(std::move(scheduler)),
       config_(config),
-      rng_(rng) {}
+      rng_(rng),
+      detector_(config.dependability.detector) {}
 
 void VehicularCloud::attach() {
   net_.simulator().schedule_every(config_.refresh_period,
                                   [this] { refresh(); });
+  if (config_.dependability.detector.enabled) {
+    net_.simulator().schedule_every(
+        config_.dependability.detector.heartbeat_period,
+        [this] { heartbeat_round(); });
+  }
+  if (config_.dependability.checkpoint.enabled) {
+    net_.simulator().schedule_every(config_.dependability.checkpoint.period,
+                                    [this] { checkpoint_round(); });
+  }
 }
 
 double VehicularCloud::dwell_of(VehicleId v) {
@@ -47,6 +108,21 @@ std::vector<WorkerView> VehicularCloud::views() {
   return out;
 }
 
+std::vector<VehicleId> VehicularCloud::worker_ids() const {
+  std::vector<VehicleId> out;
+  out.reserve(workers_.size());
+  for (const std::uint64_t vid : sorted_worker_ids()) out.push_back(VehicleId{vid});
+  return out;
+}
+
+std::vector<std::uint64_t> VehicularCloud::sorted_worker_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(workers_.size());
+  for (const auto& [vid, w] : workers_) ids.push_back(vid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 ResourcePool VehicularCloud::pool() const {
   ResourcePool pool;
   for (const auto& [vid, w] : workers_) pool.add(w.profile);
@@ -65,6 +141,16 @@ bool VehicularCloud::drained() const {
   return true;
 }
 
+double VehicularCloud::earned_progress(const Task& task,
+                                       const ResourceProfile& profile,
+                                       SimTime now) const {
+  if (task.state != TaskState::kRunning || now <= task.run_started) {
+    return task.progress;
+  }
+  return std::min(task.work,
+                  task.progress + (now - task.run_started) * profile.compute);
+}
+
 TaskId VehicularCloud::submit(Task spec) {
   spec.id = TaskId{next_task_id_++};
   spec.state = TaskState::kPending;
@@ -80,25 +166,118 @@ TaskId VehicularCloud::submit(Task spec) {
 
 void VehicularCloud::assign(Task& task, WorkerState& worker,
                             VehicleId worker_id, bool charge_input) {
-  const SimTime now = net_.simulator().now();
   task.state = TaskState::kRunning;
   task.worker = worker_id;
+  worker.running = task.id;
+  const std::uint64_t epoch = ++task_epoch_[task.id.value()];
+  if (config_.dependability.retry.enabled && charge_input) {
+    // The dispatch must be acked over the lossy channel before execution
+    // starts; no progress accrues until the worker confirms.
+    task.run_started = kNeverStarted;
+    attempt_dispatch_send(task.id, epoch, 1);
+    return;
+  }
+  begin_execution(task, worker, charge_input, epoch);
+}
+
+void VehicularCloud::begin_execution(Task& task, WorkerState& worker,
+                                     bool charge_input, std::uint64_t epoch) {
+  const SimTime now = net_.simulator().now();
   const SimTime input_delay =
       charge_input
           ? task.input_mb * 8.0 / std::max(worker.profile.bandwidth_mbps, 0.1)
           : 0.0;
+  task.state = TaskState::kRunning;
   task.run_started = now + input_delay;
-  worker.running = task.id;
 
   const SimTime exec = task.remaining() / worker.profile.compute;
-  const std::uint64_t epoch = ++task_epoch_[task.id.value()];
   const TaskId tid = task.id;
   net_.simulator().schedule_after(input_delay + exec, [this, tid, epoch] {
     on_complete(tid, epoch);
   });
 }
 
+void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
+                                           int attempt) {
+  auto it = tasks_.find(id.value());
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  if (task_epoch_[id.value()] != epoch || task.state != TaskState::kRunning) {
+    return;
+  }
+  auto worker_it = workers_.find(task.worker.value());
+  if (worker_it == workers_.end() || !(worker_it->second.running == id)) {
+    return;
+  }
+
+  const VehicleId broker = broker_.current();
+  net::Message msg;
+  msg.id = net_.next_message_id();
+  msg.kind = net::MessageKind::kTaskAssign;
+  msg.src = net::Address::vehicle(broker.valid() ? broker : task.worker);
+  msg.dst = net::Address::vehicle(task.worker);
+  msg.size_bytes = kControlBytes;
+  if (net_.send(msg)) {
+    begin_execution(task, worker_it->second, /*charge_input=*/true, epoch);
+    return;
+  }
+
+  ++stats_.retries;
+  const SimTime delay =
+      retry_backoff(config_.dependability.retry, attempt, rng_);
+  if (attempt >= config_.dependability.retry.max_attempts) {
+    // Unreachable worker (dead, partitioned, or unlucky): free it and
+    // re-queue; the next dispatch round will try elsewhere.
+    worker_it->second.running = TaskId{};
+    ++task_epoch_[id.value()];
+    task.state = TaskState::kPending;
+    task.worker = VehicleId{};
+    task.run_started = 0.0;
+    pending_.push_back(id);
+    net_.simulator().schedule_after(delay, [this] { dispatch(); });
+    return;
+  }
+  net_.simulator().schedule_after(delay, [this, id, epoch, attempt] {
+    attempt_dispatch_send(id, epoch, attempt + 1);
+  });
+}
+
+void VehicularCloud::attempt_result_send(TaskId id, std::uint64_t epoch,
+                                         int attempt) {
+  auto it = tasks_.find(id.value());
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  if (task_epoch_[id.value()] != epoch || task.state != TaskState::kRunning) {
+    return;
+  }
+  // A worker that crashed while holding the result can never deliver it;
+  // the failure detector (if any) will eventually trigger a re-execution.
+  if (crashed_.count(task.worker.value()) > 0) return;
+
+  const VehicleId broker = broker_.current();
+  net::Message msg;
+  msg.id = net_.next_message_id();
+  msg.kind = net::MessageKind::kTaskResult;
+  msg.src = net::Address::vehicle(task.worker);
+  msg.dst = net::Address::vehicle(broker.valid() ? broker : task.worker);
+  msg.size_bytes = kControlBytes;
+  if (net_.send(msg)) {
+    finalize_completion(task);
+    return;
+  }
+
+  ++stats_.retries;
+  // The worker holds the result and keeps retrying at capped backoff: the
+  // task only completes once the broker hears about it.
+  const int capped = std::min(attempt, config_.dependability.retry.max_attempts);
+  const SimTime delay = retry_backoff(config_.dependability.retry, capped, rng_);
+  net_.simulator().schedule_after(delay, [this, id, epoch, attempt] {
+    attempt_result_send(id, epoch, attempt + 1);
+  });
+}
+
 void VehicularCloud::dispatch() {
+  if (net_.simulator().now() < dispatch_hold_until_) return;
   while (!pending_.empty()) {
     const TaskId tid = pending_.front();
     auto task_it = tasks_.find(tid.value());
@@ -117,7 +296,123 @@ void VehicularCloud::dispatch() {
     pending_.pop_front();
     stats_.queue_delay.add(net_.simulator().now() - task.created);
     assign(task, worker_it->second, pick, /*charge_input=*/true);
+    maybe_replicate(task);
   }
+}
+
+void VehicularCloud::maybe_replicate(Task& task) {
+  const SpeculationConfig& spec = config_.dependability.speculation;
+  if (!spec.enabled || task.deadline <= 0.0) return;
+  if (replicas_.find(task.id.value()) != replicas_.end()) return;
+  if (!pending_.empty()) return;  // speculation must never starve the queue
+
+  const auto worker_views = views();
+  std::size_t idle = 0;
+  for (const WorkerView& w : worker_views) idle += w.busy ? 0 : 1;
+  if (idle <= spec.min_spare_workers) return;
+
+  const VehicleId pick = scheduler_->pick(task, worker_views, rng_);
+  if (!pick.valid() || pick == task.worker) return;
+  auto worker_it = workers_.find(pick.value());
+  if (worker_it == workers_.end() || worker_it->second.running.valid()) return;
+
+  const SimTime now = net_.simulator().now();
+  WorkerState& worker = worker_it->second;
+  ReplicaState replica;
+  replica.worker = pick;
+  replica.base_progress = task.progress;
+  const SimTime input_delay =
+      task.input_mb * 8.0 / std::max(worker.profile.bandwidth_mbps, 0.1);
+  replica.run_started = now + input_delay;
+  replica.epoch = next_replica_epoch_++;
+  worker.running = task.id;
+  replicas_[task.id.value()] = replica;
+  ++stats_.replicas_launched;
+
+  const SimTime exec =
+      (task.work - replica.base_progress) / worker.profile.compute;
+  const TaskId tid = task.id;
+  const std::uint64_t epoch = replica.epoch;
+  net_.simulator().schedule_after(input_delay + exec, [this, tid, epoch] {
+    on_replica_complete(tid, epoch);
+  });
+}
+
+// Work units a replica has produced by `now` (bounded by what it set out
+// to compute).
+double VehicularCloud::earned_by_replica(const ReplicaState& r,
+                                         const ResourceProfile& profile,
+                                         const Task& task, SimTime now) {
+  if (now <= r.run_started) return 0.0;
+  return std::min((now - r.run_started) * profile.compute,
+                  task.work - r.base_progress);
+}
+
+void VehicularCloud::abort_replica(TaskId id) {
+  auto rep = replicas_.find(id.value());
+  if (rep == replicas_.end()) return;
+  const ReplicaState replica = rep->second;
+  replicas_.erase(rep);
+  auto worker_it = workers_.find(replica.worker.value());
+  if (worker_it == workers_.end() || !(worker_it->second.running == id)) {
+    return;
+  }
+  auto task_it = tasks_.find(id.value());
+  if (task_it != tasks_.end()) {
+    stats_.redundant_work += earned_by_replica(
+        replica, worker_it->second.profile, task_it->second,
+        net_.simulator().now());
+  }
+  // A crashed holder stays "busy" — the cloud does not know it is gone.
+  if (crashed_.count(replica.worker.value()) == 0) {
+    worker_it->second.running = TaskId{};
+  }
+}
+
+void VehicularCloud::on_replica_complete(TaskId id, std::uint64_t epoch) {
+  auto rep = replicas_.find(id.value());
+  if (rep == replicas_.end() || rep->second.epoch != epoch) return;
+  const ReplicaState replica = rep->second;
+  auto task_it = tasks_.find(id.value());
+  if (task_it == tasks_.end()) {
+    replicas_.erase(id.value());
+    return;
+  }
+  Task& task = task_it->second;
+  if (crashed_.count(replica.worker.value()) > 0) {
+    // Computed into the void: a crashed worker cannot return its result.
+    replicas_.erase(id.value());
+    stats_.redundant_work += task.work - replica.base_progress;
+    return;
+  }
+  replicas_.erase(id.value());
+  const SimTime now = net_.simulator().now();
+  if (task.terminal()) {
+    auto worker_it = workers_.find(replica.worker.value());
+    if (worker_it != workers_.end() && worker_it->second.running == id) {
+      worker_it->second.running = TaskId{};
+    }
+    return;
+  }
+
+  // First finisher wins: the primary (if still assigned) lost the race and
+  // its work is redundancy overhead.
+  if (task.worker.valid() && task.worker != replica.worker) {
+    auto primary_it = workers_.find(task.worker.value());
+    if (primary_it != workers_.end()) {
+      stats_.redundant_work += std::max(
+          0.0,
+          earned_progress(task, primary_it->second.profile, now) -
+              task.progress);
+      if (primary_it->second.running == id) {
+        primary_it->second.running = TaskId{};
+      }
+    }
+  }
+  ++task_epoch_[id.value()];  // cancel the primary's completion event
+  task.worker = replica.worker;
+  task.state = TaskState::kRunning;
+  finalize_completion(task);
 }
 
 void VehicularCloud::on_complete(TaskId id, std::uint64_t epoch) {
@@ -126,14 +421,27 @@ void VehicularCloud::on_complete(TaskId id, std::uint64_t epoch) {
   Task& task = it->second;
   if (task_epoch_[id.value()] != epoch) return;  // stale completion event
   if (task.state != TaskState::kRunning) return;
+  // A crashed worker computes into the void: no result ever returns, and
+  // without a failure detector nobody ever learns (§III's collapse case).
+  if (crashed_.count(task.worker.value()) > 0) return;
 
+  task.progress = task.work;
+  if (config_.dependability.retry.enabled) {
+    attempt_result_send(id, epoch, 1);
+    return;
+  }
+  finalize_completion(task);
+}
+
+void VehicularCloud::finalize_completion(Task& task) {
   const SimTime now = net_.simulator().now();
   task.progress = task.work;
   task.completed_at = now;
   auto worker_it = workers_.find(task.worker.value());
-  if (worker_it != workers_.end() && worker_it->second.running == id) {
+  if (worker_it != workers_.end() && worker_it->second.running == task.id) {
     worker_it->second.running = TaskId{};
   }
+  abort_replica(task.id);  // the losing replica, if one is still computing
   if (task.deadline > 0.0 && now > task.deadline) {
     task.state = TaskState::kExpired;
     ++stats_.expired;
@@ -205,13 +513,165 @@ void VehicularCloud::interrupt_and_recover(Task& task,
     return;
   }
 
-  // No handover: the paper's drop-and-recompute case.
-  stats_.wasted_work += task.progress;
+  // No handover: the paper's drop-and-recompute case. Periodic checkpoints
+  // (when enabled) still provide a crash-survivable floor at the broker.
+  const double resume = config_.dependability.checkpoint.enabled
+                            ? std::min(task.checkpoint_progress, task.progress)
+                            : 0.0;
+  stats_.wasted_work += std::max(0.0, task.progress - resume);
   ++stats_.reallocations;
-  task.progress = 0.0;
+  task.progress = resume;
   task.state = TaskState::kPending;
   task.worker = VehicleId{};
   pending_.push_back(task.id);
+}
+
+void VehicularCloud::recover_from_crash(Task& task) {
+  double resume = 0.0;
+  if (task.state == TaskState::kMigrating) {
+    // The in-flight checkpoint originated at the broker and survives the
+    // target's loss.
+    resume = task.progress;
+  } else if (config_.dependability.checkpoint.enabled) {
+    resume = std::min(task.checkpoint_progress, task.progress);
+  }
+  stats_.wasted_work += std::max(0.0, task.progress - resume);
+  if (resume <= 0.0 && task.progress > 0.0) ++stats_.reallocations;
+  task.progress = resume;
+  task.state = TaskState::kCrashRecovering;
+  task.worker = VehicleId{};
+  task.run_started = 0.0;
+  pending_.push_back(task.id);
+}
+
+void VehicularCloud::crash_worker(VehicleId v) {
+  auto it = workers_.find(v.value());
+  if (it == workers_.end() || crashed_.count(v.value()) > 0) return;
+  const SimTime now = net_.simulator().now();
+  crashed_.insert(v.value());
+  crash_time_[v.value()] = now;
+
+  if (!it->second.running.valid()) return;
+  auto task_it = tasks_.find(it->second.running.value());
+  if (task_it == tasks_.end() || task_it->second.terminal()) return;
+  Task& task = task_it->second;
+  auto rep = replicas_.find(task.id.value());
+  if (rep != replicas_.end() && rep->second.worker == v) {
+    // A crashed replica holder: its work to date is sunk redundancy. The
+    // bookkeeping entry goes now (so the scheduled completion is inert);
+    // the zombie worker itself stays until the detector notices.
+    stats_.redundant_work +=
+        earned_by_replica(rep->second, it->second.profile, task, now);
+    replicas_.erase(rep);
+    return;
+  }
+  if (task.worker == v && task.state == TaskState::kRunning) {
+    // Materialize the progress earned up to the crash instant so detection
+    // latency does not credit work the dead worker never did.
+    task.progress = earned_progress(task, it->second.profile, now);
+    task.run_started = kNeverStarted;
+  }
+}
+
+void VehicularCloud::handle_worker_loss(VehicleId v,
+                                        const WorkerState& state) {
+  if (!state.running.valid()) return;
+  auto it = tasks_.find(state.running.value());
+  if (it == tasks_.end() || it->second.terminal()) return;
+  Task& task = it->second;
+  const SimTime now = net_.simulator().now();
+
+  auto rep = replicas_.find(task.id.value());
+  if (rep != replicas_.end() && rep->second.worker == v) {
+    // Lost a replica: discard its work; the primary carries on.
+    stats_.redundant_work +=
+        earned_by_replica(rep->second, state.profile, task, now);
+    replicas_.erase(rep);
+    if (!task.worker.valid()) recover_from_crash(task);  // it was the last
+    return;
+  }
+  if (task.worker != v) return;
+
+  const double earned = earned_progress(task, state.profile, now);
+  ++task_epoch_[task.id.value()];  // the primary's events are now stale
+  if (replicas_.find(task.id.value()) != replicas_.end()) {
+    // A replica is still computing: the dead primary's work is redundancy
+    // and the replica inherits the task.
+    stats_.redundant_work += std::max(0.0, earned - task.progress);
+    task.worker = VehicleId{};
+    task.run_started = kNeverStarted;
+    return;
+  }
+  task.progress = earned;
+  recover_from_crash(task);
+}
+
+void VehicularCloud::declare_dead(VehicleId v) {
+  detector_.forget(v);
+  auto it = workers_.find(v.value());
+  if (it == workers_.end()) return;
+  const SimTime now = net_.simulator().now();
+  if (crashed_.erase(v.value()) > 0) {
+    ++stats_.crash_kills;
+    auto ct = crash_time_.find(v.value());
+    if (ct != crash_time_.end()) {
+      stats_.detection_latency.add(now - ct->second);
+      crash_time_.erase(ct);
+    }
+  } else {
+    // The worker is alive — its beats were eaten by the channel. Killing
+    // it anyway is the price of bounded detection latency.
+    ++stats_.false_positive_kills;
+  }
+  const WorkerState state = it->second;
+  workers_.erase(it);
+  handle_worker_loss(v, state);
+  dispatch();
+}
+
+void VehicularCloud::heartbeat_round() {
+  if (!config_.dependability.detector.enabled) return;
+  const SimTime now = net_.simulator().now();
+  const VehicleId broker = broker_.current();
+  if (!broker.valid()) return;
+  // Sorted ids: heartbeat sends consume shared RNG, order must be stable.
+  for (const std::uint64_t vid : sorted_worker_ids()) {
+    const VehicleId v{vid};
+    if (!detector_.tracked(v)) detector_.track(v, now);
+    if (crashed_.count(vid) > 0) continue;  // dead radios do not beat
+    if (v == broker) {
+      detector_.observe(v, now);  // the broker trivially hears itself
+      continue;
+    }
+    net::Message beat;
+    beat.id = net_.next_message_id();
+    beat.kind = net::MessageKind::kHeartbeat;
+    beat.src = net::Address::vehicle(v);
+    beat.dst = net::Address::vehicle(broker);
+    beat.size_bytes = config_.dependability.detector.heartbeat_bytes;
+    if (net_.send(beat)) detector_.observe(v, now);
+  }
+  for (const VehicleId dead : detector_.sweep(now)) declare_dead(dead);
+}
+
+void VehicularCloud::checkpoint_round() {
+  if (!config_.dependability.checkpoint.enabled) return;
+  const SimTime now = net_.simulator().now();
+  for (auto& [tid, task] : tasks_) {
+    if (task.state != TaskState::kRunning || !task.worker.valid()) continue;
+    if (crashed_.count(task.worker.value()) > 0) continue;  // silent worker
+    auto worker_it = workers_.find(task.worker.value());
+    if (worker_it == workers_.end()) continue;
+    const double earned = earned_progress(task, worker_it->second.profile, now);
+    if (earned <= task.checkpoint_progress) continue;
+    task.checkpoint_progress = earned;
+    ++stats_.checkpoints;
+    // Cost accounting reuses the handover checkpoint model: the snapshot
+    // shipped to the broker grows with completed work.
+    Task snapshot = task;
+    snapshot.progress = earned;
+    stats_.checkpoint_mb += checkpoint_mb(snapshot, config_.handover);
+  }
 }
 
 void VehicularCloud::refresh() {
@@ -221,18 +681,34 @@ void VehicularCloud::refresh() {
   for (const VehicleId v : members) present[v.value()] = true;
 
   // Departures first: their tasks need recovery before dispatch reuses the
-  // freed capacity.
+  // freed capacity. Crashed workers are NOT departures — nobody told the
+  // cloud they left; they stay as zombies until the failure detector (if
+  // any) declares them dead.
   std::vector<std::uint64_t> departed;
   for (const auto& [vid, w] : workers_) {
-    if (present.find(vid) == present.end()) departed.push_back(vid);
+    if (present.find(vid) != present.end()) continue;
+    if (crashed_.count(vid) > 0) continue;
+    departed.push_back(vid);
   }
   for (const std::uint64_t vid : departed) {
+    const VehicleId v{vid};
     WorkerState state = workers_[vid];
     workers_.erase(vid);
+    detector_.forget(v);
     if (state.running.valid()) {
       auto it = tasks_.find(state.running.value());
       if (it != tasks_.end() && !it->second.terminal()) {
-        interrupt_and_recover(it->second, state);
+        Task& task = it->second;
+        auto rep = replicas_.find(task.id.value());
+        if (rep != replicas_.end() && rep->second.worker == v) {
+          // A replica holder left gracefully: the hedge is gone.
+          stats_.redundant_work +=
+              earned_by_replica(rep->second, state.profile, task, now);
+          replicas_.erase(rep);
+          if (!task.worker.valid()) recover_from_crash(task);
+        } else if (task.worker == v) {
+          interrupt_and_recover(task, state);
+        }
       }
     }
   }
@@ -244,10 +720,23 @@ void VehicularCloud::refresh() {
     if (s == nullptr) continue;
     workers_.emplace(v.value(),
                      WorkerState{profile_for(s->automation), TaskId{}});
+    detector_.track(v, now);
   }
 
-  // Broker re-election.
+  // Broker re-election. A change means the new broker must re-sync the
+  // queued/running task metadata: dispatch pauses for the configured
+  // window and every worker gets a fresh heartbeat grace period.
+  const VehicleId prev_broker = broker_.current();
   broker_.elect(views());
+  if (prev_broker.valid() && broker_.current() != prev_broker) {
+    ++stats_.broker_resyncs;
+    detector_.reset_all(now);
+    const SimTime delay = config_.dependability.broker_resync_delay;
+    if (delay > 0.0) {
+      dispatch_hold_until_ = std::max(dispatch_hold_until_, now + delay);
+      net_.simulator().schedule_after(delay, [this] { dispatch(); });
+    }
+  }
 
   // Expire pending tasks past their deadlines.
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -256,6 +745,7 @@ void VehicularCloud::refresh() {
         now > task_it->second.deadline) {
       task_it->second.state = TaskState::kExpired;
       ++stats_.expired;
+      abort_replica(task_it->second.id);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -270,6 +760,7 @@ void VehicularCloud::refresh() {
     if (task.state == TaskState::kRunning ||
         task.state == TaskState::kMigrating) {
       ++task_epoch_[tid];  // invalidate completion/migration events
+      abort_replica(task.id);
       auto worker_it = workers_.find(task.worker.value());
       if (worker_it != workers_.end() &&
           worker_it->second.running == task.id) {

@@ -10,16 +10,28 @@
 // departing worker interrupts its task, which is either migrated (encrypted
 // checkpoint, see handover.h) or re-queued from zero with the lost progress
 // counted as wasted work — the exact trade-off §III.A calls out.
+//
+// Failure model (paper §III dependability): on top of *graceful* departures
+// the cloud survives abrupt *crashes* injected via crash_worker() — the
+// worker vanishes with no handover opportunity and the cloud only learns
+// through missed heartbeats. The hardened path (all knobs in
+// CloudConfig::dependability, default off) adds a heartbeat failure
+// detector, ack+retry dispatch/result delivery over the lossy network,
+// periodic crash-survivable checkpoints, and speculative replica execution
+// for deadline-bearing tasks. See dependability.h.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/network.h"
 #include "util/stats.h"
 #include "vcloud/broker.h"
+#include "vcloud/dependability.h"
 #include "vcloud/dwell.h"
 #include "vcloud/handover.h"
 #include "vcloud/scheduler.h"
@@ -45,6 +57,29 @@ struct CloudStats {
   double wasted_work = 0.0;       // work units thrown away
   Accumulator latency;            // completion - creation, seconds
   Accumulator queue_delay;        // dispatch - creation, seconds
+
+  // Dependability counters (see dependability.h; all zero when the
+  // hardened path is disabled).
+  std::size_t retries = 0;           // dispatch/result re-sends after a loss
+  std::size_t crash_kills = 0;       // declared-dead workers that had crashed
+  std::size_t false_positive_kills = 0;  // live workers declared dead
+  std::size_t checkpoints = 0;           // periodic snapshots taken
+  std::size_t replicas_launched = 0;     // speculative replicas started
+  std::size_t broker_resyncs = 0;        // broker changes re-syncing metadata
+  double redundant_work = 0.0;     // discarded work of losing replicas
+  double checkpoint_mb = 0.0;      // checkpoint bytes shipped to the broker
+  Accumulator detection_latency;   // crash -> declared dead, seconds
+
+  [[nodiscard]] double completion_rate() const {
+    return submitted ? static_cast<double>(completed) /
+                           static_cast<double>(submitted)
+                     : 0.0;
+  }
+  // Uniform reporting for benches/examples: a one-line summary and a
+  // Table-compatible row (paired with table_columns()).
+  [[nodiscard]] std::string to_string() const;
+  static std::vector<std::string> table_columns();
+  [[nodiscard]] std::vector<std::string> table_row() const;
 };
 
 struct CloudConfig {
@@ -52,6 +87,7 @@ struct CloudConfig {
   HandoverConfig handover;
   crypto::CostModel costs;
   SimTime refresh_period = 1.0;
+  DependabilityConfig dependability;
 };
 
 class VehicularCloud {
@@ -63,7 +99,8 @@ class VehicularCloud {
                  RegionFn region, std::unique_ptr<Scheduler> scheduler,
                  CloudConfig config, Rng rng);
 
-  // Schedules the periodic refresh.
+  // Schedules the periodic refresh (and, when enabled, the heartbeat and
+  // checkpoint rounds).
   void attach();
   // Re-reads membership, handles departures/arrivals, re-elects the broker,
   // expires stale tasks and dispatches the queue. Public for tests.
@@ -71,6 +108,16 @@ class VehicularCloud {
 
   // Submits a task spec; returns its assigned id.
   TaskId submit(Task spec);
+
+  // Abrupt crash fault (fault injection): the worker vanishes mid-task with
+  // no handover opportunity. The cloud is NOT notified — it keeps the
+  // zombie on its books until the failure detector declares it dead (or
+  // forever, when the detector is off: the no-recovery collapse §III warns
+  // about). The injector despawns the vehicle from traffic separately.
+  void crash_worker(VehicleId v);
+  [[nodiscard]] bool worker_crashed(VehicleId v) const {
+    return crashed_.count(v.value()) > 0;
+  }
 
   // Invoked when a task completes successfully (after state/stat updates);
   // the incentive ledger and aggregation layers hook in here.
@@ -81,6 +128,9 @@ class VehicularCloud {
 
   [[nodiscard]] const CloudStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t member_count() const { return workers_.size(); }
+  // Current worker ids, sorted (includes crashed zombies the cloud has not
+  // detected yet). Fault injection picks victims from this pool.
+  [[nodiscard]] std::vector<VehicleId> worker_ids() const;
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] ResourcePool pool() const;
   [[nodiscard]] VehicleId broker() const { return broker_.current(); }
@@ -99,13 +149,45 @@ class VehicularCloud {
     ResourceProfile profile;
     TaskId running;  // invalid when idle
   };
+  // A speculative second execution of a task (first finisher wins).
+  struct ReplicaState {
+    VehicleId worker;
+    SimTime run_started = 0.0;
+    double base_progress = 0.0;  // task progress at replica launch
+    std::uint64_t epoch = 0;
+  };
 
   void dispatch();
   void assign(Task& task, WorkerState& worker, VehicleId worker_id,
               bool charge_input);
+  void begin_execution(Task& task, WorkerState& worker, bool charge_input,
+                       std::uint64_t epoch);
+  void attempt_dispatch_send(TaskId id, std::uint64_t epoch, int attempt);
+  void attempt_result_send(TaskId id, std::uint64_t epoch, int attempt);
   void on_complete(TaskId id, std::uint64_t epoch);
+  void finalize_completion(Task& task);
   void interrupt_and_recover(Task& task, const WorkerState& departed);
+  // Crash path: roll back to the last broker-held checkpoint and re-queue.
+  void recover_from_crash(Task& task);
+  void heartbeat_round();
+  void checkpoint_round();
+  void declare_dead(VehicleId v);
+  // Shared cleanup when a worker is lost abruptly (declared dead) or
+  // departs while holding a replica.
+  void handle_worker_loss(VehicleId v, const WorkerState& state);
+  void maybe_replicate(Task& task);
+  void on_replica_complete(TaskId id, std::uint64_t epoch);
+  // Aborts a live replica (loser / deadline abort); counts its work as
+  // redundancy and frees its worker.
+  void abort_replica(TaskId id);
+  [[nodiscard]] double earned_progress(const Task& task,
+                                       const ResourceProfile& profile,
+                                       SimTime now) const;
+  [[nodiscard]] static double earned_by_replica(const ReplicaState& r,
+                                                const ResourceProfile& profile,
+                                                const Task& task, SimTime now);
   [[nodiscard]] std::vector<WorkerView> views();
+  [[nodiscard]] std::vector<std::uint64_t> sorted_worker_ids() const;
   [[nodiscard]] double dwell_of(VehicleId v);
 
   CloudId id_;
@@ -120,10 +202,19 @@ class VehicularCloud {
   std::unordered_map<std::uint64_t, WorkerState> workers_;
   std::unordered_map<std::uint64_t, Task> tasks_;
   std::unordered_map<std::uint64_t, std::uint64_t> task_epoch_;
+  std::unordered_map<std::uint64_t, ReplicaState> replicas_;
   std::deque<TaskId> pending_;
   std::uint64_t next_task_id_ = 1;
+  std::uint64_t next_replica_epoch_ = 1;
   CloudStats stats_;
   CompletionHook completion_hook_;
+
+  FailureDetector detector_;
+  // Workers that crashed but have not been declared dead yet (zombies), and
+  // when they crashed (for detection-latency accounting).
+  std::unordered_set<std::uint64_t> crashed_;
+  std::unordered_map<std::uint64_t, SimTime> crash_time_;
+  SimTime dispatch_hold_until_ = 0.0;  // broker re-sync window
 };
 
 // ---- Fig. 4 architecture factories ------------------------------------------

@@ -7,6 +7,7 @@ const char* to_string(TaskState s) {
     case TaskState::kPending: return "pending";
     case TaskState::kRunning: return "running";
     case TaskState::kMigrating: return "migrating";
+    case TaskState::kCrashRecovering: return "crash_recovering";
     case TaskState::kCompleted: return "completed";
     case TaskState::kFailed: return "failed";
     case TaskState::kExpired: return "expired";

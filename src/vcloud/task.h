@@ -1,4 +1,14 @@
 // Task model and workload generation for vehicular cloud computing.
+//
+// Lifecycle: kPending -> kRunning -> kCompleted, with three detours.
+// A *graceful* worker departure (membership drops the worker while the
+// vehicle is still reachable) moves the task to kMigrating while its
+// encrypted checkpoint travels to a successor (handover.h). A worker
+// *crash* (no handover opportunity; detected only via missed heartbeats)
+// moves it to kCrashRecovering: progress rolls back to the last periodic
+// checkpoint the broker holds — zero when checkpointing is off — and the
+// task re-queues for dispatch. Tasks past their deadline end kExpired;
+// tasks with no recovery path end kFailed.
 #pragma once
 
 #include <vector>
@@ -10,12 +20,14 @@
 namespace vcl::vcloud {
 
 enum class TaskState : std::uint8_t {
-  kPending,    // queued at the broker
+  kPending,          // queued at the broker
   kRunning,
-  kMigrating,  // checkpoint in flight to a new worker
+  kMigrating,        // checkpoint in flight to a new worker (graceful path)
+  kCrashRecovering,  // worker crashed/declared dead; re-queued from the last
+                     // broker-held checkpoint (crash path)
   kCompleted,
-  kFailed,     // worker lost, no handover possible
-  kExpired,    // missed its deadline
+  kFailed,           // worker lost, no handover possible
+  kExpired,          // missed its deadline
 };
 
 const char* to_string(TaskState s);
@@ -31,6 +43,9 @@ struct Task {
   TaskState state = TaskState::kPending;
   VehicleId worker;         // current assignee (when running/migrating)
   double progress = 0.0;    // completed work units
+  // Work units persisted at the broker by periodic checkpointing — the
+  // crash-survivable floor progress rolls back to (0 = nothing persisted).
+  double checkpoint_progress = 0.0;
   SimTime run_started = 0.0;
   int migrations = 0;
   SimTime completed_at = 0.0;

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "cluster/moving_zone.h"
 #include "vcloud/cloud.h"
 #include "vcloud/replication.h"
@@ -33,6 +39,20 @@ TEST(Workload, GeneratesPositiveTasks) {
   }
 }
 
+TEST(TaskStateLabels, CoversEveryState) {
+  const TaskState all[] = {
+      TaskState::kPending,   TaskState::kRunning,   TaskState::kMigrating,
+      TaskState::kCrashRecovering, TaskState::kCompleted, TaskState::kFailed,
+      TaskState::kExpired};
+  std::set<std::string> seen;
+  for (const TaskState s : all) {
+    const std::string label = to_string(s);
+    EXPECT_NE(label, "unknown");
+    seen.insert(label);
+  }
+  EXPECT_EQ(seen.size(), std::size(all));  // every label is distinct
+}
+
 TEST(Handover, CheckpointGrowsWithProgress) {
   HandoverConfig cfg;
   Task t;
@@ -53,6 +73,81 @@ TEST(Handover, EncryptionAddsLatency) {
   const ResourceProfile p;
   EXPECT_GT(migration_latency(t, p, p, enc, costs),
             migration_latency(t, p, p, plain, costs));
+}
+
+TEST(Handover, ZeroProgressCheckpointIsBaseSize) {
+  HandoverConfig cfg;
+  Task t;
+  t.work = 100;
+  t.progress = 0;
+  EXPECT_DOUBLE_EQ(checkpoint_mb(t, cfg), cfg.checkpoint_mb_base);
+}
+
+TEST(Handover, UnencryptedMigrationIsTransferOnly) {
+  HandoverConfig cfg;
+  cfg.encrypted = false;
+  Task t;
+  t.progress = 10;
+  const crypto::CostModel costs;
+  const ResourceProfile p;
+  const double mb = checkpoint_mb(t, cfg);
+  const double transfer = mb * 8.0 / std::max(p.bandwidth_mbps, 0.1);
+  EXPECT_DOUBLE_EQ(migration_latency(t, p, p, cfg, costs), transfer);
+}
+
+TEST(Handover, MigrationLatencyMonotonicInProgress) {
+  HandoverConfig cfg;
+  const crypto::CostModel costs;
+  const ResourceProfile p;
+  Task t;
+  t.work = 100;
+  double prev = -1.0;
+  for (const double progress : {0.0, 10.0, 40.0, 90.0}) {
+    t.progress = progress;
+    const double lat = migration_latency(t, p, p, cfg, costs);
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(Dependability, RetryBackoffGrowsAndStaysPositive) {
+  RetryConfig cfg;
+  cfg.ack_timeout = 0.5;
+  cfg.backoff = 2.0;
+  cfg.jitter = 0.25;
+  Rng rng(7);
+  double prev_hi = 0.0;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const double nominal = cfg.ack_timeout * std::pow(cfg.backoff, attempt - 1);
+    for (int i = 0; i < 50; ++i) {
+      const SimTime d = retry_backoff(cfg, attempt, rng);
+      EXPECT_GT(d, 0.0);
+      EXPECT_GE(d, nominal * (1.0 - cfg.jitter) - 1e-12);
+      EXPECT_LE(d, nominal * (1.0 + cfg.jitter) + 1e-12);
+    }
+    EXPECT_GT(nominal * (1.0 - cfg.jitter), prev_hi / 4.0);  // keeps growing
+    prev_hi = nominal * (1.0 + cfg.jitter);
+  }
+}
+
+TEST(Dependability, DetectorSweepsOnlySilentWorkers) {
+  FailureDetectorConfig cfg;
+  cfg.heartbeat_period = 1.0;
+  cfg.missed_beats_to_kill = 3;
+  FailureDetector det(cfg);
+  det.track(VehicleId{1}, 0.0);
+  det.track(VehicleId{2}, 0.0);
+  det.observe(VehicleId{1}, 2.5);  // v1 keeps beating, v2 goes silent
+  EXPECT_TRUE(det.sweep(2.9).empty());  // nobody past k*period yet
+  const auto dead = det.sweep(3.5);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], VehicleId{2});
+  det.forget(VehicleId{2});
+  EXPECT_TRUE(det.sweep(3.5).empty());
+  // reset_all grants a fresh grace window (new broker re-sync semantics).
+  det.track(VehicleId{2}, 3.5);
+  det.reset_all(100.0);
+  EXPECT_TRUE(det.sweep(102.9).empty());
 }
 
 TEST(Schedulers, GreedyPicksFastestIdle) {
@@ -345,6 +440,198 @@ TEST_F(CloudFixture, DynamicCloudFollowsCluster) {
   cloud.refresh();
   EXPECT_EQ(cloud.member_count(), 5u);
   EXPECT_GT(cloud.region().radius, 0.0);
+}
+
+// ---- Dependability: crashes, heartbeats, retry, checkpoints, replicas ---------
+
+TEST_F(CloudFixture, CrashWithoutDetectorHangsForever) {
+  CloudConfig config;  // every dependability knob off: the §III collapse case
+  auto cloud = make_stationary_cloud(3, config);
+  cloud->attach();
+  Task t;
+  t.work = 30.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(2.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  const VehicleId victim = cloud->find_task(id)->worker;
+  cloud->crash_worker(victim);
+  traffic_.despawn(victim);
+  sim_.run_until(500.0);
+  // Nobody ever tells the cloud: the task hangs on the zombie forever.
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  EXPECT_EQ(cloud->stats().completed, 0u);
+  EXPECT_TRUE(cloud->worker_crashed(victim));
+}
+
+TEST_F(CloudFixture, HeartbeatLossWithoutCrashIsFalsePositive) {
+  CloudConfig config;
+  config.dependability.detector.enabled = true;
+  config.dependability.detector.heartbeat_period = 1.0;
+  config.dependability.detector.missed_beats_to_kill = 3;
+  auto cloud = make_stationary_cloud(4, config);
+  cloud->attach();
+  Task t;
+  t.work = 60.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(2.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  // Jam the whole lot: every heartbeat is lost, but NOBODY crashed.
+  const std::uint64_t token = net_.channel().add_blackout({{100, 0}, 5000.0});
+  sim_.run_until(10.0);
+  EXPECT_GE(cloud->stats().false_positive_kills, 1u);
+  EXPECT_EQ(cloud->stats().crash_kills, 0u);
+  // The blackout lifts: falsely-killed live workers re-join on refresh and
+  // the task still completes.
+  net_.channel().remove_blackout(token);
+  sim_.run_until(400.0);
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+}
+
+TEST_F(CloudFixture, CrashRecoveryResumesFromCheckpoint) {
+  CloudConfig config;
+  config.dependability.detector.enabled = true;
+  config.dependability.checkpoint.enabled = true;
+  config.dependability.checkpoint.period = 2.0;
+  auto cloud = make_stationary_cloud(4, config);
+  cloud->attach();
+  Task t;
+  t.work = 200.0;  // long enough to still be running at the crash
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(11.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  const VehicleId victim = cloud->find_task(id)->worker;
+  cloud->crash_worker(victim);
+  traffic_.despawn(victim);
+  const double at_crash = cloud->find_task(id)->progress;
+  const double checkpointed = cloud->find_task(id)->checkpoint_progress;
+  EXPECT_GT(at_crash, 0.0);
+  EXPECT_GT(checkpointed, 0.0);
+  EXPECT_LE(checkpointed, at_crash);
+  sim_.run_until(2000.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+  EXPECT_EQ(cloud->stats().crash_kills, 1u);
+  EXPECT_EQ(cloud->stats().false_positive_kills, 0u);
+  ASSERT_EQ(cloud->stats().detection_latency.count(), 1u);
+  EXPECT_GE(cloud->stats().detection_latency.mean(),
+            config.dependability.detector.heartbeat_period *
+                config.dependability.detector.missed_beats_to_kill);
+  EXPECT_GT(cloud->stats().checkpoints, 0u);
+  EXPECT_GT(cloud->stats().checkpoint_mb, 0.0);
+  // Only the delta since the last checkpoint was lost.
+  EXPECT_NEAR(cloud->stats().wasted_work, at_crash - checkpointed, 1e-9);
+  EXPECT_LT(cloud->stats().wasted_work, at_crash);
+}
+
+TEST_F(CloudFixture, CrashRecoveryWithoutCheckpointRestartsFromZero) {
+  CloudConfig config;
+  config.dependability.detector.enabled = true;  // checkpointing OFF
+  auto cloud = make_stationary_cloud(4, config);
+  cloud->attach();
+  Task t;
+  t.work = 200.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(11.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  const VehicleId victim = cloud->find_task(id)->worker;
+  cloud->crash_worker(victim);
+  traffic_.despawn(victim);
+  const double at_crash = cloud->find_task(id)->progress;
+  EXPECT_GT(at_crash, 0.0);
+  sim_.run_until(2000.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+  // Everything earned before the crash was thrown away.
+  EXPECT_NEAR(cloud->stats().wasted_work, at_crash, 1e-9);
+  EXPECT_GE(cloud->stats().reallocations, 1u);
+  EXPECT_EQ(cloud->stats().crash_kills, 1u);
+}
+
+TEST_F(CloudFixture, SoleWorkerCrashLeavesTaskCrashRecovering) {
+  CloudConfig config;
+  config.dependability.detector.enabled = true;
+  auto cloud = make_stationary_cloud(1, config);
+  cloud->attach();
+  Task t;
+  t.work = 50.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(2.0);
+  const VehicleId victim = cloud->find_task(id)->worker;
+  cloud->crash_worker(victim);
+  traffic_.despawn(victim);
+  sim_.run_until(30.0);
+  // Declared dead, rolled back, re-queued — but no worker remains.
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCrashRecovering);
+  EXPECT_EQ(cloud->stats().crash_kills, 1u);
+  EXPECT_EQ(cloud->pending_count(), 1u);
+}
+
+TEST_F(CloudFixture, DispatchRetriesUnderBlackoutThenCompletes) {
+  CloudConfig config;
+  config.dependability.retry.enabled = true;
+  config.dependability.retry.max_attempts = 3;
+  config.dependability.retry.ack_timeout = 0.5;
+  auto cloud = make_stationary_cloud(3, config);
+  cloud->attach();
+  const std::uint64_t token = net_.channel().add_blackout({{100, 0}, 5000.0});
+  Task t;
+  t.work = 10.0;
+  const TaskId id = cloud->submit(t);
+  EXPECT_GE(cloud->stats().retries, 1u);  // the first send fails right away
+  sim_.run_until(5.0);
+  EXPECT_EQ(cloud->stats().completed, 0u);  // nothing got through
+  net_.channel().remove_blackout(token);
+  sim_.run_until(200.0);
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+  EXPECT_GT(cloud->stats().retries, 1u);
+}
+
+TEST_F(CloudFixture, SpeculativeReplicaFirstFinisherWins) {
+  CloudConfig config;
+  config.dependability.speculation.enabled = true;
+  config.dependability.speculation.min_spare_workers = 1;
+  auto cloud = make_stationary_cloud(4, config);
+  cloud->attach();
+  Task t;
+  t.work = 20.0;
+  t.deadline = 500.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(300.0);
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+  EXPECT_EQ(cloud->stats().completed, 1u);  // the loser does not double-count
+  EXPECT_EQ(cloud->stats().replicas_launched, 1u);
+  EXPECT_GT(cloud->stats().redundant_work, 0.0);  // the loser's effort
+}
+
+TEST_F(CloudFixture, ReplicaRescuesCrashedPrimary) {
+  CloudConfig config;
+  config.dependability.detector.enabled = true;
+  config.dependability.speculation.enabled = true;
+  auto cloud = make_stationary_cloud(4, config);
+  cloud->attach();
+  Task t;
+  t.work = 60.0;
+  t.deadline = 1000.0;
+  const TaskId id = cloud->submit(t);
+  sim_.run_until(2.0);
+  ASSERT_EQ(cloud->find_task(id)->state, TaskState::kRunning);
+  const VehicleId primary = cloud->find_task(id)->worker;
+  cloud->crash_worker(primary);
+  traffic_.despawn(primary);
+  sim_.run_until(900.0);
+  EXPECT_EQ(cloud->find_task(id)->state, TaskState::kCompleted);
+  EXPECT_EQ(cloud->stats().crash_kills, 1u);
+  EXPECT_EQ(cloud->stats().replicas_launched, 1u);
+}
+
+TEST_F(CloudFixture, StatsReportingIsWellFormed) {
+  auto cloud = make_stationary_cloud(2);
+  Task t;
+  t.work = 5.0;
+  cloud->submit(t);
+  sim_.run_until(60.0);
+  const CloudStats& s = cloud->stats();
+  EXPECT_FALSE(s.to_string().empty());
+  EXPECT_EQ(CloudStats::table_columns().size(), s.table_row().size());
+  EXPECT_DOUBLE_EQ(s.completion_rate(), 1.0);
 }
 
 // ---- Replication ----------------------------------------------------------------
