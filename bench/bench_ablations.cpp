@@ -9,9 +9,23 @@
 
 #include "core/system.h"
 #include "routing/greedy_geo.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -69,7 +83,10 @@ double run_delivery(SimTime beacon_period, SimTime neighbor_ttl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_ablations", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E16: design-choice ablations\n\n";
 
   // A. Seed sensitivity of the E8 headline.
@@ -88,7 +105,7 @@ int main() {
     table.add_row({"mean±std", "", "",
                    Table::num(gaps.mean(), 3) + "±" +
                        Table::num(gaps.stddev(), 3)});
-    table.print(std::cout);
+    emit_table(table);
   }
 
   // B. Broker hysteresis.
@@ -135,7 +152,7 @@ int main() {
       table.add_row({Table::num(h, 2), std::to_string(broker.changes()),
                      std::to_string(completions)});
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   // C. Beacon period.
@@ -146,7 +163,7 @@ int main() {
       table.add_row({Table::num(period, 1),
                      Table::num(run_delivery(period, 3.0, 9), 3)});
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   // D. Neighbor TTL.
@@ -157,7 +174,7 @@ int main() {
       table.add_row(
           {Table::num(ttl, 1), Table::num(run_delivery(1.0, ttl, 9), 3)});
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   std::cout
@@ -172,5 +189,9 @@ int main() {
          "tolerate individual beacon loss. One neighbor table cannot serve\n"
          "both masters optimally; protocols should filter by link quality,\n"
          "not just recency.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

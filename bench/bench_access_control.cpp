@@ -11,9 +11,23 @@
 
 #include "access/role_manager.h"
 #include "access/sticky_package.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 using namespace vcl::access;
 
 namespace {
@@ -33,7 +47,10 @@ Policy and_policy(int leaves) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_access_control", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E12: access control latency (paper §III.C)\n\n";
   AbeAuthority authority(99);
   crypto::Drbg drbg(std::uint64_t{1});
@@ -68,7 +85,7 @@ int main() {
                        Table::num(costs.total(dec_ops) / kMilliseconds, 2),
                        Table::num(enc_us, 1), Table::num(dec_us, 1)});
   }
-  abe_table.print(std::cout);
+  emit_table(abe_table);
 
   // ---- sticky package end-to-end ------------------------------------------------
   Table pkg_table("sticky package access (policy '(role:head & zone:z) | "
@@ -100,7 +117,7 @@ int main() {
                        Table::num(costs.total(deny_ops) / kMilliseconds, 2),
                        "fails at first unsatisfied gate; still audited"});
   }
-  pkg_table.print(std::cout);
+  emit_table(pkg_table);
 
   // ---- context switches -----------------------------------------------------------
   RoleManager roles;
@@ -136,7 +153,7 @@ int main() {
     ctx_table.add_row({t.label, std::to_string(delta),
                        Table::num(costs.total(ops) / kMilliseconds, 2)});
   }
-  ctx_table.print(std::cout);
+  emit_table(ctx_table);
 
   // ---- emergency grant latency ------------------------------------------------------
   // Paper: "additional permissions ... should be granted to another vehicle
@@ -157,6 +174,10 @@ int main() {
     std::cout << "emergency grant latency (modeled OBU): " << Table::num(ms, 2)
               << " ms  -> " << (ms < 10.0 ? "meets" : "MISSES")
               << " the paper's milliseconds budget\n";
+  }
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
   }
   return 0;
 }

@@ -15,9 +15,23 @@
 #include "core/scenario.h"
 #include "routing/greedy_geo.h"
 #include "core/system.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -55,7 +69,10 @@ double run_suppression(double attacker_fraction, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_attack_resilience", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E11: attack resilience\n\n";
 
   // ---- suppression sweep -----------------------------------------------------
@@ -66,7 +83,7 @@ int main() {
     sup_table.add_row(
         {Table::num(frac, 1), Table::num(run_suppression(frac, 321), 3)});
   }
-  sup_table.print(std::cout);
+  emit_table(sup_table);
 
   // ---- DoS -------------------------------------------------------------------
   // Junk flooding erodes channel reception; measured as multi-hop delivery
@@ -139,7 +156,7 @@ int main() {
     add("during flood (60s)", phase(60.0));
     flooder.stop();
     add("after (60s)", phase(60.0));
-    dos_table.print(std::cout);
+    emit_table(dos_table);
     std::cout << "junk messages transmitted: " << flooder.junk_sent()
               << "\n\n";
   }
@@ -179,7 +196,7 @@ int main() {
                           std::to_string(accepted_no_defense)});
     replay_table.add_row({"+ freshness (timestamp+nonce)",
                           std::to_string(accepted_with_defense)});
-    replay_table.print(std::cout);
+    emit_table(replay_table);
   }
 
   std::cout
@@ -189,5 +206,9 @@ int main() {
          "carried backlog draining once the channel clears); replay defeats\n"
          "pure signature checking and is fully stopped by binding\n"
          "timestamp+nonce into the signed payload.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -8,12 +8,29 @@
 #include <iostream>
 
 #include "core/scenario.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 #include "vcloud/cloudlet.h"
 
 using namespace vcl;
 
-int main() {
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_cloudlets", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E19: roadside cloudlets vs central cloud\n"
             << "80 vehicles, 240 s, one task per vehicle every ~6 s\n\n";
 
@@ -64,7 +81,7 @@ int main() {
                    std::to_string(grid.handoffs()),
                    std::to_string(grid.attaches())});
   }
-  table.print(std::cout);
+  emit_table(table);
 
   std::cout
       << "Shape vs Yu et al. [45]: dense RSUs keep tasks local and fast;\n"
@@ -72,5 +89,9 @@ int main() {
          "the WAN round trip; roaming handoffs track how often moving\n"
          "vehicles must re-select their cloudlet — overlapping coverage\n"
          "(400 m) turns coverage-gap re-attaches into seamless handoffs.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -12,9 +12,23 @@
 #include "cluster/speed_clustering.h"
 #include "cluster/stability.h"
 #include "core/scenario.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -28,7 +42,10 @@ std::unique_ptr<cluster::ClusterManager> make_manager(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_clustering_stability", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E7: clustering stability (120 s of traffic, 1 Hz rounds)\n\n";
 
   struct Regime {
@@ -67,7 +84,7 @@ int main() {
                      Table::num(tracker.cluster_count().mean(), 1),
                      Table::num(tracker.cluster_size().mean(), 1)});
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   std::cout
@@ -76,5 +93,9 @@ int main() {
          "blend lengthen head tenure; moving zones trade more, smaller\n"
          "clusters for the longest-lived captains on the highway where\n"
          "velocity grouping is cleanest.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

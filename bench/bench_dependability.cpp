@@ -24,9 +24,23 @@
 #include <iostream>
 
 #include "core/system.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -118,7 +132,10 @@ const Row& find_row(const std::vector<Row>& rows, const std::string& mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_dependability", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E22 (paper §III): task dependability under injected faults\n"
             << "50 parked workers, task every 0.5 s (mean work 30, deadline "
                "60 s),\n300 s per cell; every mode at a given intensity faces "
@@ -147,7 +164,7 @@ int main() {
                    std::to_string(s.false_positive_kills),
                    Table::num(s.detection_latency.mean(), 2)});
   }
-  table.print(std::cout);
+  emit_table(table);
 
   // Qualitative acceptance checks (printed, not asserted: this is a bench).
   const double high = rates.back();
@@ -178,5 +195,9 @@ int main() {
                "blackouts; checkpoints shrink the wasted-work bill; retry +\n"
                "speculation trade redundant compute for the last points of\n"
                "completion.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -9,13 +9,30 @@
 
 #include "core/scenario.h"
 #include "net/dissemination.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 #include "vcloud/cloud.h"
 #include "vcloud/incentive.h"
 
 using namespace vcl;
 
-int main() {
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_dissemination", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E20: dissemination scheduling & incentives\n\n";
 
   // ---- Part 1: scheduling policies under Zipf demand ---------------------------
@@ -53,7 +70,7 @@ int main() {
                          Table::num(sched.wait_time().percentile(95), 2),
                          Table::num(sched.jain_fairness(), 3)});
   }
-  sched_table.print(std::cout);
+  emit_table(sched_table);
 
   // ---- Part 2: incentive loop in a live cloud ----------------------------------
   core::ScenarioConfig cfg;
@@ -122,7 +139,7 @@ int main() {
                      Table::num(member_balance.mean(), 1)});
   inc_table.add_row({"free riders (request only)", std::to_string(rider_submits),
                      Table::num(rider_balance.mean(), 1)});
-  inc_table.print(std::cout);
+  emit_table(inc_table);
   std::cout << "throttled submissions: " << ledger.throttled() << "\n\n";
 
   std::cout
@@ -134,5 +151,9 @@ int main() {
          "credit loop lets working members keep requesting indefinitely\n"
          "while pure consumers exhaust their balance and are throttled —\n"
          "participation becomes individually rational, per Kong et al.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

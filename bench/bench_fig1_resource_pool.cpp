@@ -8,9 +8,23 @@
 #include <iostream>
 
 #include "core/system.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -21,7 +35,10 @@ struct MixSpec {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig1_resource_pool", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E5 (Fig. 1): pooled v-cloud resources vs density and "
                "automation mix\n\n";
 
@@ -61,6 +78,10 @@ int main() {
                      Table::num(sensors.mean(), 0)});
     }
   }
-  table.print(std::cout);
+  emit_table(table);
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -19,9 +19,23 @@
 #include <iostream>
 
 #include "core/system.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -90,7 +104,10 @@ Row run_cloud(const std::string& name, core::SystemConfig cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig2_cloud_comparison", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E1 (Fig. 2): conventional vs mobile vs vehicular clouds\n"
             << "240 s each (RSU outage in the second half), same task "
                "stream\n\n";
@@ -140,7 +157,7 @@ int main() {
                    Table::num(r.outage_collapse, 2),
                    Table::num(r.p95_latency, 1), Table::num(r.completion, 2)});
   }
-  table.print(std::cout);
+  emit_table(table);
 
   std::cout
       << "Shape vs paper Fig. 2: conventional = most stable and most\n"
@@ -149,5 +166,9 @@ int main() {
          "(infrastructure reliance HIGH); vehicular = capable nodes, high\n"
          "reconfiguration rate (mobility HIGH) but keeps completing tasks\n"
          "with the infrastructure gone (reliance LOW).\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

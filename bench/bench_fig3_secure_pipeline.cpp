@@ -8,9 +8,23 @@
 #include <iostream>
 
 #include "core/pipeline.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 using namespace vcl::core;
 
 namespace {
@@ -34,7 +48,10 @@ trust::EventCluster consensus_cluster(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig3_secure_pipeline", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E4 (Fig. 3): secure pipeline latency "
                "(authenticate -> authorize -> trust)\n\n";
 
@@ -97,7 +114,7 @@ int main() {
                      result.within_budget ? "yes" : "NO"});
     }
   }
-  table.print(std::cout);
+  emit_table(table);
 
   // Budget-violation sweep: how tight can the deadline be?
   Table budget_table("budget violation rate vs deadline (pseudonym, 4-leaf "
@@ -131,11 +148,15 @@ int main() {
     budget_table.add_row({Table::num(budget_ms, 0), std::to_string(violations),
                           Table::num(static_cast<double>(violations) / n, 2)});
   }
-  budget_table.print(std::cout);
+  emit_table(budget_table);
 
   std::cout << "Shape: authentication dominates for small policies; ABE\n"
                "authorization dominates beyond ~4 leaves. Budgets below the\n"
                "sum of one verify chain are infeasible on OBU-class\n"
                "hardware — quantifying §III.C's warning.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

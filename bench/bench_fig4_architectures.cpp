@@ -9,9 +9,23 @@
 #include <iostream>
 
 #include "core/system.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -77,7 +91,10 @@ ArchResult run_architecture(core::CloudArchitecture arch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig4_architectures", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E2 (Fig. 4): stationary vs infrastructure-based vs dynamic\n"
             << "phases: normal 150 s | all RSUs fail 150 s | recovery 100 "
                "s\n\n";
@@ -96,7 +113,7 @@ int main() {
                    Table::num(r.disaster.members, 1),
                    Table::num(r.mean_latency, 1)});
   }
-  table.print(std::cout);
+  emit_table(table);
 
   std::cout
       << "Shape vs paper: the infrastructure-based cloud loses its members\n"
@@ -104,5 +121,9 @@ int main() {
          "unaffected but only exists where parked fleets do; the dynamic\n"
          "cloud's membership and completions ride through the disaster —\n"
          "\"the most promising for handling emergency responses\" (§II.C).\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -20,9 +20,23 @@
 #include "auth/hybrid_auth.h"
 #include "auth/privacy_metrics.h"
 #include "core/scenario.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -88,7 +102,10 @@ ProtocolRow run_protocol(const std::string& name, core::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig5_auth_protocols", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E3 (Fig. 5): authentication protocol comparison\n"
             << "60 s drive, 40 vehicles, 1 Hz signed beacons; OBU-class "
                "costs via CostModel\n\n";
@@ -212,7 +229,7 @@ int main() {
                    Table::num(r.tracking_recall, 3),
                    Table::num(r.ta_contacts_per_1k, 2)});
   }
-  table.print(std::cout);
+  emit_table(table);
 
   // ---- CRL growth (the pseudonym-specific cost) --------------------------------
   Table crl_table("CRL lookup cost vs revocation history (pseudonym only)",
@@ -237,7 +254,7 @@ int main() {
                        Table::num(us, 3)});
     (void)hits;
   }
-  crl_table.print(std::cout);
+  emit_table(crl_table);
 
   std::cout
       << "Shape vs paper: pseudonym pays two signature verifications per\n"
@@ -245,5 +262,9 @@ int main() {
          "its pseudonyms are linkable between rotations (linkability > 0).\n"
          "Group tags are sender-anonymous (anonymity = group size) but the\n"
          "manager can open them; hybrid avoids the CRL entirely.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

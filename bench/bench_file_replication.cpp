@@ -12,9 +12,23 @@
 #include "vcloud/cloud.h"
 #include "crypto/drbg.h"
 #include "vcloud/replication.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -73,7 +87,10 @@ ReplResult run(std::size_t target, bool repair_enabled, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_file_replication", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E9: file availability vs replica target under cluster churn\n"
             << "40 files in the largest moving cluster, 240 s, sampled "
                "every 5 s\n\n";
@@ -90,12 +107,16 @@ int main() {
                      std::to_string(r.repairs), Table::num(r.mb_copied, 1)});
     }
   }
-  table.print(std::cout);
+  emit_table(table);
 
   std::cout
       << "Shape vs §III.A: single copies die with their holder; each\n"
          "additional replica buys availability at linear storage/copy\n"
          "cost, and active repair keeps availability near 1.0 once the\n"
          "target covers typical per-interval churn (~3 here).\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

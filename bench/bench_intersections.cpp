@@ -12,9 +12,23 @@
 #include "core/scenario.h"
 #include "core/vtl.h"
 #include "mobility/intersection.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -63,7 +77,10 @@ RunResult run(const std::string& controller, int vehicles,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_intersections", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E18: intersection management — VTL (V2V) vs fixed signals\n"
             << "4x4 city grid, 240 s\n\n";
 
@@ -80,7 +97,7 @@ int main() {
                                          : "-"});
     }
   }
-  table.print(std::cout);
+  emit_table(table);
 
   std::cout
       << "Shape vs the VTL literature the paper builds on: demand-driven\n"
@@ -90,5 +107,9 @@ int main() {
          "is the paper's recurring argument. Leader turnover is the price:\n"
          "every crossing leader hands the decision role to a successor\n"
          "(§III.A's dynamic role assignment, measured).\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -15,9 +15,23 @@
 #include "routing/greedy_geo.h"
 #include "routing/mozo_routing.h"
 #include "routing/quality_greedy.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -86,7 +100,10 @@ RunResult run_protocol(const std::string& protocol, core::Environment env,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_routing_protocols", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E6: routing protocols — delivery / delay / overhead\n"
             << "160 random unicasts over 40 s per cell; city grid and "
                "highway\n\n";
@@ -110,7 +127,7 @@ int main() {
                        Table::num(r.overhead, 1), Table::num(r.hops, 1)});
       }
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   // ---- Disconnected-islands scenario: bus-trajectory ferrying [36] -----------
@@ -164,7 +181,7 @@ int main() {
     };
     run_island("greedy_geo");
     run_island("bus_ferry");
-    table.print(std::cout);
+    emit_table(table);
   }
 
   std::cout
@@ -179,5 +196,9 @@ int main() {
          "highway. And when the network is truly partitioned, only the\n"
          "bus-trajectory ferry [36] crosses — at minutes of delay, the\n"
          "honest price of delay-tolerant delivery.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

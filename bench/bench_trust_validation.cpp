@@ -14,9 +14,23 @@
 #include "trust/classifier.h"
 #include "trust/dempster_shafer.h"
 #include "trust/validators.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 using namespace vcl::trust;
 
 namespace {
@@ -140,7 +154,10 @@ double accuracy(const Validator& validator, const Scene& scene) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_trust_validation", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E10: validator accuracy vs attacker fraction\n"
             << "6 real events, 40 honest witnesses; attackers deny real "
                "events and fabricate fakes\n\n";
@@ -164,7 +181,7 @@ int main() {
                      Table::num(accuracy(bayes, scene), 2),
                      Table::num(accuracy(ds, scene), 2)});
     }
-    table.print(std::cout);
+    emit_table(table);
   }
 
   // Reputation baseline vs pseudonym rotation (the paper's §III.D point).
@@ -194,7 +211,7 @@ int main() {
     rep_table.add_row({rotate ? "rotating (fresh each round)" : "stable",
                        Table::num(last_accuracy, 2)});
   }
-  rep_table.print(std::cout);
+  emit_table(rep_table);
 
   std::cout
       << "Shape vs §III.D: majority voting degrades linearly with attacker\n"
@@ -202,5 +219,9 @@ int main() {
          "far-away denial pattern; reputation only helps when credentials\n"
          "persist — rotation resets it to a majority vote, which is the\n"
          "paper's argument for validating content, not senders.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -8,10 +8,24 @@
 #include <iostream>
 
 #include "auth/scra.h"
+#include "obs/bench_output.h"
 #include "util/table.h"
 #include "vcloud/verifiable.h"
 
 using namespace vcl;
+
+namespace {
+
+// Prints the table and, when --json was given, collects it for the
+// vcl-bench-v1 document written at exit (see obs/bench_output.h).
+obs::BenchReporter* g_report = nullptr;
+
+void emit_table(const Table& t) {
+  t.print(std::cout);
+  if (g_report != nullptr) g_report->add(t);
+}
+
+}  // namespace
 
 namespace {
 
@@ -68,7 +82,10 @@ VerifRow run(std::size_t replicas, double cheater_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_verifiable", argc, argv);
+  g_report = &reporter;
+
   std::cout << "E21: verifiable computing & real-time signing\n\n";
 
   Table table("PTVC-style redundant execution (40 jobs, 10 workers)",
@@ -83,7 +100,7 @@ int main() {
                      Table::num(r.work_overhead, 0)});
     }
   }
-  table.print(std::cout);
+  emit_table(table);
 
   // ---- SCRA ---------------------------------------------------------------
   const crypto::CostModel costs;
@@ -107,7 +124,7 @@ int main() {
                         Table::num(costs.total(offline) / kMilliseconds, 2),
                         std::to_string(60 * 10) + " entries"});
   }
-  scra_table.print(std::cout);
+  emit_table(scra_table);
 
   // Functional spot check so the table is backed by a real implementation.
   {
@@ -136,5 +153,9 @@ int main() {
          "dominate a quorum. SCRA moves the 1.2 ms signature offline,\n"
          "leaving ~5 us of online work per safety message: a 60 s burst at\n"
          "10 Hz costs one 600-entry table computed during idle time.\n";
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the figure-reproducing benches with --json and aggregates their
+# vcl-bench-v1 documents into one BENCH_summary.json:
+#
+#   scripts/collect_bench.sh [build_dir] [out_file]
+#
+# Defaults: build_dir=build, out_file=BENCH_summary.json. Every document is
+# validated against the shared schema (schema/bench/scalars/tables keys)
+# before it is merged; a bench that fails to run or emits a malformed
+# document fails the script.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_summary.json}"
+
+# The paper-figure benches plus the dependability experiment: the set CI
+# tracks over time. Add a bench here once it matters for a figure.
+BENCHES=(
+  bench_fig1_resource_pool
+  bench_fig2_cloud_comparison
+  bench_fig3_secure_pipeline
+  bench_fig4_architectures
+  bench_fig5_auth_protocols
+  bench_dependability
+)
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 1
+  fi
+  echo "running $bench ..." >&2
+  "$bin" --json "$tmpdir/$bench.json" > "$tmpdir/$bench.log"
+done
+
+python3 - "$tmpdir" "$OUT" "${BENCHES[@]}" <<'PY'
+import json
+import sys
+
+tmpdir, out = sys.argv[1], sys.argv[2]
+benches = sys.argv[3:]
+
+docs = []
+for bench in benches:
+    with open(f"{tmpdir}/{bench}.json") as f:
+        doc = json.load(f)
+    for key in ("schema", "bench", "scalars", "tables"):
+        if key not in doc:
+            sys.exit(f"error: {bench}: missing '{key}' in document")
+    if doc["schema"] != "vcl-bench-v1":
+        sys.exit(f"error: {bench}: unexpected schema {doc['schema']!r}")
+    if doc["bench"] != bench:
+        sys.exit(f"error: {bench}: document names itself {doc['bench']!r}")
+    for t in doc["tables"]:
+        if any(len(row) != len(t["columns"]) for row in t["rows"]):
+            sys.exit(f"error: {bench}: ragged rows in table {t['title']!r}")
+    docs.append(doc)
+
+with open(out, "w") as f:
+    json.dump({"schema": "vcl-bench-summary-v1", "benches": docs}, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(docs)} benches, "
+      f"{sum(len(d['tables']) for d in docs)} tables")
+PY

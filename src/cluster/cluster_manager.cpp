@@ -5,7 +5,8 @@
 namespace vcl::cluster {
 
 void ClusterManager::attach(SimTime period) {
-  net_.simulator().schedule_every(period, [this] { update(); });
+  net_.simulator().schedule_every(period, [this] { update(); }, -1.0,
+                                  "cluster.update");
 }
 
 ClusterRole ClusterManager::role(VehicleId v) const {

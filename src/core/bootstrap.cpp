@@ -8,7 +8,8 @@ BootstrapProtocol::BootstrapProtocol(net::Network& net,
     : net_(net), ta_(ta), config_(config), drbg_(std::uint64_t{0xB007}) {}
 
 void BootstrapProtocol::attach(SimTime period) {
-  net_.simulator().schedule_every(period, [this] { step(); });
+  net_.simulator().schedule_every(period, [this] { step(); }, -1.0,
+                                  "core.bootstrap");
 }
 
 JoinState BootstrapProtocol::state(VehicleId v) const {

@@ -11,7 +11,8 @@ TopologyArchive::TopologyArchive(net::Network& net, SnapshotConfig config,
 }
 
 void TopologyArchive::attach() {
-  net_.simulator().schedule_every(config_.period, [this] { capture(); });
+  net_.simulator().schedule_every(config_.period, [this] { capture(); }, -1.0,
+                                  "core.snapshot");
 }
 
 void TopologyArchive::capture() {

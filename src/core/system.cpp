@@ -105,6 +105,41 @@ void VehicularCloudSystem::start() {
     injector_->register_cloud(*cloud_);
     injector_->attach();
   }
+
+  // Telemetry last: every subsystem exists, so the recorder and the gauges
+  // can be threaded through in one place. Telemetry reads state and emits
+  // events but never perturbs RNG streams or scheduling of the workload
+  // itself (the sampler adds kernel events, which is why it is opt-in).
+  if (config_.telemetry.any()) {
+    telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+    if (config_.telemetry.tracing) {
+      net.set_trace(&telemetry_->trace);
+      cloud_->set_trace(&telemetry_->trace);
+      if (injector_ != nullptr) injector_->set_trace(&telemetry_->trace);
+      telemetry_->trace.record(scenario_.simulator().now(),
+                               obs::TraceCategory::kSim, "sim.start",
+                               {{"vehicles",
+                                 static_cast<double>(config_.scenario.vehicles)}});
+    }
+    if (config_.telemetry.metrics) {
+      net.register_metrics(telemetry_->metrics);
+      cloud_->register_metrics(telemetry_->metrics);
+      if (injector_ != nullptr) {
+        injector_->register_metrics(telemetry_->metrics);
+      }
+      telemetry_->metrics.gauge("sim.event.count", [this] {
+        return static_cast<double>(scenario_.simulator().events_processed());
+      });
+      telemetry_->metrics.gauge("sim.queue.high_water", [this] {
+        return static_cast<double>(scenario_.simulator().queue_high_water());
+      });
+      telemetry_->metrics.start_sampling(scenario_.simulator(),
+                                         config_.telemetry.sample_period);
+    }
+    if (config_.telemetry.profile_kernel) {
+      scenario_.simulator().enable_profiling(true);
+    }
+  }
 }
 
 void VehicularCloudSystem::run_for(SimTime seconds) {

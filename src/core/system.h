@@ -12,6 +12,7 @@
 #include "cluster/moving_zone.h"
 #include "core/scenario.h"
 #include "fault/fault_injector.h"
+#include "obs/telemetry.h"
 #include "vcloud/cloud.h"
 
 namespace vcl::core {
@@ -40,6 +41,10 @@ struct SystemConfig {
   // Fault injection (paper §III): all rates default to 0 = no faults. The
   // blackout box is filled from the road bounding box unless set explicitly.
   fault::FaultPlanConfig faults;
+  // Observability (DESIGN.md §6): tracing, metric sampling and kernel
+  // profiling, all off by default — a disabled run pays one branch per
+  // would-be event and stays bit-identical to the seed.
+  obs::TelemetryConfig telemetry;
 };
 
 class VehicularCloudSystem {
@@ -62,6 +67,8 @@ class VehicularCloudSystem {
   [[nodiscard]] auth::TrustedAuthority& authority() { return ta_; }
   // Present only when the fault config has a non-empty plan.
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+  // Present only when any telemetry piece is enabled in the config.
+  [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
@@ -71,6 +78,7 @@ class VehicularCloudSystem {
   auth::TrustedAuthority ta_;
   std::unique_ptr<vcloud::VehicularCloud> cloud_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
   bool started_ = false;
 };
 

@@ -8,7 +8,7 @@ void FaultInjector::attach() {
   sim::Simulator& sim = net_.simulator();
   for (const FaultEvent& e : plan_) {
     const SimTime delay = std::max(0.0, e.at - sim.now());
-    sim.schedule_after(delay, [this, e] { fire(e); });
+    sim.schedule_after(delay, [this, e] { fire(e); }, "fault.event");
   }
 }
 
@@ -53,6 +53,11 @@ void FaultInjector::fire(const FaultEvent& e) {
       if (!victim.valid() || net_.traffic().find(victim) == nullptr) return;
       crash_vehicle(victim);
       ++stats_.vehicle_crashes;
+      if (trace_ != nullptr) {
+        trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                       "fault.crash",
+                       {{"vehicle", static_cast<double>(victim.value())}});
+      }
       return;
     }
     case FaultKind::kBrokerCrash: {
@@ -63,6 +68,11 @@ void FaultInjector::fire(const FaultEvent& e) {
         if (broker.valid() && net_.traffic().find(broker) != nullptr) {
           crash_vehicle(broker);
           ++stats_.broker_crashes;
+          if (trace_ != nullptr) {
+            trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                           "fault.broker.crash",
+                           {{"vehicle", static_cast<double>(broker.value())}});
+          }
           return;
         }
       }
@@ -79,11 +89,25 @@ void FaultInjector::fire(const FaultEvent& e) {
       if (rsu == nullptr || !rsu->online) return;
       net_.rsus().set_online(target, false);
       ++stats_.rsu_outages;
+      if (trace_ != nullptr) {
+        trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                       "fault.rsu.outage",
+                       {{"rsu", static_cast<double>(target.value())},
+                        {"repair_after", e.repair_after}});
+      }
       if (e.repair_after > 0.0) {
-        net_.simulator().schedule_after(e.repair_after, [this, target] {
-          net_.rsus().set_online(target, true);
-          ++stats_.rsu_repairs;
-        });
+        net_.simulator().schedule_after(
+            e.repair_after,
+            [this, target] {
+              net_.rsus().set_online(target, true);
+              ++stats_.rsu_repairs;
+              if (trace_ != nullptr) {
+                trace_->record(net_.simulator().now(),
+                               obs::TraceCategory::kFault, "fault.rsu.repair",
+                               {{"rsu", static_cast<double>(target.value())}});
+              }
+            },
+            "fault.event");
       }
       return;
     }
@@ -92,12 +116,43 @@ void FaultInjector::fire(const FaultEvent& e) {
       const std::uint64_t token =
           net_.channel().add_blackout({e.center, e.radius});
       ++stats_.blackouts;
-      net_.simulator().schedule_after(e.duration, [this, token] {
-        net_.channel().remove_blackout(token);
-      });
+      if (trace_ != nullptr) {
+        trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                       "fault.blackout.start",
+                       {{"x", e.center.x},
+                        {"y", e.center.y},
+                        {"radius", e.radius},
+                        {"duration", e.duration}});
+      }
+      net_.simulator().schedule_after(
+          e.duration,
+          [this, token] {
+            net_.channel().remove_blackout(token);
+            if (trace_ != nullptr) {
+              trace_->record(net_.simulator().now(),
+                             obs::TraceCategory::kFault, "fault.blackout.end",
+                             {{"token", static_cast<double>(token)}});
+            }
+          },
+          "fault.event");
       return;
     }
   }
+}
+
+void FaultInjector::register_metrics(obs::MetricsRegistry& metrics) const {
+  metrics.gauge("fault.vehicle.crashed", [this] {
+    return static_cast<double>(stats_.vehicle_crashes);
+  });
+  metrics.gauge("fault.broker.crashed", [this] {
+    return static_cast<double>(stats_.broker_crashes);
+  });
+  metrics.gauge("fault.rsu.down", [this] {
+    return static_cast<double>(stats_.rsu_outages - stats_.rsu_repairs);
+  });
+  metrics.gauge("fault.blackout.active", [this] {
+    return static_cast<double>(net_.channel().blackout_count());
+  });
 }
 
 }  // namespace vcl::fault

@@ -24,6 +24,8 @@
 
 #include "fault/fault_plan.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vcloud/cloud.h"
 
 namespace vcl::fault {
@@ -53,6 +55,12 @@ class FaultInjector {
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+  // Telemetry (off by default): every fired fault becomes a fault.* trace
+  // event — the ground truth a trace analysis correlates detection latency
+  // and completion dips against.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  void register_metrics(obs::MetricsRegistry& metrics) const;
+
  private:
   void fire(const FaultEvent& e);
   void crash_vehicle(VehicleId v);
@@ -65,6 +73,7 @@ class FaultInjector {
   Rng rng_;
   std::vector<vcloud::VehicularCloud*> clouds_;
   FaultStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace vcl::fault

@@ -204,7 +204,7 @@ void TrafficModel::step(double dt) {
 }
 
 void TrafficModel::attach(sim::Simulator& sim, double dt) {
-  sim.schedule_every(dt, [this, dt] { step(dt); });
+  sim.schedule_every(dt, [this, dt] { step(dt); }, -1.0, "mobility.step");
 }
 
 double TrafficModel::route_time_to_exit(const VehicleState& v,

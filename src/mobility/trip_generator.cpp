@@ -81,7 +81,8 @@ void TripGenerator::attach(sim::Simulator& sim) {
         if (route.empty()) return std::nullopt;
         return route;
       });
-  sim.schedule_every(1.0, [this] { maybe_spawn_arrivals(1.0); });
+  sim.schedule_every(1.0, [this] { maybe_spawn_arrivals(1.0); }, -1.0,
+                     "mobility.spawn");
 }
 
 }  // namespace vcl::mobility

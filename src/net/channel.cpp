@@ -62,9 +62,14 @@ ReceptionResult Channel::attempt(geo::Vec2 from, geo::Vec2 to,
                                  std::size_t size_bytes,
                                  std::size_t local_density, Rng& rng) const {
   ReceptionResult r;
+  ++counters_.attempts;
+  if (!blackouts_.empty() && (blacked_out(from) || blacked_out(to))) {
+    ++counters_.blackout_drops;
+  }
   const double p = reception_probability(from, to, local_density);
   if (!rng.bernoulli(p)) return r;
   r.received = true;
+  ++counters_.delivered;
   // Jitter the deterministic delay by up to one extra backoff round.
   r.delay = hop_delay(size_bytes, local_density) *
             rng.uniform(1.0, 1.5);

@@ -35,6 +35,15 @@ struct ReceptionResult {
   SimTime delay = 0.0;  // valid when received
 };
 
+// PHY-level tallies, kept by the channel itself so observability reaches
+// below Network's accounting (a drop here distinguishes radio loss from
+// there being no handler). Registered as gauges by the telemetry layer.
+struct ChannelCounters {
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t blackout_drops = 0;  // attempts with an endpoint blacked out
+};
+
 // A circular region where radio reception is dead (jamming, tunnel, urban
 // canyon, post-disaster partition). While active, any transmission with an
 // endpoint inside the region fails.
@@ -74,10 +83,15 @@ class Channel {
   [[nodiscard]] bool blacked_out(geo::Vec2 pos) const;
   [[nodiscard]] std::size_t blackout_count() const { return blackouts_.size(); }
 
+  [[nodiscard]] const ChannelCounters& counters() const { return counters_; }
+
  private:
   ChannelConfig config_;
   std::vector<std::pair<std::uint64_t, BlackoutRegion>> blackouts_;
   std::uint64_t next_blackout_token_ = 1;
+  // attempt() is logically const (sampling does not change the model);
+  // the tallies are bookkeeping on the side.
+  mutable ChannelCounters counters_;
 };
 
 }  // namespace vcl::net

@@ -20,7 +20,8 @@ void Network::clear_handler(Address addr) { handlers_.erase(addr.key()); }
 
 void Network::start_beacons(SimTime period) {
   refresh();
-  sim_.schedule_every(period, [this] { beacon_round(); });
+  sim_.schedule_every(period, [this] { beacon_round(); }, -1.0,
+                      "net.beacon");
 }
 
 void Network::refresh() {
@@ -141,24 +142,40 @@ void Network::deliver(const Message& msg, Address to, SimTime delay) {
   auto it = handlers_.find(to.key());
   if (it != handlers_.end()) {
     const Handler& handler = it->second;
-    sim_.schedule_after(delay, [handler, delivered] { handler(delivered); });
+    sim_.schedule_after(delay, [handler, delivered] { handler(delivered); },
+                        "net.deliver");
     return;
   }
   if (to.is_vehicle() && vehicle_default_handler_) {
     const VehicleId self = to.as_vehicle();
-    sim_.schedule_after(delay, [this, self, delivered] {
-      if (vehicle_default_handler_) vehicle_default_handler_(self, delivered);
-    });
+    sim_.schedule_after(
+        delay,
+        [this, self, delivered] {
+          if (vehicle_default_handler_) vehicle_default_handler_(self, delivered);
+        },
+        "net.deliver");
   }
 }
 
 bool Network::transmit(const Message& msg, Address to_addr) {
   ++stats_.unicast_sent;
   stats_.bytes_sent += msg.size_bytes;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.tx",
+                   {{"src", static_cast<double>(msg.src.key())},
+                    {"dst", static_cast<double>(to_addr.key())},
+                    {"bytes", static_cast<double>(msg.size_bytes)}});
+  }
   const auto from = position_of(msg.src);
   const auto to = position_of(to_addr);
   if (!from || !to) {
     ++stats_.dropped;
+    // reason: 1 = endpoint gone, 2 = out of range, 3 = channel loss
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     {{"dst", static_cast<double>(to_addr.key())},
+                      {"reason", 1.0}});
+    }
     return false;
   }
   // RSUs have stronger radios: use the RSU's own range for either endpoint.
@@ -173,6 +190,12 @@ bool Network::transmit(const Message& msg, Address to_addr) {
   const double dist = geo::distance(*from, *to);
   if (dist > channel_.config().max_range * range_bonus) {
     ++stats_.dropped;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     {{"dst", static_cast<double>(to_addr.key())},
+                      {"reason", 2.0},
+                      {"dist", dist}});
+    }
     return false;
   }
   // Scale position difference so the channel sees an equivalent distance
@@ -182,10 +205,22 @@ bool Network::transmit(const Message& msg, Address to_addr) {
       *from, eff_to, msg.size_bytes, local_density(*from), rng_);
   if (!r.received) {
     ++stats_.dropped;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     {{"dst", static_cast<double>(to_addr.key())},
+                      {"reason", 3.0},
+                      {"dist", dist}});
+    }
     return false;
   }
   ++stats_.unicast_delivered;
   stats_.hop_delay.add(r.delay);
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.rx",
+                   {{"dst", static_cast<double>(to_addr.key())},
+                    {"delay", r.delay},
+                    {"bytes", static_cast<double>(msg.size_bytes)}});
+  }
   deliver(msg, to_addr, r.delay);
   return true;
 }
@@ -199,6 +234,11 @@ bool Network::send_via(const Message& msg, Address next_hop) {
 std::size_t Network::broadcast(Message msg) {
   ++stats_.broadcast_sent;
   stats_.bytes_sent += msg.size_bytes;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.broadcast",
+                   {{"src", static_cast<double>(msg.src.key())},
+                    {"bytes", static_cast<double>(msg.size_bytes)}});
+  }
   const auto from = position_of(msg.src);
   if (!from) return 0;
   const std::size_t density = local_density(*from);
@@ -229,6 +269,35 @@ std::size_t Network::broadcast(Message msg) {
     deliver(msg, Address::rsu(rsu.id), r.delay);
   }
   return reached;
+}
+
+void Network::register_metrics(obs::MetricsRegistry& metrics) const {
+  metrics.gauge("net.unicast.sent",
+                [this] { return static_cast<double>(stats_.unicast_sent); });
+  metrics.gauge("net.unicast.delivered", [this] {
+    return static_cast<double>(stats_.unicast_delivered);
+  });
+  metrics.gauge("net.broadcast.sent",
+                [this] { return static_cast<double>(stats_.broadcast_sent); });
+  metrics.gauge("net.packet.dropped",
+                [this] { return static_cast<double>(stats_.dropped); });
+  metrics.gauge("net.bytes.sent",
+                [this] { return static_cast<double>(stats_.bytes_sent); });
+  metrics.gauge("net.loss.rate", [this] {
+    const double attempts = static_cast<double>(stats_.unicast_sent);
+    return attempts > 0.0 ? static_cast<double>(stats_.dropped) / attempts
+                          : 0.0;
+  });
+  metrics.gauge("net.hop.delay_mean", [this] { return stats_.hop_delay.mean(); });
+  metrics.gauge("chan.attempt.count", [this] {
+    return static_cast<double>(channel_.counters().attempts);
+  });
+  metrics.gauge("chan.attempt.delivered", [this] {
+    return static_cast<double>(channel_.counters().delivered);
+  });
+  metrics.gauge("chan.blackout.dropped", [this] {
+    return static_cast<double>(channel_.counters().blackout_drops);
+  });
 }
 
 void Network::send_backhaul(RsuId from, RsuId to, Message msg) {

@@ -23,6 +23,8 @@
 #include "net/channel.h"
 #include "net/message.h"
 #include "net/rsu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 
@@ -115,6 +117,11 @@ class Network {
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   NetStats& stats() { return stats_; }
 
+  // --- telemetry (off by default: null recorder = one branch per event) -------
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Registers the fabric's gauges (net.* / chan.*) with the sampler.
+  void register_metrics(obs::MetricsRegistry& metrics) const;
+
   [[nodiscard]] SimTime backhaul_latency() const { return backhaul_latency_; }
   void set_backhaul_latency(SimTime s) { backhaul_latency_ = s; }
 
@@ -139,6 +146,7 @@ class Network {
   SimTime neighbor_ttl_ = 3.0;
   std::unordered_map<std::uint64_t, double> extra_load_;
   NetStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::vector<NeighborEntry> empty_;
 };
 

@@ -1,0 +1,73 @@
+#include "obs/bench_output.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace vcl::obs {
+
+BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
+    : bench_name_(std::move(bench_name)),
+      start_(std::chrono::steady_clock::now()) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      path_ = argv[i + 1];
+      break;
+    }
+  }
+}
+
+void BenchReporter::add(const Table& table) {
+  tables_.push_back(TableCopy{table.title(), table.columns(), table.cells()});
+}
+
+void BenchReporter::add_scalar(const std::string& key, double value) {
+  scalars_[key] = value;
+}
+
+std::string BenchReporter::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("vcl-bench-v1");
+  w.key("bench").value(bench_name_);
+  w.key("scalars").begin_object();
+  auto scalars = scalars_;
+  scalars.try_emplace(
+      "wall_s", std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start_)
+                    .count());
+  for (const auto& [key, value] : scalars) w.key(key).value(value);
+  w.end_object();
+  w.key("tables").begin_array();
+  for (const TableCopy& t : tables_) {
+    w.begin_object();
+    w.key("title").value(t.title);
+    w.key("columns").begin_array();
+    for (const std::string& c : t.columns) w.value(c);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value_auto(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+bool BenchReporter::write() const {
+  if (!enabled()) return true;
+  std::ofstream out(path_);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace vcl::obs

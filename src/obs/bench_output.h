@@ -1,0 +1,68 @@
+// BenchReporter: the shared machine-readable output path for bench_*.
+//
+// Every bench binary owns one reporter: it parses `--json <path>` from the
+// command line, collects the same Tables the bench prints to stdout, and on
+// write() emits one JSON document in the single vcl-bench-v1 schema:
+//
+//   {
+//     "schema": "vcl-bench-v1",
+//     "bench": "bench_fig1_resource_pool",
+//     "scalars": {"wall_s": 1.7},
+//     "tables": [
+//       {"title": "...", "columns": ["mix", ...], "rows": [["today", 40, ...]]}
+//     ]
+//   }
+//
+// Cells that parse fully as numbers are emitted as JSON numbers, the rest
+// as strings — downstream tooling (scripts/collect_bench.sh, plotting)
+// consumes every bench through this one schema, never bespoke formats.
+// Without `--json` the reporter is inert and the bench behaves exactly as
+// before.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace vcl::obs {
+
+class BenchReporter {
+ public:
+  // `bench_name` names the binary; argv is scanned for `--json <path>`
+  // (unknown flags are ignored so benches stay forgiving).
+  BenchReporter(std::string bench_name, int argc, char** argv);
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Snapshots a finished table (call after the bench filled it).
+  void add(const Table& table);
+  // Top-level named result (wall-clock, pass/fail counts, config knobs).
+  void add_scalar(const std::string& key, double value);
+
+  // Writes the document; no-op without --json. Returns false on IO error.
+  bool write() const;
+
+  // The document as a string (testing / in-process consumers).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct TableCopy {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_name_;
+  std::string path_;
+  // Construction time: to_json() derives a free "wall_s" scalar from it
+  // unless the bench set one explicitly.
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, double> scalars_;
+  std::vector<TableCopy> tables_;
+};
+
+}  // namespace vcl::obs

@@ -1,0 +1,136 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcl::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.12g keeps sim-time microsecond resolution while dropping float noise.
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+void JsonWriter::comma() {
+  if (key_pending_) return;  // key() already placed the separator
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) os_ << ',';
+    wrote_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  key_pending_ = false;
+  os_ << '{';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  key_pending_ = false;
+  os_ << '[';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  assert(!wrote_element_.empty());
+  if (wrote_element_.back()) os_ << ',';
+  wrote_element_.back() = true;
+  os_ << '"' << json_escape(k) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  key_pending_ = false;
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  key_pending_ = false;
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  key_pending_ = false;
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  key_pending_ = false;
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  key_pending_ = false;
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_auto(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double num = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(num)) {
+      return value(num);
+    }
+  }
+  return value(cell);
+}
+
+}  // namespace vcl::obs

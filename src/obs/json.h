@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer shared by the telemetry exporters.
+//
+// Emits syntactically valid JSON with no external dependency: the trace
+// recorder (JSONL + Chrome trace_event), the metrics sampler and the bench
+// `--json` reporter all format through this one class so their output stays
+// mutually consistent (escaping, number formatting, nesting).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcl::obs {
+
+// Escapes a string for embedding inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+// Formats a double the way JSON expects: integral values print without a
+// trailing ".0" garbage tail, non-finite values degrade to null.
+std::string json_number(double v);
+
+// Stack-based writer: begin/end calls must pair; commas and key/value
+// ordering are handled internally. Misuse (value with no pending key inside
+// an object) is a programming error and asserts in debug builds.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Keys apply to the next value/container inside an object.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Emits the cell as a number when it parses fully as one, else a string —
+  // the bridge from Table's all-string rows to typed JSON.
+  JsonWriter& value_auto(const std::string& cell);
+
+ private:
+  void comma();
+
+  std::ostream& os_;
+  // One frame per open container: whether any element was emitted yet.
+  std::vector<bool> wrote_element_;
+  bool key_pending_ = false;
+};
+
+}  // namespace vcl::obs

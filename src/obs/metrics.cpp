@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace vcl::obs {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+void MetricsRegistry::gauge(const std::string& name, GaugeFn fn) {
+  gauges_[name] = std::move(fn);
+}
+
+Accumulator& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_.try_emplace(name, /*keep_samples=*/true).first->second;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second.value();
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second ? it->second() : 0.0;
+  }
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second.mean();
+  }
+  return 0.0;
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::capture_columns() {
+  columns_.clear();
+  for (const auto& [name, c] : counters_) columns_.push_back(name);
+  for (const auto& [name, g] : gauges_) columns_.push_back(name);
+  for (const auto& [name, h] : histograms_) {
+    columns_.push_back(name + ".count");
+    columns_.push_back(name + ".mean");
+  }
+  // The three maps are each sorted; a global sort makes the column order
+  // independent of metric kind.
+  std::sort(columns_.begin(), columns_.end());
+}
+
+std::vector<double> MetricsRegistry::snapshot_row() const {
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (const std::string& col : columns_) {
+    if (auto it = counters_.find(col); it != counters_.end()) {
+      row.push_back(it->second.value());
+      continue;
+    }
+    if (auto it = gauges_.find(col); it != gauges_.end()) {
+      row.push_back(it->second ? it->second() : 0.0);
+      continue;
+    }
+    // Histogram-derived columns carry a ".count"/".mean" suffix.
+    const auto dot = col.rfind('.');
+    const std::string base = col.substr(0, dot);
+    const std::string kind = col.substr(dot + 1);
+    if (auto it = histograms_.find(base); it != histograms_.end()) {
+      row.push_back(kind == "count" ? static_cast<double>(it->second.count())
+                                    : it->second.mean());
+      continue;
+    }
+    row.push_back(0.0);  // metric vanished (should not happen)
+  }
+  return row;
+}
+
+void MetricsRegistry::sample(SimTime now) {
+  if (columns_.empty()) capture_columns();
+  samples_.push_back(Sample{now, snapshot_row()});
+}
+
+void MetricsRegistry::start_sampling(sim::Simulator& sim, SimTime period) {
+  sample(sim.now());  // t=0 baseline row
+  sim.schedule_every(
+      period, [this, &sim] { sample(sim.now()); }, -1.0, "obs.sample");
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "t";
+  for (const std::string& col : columns_) os << ',' << col;
+  os << '\n';
+  for (const Sample& s : samples_) {
+    os << json_number(s.t);
+    for (const double v : s.values) os << ',' << json_number(v);
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("columns").begin_array();
+  w.value("t");
+  for (const std::string& col : columns_) w.value(col);
+  w.end_array();
+  w.key("samples").begin_array();
+  for (const Sample& s : samples_) {
+    w.begin_array();
+    w.value(s.t);
+    for (const double v : s.values) w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace vcl::obs

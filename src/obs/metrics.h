@@ -1,0 +1,93 @@
+// MetricsRegistry: named runtime metrics plus a periodic time-series
+// sampler (DESIGN.md §6).
+//
+// Components register metrics once at wiring time — counters they bump,
+// gauges the registry polls, histograms they feed — under dotted
+// `subsystem.noun.verb` names ("net.unicast.sent", "cloud.member.count").
+// The sampler rides Simulator::schedule_every and snapshots every metric
+// each period; the resulting time series exports to CSV and JSON so a run's
+// dynamics (queue depth over time, member churn, detection latency) are a
+// plot away instead of a single end-of-run number.
+//
+// Registration is O(log n) map insertion; the handles returned are stable
+// for the registry's lifetime (node-based map), so the per-event cost of a
+// counter bump is one pointer-indirect add.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace vcl::obs {
+
+class MetricsRegistry {
+ public:
+  // Monotonic count (events, bytes, kills). Double-valued so work units
+  // and megabytes fit too.
+  class Counter {
+   public:
+    void inc(double d = 1.0) { value_ += d; }
+    [[nodiscard]] double value() const { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  using GaugeFn = std::function<double()>;
+
+  // Returns the counter registered under `name`, creating it on first use.
+  Counter& counter(const std::string& name);
+  // Registers (or replaces) a polled gauge.
+  void gauge(const std::string& name, GaugeFn fn);
+  // Returns the distribution registered under `name` (samples retained for
+  // percentile queries; use Accumulator::merge to fold per-component ones).
+  Accumulator& histogram(const std::string& name);
+
+  // Current value of any metric by name (histograms report their mean);
+  // 0 when unknown.
+  [[nodiscard]] double value(const std::string& name) const;
+  [[nodiscard]] std::size_t metric_count() const;
+
+  // --- time series ------------------------------------------------------------
+  // Samples every metric each `period` sim-seconds. Columns are fixed at
+  // the first sample (sorted metric names; histograms contribute
+  // `<name>.count` and `<name>.mean`); metrics registered after that are
+  // picked up only by a fresh sampling run.
+  void start_sampling(sim::Simulator& sim, SimTime period);
+  // Takes one snapshot now (also what the periodic sampler calls).
+  void sample(SimTime now);
+
+  [[nodiscard]] const std::vector<std::string>& series_columns() const {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+  // CSV: header `t,<col>,...` then one row per sample.
+  void write_csv(std::ostream& os) const;
+  // JSON: {"columns":[...],"samples":[[t,...],...]}
+  void write_json(std::ostream& os) const;
+
+ private:
+  void capture_columns();
+  [[nodiscard]] std::vector<double> snapshot_row() const;
+
+  struct Sample {
+    SimTime t;
+    std::vector<double> values;
+  };
+
+  // std::map: deterministic column order and stable node addresses.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, Accumulator> histograms_;
+  std::vector<std::string> columns_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace vcl::obs

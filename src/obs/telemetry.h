@@ -1,0 +1,43 @@
+// Telemetry: the per-run observability bundle (DESIGN.md §6).
+//
+// One TelemetryConfig block rides SystemConfig; everything defaults OFF so
+// seed determinism and performance are untouched — instrumented code sees a
+// null TraceRecorder pointer and pays one branch per would-be event. When
+// any piece is enabled, VehicularCloudSystem::start() builds a Telemetry,
+// threads the recorder through net/vcloud/fault, registers each subsystem's
+// metrics and starts the sampler and the kernel profiler.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vcl::obs {
+
+struct TelemetryConfig {
+  // Structured sim-time event tracing (TraceRecorder).
+  bool tracing = false;
+  std::uint32_t trace_categories = kAllTraceCategories;
+  std::size_t trace_capacity = 1 << 16;
+
+  // Periodic metric sampling (MetricsRegistry time series).
+  bool metrics = false;
+  SimTime sample_period = 1.0;
+
+  // Per-label wall-clock/event attribution in sim::Simulator.
+  bool profile_kernel = false;
+
+  [[nodiscard]] bool any() const {
+    return tracing || metrics || profile_kernel;
+  }
+};
+
+struct Telemetry {
+  explicit Telemetry(const TelemetryConfig& cfg)
+      : config(cfg), trace(cfg.trace_capacity, cfg.trace_categories) {}
+
+  TelemetryConfig config;
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace vcl::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace vcl::obs {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSim: return "sim";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kCloud: return "cloud";
+    case TraceCategory::kTask: return "task";
+    case TraceCategory::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity, std::uint32_t category_mask)
+    : mask_(category_mask), ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceRecorder::record(SimTime t, TraceCategory cat, const char* name,
+                           std::initializer_list<Field> fields) {
+  if (!enabled(cat)) return;
+  Event& ev = ring_[head_];
+  ev.t = t;
+  ev.cat = cat;
+  ev.name = name;
+  ev.n_fields = 0;
+  for (const Field& f : fields) {
+    if (ev.n_fields == kMaxFields) break;
+    ev.fields[ev.n_fields++] = f;
+  }
+  head_ = (head_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  ++recorded_;
+}
+
+void TraceRecorder::clear() {
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  // Oldest retained event sits at head_ once the ring has wrapped.
+  const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const Event& ev : events()) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("t").value(ev.t);
+    w.key("cat").value(to_string(ev.cat));
+    w.key("name").value(ev.name);
+    for (std::uint8_t i = 0; i < ev.n_fields; ++i) {
+      w.key(ev.fields[i].key).value(ev.fields[i].value);
+    }
+    w.end_object();
+    os << '\n';
+  }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const Event& ev : events()) {
+    w.begin_object();
+    w.key("name").value(ev.name);
+    w.key("cat").value(to_string(ev.cat));
+    w.key("ph").value("i");  // instant event
+    w.key("s").value("g");   // global scope: full-height marker
+    w.key("ts").value(ev.t * 1e6);  // sim seconds -> trace microseconds
+    w.key("pid").value(std::uint64_t{1});
+    // One track per category keeps the viewer readable.
+    w.key("tid").value(
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(ev.cat)));
+    w.key("args").begin_object();
+    for (std::uint8_t i = 0; i < ev.n_fields; ++i) {
+      w.key(ev.fields[i].key).value(ev.fields[i].value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  // Name the per-category tracks (metadata events).
+  for (std::size_t c = 0; c < kTraceCategoryCount; ++c) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(static_cast<std::uint64_t>(c));
+    w.key("args").begin_object();
+    w.key("name").value(to_string(static_cast<TraceCategory>(c)));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace vcl::obs

@@ -1,0 +1,101 @@
+// TraceRecorder: sim-time structured event tracing (DESIGN.md §6).
+//
+// Subsystems emit categorized instant events ("net.drop", "task.complete",
+// "fault.blackout", ...) with up to four numeric fields. Events land in a
+// fixed-capacity ring buffer so a long run overwrites its oldest history
+// instead of growing without bound; `overwritten()` reports how much was
+// lost. A per-category enable mask gates recording, and instrumented code
+// holds a nullable `TraceRecorder*`, so a run with tracing off pays exactly
+// one pointer test per would-be event.
+//
+// Exports:
+//  * JSONL — one `{"t":..,"cat":..,"name":..,...fields}` object per line,
+//    grep/jq-friendly.
+//  * Chrome trace_event JSON — loads directly in chrome://tracing and
+//    Perfetto; sim seconds map to trace microseconds, categories map to
+//    tracks (tids).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/time.h"
+
+namespace vcl::obs {
+
+enum class TraceCategory : std::uint8_t {
+  kSim = 0,    // kernel-level (run markers)
+  kNet = 1,    // net.tx / net.rx / net.drop / net.broadcast
+  kCloud = 2,  // cloud.form / cloud.member.* / cloud.broker.* / cloud.ckpt
+  kTask = 3,   // task.submit / task.dispatch / task.complete / task.retry
+  kFault = 4,  // fault.crash / fault.rsu.* / fault.blackout.*
+};
+inline constexpr std::size_t kTraceCategoryCount = 5;
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+[[nodiscard]] constexpr std::uint32_t category_bit(TraceCategory c) {
+  return 1u << static_cast<std::uint8_t>(c);
+}
+inline constexpr std::uint32_t kAllTraceCategories =
+    (1u << kTraceCategoryCount) - 1;
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxFields = 4;
+
+  struct Field {
+    const char* key;
+    double value;
+  };
+
+  struct Event {
+    SimTime t = 0.0;
+    TraceCategory cat = TraceCategory::kSim;
+    std::uint8_t n_fields = 0;
+    const char* name = "";
+    std::array<Field, kMaxFields> fields{};
+  };
+
+  explicit TraceRecorder(std::size_t capacity = 1 << 16,
+                         std::uint32_t category_mask = kAllTraceCategories);
+
+  [[nodiscard]] bool enabled(TraceCategory c) const {
+    return (mask_ & category_bit(c)) != 0;
+  }
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+
+  // Records an instant event; extra fields beyond kMaxFields are dropped.
+  // Field keys and the event name must outlive the recorder (string
+  // literals in practice — this keeps the hot path allocation-free).
+  void record(SimTime t, TraceCategory cat, const char* name,
+              std::initializer_list<Field> fields = {});
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  // Events lost to ring wrap-around (recorded - retained).
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return recorded_ - count_;
+  }
+  void clear();
+
+  // Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  // One JSON object per line: {"t":1.5,"cat":"task","name":"task.submit",...}
+  void write_jsonl(std::ostream& os) const;
+  // Chrome trace_event format (chrome://tracing, Perfetto, speedscope).
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::uint32_t mask_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;   // next write slot
+  std::size_t count_ = 0;  // retained events (<= capacity)
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace vcl::obs

@@ -11,7 +11,8 @@ void Router::attach() {
         on_receive(self, msg);
       });
   net_.simulator().schedule_every(config_.retry_period,
-                                  [this] { retry_tick(); });
+                                  [this] { retry_tick(); }, -1.0,
+                                  "routing.retry");
 }
 
 MessageId Router::originate(VehicleId src, VehicleId dst,

@@ -1,44 +1,51 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace vcl::sim {
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn,
+                                   const char* label) {
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{std::max(at, now_), seq, std::move(fn)});
+  queue_.push(Event{std::max(at, now_), seq, label, std::move(fn)});
+  high_water_ = std::max(high_water_, queue_.size());
   return EventHandle{seq};
 }
 
-EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn,
+                                      const char* label) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn), label);
 }
 
 EventHandle Simulator::schedule_every(SimTime period, std::function<void()> fn,
-                                      SimTime first) {
+                                      SimTime first, const char* label) {
   const std::uint64_t rid = next_seq_++;  // identity of the recurrence
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
   // The tick looks itself up in recurring_ rather than capturing itself:
   // cancellation is the map erase, and there is no ownership cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, rid, period, shared_fn]() {
+  *tick = [this, rid, period, label, shared_fn]() {
     if (recurring_.find(rid) == recurring_.end()) return;  // cancelled
     (*shared_fn)();
     auto it = recurring_.find(rid);  // fn may have cancelled the recurrence
-    if (it != recurring_.end()) schedule_after(period, *it->second);
+    if (it != recurring_.end()) schedule_after(period, *it->second, label);
   };
   recurring_[rid] = tick;
   const SimTime start = first >= 0.0 ? first : now_ + period;
-  schedule_at(start, *tick);
+  schedule_at(start, *tick, label);
   return EventHandle{rid};
 }
 
 void Simulator::cancel(EventHandle h) {
   if (!h.valid()) return;
+  // A recurring handle's rid never appears in the event queue (its ticks
+  // carry their own seqs), so parking it in cancelled_ would leak the entry
+  // forever; erasing the recurrence is both necessary and sufficient.
+  if (recurring_.erase(h.seq_) > 0) return;
   cancelled_.insert(h.seq_);
-  recurring_.erase(h.seq_);
 }
 
 bool Simulator::step(SimTime until) {
@@ -46,10 +53,22 @@ bool Simulator::step(SimTime until) {
     if (queue_.top().at > until) return false;
     Event ev = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.seq) != 0) continue;  // skip cancelled event
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) != 0) {
+      continue;  // skip cancelled event
+    }
     now_ = ev.at;
     ++processed_;
-    ev.fn();
+    if (profiling_) {
+      const auto start = std::chrono::steady_clock::now();
+      ev.fn();
+      const auto end = std::chrono::steady_clock::now();
+      ProfileEntry& entry = profile_[ev.label];
+      ++entry.events;
+      entry.wall_seconds +=
+          std::chrono::duration<double>(end - start).count();
+    } else {
+      ev.fn();
+    }
     return true;
   }
   return false;
@@ -60,6 +79,24 @@ SimTime Simulator::run_until(SimTime until) {
   }
   now_ = std::max(now_, until);
   return now_;
+}
+
+std::vector<ProfileEntry> Simulator::profile() const {
+  std::vector<ProfileEntry> out;
+  out.reserve(profile_.size());
+  for (const auto& [label, entry] : profile_) {
+    ProfileEntry e = entry;
+    e.label = label != nullptr ? label : "(unlabeled)";
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.wall_seconds != b.wall_seconds) {
+                return a.wall_seconds > b.wall_seconds;
+              }
+              return a.label < b.label;
+            });
+  return out;
 }
 
 }  // namespace vcl::sim

@@ -31,8 +31,34 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (keep_samples_ && other.keep_samples_) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+}
+
 double Accumulator::percentile(double p) const {
-  if (samples_.empty()) return 0.0;
+  // Documented contract: 0.0 without retention — never a moment estimate.
+  if (!keep_samples_ || samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -51,11 +77,13 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 
 void Histogram::add(double x) {
   const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in double space BEFORE the integer cast: casting a double outside
+  // the integer's range is undefined (on x86 a huge positive value wraps to
+  // the most-negative integer and would land in the first bucket).
+  const double pos = std::clamp(
+      (x - lo_) / span * static_cast<double>(counts_.size()), 0.0,
+      static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

@@ -25,8 +25,20 @@ class Accumulator {
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
 
-  // Percentile in [0, 100]; requires sample retention. Returns 0 when empty.
+  // Percentile in [0, 100] via linear interpolation over retained samples.
+  // Contract: requires construction with keep_samples=true; when retention
+  // is disabled (or no values were added) it returns exactly 0.0 — it never
+  // interpolates from moments. Callers that stream without retention must
+  // use mean()/stddev() instead.
   [[nodiscard]] double percentile(double p) const;
+
+  // Folds `other` into this accumulator (Chan's parallel Welford update):
+  // count/sum/min/max/mean/variance become those of the union. Samples are
+  // appended only when BOTH sides retain them; merging a non-retaining
+  // accumulator into a retaining one leaves percentile() covering only the
+  // locally retained values. Used by the metrics sampler to combine
+  // per-component accumulators.
+  void merge(const Accumulator& other);
 
  private:
   bool keep_samples_;

@@ -22,6 +22,14 @@ class Table {
   void print(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  // Structured access for machine-readable exporters (obs::BenchReporter).
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const {
+    return rows_;
+  }
 
   // Formats a double with a fixed number of decimals (helper for callers).
   static std::string num(double v, int decimals = 3);

@@ -71,16 +71,17 @@ VehicularCloud::VehicularCloud(CloudId id, net::Network& net,
       detector_(config.dependability.detector) {}
 
 void VehicularCloud::attach() {
-  net_.simulator().schedule_every(config_.refresh_period,
-                                  [this] { refresh(); });
+  net_.simulator().schedule_every(
+      config_.refresh_period, [this] { refresh(); }, -1.0, "cloud.refresh");
   if (config_.dependability.detector.enabled) {
     net_.simulator().schedule_every(
         config_.dependability.detector.heartbeat_period,
-        [this] { heartbeat_round(); });
+        [this] { heartbeat_round(); }, -1.0, "cloud.heartbeat");
   }
   if (config_.dependability.checkpoint.enabled) {
-    net_.simulator().schedule_every(config_.dependability.checkpoint.period,
-                                    [this] { checkpoint_round(); });
+    net_.simulator().schedule_every(
+        config_.dependability.checkpoint.period,
+        [this] { checkpoint_round(); }, -1.0, "cloud.checkpoint");
   }
 }
 
@@ -160,12 +161,27 @@ TaskId VehicularCloud::submit(Task spec) {
   task_epoch_[id.value()] = 0;
   pending_.push_back(id);
   ++stats_.submitted;
+  if (trace_ != nullptr) {
+    const Task& t = tasks_.at(id.value());
+    trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
+                   "task.submit",
+                   {{"task", static_cast<double>(id.value())},
+                    {"work", t.work},
+                    {"deadline", t.deadline}});
+  }
   dispatch();
   return id;
 }
 
 void VehicularCloud::assign(Task& task, WorkerState& worker,
                             VehicleId worker_id, bool charge_input) {
+  if (trace_ != nullptr) {
+    trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
+                   "task.dispatch",
+                   {{"task", static_cast<double>(task.id.value())},
+                    {"worker", static_cast<double>(worker_id.value())},
+                    {"progress", task.progress}});
+  }
   task.state = TaskState::kRunning;
   task.worker = worker_id;
   worker.running = task.id;
@@ -192,9 +208,9 @@ void VehicularCloud::begin_execution(Task& task, WorkerState& worker,
 
   const SimTime exec = task.remaining() / worker.profile.compute;
   const TaskId tid = task.id;
-  net_.simulator().schedule_after(input_delay + exec, [this, tid, epoch] {
-    on_complete(tid, epoch);
-  });
+  net_.simulator().schedule_after(
+      input_delay + exec, [this, tid, epoch] { on_complete(tid, epoch); },
+      "cloud.task");
 }
 
 void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
@@ -223,6 +239,13 @@ void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
   }
 
   ++stats_.retries;
+  if (trace_ != nullptr) {
+    trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
+                   "task.retry",
+                   {{"task", static_cast<double>(id.value())},
+                    {"attempt", static_cast<double>(attempt)},
+                    {"kind", 1.0}});  // 1 = dispatch, 2 = result
+  }
   const SimTime delay =
       retry_backoff(config_.dependability.retry, attempt, rng_);
   if (attempt >= config_.dependability.retry.max_attempts) {
@@ -234,12 +257,14 @@ void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
     task.worker = VehicleId{};
     task.run_started = 0.0;
     pending_.push_back(id);
-    net_.simulator().schedule_after(delay, [this] { dispatch(); });
+    net_.simulator().schedule_after(delay, [this] { dispatch(); },
+                                    "cloud.dispatch");
     return;
   }
-  net_.simulator().schedule_after(delay, [this, id, epoch, attempt] {
-    attempt_dispatch_send(id, epoch, attempt + 1);
-  });
+  net_.simulator().schedule_after(
+      delay,
+      [this, id, epoch, attempt] { attempt_dispatch_send(id, epoch, attempt + 1); },
+      "cloud.retry");
 }
 
 void VehicularCloud::attempt_result_send(TaskId id, std::uint64_t epoch,
@@ -267,13 +292,21 @@ void VehicularCloud::attempt_result_send(TaskId id, std::uint64_t epoch,
   }
 
   ++stats_.retries;
+  if (trace_ != nullptr) {
+    trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
+                   "task.retry",
+                   {{"task", static_cast<double>(id.value())},
+                    {"attempt", static_cast<double>(attempt)},
+                    {"kind", 2.0}});
+  }
   // The worker holds the result and keeps retrying at capped backoff: the
   // task only completes once the broker hears about it.
   const int capped = std::min(attempt, config_.dependability.retry.max_attempts);
   const SimTime delay = retry_backoff(config_.dependability.retry, capped, rng_);
-  net_.simulator().schedule_after(delay, [this, id, epoch, attempt] {
-    attempt_result_send(id, epoch, attempt + 1);
-  });
+  net_.simulator().schedule_after(
+      delay,
+      [this, id, epoch, attempt] { attempt_result_send(id, epoch, attempt + 1); },
+      "cloud.retry");
 }
 
 void VehicularCloud::dispatch() {
@@ -328,14 +361,19 @@ void VehicularCloud::maybe_replicate(Task& task) {
   worker.running = task.id;
   replicas_[task.id.value()] = replica;
   ++stats_.replicas_launched;
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::TraceCategory::kTask, "task.replica",
+                   {{"task", static_cast<double>(task.id.value())},
+                    {"worker", static_cast<double>(pick.value())}});
+  }
 
   const SimTime exec =
       (task.work - replica.base_progress) / worker.profile.compute;
   const TaskId tid = task.id;
   const std::uint64_t epoch = replica.epoch;
-  net_.simulator().schedule_after(input_delay + exec, [this, tid, epoch] {
-    on_replica_complete(tid, epoch);
-  });
+  net_.simulator().schedule_after(
+      input_delay + exec,
+      [this, tid, epoch] { on_replica_complete(tid, epoch); }, "cloud.task");
 }
 
 // Work units a replica has produced by `now` (bounded by what it set out
@@ -445,10 +483,20 @@ void VehicularCloud::finalize_completion(Task& task) {
   if (task.deadline > 0.0 && now > task.deadline) {
     task.state = TaskState::kExpired;
     ++stats_.expired;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                     {{"task", static_cast<double>(task.id.value())}});
+    }
   } else {
     task.state = TaskState::kCompleted;
     ++stats_.completed;
     stats_.latency.add(now - task.created);
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kTask, "task.complete",
+                     {{"task", static_cast<double>(task.id.value())},
+                      {"worker", static_cast<double>(task.worker.value())},
+                      {"latency", now - task.created}});
+    }
     if (completion_hook_) completion_hook_(task);
   }
   dispatch();
@@ -483,6 +531,12 @@ void VehicularCloud::interrupt_and_recover(Task& task,
       ++task.migrations;
       ++stats_.migrations;
       target_it->second.running = task.id;  // reserve the target
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceCategory::kTask, "task.migrate",
+                       {{"task", static_cast<double>(task.id.value())},
+                        {"to", static_cast<double>(target.value())},
+                        {"progress", task.progress}});
+      }
       const TaskId tid = task.id;
       const std::uint64_t epoch = task_epoch_[tid.value()];
       net_.simulator().schedule_after(latency, [this, tid, epoch] {
@@ -616,9 +670,20 @@ void VehicularCloud::declare_dead(VehicleId v) {
     auto ct = crash_time_.find(v.value());
     if (ct != crash_time_.end()) {
       stats_.detection_latency.add(now - ct->second);
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceCategory::kCloud, "cloud.worker.dead",
+                       {{"worker", static_cast<double>(v.value())},
+                        {"crashed", 1.0},
+                        {"latency", now - ct->second}});
+      }
       crash_time_.erase(ct);
     }
   } else {
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kCloud, "cloud.worker.dead",
+                     {{"worker", static_cast<double>(v.value())},
+                      {"crashed", 0.0}});
+    }
     // The worker is alive — its beats were eaten by the channel. Killing
     // it anyway is the price of bounded detection latency.
     ++stats_.false_positive_kills;
@@ -666,6 +731,11 @@ void VehicularCloud::checkpoint_round() {
     if (earned <= task.checkpoint_progress) continue;
     task.checkpoint_progress = earned;
     ++stats_.checkpoints;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kCloud, "cloud.ckpt",
+                     {{"task", static_cast<double>(tid)},
+                      {"progress", earned}});
+    }
     // Cost accounting reuses the handover checkpoint model: the snapshot
     // shipped to the broker grows with completed work.
     Task snapshot = task;
@@ -695,6 +765,11 @@ void VehicularCloud::refresh() {
     WorkerState state = workers_[vid];
     workers_.erase(vid);
     detector_.forget(v);
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kCloud, "cloud.member.leave",
+                     {{"worker", static_cast<double>(vid)},
+                      {"members", static_cast<double>(workers_.size())}});
+    }
     if (state.running.valid()) {
       auto it = tasks_.find(state.running.value());
       if (it != tasks_.end() && !it->second.terminal()) {
@@ -721,6 +796,11 @@ void VehicularCloud::refresh() {
     workers_.emplace(v.value(),
                      WorkerState{profile_for(s->automation), TaskId{}});
     detector_.track(v, now);
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kCloud, "cloud.member.join",
+                     {{"worker", static_cast<double>(v.value())},
+                      {"members", static_cast<double>(workers_.size())}});
+    }
   }
 
   // Broker re-election. A change means the new broker must re-sync the
@@ -730,11 +810,17 @@ void VehicularCloud::refresh() {
   broker_.elect(views());
   if (prev_broker.valid() && broker_.current() != prev_broker) {
     ++stats_.broker_resyncs;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceCategory::kCloud, "cloud.broker.change",
+                     {{"from", static_cast<double>(prev_broker.value())},
+                      {"to", static_cast<double>(broker_.current().value())}});
+    }
     detector_.reset_all(now);
     const SimTime delay = config_.dependability.broker_resync_delay;
     if (delay > 0.0) {
       dispatch_hold_until_ = std::max(dispatch_hold_until_, now + delay);
-      net_.simulator().schedule_after(delay, [this] { dispatch(); });
+      net_.simulator().schedule_after(delay, [this] { dispatch(); },
+                                      "cloud.dispatch");
     }
   }
 
@@ -745,6 +831,10 @@ void VehicularCloud::refresh() {
         now > task_it->second.deadline) {
       task_it->second.state = TaskState::kExpired;
       ++stats_.expired;
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                       {{"task", static_cast<double>(task_it->first)}});
+      }
       abort_replica(task_it->second.id);
       it = pending_.erase(it);
     } else {
@@ -768,10 +858,36 @@ void VehicularCloud::refresh() {
       }
       task.state = TaskState::kExpired;
       ++stats_.expired;
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                       {{"task", static_cast<double>(tid)}});
+      }
     }
   }
 
   dispatch();
+}
+
+void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) const {
+  metrics.gauge("cloud.member.count",
+                [this] { return static_cast<double>(workers_.size()); });
+  metrics.gauge("cloud.task.pending",
+                [this] { return static_cast<double>(pending_.size()); });
+  metrics.gauge("cloud.task.submitted",
+                [this] { return static_cast<double>(stats_.submitted); });
+  metrics.gauge("cloud.task.completed",
+                [this] { return static_cast<double>(stats_.completed); });
+  metrics.gauge("cloud.task.expired",
+                [this] { return static_cast<double>(stats_.expired); });
+  metrics.gauge("cloud.task.retries",
+                [this] { return static_cast<double>(stats_.retries); });
+  metrics.gauge("cloud.broker.changes",
+                [this] { return static_cast<double>(broker_.changes()); });
+  metrics.gauge("cloud.work.wasted", [this] { return stats_.wasted_work; });
+  metrics.gauge("cloud.detect.latency_mean",
+                [this] { return stats_.detection_latency.mean(); });
+  metrics.gauge("cloud.queue.delay_mean",
+                [this] { return stats_.queue_delay.mean(); });
 }
 
 // ---- architecture factories --------------------------------------------------

@@ -29,6 +29,8 @@
 #include <unordered_set>
 
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "vcloud/broker.h"
 #include "vcloud/dependability.h"
@@ -126,6 +128,14 @@ class VehicularCloud {
     completion_hook_ = std::move(hook);
   }
 
+  // --- telemetry (off by default: null recorder = one branch per event) -------
+  // Emits cloud.* / task.* trace events (membership churn, broker changes,
+  // dispatch/complete/retry, failure-detector kills).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Registers cloud.* gauges (member count, queue depth, completion,
+  // detection latency) with the sampler.
+  void register_metrics(obs::MetricsRegistry& metrics) const;
+
   [[nodiscard]] const CloudStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t member_count() const { return workers_.size(); }
   // Current worker ids, sorted (includes crashed zombies the cloud has not
@@ -207,6 +217,7 @@ class VehicularCloud {
   std::uint64_t next_task_id_ = 1;
   std::uint64_t next_replica_epoch_ = 1;
   CloudStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
   CompletionHook completion_hook_;
 
   FailureDetector detector_;

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/system.h"
+#include "obs/bench_output.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace vcl::obs {
+namespace {
+
+// ---- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("s").value("a\"b\\c\n");
+  w.key("n").value(1.5);
+  w.key("arr").begin_array();
+  w.value(std::uint64_t{7});
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"s":"a\"b\\c\n","n":1.5,"arr":[7,true,null]})");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ValueAutoDistinguishesNumbersFromStrings) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value_auto("3.25");
+  w.value_auto("-17");
+  w.value_auto("1e3");
+  w.value_auto("12ab");  // partial parse -> string
+  w.value_auto("");
+  w.value_auto("kinematic");
+  w.end_array();
+  EXPECT_EQ(os.str(), R"([3.25,-17,1000,"12ab","","kinematic"])");
+}
+
+// ---- TraceRecorder ----------------------------------------------------------
+
+TEST(TraceRecorder, RecordsEventsInOrder) {
+  TraceRecorder rec(16);
+  rec.record(1.0, TraceCategory::kNet, "net.tx", {{"bytes", 100.0}});
+  rec.record(2.0, TraceCategory::kTask, "task.submit",
+             {{"task", 1.0}, {"work", 20.0}});
+  ASSERT_EQ(rec.size(), 2u);
+  const auto evs = rec.events();
+  EXPECT_DOUBLE_EQ(evs[0].t, 1.0);
+  EXPECT_STREQ(evs[0].name, "net.tx");
+  EXPECT_EQ(evs[0].n_fields, 1);
+  EXPECT_STREQ(evs[0].fields[0].key, "bytes");
+  EXPECT_DOUBLE_EQ(evs[0].fields[0].value, 100.0);
+  EXPECT_EQ(evs[1].cat, TraceCategory::kTask);
+  EXPECT_EQ(evs[1].n_fields, 2);
+}
+
+TEST(TraceRecorder, MaskFiltersCategories) {
+  TraceRecorder rec(16, category_bit(TraceCategory::kFault));
+  EXPECT_FALSE(rec.enabled(TraceCategory::kNet));
+  EXPECT_TRUE(rec.enabled(TraceCategory::kFault));
+  rec.record(1.0, TraceCategory::kNet, "net.tx");
+  rec.record(2.0, TraceCategory::kFault, "fault.crash");
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_STREQ(rec.events()[0].name, "fault.crash");
+  EXPECT_EQ(rec.recorded(), 1u);  // masked events never count as recorded
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsLoss) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(i, TraceCategory::kSim, "tick", {{"i", double(i)}});
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+  const auto evs = rec.events();
+  // Oldest-first reconstruction: the last four ticks, in order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(evs[static_cast<std::size_t>(i)].t, 6.0 + i);
+  }
+}
+
+TEST(TraceRecorder, ExtraFieldsBeyondMaxAreDropped) {
+  TraceRecorder rec(4);
+  rec.record(0.0, TraceCategory::kSim, "big",
+             {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+  EXPECT_EQ(rec.events()[0].n_fields, TraceRecorder::kMaxFields);
+}
+
+TEST(TraceRecorder, JsonlOneObjectPerLine) {
+  TraceRecorder rec(8);
+  rec.record(1.5, TraceCategory::kTask, "task.submit", {{"task", 1.0}});
+  rec.record(2.0, TraceCategory::kNet, "net.drop");
+  std::ostringstream os;
+  rec.write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.5,\"cat\":\"task\",\"name\":\"task.submit\",\"task\":1}\n"
+            "{\"t\":2,\"cat\":\"net\",\"name\":\"net.drop\"}\n");
+}
+
+TEST(TraceRecorder, ChromeTraceShape) {
+  TraceRecorder rec(8);
+  rec.record(1.5, TraceCategory::kFault, "fault.crash", {{"vehicle", 3.0}});
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string doc = os.str();
+  // Instant event at sim 1.5s -> 1.5e6 trace microseconds on the fault track.
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"fault.crash\",\"cat\":\"fault\",\"ph\":\"i\","
+                     "\"s\":\"g\",\"ts\":1500000"),
+            std::string::npos);
+  // Per-category track names ride thread_name metadata events.
+  EXPECT_NE(doc.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("{\"name\":\"task\"}"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder rec(4);
+  rec.record(1.0, TraceCategory::kSim, "x");
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("net.unicast.sent");
+  c.inc();
+  c.inc(2.5);
+  double depth = 7.0;
+  reg.gauge("cloud.task.pending", [&depth] { return depth; });
+  auto& h = reg.histogram("cloud.task.latency");
+  h.add(1.0);
+  h.add(3.0);
+
+  EXPECT_EQ(reg.metric_count(), 3u);
+  EXPECT_DOUBLE_EQ(reg.value("net.unicast.sent"), 3.5);
+  EXPECT_DOUBLE_EQ(reg.value("cloud.task.pending"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("cloud.task.latency"), 2.0);  // mean
+  EXPECT_DOUBLE_EQ(reg.value("no.such.metric"), 0.0);
+  // counter() is idempotent: same name -> same counter.
+  reg.counter("net.unicast.sent").inc();
+  EXPECT_DOUBLE_EQ(reg.value("net.unicast.sent"), 4.5);
+}
+
+TEST(MetricsRegistry, SamplerProducesTimeSeries) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  auto& c = reg.counter("a.ticks.count");
+  reg.gauge("b.clock.now", [&sim] { return sim.now(); });
+  // Tick off the sampler's phase so same-instant tie order can't matter.
+  sim.schedule_every(1.0, [&c] { c.inc(); }, 0.5);
+  reg.start_sampling(sim, 2.0);
+  sim.run_until(6.5);
+
+  // Baseline at t=0 plus samples at t=2,4,6.
+  ASSERT_EQ(reg.sample_count(), 4u);
+  ASSERT_EQ(reg.series_columns(),
+            (std::vector<std::string>{"a.ticks.count", "b.clock.now"}));
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "t,a.ticks.count,b.clock.now\n"
+            "0,0,0\n"
+            "2,2,2\n"
+            "4,4,4\n"
+            "6,6,6\n");
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_EQ(json.str(),
+            "{\"columns\":[\"t\",\"a.ticks.count\",\"b.clock.now\"],"
+            "\"samples\":[[0,0,0],[2,2,2],[4,4,4],[6,6,6]]}\n");
+}
+
+TEST(MetricsRegistry, HistogramContributesCountAndMeanColumns) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  auto& h = reg.histogram("x.latency");
+  h.add(2.0);
+  h.add(4.0);
+  reg.sample(0.0);
+  ASSERT_EQ(reg.series_columns(),
+            (std::vector<std::string>{"x.latency.count", "x.latency.mean"}));
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_EQ(csv.str(), "t,x.latency.count,x.latency.mean\n0,2,3\n");
+}
+
+// ---- BenchReporter ----------------------------------------------------------
+
+TEST(BenchReporter, ParsesJsonFlagAndEmitsSchema) {
+  const char* argv[] = {"bench_x", "--runs", "3", "--json", "/tmp/out.json"};
+  BenchReporter rep("bench_x", 5, const_cast<char**>(argv));
+  EXPECT_TRUE(rep.enabled());
+  EXPECT_EQ(rep.path(), "/tmp/out.json");
+
+  Table t("demo", {"mode", "rate"});
+  t.add_row({"greedy", "0.93"});
+  rep.add(t);
+  rep.add_scalar("wall_s", 1.25);
+
+  EXPECT_EQ(rep.to_json(),
+            "{\"schema\":\"vcl-bench-v1\",\"bench\":\"bench_x\","
+            "\"scalars\":{\"wall_s\":1.25},"
+            "\"tables\":[{\"title\":\"demo\",\"columns\":[\"mode\",\"rate\"],"
+            "\"rows\":[[\"greedy\",0.93]]}]}\n");
+}
+
+TEST(BenchReporter, InertWithoutFlag) {
+  const char* argv[] = {"bench_x"};
+  BenchReporter rep("bench_x", 1, const_cast<char**>(argv));
+  EXPECT_FALSE(rep.enabled());
+  EXPECT_TRUE(rep.write());  // no-op succeeds
+}
+
+TEST(BenchReporter, WritesFile) {
+  const std::string path = ::testing::TempDir() + "vcl_bench_out.json";
+  const char* argv[] = {"bench_x", "--json", path.c_str()};
+  BenchReporter rep("bench_x", 3, const_cast<char**>(argv));
+  rep.add_scalar("n", 2.0);
+  ASSERT_TRUE(rep.write());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema\":\"vcl-bench-v1\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"n\":2"), std::string::npos);
+}
+
+// ---- end-to-end through VehicularCloudSystem --------------------------------
+
+core::SystemConfig telemetry_config() {
+  core::SystemConfig config;
+  config.scenario.vehicles = 20;
+  // Hardened dispatch/heartbeats make the cloud talk over the network, so
+  // the trace exercises the net.* category too.
+  config.cloud.dependability.detector.enabled = true;
+  config.telemetry.tracing = true;
+  config.telemetry.metrics = true;
+  config.telemetry.sample_period = 1.0;
+  config.telemetry.profile_kernel = true;
+  return config;
+}
+
+TEST(SystemTelemetry, DisabledByDefault) {
+  core::SystemConfig config;
+  config.scenario.vehicles = 5;
+  core::VehicularCloudSystem system(config);
+  system.start();
+  EXPECT_EQ(system.telemetry(), nullptr);
+  EXPECT_FALSE(system.scenario().simulator().profiling());
+}
+
+TEST(SystemTelemetry, FullRunProducesTraceMetricsAndProfile) {
+  core::VehicularCloudSystem system(telemetry_config());
+  system.start();
+  ASSERT_NE(system.telemetry(), nullptr);
+  vcloud::WorkloadConfig workload;
+  workload.mean_work = 5.0;
+  system.submit_workload(workload, 10);
+  system.run_for(30.0);
+
+  obs::Telemetry& tel = *system.telemetry();
+  // Tracing: submissions and dispatches left task.* events on the ring.
+  const auto evs = tel.trace.events();
+  ASSERT_FALSE(evs.empty());
+  std::size_t submits = 0;
+  std::size_t net_events = 0;
+  for (const auto& ev : evs) {
+    if (std::string(ev.name) == "task.submit") ++submits;
+    if (ev.cat == TraceCategory::kNet) ++net_events;
+  }
+  EXPECT_EQ(submits, 10u);
+  EXPECT_GT(net_events, 0u);
+
+  // Metrics: the sampler ran every second and captured >= 5 series.
+  EXPECT_GE(tel.metrics.series_columns().size(), 5u);
+  EXPECT_GE(tel.metrics.sample_count(), 30u);
+  EXPECT_DOUBLE_EQ(tel.metrics.value("cloud.task.submitted"), 10.0);
+
+  // Exports parse-shaped output without crashing.
+  std::ostringstream trace_json;
+  tel.trace.write_chrome_trace(trace_json);
+  EXPECT_NE(trace_json.str().find("\"traceEvents\""), std::string::npos);
+  std::ostringstream csv;
+  tel.metrics.write_csv(csv);
+  EXPECT_EQ(csv.str().compare(0, 2, "t,"), 0);
+
+  // Kernel profile: labeled activities attributed events.
+  const auto prof = system.scenario().simulator().profile();
+  ASSERT_FALSE(prof.empty());
+  bool saw_mobility = false;
+  for (const auto& e : prof) {
+    if (e.label == "mobility.step") saw_mobility = true;
+  }
+  EXPECT_TRUE(saw_mobility);
+  EXPECT_GT(system.scenario().simulator().queue_high_water(), 0u);
+}
+
+TEST(SystemTelemetry, TraceCategoryMaskRespected) {
+  core::SystemConfig config = telemetry_config();
+  config.telemetry.profile_kernel = false;
+  config.telemetry.metrics = false;
+  config.telemetry.trace_categories = category_bit(TraceCategory::kTask);
+  core::VehicularCloudSystem system(config);
+  system.start();
+  vcloud::WorkloadConfig workload;
+  system.submit_workload(workload, 5);
+  system.run_for(10.0);
+  const auto evs = system.telemetry()->trace.events();
+  ASSERT_FALSE(evs.empty());
+  for (const auto& ev : evs) EXPECT_EQ(ev.cat, TraceCategory::kTask);
+}
+
+TEST(SystemTelemetry, TelemetryOffMatchesSeedDeterminism) {
+  // A telemetry-on run must not perturb the simulation itself: final cloud
+  // stats match a telemetry-off run with the same seed bit for bit.
+  core::SystemConfig off;
+  off.scenario.vehicles = 20;
+  core::SystemConfig on = off;
+  on.telemetry.tracing = true;
+  on.telemetry.profile_kernel = true;
+
+  auto run = [](const core::SystemConfig& cfg) {
+    core::VehicularCloudSystem system(cfg);
+    system.start();
+    vcloud::WorkloadConfig workload;
+    system.submit_workload(workload, 8);
+    system.run_for(25.0);
+    return std::make_tuple(system.cloud().stats().completed,
+                           system.cloud().stats().submitted,
+                           system.cloud().stats().latency.sum(),
+                           system.scenario().simulator().events_processed());
+  };
+  EXPECT_EQ(run(off), run(on));
+}
+
+}  // namespace
+}  // namespace vcl::obs

@@ -118,6 +118,81 @@ TEST(Simulator, EventsProcessedCounts) {
   EXPECT_EQ(sim.events_processed(), 7u);
 }
 
+// Regression: cancelling a recurring activity used to park its rid in the
+// cancelled-set forever (the rid never appears in the event queue, so the
+// reap-on-pop path could never erase it). The set must stay empty.
+TEST(Simulator, CancelRecurringDoesNotLeakCancellationEntries) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    const EventHandle h = sim.schedule_every(1.0, [&fired] { ++fired; });
+    sim.cancel(h);
+  }
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+  sim.run_until(10.0);
+  // The already-queued first ticks pop as dead no-ops, but the callback
+  // never runs and nothing parks in the cancelled-set.
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+}
+
+TEST(Simulator, CancelOneShotParksThenReaps) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(1.0, [] {});
+  sim.cancel(h);
+  // One-shot cancellations park until the queue pops the dead event...
+  EXPECT_EQ(sim.pending_cancellations(), 1u);
+  sim.run_until(2.0);
+  // ...at which point the entry is reaped.
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoOp) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+}
+
+TEST(Simulator, ProfilingAttributesEventsToLabels) {
+  Simulator sim;
+  sim.enable_profiling(true);
+  sim.schedule_every(1.0, [] {}, -1.0, "tick.a");
+  sim.schedule_at(2.5, [] {}, "shot.b");
+  sim.schedule_at(3.5, [] {});  // unlabeled
+  sim.run_until(5.0);
+
+  const std::vector<ProfileEntry> prof = sim.profile();
+  std::uint64_t total = 0;
+  std::uint64_t ticks = 0;
+  bool saw_unlabeled = false;
+  for (const ProfileEntry& e : prof) {
+    total += e.events;
+    EXPECT_GE(e.wall_seconds, 0.0);
+    if (e.label == "tick.a") ticks = e.events;
+    if (e.label == "(unlabeled)") saw_unlabeled = true;
+  }
+  EXPECT_EQ(total, sim.events_processed());
+  EXPECT_EQ(ticks, 5u);  // t=1..5
+  EXPECT_TRUE(saw_unlabeled);
+}
+
+TEST(Simulator, ProfilingOffKeepsProfileEmpty) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {}, "shot");
+  sim.run_until(2.0);
+  EXPECT_TRUE(sim.profile().empty());
+}
+
+TEST(Simulator, QueueHighWaterTracksPeakDepth) {
+  Simulator sim;
+  EXPECT_EQ(sim.queue_high_water(), 0u);
+  for (int i = 0; i < 17; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.queue_high_water(), 17u);
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.queue_high_water(), 17u);  // high water persists after drain
+}
+
 TEST(Simulator, EventsScheduledDuringRunExecute) {
   Simulator sim;
   int depth = 0;

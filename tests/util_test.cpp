@@ -116,6 +116,89 @@ TEST(Accumulator, Percentiles) {
   EXPECT_NEAR(acc.percentile(95), 95.05, 0.2);
 }
 
+TEST(Accumulator, PercentileWithoutRetentionIsZero) {
+  // Documented contract: keep_samples=false means percentile() returns
+  // exactly 0.0 — it never interpolates from moments.
+  Accumulator acc(/*keep_samples=*/false);
+  for (int i = 1; i <= 100; ++i) acc.add(i);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(99), 0.0);
+  // Moments stay fully usable without retention.
+  EXPECT_EQ(acc.count(), 100u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 50.5);
+}
+
+TEST(Accumulator, PercentileOneElement) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(100), 42.0);
+}
+
+TEST(Accumulator, PercentileTwoElementInterpolation) {
+  Accumulator acc;
+  acc.add(10.0);
+  acc.add(20.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(100), 20.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(25), 12.5);
+}
+
+TEST(Accumulator, MergeMatchesSingleStream) {
+  Accumulator a;
+  Accumulator b;
+  Accumulator whole;
+  for (const double v : {2.0, 4.0, 4.0, 4.0}) {
+    a.add(v);
+    whole.add(v);
+  }
+  for (const double v : {5.0, 5.0, 7.0, 9.0}) {
+    b.add(v);
+    whole.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(a.percentile(50), whole.percentile(50));
+}
+
+TEST(Accumulator, MergeEmptySides) {
+  Accumulator a;
+  Accumulator empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Accumulator target;
+  target.merge(a);  // merging into empty copies
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+  EXPECT_DOUBLE_EQ(target.percentile(100), 3.0);
+}
+
+TEST(Accumulator, MergeRespectsRetentionFlags) {
+  Accumulator keep;
+  Accumulator stream(/*keep_samples=*/false);
+  keep.add(1.0);
+  stream.add(100.0);
+  keep.merge(stream);
+  EXPECT_EQ(keep.count(), 2u);
+  // The non-retaining side contributed no samples: percentile covers only
+  // the locally retained values.
+  EXPECT_DOUBLE_EQ(keep.percentile(100), 1.0);
+  EXPECT_DOUBLE_EQ(keep.max(), 100.0);  // but the moments saw everything
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
@@ -125,6 +208,36 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.bucket(0), 2u);
   EXPECT_EQ(h.bucket(9), 2u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BothEndsClampIntoTerminalBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1e300);
+  h.add(-0.0001);
+  h.add(1e300);
+  h.add(10.0);  // hi itself is out of [lo, hi) and clamps to the last bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(h.bucket(i), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, SingleBucketTakesEverything) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(-5.0);
+  h.add(0.5);
+  h.add(99.0);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+}
+
+TEST(Ratio, EmptyIsZero) {
+  const Ratio r;
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.hits(), 0u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
 }
 
 TEST(Ratio, Value) {
