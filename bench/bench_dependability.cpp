@@ -21,26 +21,21 @@
 // detect recovers most of it; checkpointing cuts wasted work vs
 // requeue-from-zero; full buys the last few points of completion at the
 // price of redundant replica work.
+//
+// Runs through the experiment engine: an exp::Sweep spans the crash-rate x
+// mode grid and exp::Campaign replicates each cell (--reps N --jobs J).
+// Replication keeps the identical-fault-schedule property: replication r
+// uses the same derived seed in every cell, so at a given intensity all
+// modes still face the same fault plans. The default --reps 1 reproduces
+// the historical single-seed output byte-for-byte.
 #include <iostream>
 
 #include "core/system.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
+#include "exp/sweep.h"
 #include "util/table.h"
 
 using namespace vcl;
-
-namespace {
-
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
 
 namespace {
 
@@ -74,29 +69,7 @@ std::vector<Mode> modes() {
   return {none, detect, ckpt, full};
 }
 
-struct Row {
-  std::string mode;
-  double crash_rate = 0.0;
-  std::size_t crashes = 0;
-  vcloud::CloudStats stats;
-};
-
-Row run_mode(const Mode& mode, double crash_rate) {
-  core::SystemConfig cfg;
-  cfg.scenario.environment = core::Environment::kParkingLot;
-  cfg.scenario.vehicles = 50;
-  cfg.scenario.vehicles_parked = true;
-  cfg.scenario.seed = 1234;  // shared: identical fault plan across modes
-  cfg.architecture = core::CloudArchitecture::kStationary;
-  cfg.stationary_radius = 5000.0;
-  cfg.cloud.dependability = mode.dep;
-  cfg.faults.horizon = 240.0;
-  cfg.faults.vehicle_crash_rate = crash_rate;
-  cfg.faults.broker_crash_rate = crash_rate / 4.0;
-  cfg.faults.blackout_rate = crash_rate > 0.0 ? 0.01 : 0.0;
-  cfg.faults.blackout_mean_duration = 5.0;
-  cfg.faults.blackout_radius = 400.0;
-
+exp::RepReport run_cell(const core::SystemConfig& cfg) {
   core::VehicularCloudSystem system(cfg);
   system.start();
 
@@ -111,82 +84,115 @@ Row run_mode(const Mode& mode, double crash_rate) {
   // 240 s of load + 60 s of drain (deadlines settle everything in flight).
   system.run_for(300.0);
 
-  Row row;
-  row.mode = mode.name;
-  row.crash_rate = crash_rate;
-  row.stats = system.cloud().stats();
+  const vcloud::CloudStats& s = system.cloud().stats();
+  exp::RepReport rep;
+  double crashes = 0;
   if (system.injector() != nullptr) {
-    row.crashes = system.injector()->stats().vehicle_crashes +
-                  system.injector()->stats().broker_crashes;
+    crashes = static_cast<double>(system.injector()->stats().vehicle_crashes +
+                                  system.injector()->stats().broker_crashes);
   }
-  return row;
-}
-
-const Row& find_row(const std::vector<Row>& rows, const std::string& mode,
-                    double rate) {
-  for (const Row& r : rows) {
-    if (r.mode == mode && r.crash_rate == rate) return r;
-  }
-  return rows.front();
+  rep.value("crashes", crashes);
+  rep.value("completed", static_cast<double>(s.completed));
+  rep.value("expired", static_cast<double>(s.expired));
+  rep.value("completion", s.completion_rate());
+  rep.value("wasted", s.wasted_work);
+  rep.value("redundant", s.redundant_work);
+  rep.value("retries", static_cast<double>(s.retries));
+  rep.value("kills", static_cast<double>(s.crash_kills));
+  rep.value("fp_kills", static_cast<double>(s.false_positive_kills));
+  rep.value("det_lat", s.detection_latency.mean());
+  return rep;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_dependability", argc, argv);
-  g_report = &reporter;
+  exp::Campaign campaign("bench_dependability", argc, argv);
 
   std::cout << "E22 (paper §III): task dependability under injected faults\n"
             << "50 parked workers, task every 0.5 s (mean work 30, deadline "
                "60 s),\n300 s per cell; every mode at a given intensity faces "
                "the identical\nfault schedule (same seed, dedicated plan RNG "
                "stream).\n\n";
+  campaign.describe(std::cout);
 
-  const std::vector<double> rates = {0.0, 0.02, 0.05};
-  std::vector<Row> rows;
-  for (const double rate : rates) {
-    for (const Mode& mode : modes()) {
-      rows.push_back(run_mode(mode, rate));
-    }
+  exp::Sweep<core::SystemConfig> sweep;
+  auto& rate_axis = sweep.axis("crash_rate");
+  for (const double rate : {0.0, 0.02, 0.05}) {
+    rate_axis.point(Table::num(rate, 2), [rate](core::SystemConfig& c) {
+      c.faults.horizon = 240.0;
+      c.faults.vehicle_crash_rate = rate;
+      c.faults.broker_crash_rate = rate / 4.0;
+      c.faults.blackout_rate = rate > 0.0 ? 0.01 : 0.0;
+      c.faults.blackout_mean_duration = 5.0;
+      c.faults.blackout_radius = 400.0;
+    });
+  }
+  auto& mode_axis = sweep.axis("mode");
+  for (const Mode& mode : modes()) {
+    mode_axis.point(mode.name, [dep = mode.dep](core::SystemConfig& c) {
+      c.cloud.dependability = dep;
+    });
   }
 
-  Table table("E22: completion and overheads by mitigation mode",
-              {"crash_rate", "mode", "crashes", "completed", "expired",
-               "completion", "wasted", "redundant", "retries", "kills",
-               "fp_kills", "det_lat_s"});
-  for (const Row& r : rows) {
-    const vcloud::CloudStats& s = r.stats;
-    table.add_row({Table::num(r.crash_rate, 2), r.mode,
-                   std::to_string(r.crashes), std::to_string(s.completed),
-                   std::to_string(s.expired), Table::num(s.completion_rate(), 2),
-                   Table::num(s.wasted_work, 1), Table::num(s.redundant_work, 1),
-                   std::to_string(s.retries), std::to_string(s.crash_kills),
-                   std::to_string(s.false_positive_kills),
-                   Table::num(s.detection_latency.mean(), 2)});
+  // Cell label ("rate/mode") -> metric summaries, for the epilogue checks.
+  std::map<std::string, std::map<std::string, exp::Summary>> by_cell;
+  std::vector<std::vector<exp::Cell>> rows;
+  for (const auto& cell : sweep.cells()) {
+    const auto summary =
+        campaign.replicate(1234, [&cell](const exp::RepContext& ctx) {
+          core::SystemConfig cfg;
+          cfg.scenario.environment = core::Environment::kParkingLot;
+          cfg.scenario.vehicles = 50;
+          cfg.scenario.vehicles_parked = true;
+          cfg.architecture = core::CloudArchitecture::kStationary;
+          cfg.stationary_radius = 5000.0;
+          // Shared across every mode at this intensity: identical fault plan.
+          cfg.scenario.seed = ctx.seed;
+          return run_cell(cell.make(cfg));
+        });
+    rows.push_back({exp::Cell(cell.labels[0]), exp::Cell(cell.labels[1]),
+                    exp::Cell(summary.at("crashes"), 0),
+                    exp::Cell(summary.at("completed"), 0),
+                    exp::Cell(summary.at("expired"), 0),
+                    exp::Cell(summary.at("completion"), 2),
+                    exp::Cell(summary.at("wasted"), 1),
+                    exp::Cell(summary.at("redundant"), 1),
+                    exp::Cell(summary.at("retries"), 0),
+                    exp::Cell(summary.at("kills"), 0),
+                    exp::Cell(summary.at("fp_kills"), 0),
+                    exp::Cell(summary.at("det_lat"), 2)});
+    by_cell[cell.label()] = summary;
   }
-  emit_table(table);
+  campaign.emit("E22: completion and overheads by mitigation mode",
+                {"crash_rate", "mode", "crashes", "completed", "expired",
+                 "completion", "wasted", "redundant", "retries", "kills",
+                 "fp_kills", "det_lat_s"},
+                rows);
 
   // Qualitative acceptance checks (printed, not asserted: this is a bench).
-  const double high = rates.back();
-  const Row& none_hi = find_row(rows, "none", high);
-  const Row& detect_hi = find_row(rows, "detect", high);
-  const Row& ckpt_hi = find_row(rows, "detect+ckpt", high);
-  const Row& full_hi = find_row(rows, "full", high);
-  const bool recovery_wins =
-      full_hi.stats.completion_rate() > none_hi.stats.completion_rate();
-  const bool ckpt_cheaper = ckpt_hi.stats.wasted_work <
-                            detect_hi.stats.wasted_work;
+  // With replication on, the checks compare cross-replication means.
+  const std::string high = Table::num(0.05, 2);
+  const auto& none_hi = by_cell.at(high + "/none");
+  const auto& detect_hi = by_cell.at(high + "/detect");
+  const auto& ckpt_hi = by_cell.at(high + "/detect+ckpt");
+  const auto& full_hi = by_cell.at(high + "/full");
+  const double none_completion = none_hi.at("completion").mean();
+  const double full_completion = full_hi.at("completion").mean();
+  const double detect_wasted = detect_hi.at("wasted").mean();
+  const double ckpt_wasted = ckpt_hi.at("wasted").mean();
+  const bool recovery_wins = full_completion > none_completion;
+  const bool ckpt_cheaper = ckpt_wasted < detect_wasted;
   std::cout << "\n[" << (recovery_wins ? "PASS" : "FAIL")
             << "] full recovery completes more than no recovery at crash "
                "rate "
-            << high << " (" << Table::num(full_hi.stats.completion_rate(), 2)
-            << " vs " << Table::num(none_hi.stats.completion_rate(), 2)
-            << ")\n";
+            << 0.05 << " (" << Table::num(full_completion, 2) << " vs "
+            << Table::num(none_completion, 2) << ")\n";
   std::cout << "[" << (ckpt_cheaper ? "PASS" : "FAIL")
             << "] checkpointed recovery wastes less work than "
                "requeue-from-zero ("
-            << Table::num(ckpt_hi.stats.wasted_work, 1) << " vs "
-            << Table::num(detect_hi.stats.wasted_work, 1) << ")\n";
+            << Table::num(ckpt_wasted, 1) << " vs "
+            << Table::num(detect_wasted, 1) << ")\n";
   std::cout << "\nShape vs paper §III: with no failure detection a crashed\n"
                "worker silently pins its task until the deadline reaper\n"
                "fires — completion collapses with fault intensity. Heartbeat\n"
@@ -195,9 +201,5 @@ int main(int argc, char** argv) {
                "blackouts; checkpoints shrink the wasted-work bill; retry +\n"
                "speculation trade redundant compute for the last points of\n"
                "completion.\n";
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
-  }
-  return 0;
+  return campaign.finish();
 }

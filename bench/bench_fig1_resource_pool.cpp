@@ -5,26 +5,19 @@
 // (coordination/security requirements). Measured here: the aggregate
 // compute/storage/sensing a dynamic v-cloud actually pools, as a function
 // of vehicle density and of the fleet's automation mix.
+//
+// Runs through the experiment engine (exp::Campaign): --reps N replicates
+// every cell with independent seeds (--jobs J in parallel) and reports
+// mean ±95% CI; the default --reps 1 reproduces the historical single-seed
+// output byte-for-byte.
 #include <iostream>
 
 #include "core/system.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
+#include "exp/sweep.h"
 #include "util/table.h"
 
 using namespace vcl;
-
-namespace {
-
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
 
 namespace {
 
@@ -36,11 +29,11 @@ struct MixSpec {
 }  // namespace
 
 int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_fig1_resource_pool", argc, argv);
-  g_report = &reporter;
+  exp::Campaign campaign("bench_fig1_resource_pool", argc, argv);
 
   std::cout << "E5 (Fig. 1): pooled v-cloud resources vs density and "
                "automation mix\n\n";
+  campaign.describe(std::cout);
 
   const std::vector<MixSpec> mixes = {
       {"today (mostly L0-L2)", {0.4, 0.3, 0.2, 0.08, 0.02, 0.0}},
@@ -48,40 +41,58 @@ int main(int argc, char** argv) {
       {"autonomous era (L4-L5)", {0.0, 0.0, 0.05, 0.15, 0.4, 0.4}},
   };
 
-  Table table("pooled resources of the largest dynamic cloud (120 s mean)",
-              {"mix", "vehicles", "members", "compute_u/s", "storage_GB",
-               "sensors"});
+  exp::Sweep<core::SystemConfig> sweep;
+  auto& mix_axis = sweep.axis("mix");
   for (const MixSpec& mix : mixes) {
-    for (const int vehicles : {40, 80, 160}) {
-      core::SystemConfig cfg;
-      cfg.scenario.vehicles = vehicles;
-      cfg.scenario.grid_rows = 6;
-      cfg.scenario.grid_cols = 6;
-      cfg.scenario.seed = 5;
-      cfg.scenario.automation_weights = mix.weights;
-      core::VehicularCloudSystem system(cfg);
-      system.start();
-      // Sample the pool every 10 s over 2 minutes.
-      Accumulator members, compute, storage, sensors;
-      for (int s = 0; s < 12; ++s) {
-        system.run_for(10.0);
-        const auto pool = system.cloud().pool();
-        members.add(static_cast<double>(pool.members));
-        compute.add(pool.compute);
-        storage.add(pool.storage_mb / 1024.0);
-        sensors.add(static_cast<double>(pool.sensor_count));
-      }
-      table.add_row({mix.label, std::to_string(vehicles),
-                     Table::num(members.mean(), 1),
-                     Table::num(compute.mean(), 1),
-                     Table::num(storage.mean(), 1),
-                     Table::num(sensors.mean(), 0)});
-    }
+    mix_axis.point(mix.label, [weights = mix.weights](core::SystemConfig& c) {
+      c.scenario.automation_weights = weights;
+    });
   }
-  emit_table(table);
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
+  auto& density_axis = sweep.axis("vehicles");
+  for (const int vehicles : {40, 80, 160}) {
+    density_axis.point(std::to_string(vehicles),
+                       [vehicles](core::SystemConfig& c) {
+                         c.scenario.vehicles = vehicles;
+                       });
   }
-  return 0;
+
+  std::vector<std::vector<exp::Cell>> rows;
+  for (const auto& cell : sweep.cells()) {
+    const auto summary =
+        campaign.replicate(5, [&](const exp::RepContext& ctx) {
+          core::SystemConfig cfg;
+          cfg.scenario.grid_rows = 6;
+          cfg.scenario.grid_cols = 6;
+          cfg = cell.make(cfg);
+          cfg.scenario.seed = ctx.seed;
+          core::VehicularCloudSystem system(cfg);
+          system.start();
+          // Sample the pool every 10 s over 2 minutes.
+          Accumulator members, compute, storage, sensors;
+          for (int s = 0; s < 12; ++s) {
+            system.run_for(10.0);
+            const auto pool = system.cloud().pool();
+            members.add(static_cast<double>(pool.members));
+            compute.add(pool.compute);
+            storage.add(pool.storage_mb / 1024.0);
+            sensors.add(static_cast<double>(pool.sensor_count));
+          }
+          exp::RepReport rep;
+          rep.value("members", members.mean());
+          rep.value("compute", compute.mean());
+          rep.value("storage", storage.mean());
+          rep.value("sensors", sensors.mean());
+          return rep;
+        });
+    rows.push_back({exp::Cell(cell.labels[0]), exp::Cell(cell.labels[1]),
+                    exp::Cell(summary.at("members"), 1),
+                    exp::Cell(summary.at("compute"), 1),
+                    exp::Cell(summary.at("storage"), 1),
+                    exp::Cell(summary.at("sensors"), 0)});
+  }
+  campaign.emit("pooled resources of the largest dynamic cloud (120 s mean)",
+                {"mix", "vehicles", "members", "compute_u/s", "storage_GB",
+                 "sensors"},
+                rows);
+  return campaign.finish();
 }

@@ -16,40 +16,22 @@
 //   mobile: phone-class nodes (low automation profile) anchored to an RSU
 //     "base station" — membership via infrastructure;
 //   vehicular: moving vehicles, dynamic self-organized architecture.
+//
+// Runs through the experiment engine (exp::Campaign): --reps N replicates
+// every cloud with independent seeds (--jobs J in parallel) and reports
+// mean ±95% CI; the default --reps 1 reproduces the historical single-seed
+// output byte-for-byte, and aggregates are bit-identical for any --jobs.
 #include <iostream>
 
 #include "core/system.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
 #include "util/table.h"
 
 using namespace vcl;
 
 namespace {
 
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
-
-namespace {
-
-struct Row {
-  std::string name;
-  double compute_per_node = 0;
-  double churn_per_member_min = 0;
-  double outage_collapse = 0;  // 1 - (completion rate during outage / before)
-  double p95_latency = 0;
-  double completion = 0;
-};
-
-Row run_cloud(const std::string& name, core::SystemConfig cfg,
-              bool outage_phase) {
+exp::RepReport run_cloud(core::SystemConfig cfg, bool outage_phase) {
   core::VehicularCloudSystem system(cfg);
   system.start();
 
@@ -80,39 +62,54 @@ Row run_cloud(const std::string& name, core::SystemConfig cfg,
       system.cloud().stats().completed - completed_normal;
   if (outage_phase) system.scenario().network().rsus().restore_all();
 
-  Row row;
-  row.name = name;
-  row.compute_per_node = compute_sum / static_cast<double>(members_samples);
+  exp::RepReport rep;
+  rep.value("compute_per_node",
+            compute_sum / static_cast<double>(members_samples));
   const double rate_normal = static_cast<double>(completed_normal) / 120.0;
   const double rate_outage = static_cast<double>(completed_outage) / 120.0;
-  row.outage_collapse =
-      rate_normal > 0 ? std::max(0.0, 1.0 - rate_outage / rate_normal) : 0.0;
-  row.p95_latency = system.cloud().stats().latency.percentile(95);
+  rep.value("outage_collapse",
+            rate_normal > 0 ? std::max(0.0, 1.0 - rate_outage / rate_normal)
+                            : 0.0);
+  rep.value("p95_latency", system.cloud().stats().latency.percentile(95));
   const auto& st = system.cloud().stats();
-  row.completion = st.submitted
-                       ? static_cast<double>(st.completed) /
-                             static_cast<double>(st.submitted)
-                       : 0.0;
+  rep.value("completion", st.submitted
+                              ? static_cast<double>(st.completed) /
+                                    static_cast<double>(st.submitted)
+                              : 0.0);
   // Churn proxy: reallocations+migrations per completed task plus broker
   // changes normalized by runtime.
-  row.churn_per_member_min =
-      (static_cast<double>(st.migrations + st.reallocations) +
-       static_cast<double>(system.cloud().broker_changes())) /
-      (members_sum / static_cast<double>(members_samples)) / 4.0;
-  return row;
+  rep.value("churn_per_member_min",
+            (static_cast<double>(st.migrations + st.reallocations) +
+             static_cast<double>(system.cloud().broker_changes())) /
+                (members_sum / static_cast<double>(members_samples)) / 4.0);
+  return rep;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_fig2_cloud_comparison", argc, argv);
-  g_report = &reporter;
+  exp::Campaign campaign("bench_fig2_cloud_comparison", argc, argv);
 
   std::cout << "E1 (Fig. 2): conventional vs mobile vs vehicular clouds\n"
             << "240 s each (RSU outage in the second half), same task "
                "stream\n\n";
+  campaign.describe(std::cout);
 
-  std::vector<Row> rows;
+  std::vector<std::vector<exp::Cell>> rows;
+  auto run = [&](const std::string& name, const core::SystemConfig& base) {
+    const auto summary = campaign.replicate(
+        base.scenario.seed, [&base](const exp::RepContext& ctx) {
+          core::SystemConfig cfg = base;
+          cfg.scenario.seed = ctx.seed;
+          return run_cloud(cfg, true);
+        });
+    rows.push_back({exp::Cell(name),
+                    exp::Cell(summary.at("compute_per_node"), 2),
+                    exp::Cell(summary.at("churn_per_member_min"), 2),
+                    exp::Cell(summary.at("outage_collapse"), 2),
+                    exp::Cell(summary.at("p95_latency"), 1),
+                    exp::Cell(summary.at("completion"), 2)});
+  };
 
   // Conventional cloud: parked, high-automation (server-class) nodes.
   {
@@ -123,7 +120,7 @@ int main(int argc, char** argv) {
     cfg.scenario.seed = 31;
     cfg.architecture = core::CloudArchitecture::kStationary;
     cfg.stationary_radius = 5000.0;
-    rows.push_back(run_cloud("conventional (fixed nodes)", cfg, true));
+    run("conventional (fixed nodes)", cfg);
   }
 
   // Mobile cloud: phone-class nodes behind a base station (RSU).
@@ -136,7 +133,7 @@ int main(int argc, char** argv) {
     // Phone-class capability: everything at the lowest equipment level.
     cfg.scenario.automation_weights = {1.0, 0, 0, 0, 0, 0};
     cfg.architecture = core::CloudArchitecture::kInfrastructureBased;
-    rows.push_back(run_cloud("mobile (infra-anchored)", cfg, true));
+    run("mobile (infra-anchored)", cfg);
   }
 
   // Vehicular cloud: moving vehicles, dynamic architecture.
@@ -145,19 +142,13 @@ int main(int argc, char** argv) {
     cfg.scenario.vehicles = 40;
     cfg.scenario.seed = 33;
     cfg.architecture = core::CloudArchitecture::kDynamic;
-    rows.push_back(run_cloud("vehicular (dynamic V2V)", cfg, true));
+    run("vehicular (dynamic V2V)", cfg);
   }
 
-  Table table("E1 / Fig. 2: measured analogs of the qualitative rows",
-              {"cloud", "compute/node", "reconfig/member/min",
-               "outage_collapse", "p95_latency_s", "completion"});
-  for (const Row& r : rows) {
-    table.add_row({r.name, Table::num(r.compute_per_node, 2),
-                   Table::num(r.churn_per_member_min, 2),
-                   Table::num(r.outage_collapse, 2),
-                   Table::num(r.p95_latency, 1), Table::num(r.completion, 2)});
-  }
-  emit_table(table);
+  campaign.emit("E1 / Fig. 2: measured analogs of the qualitative rows",
+                {"cloud", "compute/node", "reconfig/member/min",
+                 "outage_collapse", "p95_latency_s", "completion"},
+                rows);
 
   std::cout
       << "Shape vs paper Fig. 2: conventional = most stable and most\n"
@@ -166,9 +157,5 @@ int main(int argc, char** argv) {
          "(infrastructure reliance HIGH); vehicular = capable nodes, high\n"
          "reconfiguration rate (mobility HIGH) but keeps completing tasks\n"
          "with the infrastructure gone (reliance LOW).\n";
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
-  }
-  return 0;
+  return campaign.finish();
 }

@@ -5,26 +5,19 @@
 // the full authenticate -> authorize -> trust-validate chain for each
 // authentication protocol and policy complexity, and the budget-violation
 // rate against the paper's "stringent time constraints".
+//
+// Runs through the experiment engine (exp::Campaign): one replication runs
+// the whole protocol x policy grid against a freshly keyed DRBG; --reps N
+// replicates it with independent key material and reports mean ±95% CI.
+// The default --reps 1 reproduces the historical output byte-for-byte.
+#include <array>
 #include <iostream>
 
 #include "core/pipeline.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
 #include "util/table.h"
 
 using namespace vcl;
-
-namespace {
-
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
 using namespace vcl::core;
 
 namespace {
@@ -46,14 +39,26 @@ trust::EventCluster consensus_cluster(int n) {
   return c;
 }
 
-}  // namespace
+// Flag metric cell: "yes"/"NO" while every replication agrees (which at
+// --reps 1 is exactly the historical output), the agreeing fraction else.
+exp::Cell yes_no(const exp::Summary& s) {
+  if (s.mean() >= 1.0) return exp::Cell("yes");
+  if (s.mean() <= 0.0) return exp::Cell("NO");
+  exp::Cell cell(Table::num(s.mean(), 2));
+  cell.stat = obs::CellStat{s.mean(), s.ci95(), s.n()};
+  return cell;
+}
 
-int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_fig3_secure_pipeline", argc, argv);
-  g_report = &reporter;
+constexpr std::array kProtocols = {AuthProtocolKind::kPseudonym,
+                                   AuthProtocolKind::kGroup,
+                                   AuthProtocolKind::kHybrid};
+constexpr std::array kLeafCounts = {1, 4, 8};
+constexpr std::array kBudgetsMs = {5.0, 10.0, 20.0, 50.0, 100.0};
 
-  std::cout << "E4 (Fig. 3): secure pipeline latency "
-               "(authenticate -> authorize -> trust)\n\n";
+// One replication: the full grid with one DRBG keying. Metric names are
+// "<protocol>/<leaves>/<field>" and "budget/<ms>/<field>".
+exp::RepReport run_grid(std::uint64_t seed) {
+  exp::RepReport rep;
 
   auth::TrustedAuthority ta(1);
   ta.register_vehicle(VehicleId{1});
@@ -63,19 +68,13 @@ int main(int argc, char** argv) {
   auth::GroupAuth group_signer(manager, VehicleId{1});
   auth::HybridAuth hybrid_signer(manager, VehicleId{1});
   access::AbeAuthority abe(3);
-  crypto::Drbg drbg(std::uint64_t{4});
+  crypto::Drbg drbg(seed);
   const crypto::Bytes owner_key = drbg.generate(32);
   const trust::MajorityVote validator;
   const trust::EventCluster cluster = consensus_cluster(6);
 
-  Table table("pipeline latency by protocol and policy size",
-              {"protocol", "policy_leaves", "latency_ms", "accepted",
-               "within_100ms"});
-
-  for (const auto protocol :
-       {AuthProtocolKind::kPseudonym, AuthProtocolKind::kGroup,
-        AuthProtocolKind::kHybrid}) {
-    for (const int leaves : {1, 4, 8}) {
+  for (const auto protocol : kProtocols) {
+    for (const int leaves : kLeafCounts) {
       SecurePipeline pipeline({});
       const crypto::Bytes payload{1, 2, 3};
       crypto::OpCounts sign_ops;
@@ -108,19 +107,16 @@ int main(int argc, char** argv) {
 
       const PipelineResult result =
           pipeline.process(auth_in, authz, trust_in, 0.0);
-      table.add_row({to_string(protocol), std::to_string(leaves),
-                     Table::num(result.latency / kMilliseconds, 2),
-                     result.accepted ? "yes" : "NO",
-                     result.within_budget ? "yes" : "NO"});
+      const std::string prefix =
+          std::string(to_string(protocol)) + "/" + std::to_string(leaves);
+      rep.value(prefix + "/latency_ms", result.latency / kMilliseconds);
+      rep.value(prefix + "/accepted", result.accepted ? 1.0 : 0.0);
+      rep.value(prefix + "/within", result.within_budget ? 1.0 : 0.0);
     }
   }
-  emit_table(table);
 
   // Budget-violation sweep: how tight can the deadline be?
-  Table budget_table("budget violation rate vs deadline (pseudonym, 4-leaf "
-                     "policy, 200 messages)",
-                     {"budget_ms", "violations", "violation_rate"});
-  for (const double budget_ms : {5.0, 10.0, 20.0, 50.0, 100.0}) {
+  for (const double budget_ms : kBudgetsMs) {
     PipelineConfig cfg;
     cfg.budget = budget_ms * kMilliseconds;
     SecurePipeline pipeline(cfg);
@@ -145,18 +141,58 @@ int main(int argc, char** argv) {
       const PipelineResult r = pipeline.process(auth_in, authz, trust_in, 0.0);
       violations += r.within_budget ? 0 : 1;
     }
-    budget_table.add_row({Table::num(budget_ms, 0), std::to_string(violations),
-                          Table::num(static_cast<double>(violations) / n, 2)});
+    const std::string prefix = "budget/" + Table::num(budget_ms, 0);
+    rep.value(prefix + "/violations", violations);
+    rep.value(prefix + "/rate", static_cast<double>(violations) / n);
   }
-  emit_table(budget_table);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Campaign campaign("bench_fig3_secure_pipeline", argc, argv);
+
+  std::cout << "E4 (Fig. 3): secure pipeline latency "
+               "(authenticate -> authorize -> trust)\n\n";
+  campaign.describe(std::cout);
+
+  // Historical base seed 4: the DRBG keying the owner key and packages.
+  const auto summary = campaign.replicate(4, [](const exp::RepContext& ctx) {
+    return run_grid(ctx.seed);
+  });
+
+  std::vector<std::vector<exp::Cell>> rows;
+  for (const auto protocol : kProtocols) {
+    for (const int leaves : kLeafCounts) {
+      const std::string prefix =
+          std::string(to_string(protocol)) + "/" + std::to_string(leaves);
+      rows.push_back({exp::Cell(to_string(protocol)),
+                      exp::Cell(std::to_string(leaves)),
+                      exp::Cell(summary.at(prefix + "/latency_ms"), 2),
+                      yes_no(summary.at(prefix + "/accepted")),
+                      yes_no(summary.at(prefix + "/within"))});
+    }
+  }
+  campaign.emit("pipeline latency by protocol and policy size",
+                {"protocol", "policy_leaves", "latency_ms", "accepted",
+                 "within_100ms"},
+                rows);
+
+  std::vector<std::vector<exp::Cell>> budget_rows;
+  for (const double budget_ms : kBudgetsMs) {
+    const std::string prefix = "budget/" + Table::num(budget_ms, 0);
+    budget_rows.push_back({exp::Cell(Table::num(budget_ms, 0)),
+                           exp::Cell(summary.at(prefix + "/violations"), 0),
+                           exp::Cell(summary.at(prefix + "/rate"), 2)});
+  }
+  campaign.emit("budget violation rate vs deadline (pseudonym, 4-leaf "
+                "policy, 200 messages)",
+                {"budget_ms", "violations", "violation_rate"}, budget_rows);
 
   std::cout << "Shape: authentication dominates for small policies; ABE\n"
                "authorization dominates beyond ~4 leaves. Budgets below the\n"
                "sum of one verify chain are infeasible on OBU-class\n"
                "hardware — quantifying §III.C's warning.\n";
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
-  }
-  return 0;
+  return campaign.finish();
 }

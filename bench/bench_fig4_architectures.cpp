@@ -6,45 +6,26 @@
 // (earthquake), then recovers for 100 s. Reported per phase: completion
 // rate, mean latency and membership — the quantitative form of §IV.A.2's
 // availability argument.
+//
+// Runs through the experiment engine (exp::Campaign): --reps N replicates
+// every architecture with independent seeds (--jobs J in parallel) and
+// reports mean ±95% CI; the default --reps 1 reproduces the historical
+// single-seed output byte-for-byte.
 #include <iostream>
 
 #include "core/system.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
 #include "util/table.h"
 
 using namespace vcl;
 
 namespace {
 
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
-
-namespace {
-
-struct PhaseStats {
-  std::size_t completed = 0;
-  double members = 0;
-};
-
-struct ArchResult {
-  std::string name;
-  PhaseStats normal, disaster, recovery;
-  double mean_latency = 0;
-  std::size_t migrations = 0;
-};
-
-ArchResult run_architecture(core::CloudArchitecture arch) {
+exp::RepReport run_architecture(core::CloudArchitecture arch,
+                                std::uint64_t seed) {
   core::SystemConfig cfg;
   cfg.architecture = arch;
-  cfg.scenario.seed = 44;
+  cfg.scenario.seed = seed;
   cfg.scenario.rsu_spacing = 600.0;
   if (arch == core::CloudArchitecture::kStationary) {
     cfg.scenario.environment = core::Environment::kParkingLot;
@@ -63,6 +44,10 @@ ArchResult run_architecture(core::CloudArchitecture arch) {
     system.cloud().submit(workload.next(sim.now()));
   });
 
+  struct PhaseStats {
+    std::size_t completed = 0;
+    double members = 0;
+  };
   auto run_phase = [&](double seconds) {
     const std::size_t before = system.cloud().stats().completed;
     Accumulator members(false);
@@ -77,43 +62,52 @@ ArchResult run_architecture(core::CloudArchitecture arch) {
     return ps;
   };
 
-  ArchResult result;
-  result.name = core::to_string(arch);
-  result.normal = run_phase(150.0);
+  const PhaseStats normal = run_phase(150.0);
   system.scenario().network().rsus().fail_all();
-  result.disaster = run_phase(150.0);
+  const PhaseStats disaster = run_phase(150.0);
   system.scenario().network().rsus().restore_all();
-  result.recovery = run_phase(100.0);
-  result.mean_latency = system.cloud().stats().latency.mean();
-  result.migrations = system.cloud().stats().migrations;
-  return result;
+  const PhaseStats recovery = run_phase(100.0);
+
+  exp::RepReport rep;
+  rep.value("normal", static_cast<double>(normal.completed));
+  rep.value("disaster", static_cast<double>(disaster.completed));
+  rep.value("recovery", static_cast<double>(recovery.completed));
+  rep.value("members_normal", normal.members);
+  rep.value("members_disaster", disaster.members);
+  rep.value("mean_latency", system.cloud().stats().latency.mean());
+  return rep;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_fig4_architectures", argc, argv);
-  g_report = &reporter;
+  exp::Campaign campaign("bench_fig4_architectures", argc, argv);
 
   std::cout << "E2 (Fig. 4): stationary vs infrastructure-based vs dynamic\n"
             << "phases: normal 150 s | all RSUs fail 150 s | recovery 100 "
                "s\n\n";
+  campaign.describe(std::cout);
 
-  Table table("tasks completed per phase (same 1-task/2s stream)",
-              {"architecture", "normal", "disaster", "recovery",
-               "members(normal)", "members(disaster)", "mean_latency_s"});
+  std::vector<std::vector<exp::Cell>> rows;
   for (const auto arch : {core::CloudArchitecture::kStationary,
                           core::CloudArchitecture::kInfrastructureBased,
                           core::CloudArchitecture::kDynamic}) {
-    const ArchResult r = run_architecture(arch);
-    table.add_row({r.name, std::to_string(r.normal.completed),
-                   std::to_string(r.disaster.completed),
-                   std::to_string(r.recovery.completed),
-                   Table::num(r.normal.members, 1),
-                   Table::num(r.disaster.members, 1),
-                   Table::num(r.mean_latency, 1)});
+    const auto summary =
+        campaign.replicate(44, [arch](const exp::RepContext& ctx) {
+          return run_architecture(arch, ctx.seed);
+        });
+    rows.push_back({exp::Cell(core::to_string(arch)),
+                    exp::Cell(summary.at("normal"), 0),
+                    exp::Cell(summary.at("disaster"), 0),
+                    exp::Cell(summary.at("recovery"), 0),
+                    exp::Cell(summary.at("members_normal"), 1),
+                    exp::Cell(summary.at("members_disaster"), 1),
+                    exp::Cell(summary.at("mean_latency"), 1)});
   }
-  emit_table(table);
+  campaign.emit("tasks completed per phase (same 1-task/2s stream)",
+                {"architecture", "normal", "disaster", "recovery",
+                 "members(normal)", "members(disaster)", "mean_latency_s"},
+                rows);
 
   std::cout
       << "Shape vs paper: the infrastructure-based cloud loses its members\n"
@@ -121,9 +115,5 @@ int main(int argc, char** argv) {
          "unaffected but only exists where parked fleets do; the dynamic\n"
          "cloud's membership and completions ride through the disaster —\n"
          "\"the most promising for handling emergency responses\" (§II.C).\n";
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
-  }
-  return 0;
+  return campaign.finish();
 }

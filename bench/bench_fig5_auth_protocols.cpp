@@ -12,6 +12,11 @@
 // Paper claims to match: pseudonym = high per-message overhead, privacy not
 // fully preserved; group = cheap-ish messages but coordinator knows
 // identities and it leans on a manager; hybrid = middle ground without CRL.
+//
+// Runs through the experiment engine (exp::Campaign): --reps N replicates
+// each protocol's simulated drive with independent seeds (--jobs J in
+// parallel) and reports mean ±95% CI; the default --reps 1 reproduces the
+// historical single-seed output byte-for-byte.
 #include <chrono>
 #include <iostream>
 
@@ -20,49 +25,23 @@
 #include "auth/hybrid_auth.h"
 #include "auth/privacy_metrics.h"
 #include "core/scenario.h"
-#include "obs/bench_output.h"
+#include "exp/campaign.h"
 #include "util/table.h"
 
 using namespace vcl;
 
 namespace {
 
-// Prints the table and, when --json was given, collects it for the
-// vcl-bench-v1 document written at exit (see obs/bench_output.h).
-obs::BenchReporter* g_report = nullptr;
-
-void emit_table(const Table& t) {
-  t.print(std::cout);
-  if (g_report != nullptr) g_report->add(t);
-}
-
-}  // namespace
-
-namespace {
-
-struct ProtocolRow {
-  std::string name;
-  double sign_ms = 0;
-  double verify_ms = 0;
-  std::size_t wire_bytes = 0;
-  double linkability = 0;
-  double anonymity = 0;
-  double tracking_recall = 0;
-  double ta_contacts_per_1k = 0;
-};
-
 // Simulated drive: `n_vehicles` vehicles emit a signed beacon every second
 // for `duration` seconds; an eavesdropper logs what it sees on the wire.
 template <typename SignFn, typename IdFn>
-ProtocolRow run_protocol(const std::string& name, core::Scenario& scenario,
-                         SignFn sign, IdFn visible_id,
-                         std::function<double()> ta_contacts,
-                         std::size_t messages) {
-  ProtocolRow row;
-  row.name = name;
+exp::RepReport run_protocol(core::Scenario& scenario, SignFn sign,
+                            IdFn visible_id,
+                            std::function<double()> ta_contacts) {
   crypto::OpCounts sign_ops;
   crypto::OpCounts verify_ops;
   std::vector<auth::AirObservation> observations;
+  std::size_t wire_bytes = 0;
 
   auto& traffic = scenario.traffic();
   std::vector<VehicleId> ids;
@@ -78,163 +57,133 @@ ProtocolRow run_protocol(const std::string& name, core::Scenario& scenario,
       if (s == nullptr) continue;
       const std::size_t wire = sign(v, t, sign_ops, verify_ops);
       if (wire == 0) continue;
-      row.wire_bytes = wire;
+      wire_bytes = wire;
       ++emitted;
       observations.push_back(
           auth::AirObservation{t, s->pos, visible_id(v, t), v});
     }
   }
-  (void)messages;
 
   const crypto::CostModel costs;
-  row.sign_ms =
-      costs.total(sign_ops) / std::max<double>(1, emitted) / kMilliseconds;
-  row.verify_ms =
-      costs.total(verify_ops) / std::max<double>(1, emitted) / kMilliseconds;
-  row.linkability = auth::id_linkability(observations);
-  row.anonymity = auth::mean_anonymity_set(observations, ids.size());
+  exp::RepReport rep;
+  rep.value("sign_ms", costs.total(sign_ops) / std::max<double>(1, emitted) /
+                           kMilliseconds);
+  rep.value("verify_ms", costs.total(verify_ops) /
+                             std::max<double>(1, emitted) / kMilliseconds);
+  rep.value("wire_bytes", static_cast<double>(wire_bytes));
+  rep.value("linkability", auth::id_linkability(observations));
+  rep.value("anonymity", auth::mean_anonymity_set(observations, ids.size()));
   const attack::TrackingAdversary adversary;
-  row.tracking_recall = adversary.analyze(observations).link_recall;
-  row.ta_contacts_per_1k =
-      ta_contacts() / (static_cast<double>(emitted) / 1000.0);
-  return row;
+  rep.value("tracking_recall", adversary.analyze(observations).link_recall);
+  rep.value("ta_contacts_per_1k",
+            ta_contacts() / (static_cast<double>(emitted) / 1000.0));
+  return rep;
 }
 
-}  // namespace
+exp::RepReport run_pseudonym(const core::ScenarioConfig& sc) {
+  core::Scenario scenario(sc);
+  scenario.start();
+  auth::TrustedAuthority ta(1);
+  std::unordered_map<std::uint64_t, std::unique_ptr<auth::PseudonymAuth>>
+      signers;
+  double ta_contacts = 0;
+  for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+    ta.register_vehicle(v.id);
+    // Pool of 8 certificates, 10 s rotation.
+    signers[vid] = std::make_unique<auth::PseudonymAuth>(ta, v.id, 8, 10.0);
+    ta_contacts += 1;  // pool issuance is one TA round-trip
+  }
+  return run_protocol(
+      scenario,
+      [&](VehicleId v, double t, crypto::OpCounts& so,
+          crypto::OpCounts& vo) -> std::size_t {
+        auto it = signers.find(v.value());
+        if (it == signers.end()) return 0;
+        const crypto::Bytes payload{1, 2, 3, 4};
+        const auto tag = it->second->sign(payload, t, so);
+        if (!tag) return 0;
+        const auto outcome = auth::PseudonymAuth::verify(ta, payload, *tag);
+        vo += outcome.ops;
+        return tag->wire_bytes;
+      },
+      [&](VehicleId v, double) -> std::uint64_t {
+        auto it = signers.find(v.value());
+        return it == signers.end() ? 0 : it->second->current_pseudo_id();
+      },
+      [ta_contacts] { return ta_contacts; });
+}
 
-int main(int argc, char** argv) {
-  obs::BenchReporter reporter("bench_fig5_auth_protocols", argc, argv);
-  g_report = &reporter;
+exp::RepReport run_group(const core::ScenarioConfig& sc) {
+  core::Scenario scenario(sc);
+  scenario.start();
+  auth::GroupManager manager(1, 2);
+  std::unordered_map<std::uint64_t, std::unique_ptr<auth::GroupAuth>> signers;
+  double ta_contacts = 0;
+  for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+    manager.enroll(v.id);
+    ta_contacts += 1;  // one enrollment with the manager
+    signers[vid] = std::make_unique<auth::GroupAuth>(manager, v.id);
+  }
+  return run_protocol(
+      scenario,
+      [&](VehicleId v, double, crypto::OpCounts& so,
+          crypto::OpCounts& vo) -> std::size_t {
+        auto it = signers.find(v.value());
+        const crypto::Bytes payload{1, 2, 3, 4};
+        const auto tag = it->second->sign(payload, so);
+        if (!tag) return 0;
+        const auto outcome = auth::GroupAuth::verify(manager, payload, *tag);
+        vo += outcome.ops;
+        return tag->wire_bytes;
+      },
+      // Group tags expose no per-sender identifier.
+      [](VehicleId, double) -> std::uint64_t { return 0; },
+      [ta_contacts] { return ta_contacts; });
+}
 
-  std::cout << "E3 (Fig. 5): authentication protocol comparison\n"
-            << "60 s drive, 40 vehicles, 1 Hz signed beacons; OBU-class "
-               "costs via CostModel\n\n";
-
-  const std::size_t kMessages = 40 * 60;
-
-  // ---- pseudonym ------------------------------------------------------------
-  core::ScenarioConfig sc;
-  sc.vehicles = 40;
-  sc.seed = 11;
-  std::vector<ProtocolRow> rows;
-  {
-    core::Scenario scenario(sc);
-    scenario.start();
-    auth::TrustedAuthority ta(1);
-    std::unordered_map<std::uint64_t, std::unique_ptr<auth::PseudonymAuth>>
-        signers;
-    double ta_contacts = 0;
-    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
-      ta.register_vehicle(v.id);
-      // Pool of 8 certificates, 10 s rotation.
-      signers[vid] = std::make_unique<auth::PseudonymAuth>(ta, v.id, 8, 10.0);
-      ta_contacts += 1;  // pool issuance is one TA round-trip
+exp::RepReport run_hybrid(const core::ScenarioConfig& sc) {
+  core::Scenario scenario(sc);
+  scenario.start();
+  auth::GroupManager manager(2, 3);
+  std::unordered_map<std::uint64_t, std::unique_ptr<auth::HybridAuth>>
+      signers;
+  double ta_contacts = 0;
+  for (const auto& [vid, v] : scenario.traffic().vehicles()) {
+    manager.enroll(v.id);
+    ta_contacts += 1;
+    signers[vid] = std::make_unique<auth::HybridAuth>(manager, v.id);
+  }
+  // Rotate hybrid pseudonyms every 10 s (a manager certification each).
+  double rotations = 0;
+  scenario.simulator().schedule_every(10.0, [&] {
+    crypto::OpCounts ops;
+    for (auto& [vid, s] : signers) {
+      if (s->rotate(ops)) rotations += 1;
     }
-    rows.push_back(run_protocol(
-        "pseudonym", scenario,
-        [&](VehicleId v, double t, crypto::OpCounts& so,
-            crypto::OpCounts& vo) -> std::size_t {
-          auto it = signers.find(v.value());
-          if (it == signers.end()) return 0;
-          const crypto::Bytes payload{1, 2, 3, 4};
-          const auto tag = it->second->sign(payload, t, so);
-          if (!tag) return 0;
-          const auto outcome = auth::PseudonymAuth::verify(ta, payload, *tag);
-          vo += outcome.ops;
-          return tag->wire_bytes;
-        },
-        [&](VehicleId v, double) -> std::uint64_t {
-          auto it = signers.find(v.value());
-          return it == signers.end() ? 0 : it->second->current_pseudo_id();
-        },
-        [ta_contacts] { return ta_contacts; }, kMessages));
-  }
+  });
+  return run_protocol(
+      scenario,
+      [&](VehicleId v, double, crypto::OpCounts& so,
+          crypto::OpCounts& vo) -> std::size_t {
+        auto it = signers.find(v.value());
+        const crypto::Bytes payload{1, 2, 3, 4};
+        const auto tag = it->second->sign(payload, so);
+        if (!tag) return 0;
+        const auto outcome = auth::HybridAuth::verify(manager, payload, *tag);
+        vo += outcome.ops;
+        return tag->wire_bytes;
+      },
+      [&](VehicleId v, double) -> std::uint64_t {
+        return signers[v.value()]->current_pub();
+      },
+      // Evaluated after the drive: counts per-epoch re-certifications.
+      [&] { return ta_contacts + rotations; });
+}
 
-  // ---- group ------------------------------------------------------------------
-  {
-    core::Scenario scenario(sc);
-    scenario.start();
-    auth::GroupManager manager(1, 2);
-    std::unordered_map<std::uint64_t, std::unique_ptr<auth::GroupAuth>> signers;
-    double ta_contacts = 0;
-    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
-      manager.enroll(v.id);
-      ta_contacts += 1;  // one enrollment with the manager
-      signers[vid] = std::make_unique<auth::GroupAuth>(manager, v.id);
-    }
-    rows.push_back(run_protocol(
-        "group", scenario,
-        [&](VehicleId v, double, crypto::OpCounts& so,
-            crypto::OpCounts& vo) -> std::size_t {
-          auto it = signers.find(v.value());
-          const crypto::Bytes payload{1, 2, 3, 4};
-          const auto tag = it->second->sign(payload, so);
-          if (!tag) return 0;
-          const auto outcome = auth::GroupAuth::verify(manager, payload, *tag);
-          vo += outcome.ops;
-          return tag->wire_bytes;
-        },
-        // Group tags expose no per-sender identifier.
-        [](VehicleId, double) -> std::uint64_t { return 0; },
-        [ta_contacts] { return ta_contacts; }, kMessages));
-  }
-
-  // ---- hybrid ------------------------------------------------------------------
-  {
-    core::Scenario scenario(sc);
-    scenario.start();
-    auth::GroupManager manager(2, 3);
-    std::unordered_map<std::uint64_t, std::unique_ptr<auth::HybridAuth>>
-        signers;
-    double ta_contacts = 0;
-    for (const auto& [vid, v] : scenario.traffic().vehicles()) {
-      manager.enroll(v.id);
-      ta_contacts += 1;
-      signers[vid] = std::make_unique<auth::HybridAuth>(manager, v.id);
-    }
-    // Rotate hybrid pseudonyms every 10 s (a manager certification each).
-    double rotations = 0;
-    scenario.simulator().schedule_every(10.0, [&] {
-      crypto::OpCounts ops;
-      for (auto& [vid, s] : signers) {
-        if (s->rotate(ops)) rotations += 1;
-      }
-    });
-    rows.push_back(run_protocol(
-        "hybrid", scenario,
-        [&](VehicleId v, double, crypto::OpCounts& so,
-            crypto::OpCounts& vo) -> std::size_t {
-          auto it = signers.find(v.value());
-          const crypto::Bytes payload{1, 2, 3, 4};
-          const auto tag = it->second->sign(payload, so);
-          if (!tag) return 0;
-          const auto outcome = auth::HybridAuth::verify(manager, payload, *tag);
-          vo += outcome.ops;
-          return tag->wire_bytes;
-        },
-        [&](VehicleId v, double) -> std::uint64_t {
-          return signers[v.value()]->current_pub();
-        },
-        // Evaluated after the drive: counts per-epoch re-certifications.
-        [&] { return ta_contacts + rotations; }, kMessages));
-  }
-
-  Table table("E3 / Fig. 5: protocol comparison (measured)",
-              {"protocol", "sign_ms", "verify_ms", "wire_B", "linkability",
-               "anonymity_set", "tracking_recall", "ta_contacts/1k_msg"});
-  for (const ProtocolRow& r : rows) {
-    table.add_row({r.name, Table::num(r.sign_ms, 2), Table::num(r.verify_ms, 2),
-                   std::to_string(r.wire_bytes), Table::num(r.linkability, 3),
-                   Table::num(r.anonymity, 1),
-                   Table::num(r.tracking_recall, 3),
-                   Table::num(r.ta_contacts_per_1k, 2)});
-  }
-  emit_table(table);
-
-  // ---- CRL growth (the pseudonym-specific cost) --------------------------------
-  Table crl_table("CRL lookup cost vs revocation history (pseudonym only)",
-                  {"revoked_certs", "bloom_checks", "exact_probes",
-                   "lookup_us(measured)"});
+// One replication of the CRL-growth measurement (timing is wall-clock, so
+// replication gives it a genuine scatter estimate).
+exp::RepReport run_crl() {
+  exp::RepReport rep;
   for (const std::size_t revoked : {0UL, 1000UL, 10000UL, 100000UL}) {
     auth::Crl crl(std::max<std::size_t>(revoked, 16));
     for (std::size_t i = 0; i < revoked; ++i) crl.revoke(i * 2 + 1);
@@ -248,13 +197,75 @@ int main(int argc, char** argv) {
     const double us =
         std::chrono::duration<double, std::micro>(t1 - t0).count() /
         static_cast<double>(lookups);
-    crl_table.add_row({std::to_string(revoked),
-                       std::to_string(crl.bloom_checks()),
-                       std::to_string(crl.exact_probes()),
-                       Table::num(us, 3)});
+    const std::string prefix = "crl/" + std::to_string(revoked);
+    rep.value(prefix + "/bloom_checks",
+              static_cast<double>(crl.bloom_checks()));
+    rep.value(prefix + "/exact_probes",
+              static_cast<double>(crl.exact_probes()));
+    rep.value(prefix + "/lookup_us", us);
     (void)hits;
   }
-  emit_table(crl_table);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Campaign campaign("bench_fig5_auth_protocols", argc, argv);
+
+  std::cout << "E3 (Fig. 5): authentication protocol comparison\n"
+            << "60 s drive, 40 vehicles, 1 Hz signed beacons; OBU-class "
+               "costs via CostModel\n\n";
+  campaign.describe(std::cout);
+
+  core::ScenarioConfig sc;
+  sc.vehicles = 40;
+  sc.seed = 11;
+
+  std::vector<std::vector<exp::Cell>> rows;
+  auto run = [&](const std::string& name, auto protocol_fn) {
+    const auto summary =
+        campaign.replicate(sc.seed, [&sc, protocol_fn](
+                                        const exp::RepContext& ctx) {
+          core::ScenarioConfig cfg = sc;
+          cfg.seed = ctx.seed;
+          return protocol_fn(cfg);
+        });
+    rows.push_back({exp::Cell(name), exp::Cell(summary.at("sign_ms"), 2),
+                    exp::Cell(summary.at("verify_ms"), 2),
+                    exp::Cell(summary.at("wire_bytes"), 0),
+                    exp::Cell(summary.at("linkability"), 3),
+                    exp::Cell(summary.at("anonymity"), 1),
+                    exp::Cell(summary.at("tracking_recall"), 3),
+                    exp::Cell(summary.at("ta_contacts_per_1k"), 2)});
+  };
+  run("pseudonym", [](const core::ScenarioConfig& c) {
+    return run_pseudonym(c);
+  });
+  run("group", [](const core::ScenarioConfig& c) { return run_group(c); });
+  run("hybrid", [](const core::ScenarioConfig& c) { return run_hybrid(c); });
+
+  campaign.emit("E3 / Fig. 5: protocol comparison (measured)",
+                {"protocol", "sign_ms", "verify_ms", "wire_B", "linkability",
+                 "anonymity_set", "tracking_recall", "ta_contacts/1k_msg"},
+                rows);
+
+  // ---- CRL growth (the pseudonym-specific cost) ---------------------------
+  const auto crl_summary =
+      campaign.replicate(0, [](const exp::RepContext&) { return run_crl(); });
+  std::vector<std::vector<exp::Cell>> crl_rows;
+  for (const std::size_t revoked : {0UL, 1000UL, 10000UL, 100000UL}) {
+    const std::string prefix = "crl/" + std::to_string(revoked);
+    crl_rows.push_back(
+        {exp::Cell(std::to_string(revoked)),
+         exp::Cell(crl_summary.at(prefix + "/bloom_checks"), 0),
+         exp::Cell(crl_summary.at(prefix + "/exact_probes"), 0),
+         exp::Cell(crl_summary.at(prefix + "/lookup_us"), 3)});
+  }
+  campaign.emit("CRL lookup cost vs revocation history (pseudonym only)",
+                {"revoked_certs", "bloom_checks", "exact_probes",
+                 "lookup_us(measured)"},
+                crl_rows);
 
   std::cout
       << "Shape vs paper: pseudonym pays two signature verifications per\n"
@@ -262,9 +273,5 @@ int main(int argc, char** argv) {
          "its pseudonyms are linkable between rotations (linkability > 0).\n"
          "Group tags are sender-anonymous (anonymity = group size) but the\n"
          "manager can open them; hybrid avoids the CRL entirely.\n";
-  if (!reporter.write()) {
-    std::cerr << "error: could not write " << reporter.path() << "\n";
-    return 1;
-  }
-  return 0;
+  return campaign.finish();
 }

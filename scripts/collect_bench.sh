@@ -2,16 +2,44 @@
 # Runs the figure-reproducing benches with --json and aggregates their
 # vcl-bench-v1 documents into one BENCH_summary.json:
 #
-#   scripts/collect_bench.sh [build_dir] [out_file]
+#   scripts/collect_bench.sh [--jobs N] [--reps N] [build_dir] [out_file]
 #
-# Defaults: build_dir=build, out_file=BENCH_summary.json. Every document is
-# validated against the shared schema (schema/bench/scalars/tables keys)
-# before it is merged; a bench that fails to run or emits a malformed
-# document fails the script.
+# Defaults: build_dir=build, out_file=BENCH_summary.json, jobs=1, reps
+# unset (each bench keeps its single-replication default). --jobs runs that
+# many bench PROCESSES concurrently; --reps is passed through to every bench
+# (each then reports mean ±95% CI cells). Every document is validated
+# against the shared schema (schema/bench/scalars/tables keys, rectangular
+# rows, well-formed {mean, ci95, n} stat cells) before it is merged.
+#
+# A missing binary, a bench exiting nonzero, or a malformed document fails
+# the script with a nonzero exit — CI must never ship a partial summary.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_summary.json}"
+JOBS=1
+REPS=""
+positional=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)
+      JOBS="${2:?--jobs needs a value}"
+      shift 2
+      ;;
+    --reps)
+      REPS="${2:?--reps needs a value}"
+      shift 2
+      ;;
+    --help|-h)
+      sed -n '2,15p' "$0"
+      exit 0
+      ;;
+    *)
+      positional+=("$1")
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${positional[0]:-build}"
+OUT="${positional[1]:-BENCH_summary.json}"
 
 # The paper-figure benches plus the dependability experiment: the set CI
 # tracks over time. Add a bench here once it matters for a figure.
@@ -29,18 +57,49 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 
+# Fail fast on missing binaries BEFORE spending time running anything.
+for bench in "${BENCHES[@]}"; do
+  if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
+    echo "error: $BUILD_DIR/bench/$bench not built" >&2
+    exit 1
+  fi
+done
+
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+extra_flags=()
+if [[ -n "$REPS" ]]; then
+  extra_flags+=(--reps "$REPS")
+fi
+
+# Launch each bench (at most $JOBS at a time), then reap every pid and fail
+# on the first nonzero exit. Benches are independent processes, so this is
+# safe concurrency regardless of each bench's internal --jobs setting.
+pids=()
 for bench in "${BENCHES[@]}"; do
-  bin="$BUILD_DIR/bench/$bench"
-  if [[ ! -x "$bin" ]]; then
-    echo "error: $bin not built" >&2
-    exit 1
-  fi
+  # Poll rather than `wait -n`: polling leaves every job un-reaped so the
+  # collection loop below can read each bench's own exit status.
+  while [[ "$(jobs -rp | wc -l)" -ge "$JOBS" ]]; do
+    sleep 0.2
+  done
   echo "running $bench ..." >&2
-  "$bin" --json "$tmpdir/$bench.json" > "$tmpdir/$bench.log"
+  "$BUILD_DIR/bench/$bench" --json "$tmpdir/$bench.json" \
+    "${extra_flags[@]}" > "$tmpdir/$bench.log" 2>&1 &
+  pids+=("$!")
 done
+
+failed=""
+for i in "${!BENCHES[@]}"; do
+  if ! wait "${pids[$i]}"; then
+    echo "error: ${BENCHES[$i]} exited nonzero; log follows" >&2
+    cat "$tmpdir/${BENCHES[$i]}.log" >&2 || true
+    failed=1
+  fi
+done
+if [[ -n "$failed" ]]; then
+  exit 1
+fi
 
 python3 - "$tmpdir" "$OUT" "${BENCHES[@]}" <<'PY'
 import json
@@ -48,6 +107,21 @@ import sys
 
 tmpdir, out = sys.argv[1], sys.argv[2]
 benches = sys.argv[3:]
+
+
+def check_cell(bench, title, cell):
+    """A cell is a plain number, a string, or a {mean, ci95, n} stat object."""
+    if isinstance(cell, dict):
+        if set(cell) != {"mean", "ci95", "n"}:
+            sys.exit(f"error: {bench}: bad stat cell keys {sorted(cell)} "
+                     f"in table {title!r}")
+        if not isinstance(cell["n"], int) or cell["n"] < 2:
+            sys.exit(f"error: {bench}: stat cell with n={cell['n']!r} "
+                     f"in table {title!r} (plain cells must stay plain)")
+    elif not isinstance(cell, (int, float, str)):
+        sys.exit(f"error: {bench}: unsupported cell {cell!r} "
+                 f"in table {title!r}")
+
 
 docs = []
 for bench in benches:
@@ -63,6 +137,9 @@ for bench in benches:
     for t in doc["tables"]:
         if any(len(row) != len(t["columns"]) for row in t["rows"]):
             sys.exit(f"error: {bench}: ragged rows in table {t['title']!r}")
+        for row in t["rows"]:
+            for cell in row:
+                check_cell(bench, t["title"], cell)
     docs.append(doc)
 
 with open(out, "w") as f:

@@ -1,0 +1,109 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <utility>
+
+namespace vcl::exp {
+
+Cell::Cell(const Summary& s, int decimals) {
+  text = Table::num(s.mean(), decimals);
+  if (s.n() > 1) {
+    text += " ±" + Table::num(s.ci95(), decimals);
+    stat = obs::CellStat{s.mean(), s.ci95(), s.n()};
+  }
+}
+
+namespace {
+
+std::size_t parse_count_flag(int argc, char** argv, const std::string& flag,
+                             std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      return v < 0 ? fallback : static_cast<std::size_t>(v);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Campaign::Campaign(std::string bench_name, int argc, char** argv)
+    : reporter_(std::move(bench_name), argc, argv) {
+  reps_ = std::max<std::size_t>(parse_count_flag(argc, argv, "--reps", 1), 1);
+  jobs_ = parse_count_flag(argc, argv, "--jobs", 1);
+  if (jobs_ == 0) {
+    jobs_ = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  // `reps` enters the JSON only when replication is on: the default document
+  // stays identical to the pre-engine output, and `jobs` never enters it at
+  // all (aggregates are jobs-invariant; recording J would break that).
+  if (reps_ > 1) {
+    reporter_.add_scalar("reps", static_cast<double>(reps_));
+  }
+}
+
+Campaign::~Campaign() = default;
+
+void Campaign::describe(std::ostream& os) const {
+  if (reps_ <= 1) return;
+  os << "replication: " << reps_ << " reps x " << jobs_
+     << " jobs (independent seeds; cells are mean ±95% CI, Student-t)\n\n";
+}
+
+std::map<std::string, Summary> Campaign::replicate(std::uint64_t base_seed,
+                                                   const RepFn& fn) {
+  if (pool_ == nullptr && jobs_ > 1 && reps_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(std::min(jobs_, reps_));
+  }
+  ReplicateOptions opts;
+  opts.reps = reps_;
+  opts.jobs = jobs_;
+  opts.base_seed = base_seed;
+  return exp::replicate(opts, fn, pool_.get());
+}
+
+void Campaign::emit(const std::string& title,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<Cell>>& rows) {
+  Table table(title, columns);
+  obs::TableStats stats;
+  bool any_stat = false;
+  for (const std::vector<Cell>& row : rows) {
+    std::vector<std::string> cells;
+    std::vector<std::optional<obs::CellStat>> stat_row;
+    cells.reserve(row.size());
+    stat_row.reserve(row.size());
+    for (const Cell& cell : row) {
+      cells.push_back(cell.text);
+      stat_row.push_back(cell.stat);
+      any_stat |= cell.stat.has_value();
+    }
+    table.add_row(std::move(cells));
+    stats.push_back(std::move(stat_row));
+  }
+  table.print(std::cout);
+  if (any_stat) {
+    reporter_.add(table, std::move(stats));
+  } else {
+    reporter_.add(table);
+  }
+}
+
+void Campaign::emit(const Table& table) {
+  table.print(std::cout);
+  reporter_.add(table);
+}
+
+int Campaign::finish() {
+  if (!reporter_.write()) {
+    std::cerr << "error: could not write " << reporter_.path() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace vcl::exp

@@ -1,0 +1,76 @@
+#include "exp/replicator.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcl::exp {
+
+Accumulator& RepReport::dist(const std::string& name) {
+  return metrics_.try_emplace(name, /*keep_samples=*/true).first->second;
+}
+
+std::uint64_t rep_seed(std::uint64_t base_seed, std::size_t rep) {
+  if (rep == 0) return base_seed;
+  return Rng(base_seed).fork(rep).seed();
+}
+
+namespace {
+
+// Fixed-order reduction: replication r's metrics are folded after r-1's, so
+// the result is independent of which worker finished first.
+std::map<std::string, Summary> reduce(const std::vector<RepReport>& reports) {
+  std::map<std::string, Summary> out;
+  for (const RepReport& report : reports) {
+    for (const auto& [name, acc] : report.metrics()) {
+      if (acc.count() == 0) continue;
+      Summary& s = out[name];
+      s.across.add(acc.mean());
+      s.pooled.merge(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, Summary> replicate(const ReplicateOptions& opts,
+                                         const RepFn& fn, ThreadPool* pool) {
+  const std::size_t reps = std::max<std::size_t>(opts.reps, 1);
+  std::vector<RepReport> reports(reps);
+
+  if (opts.jobs <= 1 || reps == 1) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r)});
+    }
+    return reduce(reports);
+  }
+
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(std::min(opts.jobs, reps));
+    pool = owned.get();
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    futures.push_back(pool->submit([&fn, &reports, r, &opts] {
+      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r)});
+    }));
+  }
+  // Drain every future before rethrowing so no task outlives `reports`.
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return reduce(reports);
+}
+
+}  // namespace vcl::exp

@@ -1,0 +1,82 @@
+// Replicated experiment runs with deterministic parallel reduction
+// (DESIGN.md §7).
+//
+// A replication function is called once per replication with an independent
+// seed (`Rng::fork(rep)`-derived; replication 0 keeps the base seed so a
+// single-rep run reproduces the historical single-seed experiment exactly)
+// and reports named metrics into a `RepReport`. `replicate()` runs the N
+// replications — inline for jobs=1, across an `exp::ThreadPool` otherwise —
+// then reduces per-metric with `Accumulator::merge` (Chan) in replication
+// order, so the aggregate is bit-identical regardless of `jobs`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exp/thread_pool.h"
+#include "util/stats.h"
+
+namespace vcl::exp {
+
+// Identity of one replication inside a replicated run.
+struct RepContext {
+  std::size_t rep = 0;     // replication index in [0, reps)
+  std::uint64_t seed = 0;  // independent per-rep seed (rep 0 == base seed)
+};
+
+// What one replication reports: named metrics, each an Accumulator. Use
+// `value()` for one observation per replication (the common case) and
+// `dist()` when a replication produces a whole within-run distribution.
+class RepReport {
+ public:
+  void value(const std::string& name, double v) { dist(name).add(v); }
+  Accumulator& dist(const std::string& name);
+
+  [[nodiscard]] const std::map<std::string, Accumulator>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::map<std::string, Accumulator> metrics_;
+};
+
+// Cross-replication reduction of one metric.
+struct Summary {
+  // One entry per reporting replication: that replication's mean.
+  Accumulator across;
+  // Every replication's samples merged in replication order; percentiles
+  // here pool the within-run distributions.
+  Accumulator pooled;
+
+  [[nodiscard]] std::size_t n() const { return across.count(); }
+  [[nodiscard]] double mean() const { return across.mean(); }
+  [[nodiscard]] double stddev() const { return across.stddev(); }
+  // Student-t 95% half-width over the per-replication means; 0 when n < 2.
+  [[nodiscard]] double ci95() const { return ci95_half_width(across); }
+};
+
+struct ReplicateOptions {
+  std::size_t reps = 1;
+  std::size_t jobs = 1;
+  std::uint64_t base_seed = 0;
+};
+
+using RepFn = std::function<RepReport(const RepContext&)>;
+
+// Per-replication seed: rep 0 keeps `base_seed` unchanged (single-rep runs
+// reproduce the historical experiments byte-for-byte); rep r > 0 derives an
+// independent stream via Rng(base_seed).fork(r).
+std::uint64_t rep_seed(std::uint64_t base_seed, std::size_t rep);
+
+// Runs `fn` opts.reps times and reduces. A replication that throws aborts
+// the run: the first exception (in replication order) is rethrown after all
+// in-flight replications finish. Pass `pool` to reuse one pool across many
+// calls (cells of a sweep); nullptr creates a private pool when jobs > 1.
+std::map<std::string, Summary> replicate(const ReplicateOptions& opts,
+                                         const RepFn& fn,
+                                         ThreadPool* pool = nullptr);
+
+}  // namespace vcl::exp

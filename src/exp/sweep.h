@@ -1,0 +1,113 @@
+// Cartesian parameter sweeps over experiment configurations (DESIGN.md §7).
+//
+// A Sweep names axes; each axis holds labelled mutators of a config object.
+// `cells()` expands the cartesian grid in a fixed order (first axis slowest,
+// matching nested for-loops), and a Cell applies its axis mutators in axis
+// order to a base config:
+//
+//   exp::Sweep<core::SystemConfig> sweep;
+//   sweep.axis("crash_rate")
+//       .point("0.00", [](auto& c) { c.faults.vehicle_crash_rate = 0.0; })
+//       .point("0.05", [](auto& c) { c.faults.vehicle_crash_rate = 0.05; });
+//   sweep.axis("mode")
+//       .point("none", [](auto& c) {})
+//       .point("full", [](auto& c) { c.cloud.dependability = full(); });
+//   for (const auto& cell : sweep.cells()) {
+//     core::SystemConfig cfg = cell.make(base);
+//     ...  // cell.labels = {"0.05", "full"}, cell.label() = "0.05/full"
+//   }
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vcl::exp {
+
+template <typename Config>
+class Sweep {
+ public:
+  using Mutator = std::function<void(Config&)>;
+
+  class Axis {
+   public:
+    explicit Axis(std::string name) : name_(std::move(name)) {}
+
+    Axis& point(std::string label, Mutator apply) {
+      labels_.push_back(std::move(label));
+      mutators_.push_back(std::move(apply));
+      return *this;
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::size_t size() const { return labels_.size(); }
+
+   private:
+    friend class Sweep;
+    std::string name_;
+    std::vector<std::string> labels_;
+    std::vector<Mutator> mutators_;
+  };
+
+  struct Cell {
+    std::vector<std::string> labels;  // one per axis, in axis order
+    std::vector<Mutator> mutators;    // applied in axis order
+
+    [[nodiscard]] Config make(Config base) const {
+      for (const Mutator& m : mutators) m(base);
+      return base;
+    }
+
+    // "label0/label1/..." — a stable cell key for lookups and logs.
+    [[nodiscard]] std::string label() const {
+      std::string out;
+      for (const std::string& l : labels) {
+        if (!out.empty()) out += '/';
+        out += l;
+      }
+      return out;
+    }
+  };
+
+  // Axes live in a deque so the returned reference stays valid while later
+  // axes are added.
+  Axis& axis(std::string name) {
+    axes_.emplace_back(std::move(name));
+    return axes_.back();
+  }
+
+  [[nodiscard]] const std::deque<Axis>& axes() const { return axes_; }
+
+  // Cartesian product; the first axis varies slowest. Empty axes yield an
+  // empty grid.
+  [[nodiscard]] std::vector<Cell> cells() const {
+    std::vector<Cell> out;
+    if (axes_.empty()) return out;
+    std::size_t total = 1;
+    for (const Axis& a : axes_) total *= a.size();
+    out.reserve(total);
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    for (std::size_t c = 0; c < total; ++c) {
+      Cell cell;
+      for (std::size_t a = 0; a < axes_.size(); ++a) {
+        cell.labels.push_back(axes_[a].labels_[idx[a]]);
+        cell.mutators.push_back(axes_[a].mutators_[idx[a]]);
+      }
+      out.push_back(std::move(cell));
+      // Odometer increment, last axis fastest.
+      for (std::size_t a = axes_.size(); a-- > 0;) {
+        if (++idx[a] < axes_[a].size()) break;
+        idx[a] = 0;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::deque<Axis> axes_;
+};
+
+}  // namespace vcl::exp

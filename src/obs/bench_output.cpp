@@ -19,7 +19,13 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
 }
 
 void BenchReporter::add(const Table& table) {
-  tables_.push_back(TableCopy{table.title(), table.columns(), table.cells()});
+  tables_.push_back(
+      TableCopy{table.title(), table.columns(), table.cells(), {}});
+}
+
+void BenchReporter::add(const Table& table, TableStats stats) {
+  tables_.push_back(TableCopy{table.title(), table.columns(), table.cells(),
+                              std::move(stats)});
 }
 
 void BenchReporter::add_scalar(const std::string& key, double value) {
@@ -48,9 +54,23 @@ std::string BenchReporter::to_json() const {
     for (const std::string& c : t.columns) w.value(c);
     w.end_array();
     w.key("rows").begin_array();
-    for (const auto& row : t.rows) {
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
       w.begin_array();
-      for (const std::string& cell : row) w.value_auto(cell);
+      for (std::size_t c = 0; c < t.rows[r].size(); ++c) {
+        const std::optional<CellStat>* stat = nullptr;
+        if (r < t.stats.size() && c < t.stats[r].size()) {
+          stat = &t.stats[r][c];
+        }
+        if (stat != nullptr && stat->has_value()) {
+          w.begin_object();
+          w.key("mean").value((*stat)->mean);
+          w.key("ci95").value((*stat)->ci95);
+          w.key("n").value(static_cast<std::uint64_t>((*stat)->n));
+          w.end_object();
+        } else {
+          w.value_auto(t.rows[r][c]);
+        }
+      }
       w.end_array();
     }
     w.end_array();

@@ -22,12 +22,29 @@
 
 #include <chrono>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/table.h"
 
 namespace vcl::obs {
+
+// Cross-replication statistics for one table cell (experiment engine,
+// DESIGN.md §7). A cell carrying one is emitted as
+// {"mean": m, "ci95": c, "n": reps} instead of a plain number — still
+// vcl-bench-v1; consumers that only read plain cells see them whenever
+// replication is off (n == 1 cells are never annotated).
+struct CellStat {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::size_t n = 0;
+};
+
+// Per-table stat annotations: stats[row][col] aligned with the Table's
+// rows/columns; std::nullopt marks an unannotated cell. Rows may be absent
+// or short — missing entries mean "plain cell".
+using TableStats = std::vector<std::vector<std::optional<CellStat>>>;
 
 class BenchReporter {
  public:
@@ -40,6 +57,8 @@ class BenchReporter {
 
   // Snapshots a finished table (call after the bench filled it).
   void add(const Table& table);
+  // Same, with cross-replication per-cell statistics (see TableStats).
+  void add(const Table& table, TableStats stats);
   // Top-level named result (wall-clock, pass/fail counts, config knobs).
   void add_scalar(const std::string& key, double value);
 
@@ -54,6 +73,7 @@ class BenchReporter {
     std::string title;
     std::vector<std::string> columns;
     std::vector<std::vector<std::string>> rows;
+    TableStats stats;  // empty when the table carries no annotations
   };
 
   std::string bench_name_;

@@ -72,6 +72,26 @@ double Accumulator::percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+double student_t95(std::size_t df) {
+  // t_{0.975, df}: standard two-sided 95% table.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+double ci95_half_width(const Accumulator& reps) {
+  if (reps.count() < 2) return 0.0;
+  return student_t95(reps.count() - 1) * reps.stddev() /
+         std::sqrt(static_cast<double>(reps.count()));
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 

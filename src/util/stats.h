@@ -52,6 +52,18 @@ class Accumulator {
   mutable bool sorted_ = true;
 };
 
+// Two-sided 95% Student-t critical value for `df` degrees of freedom
+// (exact table through df=30, standard stepdown to the normal 1.960
+// asymptote beyond). Used by the experiment engine to turn per-replication
+// scatter into confidence intervals; df=0 returns 0 (no interval from one
+// observation).
+double student_t95(std::size_t df);
+
+// 95% confidence half-width of the mean of `reps`, treating each retained
+// observation as one independent replication: t * stddev / sqrt(n). Returns
+// 0 when fewer than two observations exist.
+double ci95_half_width(const Accumulator& reps);
+
 // Fixed-width histogram over [lo, hi); out-of-range values clamp to the
 // first/last bucket.
 class Histogram {

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+#include "exp/campaign.h"
+#include "exp/replicator.h"
+#include "exp/sweep.h"
+#include "exp/thread_pool.h"
+#include "util/rng.h"
+
+namespace vcl::exp {
+namespace {
+
+// ---- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    futures.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.submit([&count] { ++count; }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(pool.stats().executed, 100u);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    // No get(): the destructor must still run everything before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionReachesFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] {});
+  EXPECT_NO_THROW(good.get());
+  EXPECT_EQ(pool.stats().executed, 2u);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBlockedPeer) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  // One worker parks on the blocker; once it has STARTED, later tasks
+  // round-robin into both deques and the free worker must steal the blocked
+  // worker's share. (Without the started-gate the blocked worker could drain
+  // its own deque first and no steal would ever happen.)
+  auto blocker = pool.submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_GE(pool.stats().stolen, 1u);
+  release.set_value();
+  blocker.get();
+}
+
+TEST(ThreadPool, BoundedQueueBlocksSubmitUntilSpaceFrees) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([gate] { gate.wait(); });
+  std::atomic<int> count{0};
+  // Submitted from a helper thread because submit() must block once two
+  // tasks are pending behind the gated worker.
+  std::thread submitter([&] {
+    for (int i = 0; i < 8; ++i) pool.submit([&count] { ++count; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LT(count.load(), 8);  // the queue bound throttled the submitter
+  release.set_value();
+  submitter.join();
+  blocker.get();
+  // Destructor drains the rest.
+  while (count.load() < 8) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ---- Seed derivation ------------------------------------------------------
+
+TEST(RepSeed, RepZeroKeepsBaseSeed) {
+  EXPECT_EQ(rep_seed(1234, 0), 1234u);
+  EXPECT_EQ(rep_seed(0, 0), 0u);
+}
+
+TEST(RepSeed, MatchesRngForkDerivation) {
+  for (const std::uint64_t base : {5ULL, 44ULL, 1234ULL}) {
+    for (std::size_t r = 1; r < 5; ++r) {
+      EXPECT_EQ(rep_seed(base, r), Rng(base).fork(r).seed());
+    }
+  }
+}
+
+TEST(RepSeed, DistinctAcrossReps) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t r = 0; r < 64; ++r) seen.insert(rep_seed(11, r));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+// ---- replicate ------------------------------------------------------------
+
+RepReport stochastic_rep(const RepContext& ctx) {
+  Rng rng(ctx.seed);
+  RepReport rep;
+  for (int i = 0; i < 16; ++i) rep.dist("x").add(rng.uniform());
+  rep.value("rep_index", static_cast<double>(ctx.rep));
+  return rep;
+}
+
+TEST(Replicate, AggregateBitIdenticalAcrossJobCounts) {
+  ReplicateOptions serial{/*reps=*/8, /*jobs=*/1, /*base_seed=*/99};
+  ReplicateOptions parallel{/*reps=*/8, /*jobs=*/8, /*base_seed=*/99};
+  const auto a = replicate(serial, stochastic_rep);
+  const auto b = replicate(parallel, stochastic_rep);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, sa] : a) {
+    const Summary& sb = b.at(name);
+    EXPECT_EQ(sa.n(), sb.n());
+    EXPECT_EQ(sa.mean(), sb.mean());      // bit-identical, not just close
+    EXPECT_EQ(sa.stddev(), sb.stddev());
+    EXPECT_EQ(sa.ci95(), sb.ci95());
+    EXPECT_EQ(sa.pooled.count(), sb.pooled.count());
+    EXPECT_EQ(sa.pooled.mean(), sb.pooled.mean());
+    EXPECT_EQ(sa.pooled.percentile(95), sb.pooled.percentile(95));
+  }
+}
+
+TEST(Replicate, RepZeroSeesBaseSeedAndOthersDiffer) {
+  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/77};
+  std::vector<std::uint64_t> seeds(4, 0);
+  replicate(opts, [&](const RepContext& ctx) {
+    seeds[ctx.rep] = ctx.seed;
+    RepReport rep;
+    rep.value("x", 0.0);
+    return rep;
+  });
+  EXPECT_EQ(seeds[0], 77u);
+  for (std::size_t r = 1; r < 4; ++r) EXPECT_NE(seeds[r], 77u);
+}
+
+TEST(Replicate, SummaryCi95MatchesHandComputation) {
+  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/0};
+  const auto summary = replicate(opts, [](const RepContext& ctx) {
+    RepReport rep;
+    rep.value("v", static_cast<double>(ctx.rep));  // 0, 1, 2, 3
+    return rep;
+  });
+  const Summary& s = summary.at("v");
+  EXPECT_EQ(s.n(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+  const double stddev = std::sqrt(5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), stddev);
+  EXPECT_DOUBLE_EQ(s.ci95(), student_t95(3) * stddev / 2.0);
+}
+
+TEST(Replicate, PooledMergesWithinRunDistributions) {
+  ReplicateOptions opts{/*reps=*/3, /*jobs=*/1, /*base_seed=*/0};
+  const auto summary = replicate(opts, [](const RepContext& ctx) {
+    RepReport rep;
+    auto& d = rep.dist("x");
+    d.add(static_cast<double>(ctx.rep));
+    d.add(static_cast<double>(ctx.rep) + 10.0);
+    return rep;
+  });
+  const Summary& s = summary.at("x");
+  EXPECT_EQ(s.n(), 3u);           // one mean per replication
+  EXPECT_EQ(s.pooled.count(), 6u);  // every sample pooled
+  EXPECT_DOUBLE_EQ(s.pooled.max(), 12.0);
+}
+
+TEST(Replicate, FirstExceptionInRepOrderIsRethrown) {
+  for (const std::size_t jobs : {1UL, 4UL}) {
+    ReplicateOptions opts{/*reps=*/6, /*jobs=*/jobs, /*base_seed=*/0};
+    try {
+      replicate(opts, [](const RepContext& ctx) -> RepReport {
+        if (ctx.rep == 2 || ctx.rep == 4) {
+          throw std::runtime_error("rep " + std::to_string(ctx.rep));
+        }
+        return {};
+      });
+      FAIL() << "replicate() should have rethrown (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rep 2") << "jobs=" << jobs;
+    }
+  }
+}
+
+// ---- Sweep ----------------------------------------------------------------
+
+struct ToyConfig {
+  int value = 0;
+  std::string tag;
+};
+
+TEST(Sweep, CartesianGridFirstAxisSlowest) {
+  Sweep<ToyConfig> sweep;
+  sweep.axis("a")
+      .point("a0", [](ToyConfig&) {})
+      .point("a1", [](ToyConfig&) {});
+  sweep.axis("b")
+      .point("b0", [](ToyConfig&) {})
+      .point("b1", [](ToyConfig&) {})
+      .point("b2", [](ToyConfig&) {});
+  const auto cells = sweep.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  const std::vector<std::string> expect = {"a0/b0", "a0/b1", "a0/b2",
+                                           "a1/b0", "a1/b1", "a1/b2"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].label(), expect[i]);
+  }
+}
+
+TEST(Sweep, MutatorsApplyInAxisOrder) {
+  Sweep<ToyConfig> sweep;
+  sweep.axis("set").point("five", [](ToyConfig& c) { c.value = 5; });
+  sweep.axis("scale").point("x3", [](ToyConfig& c) { c.value *= 3; });
+  const auto cells = sweep.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  ToyConfig base;
+  base.value = 1;
+  const ToyConfig made = cells[0].make(base);
+  EXPECT_EQ(made.value, 15);  // set THEN scale, never the reverse
+  EXPECT_EQ(base.value, 1);   // make() copies; the base is untouched
+}
+
+TEST(Sweep, EmptySweepHasNoCells) {
+  Sweep<ToyConfig> sweep;
+  EXPECT_TRUE(sweep.cells().empty());
+}
+
+// ---- Campaign -------------------------------------------------------------
+
+// argv helper: Campaign scans a mutable char** like main() receives.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Campaign, ParsesRepsAndJobsFlags) {
+  Argv args({"bench", "--reps", "4", "--jobs", "2"});
+  Campaign campaign("bench", args.argc(), args.argv());
+  EXPECT_EQ(campaign.reps(), 4u);
+  EXPECT_EQ(campaign.jobs(), 2u);
+}
+
+TEST(Campaign, DefaultsToSingleRepAndClampsZeroReps) {
+  Argv plain({"bench"});
+  Campaign a("bench", plain.argc(), plain.argv());
+  EXPECT_EQ(a.reps(), 1u);
+  EXPECT_EQ(a.jobs(), 1u);
+
+  Argv zero({"bench", "--reps", "0"});
+  Campaign b("bench", zero.argc(), zero.argv());
+  EXPECT_EQ(b.reps(), 1u);
+}
+
+TEST(Campaign, SingleRepJsonMatchesPlainReporterOutput) {
+  // The compatibility contract: at --reps 1 a stat cell is indistinguishable
+  // from the plain cell the pre-engine benches emitted.
+  Argv args({"bench"});
+  Campaign campaign("bench", args.argc(), args.argv());
+  const auto summary = campaign.replicate(7, [](const RepContext&) {
+    RepReport rep;
+    rep.value("m", 2.5);
+    return rep;
+  });
+  campaign.emit("t", {"label", "m"},
+                {{Cell("row"), Cell(summary.at("m"), 1)}});
+
+  Argv plain_args({"bench"});
+  obs::BenchReporter plain("bench", plain_args.argc(), plain_args.argv());
+  Table table("t", {"label", "m"});
+  table.add_row({"row", Table::num(2.5, 1)});
+  plain.add(table);
+
+  const auto tables_part = [](const std::string& json) {
+    return json.substr(json.find("\"tables\""));
+  };
+  EXPECT_EQ(tables_part(campaign.reporter().to_json()),
+            tables_part(plain.to_json()));
+}
+
+TEST(Campaign, ReplicatedCellsCarryStatsInJson) {
+  Argv args({"bench", "--reps", "3"});
+  Campaign campaign("bench", args.argc(), args.argv());
+  const auto summary = campaign.replicate(7, [](const RepContext& ctx) {
+    RepReport rep;
+    rep.value("m", static_cast<double>(ctx.rep));
+    return rep;
+  });
+  campaign.emit("t", {"label", "m"},
+                {{Cell("row"), Cell(summary.at("m"), 2)}});
+  const std::string json = campaign.reporter().to_json();
+  EXPECT_NE(json.find("\"mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"ci95\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"reps\":3"), std::string::npos);
+}
+
+// ---- End-to-end determinism on the real system ----------------------------
+
+// The acceptance property behind `bench --reps N --jobs J`: the emitted JSON
+// document (modulo the wall_s scalar) is byte-identical for any job count,
+// because replication seeds depend only on the rep index and reduction runs
+// in replication order.
+std::string run_mini_campaign(std::size_t jobs) {
+  Argv args({"bench", "--reps", "6", "--jobs", std::to_string(jobs)});
+  Campaign campaign("mini", args.argc(), args.argv());
+  const auto summary = campaign.replicate(21, [](const RepContext& ctx) {
+    core::SystemConfig cfg;
+    cfg.scenario.vehicles = 15;
+    cfg.scenario.seed = ctx.seed;
+    core::VehicularCloudSystem system(cfg);
+    system.start();
+    vcloud::WorkloadGenerator workload({4.0, 1.0, 0.2, 30.0},
+                                       system.scenario().fork_rng(9));
+    auto& sim = system.scenario().simulator();
+    sim.schedule_every(2.0, [&] {
+      system.cloud().submit(workload.next(sim.now()));
+    });
+    system.run_for(40.0);
+    const auto& st = system.cloud().stats();
+    RepReport rep;
+    rep.value("completed", static_cast<double>(st.completed));
+    rep.value("members", static_cast<double>(system.cloud().member_count()));
+    rep.value("latency", st.latency.mean());
+    return rep;
+  });
+  campaign.emit("mini", {"completed", "members", "latency"},
+                {{Cell(summary.at("completed"), 1),
+                  Cell(summary.at("members"), 1),
+                  Cell(summary.at("latency"), 3)}});
+  const std::string json = campaign.reporter().to_json();
+  return json.substr(json.find("\"tables\""));  // strips the wall_s scalar
+}
+
+TEST(Campaign, RealSystemJsonByteIdenticalForAnyJobCount) {
+  const std::string serial = run_mini_campaign(1);
+  const std::string parallel = run_mini_campaign(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace vcl::exp

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "util/ids.h"
 #include "util/rng.h"
@@ -264,6 +267,188 @@ TEST(Table, PrintsAlignedRows) {
 TEST(Table, NumFormatsDecimals) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+// ---- Rng::fork stream independence (experiment-engine seed derivation) ----
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> draws(Rng rng, std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform();
+  return out;
+}
+
+TEST(RngFork, ParentAndChildStreamsUncorrelated) {
+  // 10k paired draws; for truly independent streams |r| concentrates near
+  // 1/sqrt(n) ~ 0.01, so 0.05 catches any systematic leakage without flaking.
+  Rng parent(20260806);
+  const std::vector<double> child = draws(parent.fork(1), 10000);
+  const std::vector<double> own = draws(parent, 10000);
+  EXPECT_LT(std::abs(pearson(own, child)), 0.05);
+}
+
+TEST(RngFork, SiblingStreamsPairwiseUncorrelated) {
+  Rng parent(97);
+  const std::vector<std::uint64_t> salts = {1, 2, 3, 1000000007ULL};
+  std::vector<std::vector<double>> streams;
+  for (const auto s : salts) streams.push_back(draws(parent.fork(s), 10000));
+  for (std::size_t a = 0; a < streams.size(); ++a) {
+    for (std::size_t b = a + 1; b < streams.size(); ++b) {
+      EXPECT_LT(std::abs(pearson(streams[a], streams[b])), 0.05)
+          << "salts " << salts[a] << " vs " << salts[b];
+    }
+  }
+}
+
+TEST(RngFork, DistinctSaltsNeverShareASequence) {
+  Rng parent(7);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = a + 1; b < 8; ++b) {
+      EXPECT_NE(parent.fork(a).seed(), parent.fork(b).seed());
+      EXPECT_NE(draws(parent.fork(a), 32), draws(parent.fork(b), 32))
+          << "fork(" << a << ") and fork(" << b << ") collided";
+    }
+  }
+}
+
+// ---- Accumulator::merge properties (parallel reduction contract) ----------
+
+std::vector<Accumulator> shards(const std::vector<double>& values,
+                                std::size_t k, bool keep_samples = true) {
+  std::vector<Accumulator> out(k, Accumulator(keep_samples));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i % k].add(values[i]);
+  }
+  return out;
+}
+
+std::vector<double> stochastic_values(std::size_t n) {
+  Rng rng(314159);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.normal(5.0, 3.0);
+  return out;
+}
+
+void expect_moments_near(const Accumulator& a, const Accumulator& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+  EXPECT_NEAR(a.sum(), b.sum(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(AccumulatorMerge, FoldOrderInvariantToWithinTolerance) {
+  const std::vector<double> values = stochastic_values(1000);
+  const std::size_t k = 8;
+
+  Accumulator left;  // ((s0+s1)+s2)+...
+  for (const auto& s : shards(values, k)) left.merge(s);
+
+  Accumulator right;  // s7+(s6+(...)) — fold from the other end
+  {
+    const auto ss = shards(values, k);
+    Accumulator acc;
+    for (std::size_t i = ss.size(); i-- > 0;) {
+      Accumulator next = ss[i];
+      next.merge(acc);
+      acc = next;
+    }
+    right = acc;
+  }
+
+  Accumulator tree;  // balanced pairwise tree
+  {
+    std::vector<Accumulator> level = shards(values, k);
+    while (level.size() > 1) {
+      std::vector<Accumulator> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        Accumulator m = level[i];
+        m.merge(level[i + 1]);
+        next.push_back(m);
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = next;
+    }
+    tree = level[0];
+  }
+
+  expect_moments_near(left, right);
+  expect_moments_near(left, tree);
+}
+
+TEST(AccumulatorMerge, MergeWithEmptyIsIdentity) {
+  const std::vector<double> values = stochastic_values(64);
+  Accumulator full;
+  for (const double v : values) full.add(v);
+
+  Accumulator left = full;
+  left.merge(Accumulator());  // right identity
+  expect_moments_near(left, full);
+  EXPECT_DOUBLE_EQ(left.percentile(50), full.percentile(50));
+
+  Accumulator right;  // left identity
+  right.merge(full);
+  expect_moments_near(right, full);
+  EXPECT_DOUBLE_EQ(right.percentile(50), full.percentile(50));
+}
+
+TEST(AccumulatorMerge, NoRetentionMergeKeepsMomentsButNoPercentiles) {
+  // The keep_samples=false contract: moments of the union are exact, but
+  // percentile() must return exactly 0 rather than inventing an answer.
+  const std::vector<double> values = stochastic_values(200);
+  Accumulator expect_acc(false);
+  for (const double v : values) expect_acc.add(v);
+
+  Accumulator merged(false);
+  for (const auto& s : shards(values, 4, /*keep_samples=*/false)) {
+    merged.merge(s);
+  }
+  expect_moments_near(merged, expect_acc);
+  EXPECT_DOUBLE_EQ(merged.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(merged.percentile(95), 0.0);
+}
+
+// ---- Student-t table (confidence intervals) -------------------------------
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_DOUBLE_EQ(student_t95(0), 0.0);
+  EXPECT_NEAR(student_t95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t95(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t95(15), 2.131, 1e-3);
+  EXPECT_NEAR(student_t95(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t95(1000), 1.960, 1e-3);
+  // Monotone non-increasing in df.
+  for (std::size_t df = 1; df < 50; ++df) {
+    EXPECT_LE(student_t95(df + 1), student_t95(df)) << "df=" << df;
+  }
+}
+
+TEST(StudentT, Ci95HalfWidth) {
+  Accumulator reps;
+  EXPECT_DOUBLE_EQ(ci95_half_width(reps), 0.0);  // empty
+  reps.add(3.0);
+  EXPECT_DOUBLE_EQ(ci95_half_width(reps), 0.0);  // one rep: no interval
+  reps.add(5.0);
+  // n=2: t95(1) * stddev / sqrt(2), stddev = sqrt(2).
+  EXPECT_NEAR(ci95_half_width(reps), student_t95(1), 1e-9);
 }
 
 }  // namespace
