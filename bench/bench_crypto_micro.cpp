@@ -5,13 +5,27 @@
 // production OBU-class figures, see crypto/cost_model.h); this bench exists
 // to document the gap and to catch performance regressions in the substrate
 // itself.
+//
+// Unlike the sim benches this one runs under google-benchmark, but it still
+// speaks the shared `--json <path>` vcl-bench-v1 contract: a custom main
+// captures every run off the console reporter and feeds one table
+// (benchmark / real_ns / cpu_ns / iterations) through obs::BenchReporter,
+// so scripts/collect_bench.sh validates it like any other bench. The
+// wall-clock cells are machine-dependent by nature — regression tooling
+// (scripts/bench_diff.py) should be pointed at them only on like hardware.
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "access/abe.h"
 #include "crypto/elgamal.h"
 #include "crypto/merkle.h"
 #include "crypto/schnorr.h"
 #include "crypto/shamir.h"
+#include "obs/bench_output.h"
+#include "util/table.h"
 
 namespace {
 
@@ -184,6 +198,41 @@ void BM_GroupDerivation(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupDerivation);
 
+// Captures each finished run while still printing the usual console table.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> runs;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    runs.insert(runs.end(), reports.begin(), reports.end());
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  vcl::obs::BenchReporter reporter("bench_crypto_micro", argc, argv);
+  // benchmark::Initialize consumes only --benchmark_* flags; ours (--json)
+  // pass through, so ReportUnrecognizedArguments is deliberately skipped.
+  benchmark::Initialize(&argc, argv);
+
+  CapturingReporter console;
+  benchmark::RunSpecifiedBenchmarks(&console);
+
+  vcl::Table table("E14: crypto substrate micro timings (this machine)",
+                   {"benchmark", "real_ns", "cpu_ns", "iterations"});
+  for (const auto& run : console.runs) {
+    if (run.error_occurred) continue;
+    table.add_row({run.benchmark_name(),
+                   vcl::Table::num(run.GetAdjustedRealTime(), 1),
+                   vcl::Table::num(run.GetAdjustedCPUTime(), 1),
+                   std::to_string(run.iterations)});
+  }
+  reporter.add(table);
+  if (!reporter.write()) {
+    std::cerr << "error: could not write " << reporter.path() << "\n";
+    return 1;
+  }
+  return 0;
+}

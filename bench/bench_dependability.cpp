@@ -69,7 +69,8 @@ std::vector<Mode> modes() {
   return {none, detect, ckpt, full};
 }
 
-exp::RepReport run_cell(const core::SystemConfig& cfg) {
+exp::RepReport run_cell(const core::SystemConfig& cfg,
+                        const std::string& out_dir) {
   core::VehicularCloudSystem system(cfg);
   system.start();
 
@@ -83,6 +84,10 @@ exp::RepReport run_cell(const core::SystemConfig& cfg) {
   });
   // 240 s of load + 60 s of drain (deadlines settle everything in flight).
   system.run_for(300.0);
+
+  if (!out_dir.empty() && system.telemetry() != nullptr) {
+    obs::write_telemetry(*system.telemetry(), out_dir);
+  }
 
   const vcloud::CloudStats& s = system.cloud().stats();
   exp::RepReport rep;
@@ -149,7 +154,13 @@ int main(int argc, char** argv) {
           cfg.stationary_radius = 5000.0;
           // Shared across every mode at this intensity: identical fault plan.
           cfg.scenario.seed = ctx.seed;
-          return run_cell(cell.make(cfg));
+          // --telemetry-dir: this replication exports its trace + metrics
+          // into its own pre-created rep directory.
+          if (!ctx.out_dir.empty()) {
+            cfg.telemetry.tracing = true;
+            cfg.telemetry.metrics = true;
+          }
+          return run_cell(cell.make(cfg), ctx.out_dir);
         });
     rows.push_back({exp::Cell(cell.labels[0]), exp::Cell(cell.labels[1]),
                     exp::Cell(summary.at("crashes"), 0),

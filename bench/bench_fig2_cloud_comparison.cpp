@@ -31,7 +31,8 @@ using namespace vcl;
 
 namespace {
 
-exp::RepReport run_cloud(core::SystemConfig cfg, bool outage_phase) {
+exp::RepReport run_cloud(core::SystemConfig cfg, bool outage_phase,
+                         const std::string& out_dir) {
   core::VehicularCloudSystem system(cfg);
   system.start();
 
@@ -82,6 +83,9 @@ exp::RepReport run_cloud(core::SystemConfig cfg, bool outage_phase) {
             (static_cast<double>(st.migrations + st.reallocations) +
              static_cast<double>(system.cloud().broker_changes())) /
                 (members_sum / static_cast<double>(members_samples)) / 4.0);
+  if (!out_dir.empty() && system.telemetry() != nullptr) {
+    obs::write_telemetry(*system.telemetry(), out_dir);
+  }
   return rep;
 }
 
@@ -101,7 +105,12 @@ int main(int argc, char** argv) {
         base.scenario.seed, [&base](const exp::RepContext& ctx) {
           core::SystemConfig cfg = base;
           cfg.scenario.seed = ctx.seed;
-          return run_cloud(cfg, true);
+          // --telemetry-dir: export this replication's trace + metrics.
+          if (!ctx.out_dir.empty()) {
+            cfg.telemetry.tracing = true;
+            cfg.telemetry.metrics = true;
+          }
+          return run_cloud(cfg, true, ctx.out_dir);
         });
     rows.push_back({exp::Cell(name),
                     exp::Cell(summary.at("compute_per_node"), 2),

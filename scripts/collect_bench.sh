@@ -43,6 +43,9 @@ OUT="${positional[1]:-BENCH_summary.json}"
 
 # The paper-figure benches plus the dependability experiment: the set CI
 # tracks over time. Add a bench here once it matters for a figure.
+# bench_crypto_micro reports wall-clock timings (machine-dependent cells);
+# diff tooling should skip it across unlike hardware (bench_diff.py
+# --skip-bench bench_crypto_micro).
 BENCHES=(
   bench_fig1_resource_pool
   bench_fig2_cloud_comparison
@@ -50,6 +53,7 @@ BENCHES=(
   bench_fig4_architectures
   bench_fig5_auth_protocols
   bench_dependability
+  bench_crypto_micro
 )
 
 if [[ ! -d "$BUILD_DIR" ]]; then

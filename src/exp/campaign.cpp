@@ -29,12 +29,20 @@ std::size_t parse_count_flag(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+std::string parse_string_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return {};
+}
+
 }  // namespace
 
 Campaign::Campaign(std::string bench_name, int argc, char** argv)
     : reporter_(std::move(bench_name), argc, argv) {
   reps_ = std::max<std::size_t>(parse_count_flag(argc, argv, "--reps", 1), 1);
   jobs_ = parse_count_flag(argc, argv, "--jobs", 1);
+  telemetry_dir_ = parse_string_flag(argc, argv, "--telemetry-dir");
   if (jobs_ == 0) {
     jobs_ = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
@@ -63,6 +71,10 @@ std::map<std::string, Summary> Campaign::replicate(std::uint64_t base_seed,
   opts.reps = reps_;
   opts.jobs = jobs_;
   opts.base_seed = base_seed;
+  if (!telemetry_dir_.empty()) {
+    opts.out_dir = telemetry_dir_ + "/cell" + std::to_string(cells_);
+  }
+  ++cells_;
   return exp::replicate(opts, fn, pool_.get());
 }
 

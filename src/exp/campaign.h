@@ -61,6 +61,15 @@ class Campaign {
   [[nodiscard]] std::size_t reps() const { return reps_; }
   [[nodiscard]] std::size_t jobs() const { return jobs_; }
   [[nodiscard]] obs::BenchReporter& reporter() { return reporter_; }
+  // Root of the per-replication telemetry export (--telemetry-dir), empty
+  // when export is off. Each replicate() call routes its replications to
+  // "<dir>/cell<c>/rep<k>" (c counts replicate() calls, one per sweep
+  // cell); the replication fn sees its directory as RepContext::out_dir
+  // and is expected to enable SystemConfig::telemetry + obs::write_telemetry
+  // when it is nonempty.
+  [[nodiscard]] const std::string& telemetry_dir() const {
+    return telemetry_dir_;
+  }
 
   // Prints the replication protocol line ("replication: 16 reps ..."); prints
   // nothing at --reps 1 so historical stdout is preserved.
@@ -86,6 +95,8 @@ class Campaign {
   obs::BenchReporter reporter_;
   std::size_t reps_ = 1;
   std::size_t jobs_ = 1;
+  std::string telemetry_dir_;
+  std::size_t cells_ = 0;  // replicate() calls so far (sweep cell index)
   std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel run
 };
 

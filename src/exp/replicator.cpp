@@ -1,5 +1,6 @@
 #include "exp/replicator.h"
 
+#include <filesystem>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -41,9 +42,22 @@ std::map<std::string, Summary> replicate(const ReplicateOptions& opts,
   const std::size_t reps = std::max<std::size_t>(opts.reps, 1);
   std::vector<RepReport> reports(reps);
 
+  // Per-rep export dirs are created serially up front: replications then
+  // only ever write inside their own tree, so the parallel phase needs no
+  // filesystem coordination. Creation is best-effort — the writer surfaces
+  // the failure when the replication tries to export.
+  std::vector<std::string> rep_dirs(reps);
+  if (!opts.out_dir.empty()) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      rep_dirs[r] = opts.out_dir + "/rep" + std::to_string(r);
+      std::error_code ec;
+      std::filesystem::create_directories(rep_dirs[r], ec);
+    }
+  }
+
   if (opts.jobs <= 1 || reps == 1) {
     for (std::size_t r = 0; r < reps; ++r) {
-      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r)});
+      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r), rep_dirs[r]});
     }
     return reduce(reports);
   }
@@ -56,8 +70,8 @@ std::map<std::string, Summary> replicate(const ReplicateOptions& opts,
   std::vector<std::future<void>> futures;
   futures.reserve(reps);
   for (std::size_t r = 0; r < reps; ++r) {
-    futures.push_back(pool->submit([&fn, &reports, r, &opts] {
-      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r)});
+    futures.push_back(pool->submit([&fn, &reports, &rep_dirs, r, &opts] {
+      reports[r] = fn(RepContext{r, rep_seed(opts.base_seed, r), rep_dirs[r]});
     }));
   }
   // Drain every future before rethrowing so no task outlives `reports`.

@@ -25,6 +25,9 @@ namespace vcl::exp {
 struct RepContext {
   std::size_t rep = 0;     // replication index in [0, reps)
   std::uint64_t seed = 0;  // independent per-rep seed (rep 0 == base seed)
+  // Pre-created directory this replication should export its telemetry
+  // into ("<out_dir>/rep<k>"); empty when per-rep export is off.
+  std::string out_dir;
 };
 
 // What one replication reports: named metrics, each an Accumulator. Use
@@ -62,6 +65,9 @@ struct ReplicateOptions {
   std::size_t reps = 1;
   std::size_t jobs = 1;
   std::uint64_t base_seed = 0;
+  // When nonempty, "<out_dir>/rep<k>" is created (serially, before any
+  // parallel dispatch) and handed to replication k as RepContext::out_dir.
+  std::string out_dir;
 };
 
 using RepFn = std::function<RepReport(const RepContext&)>;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geo/vec2.h"
+#include "obs/trace.h"
 #include "util/ids.h"
 #include "util/time.h"
 
@@ -75,6 +76,10 @@ struct Message {
   // keyed by message id; `payload_word` covers the common small cases.
   std::uint64_t payload_word = 0;
   std::vector<std::uint8_t> payload;
+  // Causal tracing context (zero = untraced): a message sent on behalf of a
+  // traced task carries the task's {trace_id, span_id} so net.tx/rx/drop
+  // events attach to the task's causal tree across hops and retries.
+  obs::TraceContext trace;
 };
 
 }  // namespace vcl::net

@@ -161,7 +161,7 @@ bool Network::transmit(const Message& msg, Address to_addr) {
   ++stats_.unicast_sent;
   stats_.bytes_sent += msg.size_bytes;
   if (trace_ != nullptr) {
-    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.tx",
+    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.tx", msg.trace,
                    {{"src", static_cast<double>(msg.src.key())},
                     {"dst", static_cast<double>(to_addr.key())},
                     {"bytes", static_cast<double>(msg.size_bytes)}});
@@ -173,6 +173,7 @@ bool Network::transmit(const Message& msg, Address to_addr) {
     // reason: 1 = endpoint gone, 2 = out of range, 3 = channel loss
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     msg.trace,
                      {{"dst", static_cast<double>(to_addr.key())},
                       {"reason", 1.0}});
     }
@@ -192,6 +193,7 @@ bool Network::transmit(const Message& msg, Address to_addr) {
     ++stats_.dropped;
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     msg.trace,
                      {{"dst", static_cast<double>(to_addr.key())},
                       {"reason", 2.0},
                       {"dist", dist}});
@@ -207,6 +209,7 @@ bool Network::transmit(const Message& msg, Address to_addr) {
     ++stats_.dropped;
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.drop",
+                     msg.trace,
                      {{"dst", static_cast<double>(to_addr.key())},
                       {"reason", 3.0},
                       {"dist", dist}});
@@ -216,7 +219,7 @@ bool Network::transmit(const Message& msg, Address to_addr) {
   ++stats_.unicast_delivered;
   stats_.hop_delay.add(r.delay);
   if (trace_ != nullptr) {
-    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.rx",
+    trace_->record(sim_.now(), obs::TraceCategory::kNet, "net.rx", msg.trace,
                    {{"dst", static_cast<double>(to_addr.key())},
                     {"delay", r.delay},
                     {"bytes", static_cast<double>(msg.size_bytes)}});

@@ -1,0 +1,37 @@
+#include "obs/telemetry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace vcl::obs {
+
+bool write_telemetry(const Telemetry& telemetry, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  const auto write_file = [&dir](const std::string& name, auto&& emit) {
+    std::ofstream os(dir + "/" + name);
+    if (!os) return false;
+    emit(os);
+    return os.good();
+  };
+
+  bool ok = true;
+  if (telemetry.config.tracing) {
+    ok &= write_file("trace.jsonl",
+                     [&](std::ostream& os) { telemetry.trace.write_jsonl(os); });
+    ok &= write_file("trace_chrome.json", [&](std::ostream& os) {
+      telemetry.trace.write_chrome_trace(os);
+    });
+  }
+  if (telemetry.config.metrics) {
+    ok &= write_file("metrics.csv", [&](std::ostream& os) {
+      telemetry.metrics.write_csv(os);
+    });
+  }
+  return ok;
+}
+
+}  // namespace vcl::obs

@@ -8,6 +8,8 @@
 // metrics and starts the sampler and the kernel profiler.
 #pragma once
 
+#include <string>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,5 +41,11 @@ struct Telemetry {
   TraceRecorder trace;
   MetricsRegistry metrics;
 };
+
+// Writes the bundle into `dir` (created if missing): `trace.jsonl` and
+// `trace_chrome.json` when tracing is on, `metrics.csv` when sampling is.
+// This is the per-replication export path exp::Campaign routes through
+// `--telemetry-dir <dir>/cell<c>/rep<k>/`. Returns false on any IO error.
+bool write_telemetry(const Telemetry& telemetry, const std::string& dir);
 
 }  // namespace vcl::obs

@@ -1,0 +1,387 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace vcl::obs {
+
+namespace {
+
+// ---- flat JSONL line scanner ------------------------------------------------
+
+struct Scanner {
+  const std::string& line;
+  std::size_t pos = 0;
+
+  explicit Scanner(const std::string& l) : line(l) {}
+
+  void skip_ws() {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < line.size() && line[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < line.size() ? line[pos] : '\0';
+  }
+
+  bool read_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < line.size()) {
+      const char c = line[pos++];
+      if (c == '"') return true;
+      if (c == '\\' && pos < line.size()) {
+        const char esc = line[pos++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Decoded only far enough to stay in sync; recorder names are
+            // ASCII string literals so this never fires in practice.
+            pos = std::min(pos + 4, line.size());
+            out += '?';
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool read_number(double& out) {
+    skip_ws();
+    const char* start = line.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos += static_cast<std::size_t>(end - start);
+    return true;
+  }
+};
+
+bool parse_line(const std::string& line, ParsedEvent& ev, bool& is_meta,
+                TraceMeta& meta, std::string* error) {
+  Scanner s(line);
+  if (!s.eat('{')) {
+    if (error != nullptr) *error = "line does not start with '{'";
+    return false;
+  }
+  is_meta = false;
+  bool first = true;
+  while (true) {
+    if (s.eat('}')) break;
+    if (!first && !s.eat(',')) {
+      if (error != nullptr) *error = "expected ',' between members";
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!s.read_string(key) || !s.eat(':')) {
+      if (error != nullptr) *error = "malformed key";
+      return false;
+    }
+    if (s.peek() == '"') {
+      std::string value;
+      if (!s.read_string(value)) {
+        if (error != nullptr) *error = "unterminated string value";
+        return false;
+      }
+      if (key == "cat") {
+        ev.cat = value;
+      } else if (key == "name") {
+        ev.name = value;
+      } else if (key == "ph") {
+        ev.ph = value.empty() ? 'i' : value[0];
+      } else if (key == "meta") {
+        is_meta = true;
+      }
+      continue;
+    }
+    double num = 0.0;
+    if (std::isalpha(static_cast<unsigned char>(s.peek()))) {
+      // Tolerate null/true/false values: consume the word, keep nothing.
+      while (s.pos < line.size() &&
+             std::isalpha(static_cast<unsigned char>(line[s.pos]))) {
+        ++s.pos;
+      }
+      continue;
+    }
+    if (!s.read_number(num)) {
+      if (error != nullptr) *error = "malformed value for key '" + key + "'";
+      return false;
+    }
+    if (key == "t") {
+      ev.t = num;
+    } else if (key == "trace") {
+      ev.trace_id = static_cast<std::uint64_t>(num);
+    } else if (key == "span") {
+      ev.span_id = static_cast<std::uint64_t>(num);
+    } else if (key == "parent") {
+      ev.parent_id = static_cast<std::uint64_t>(num);
+    } else if (key == "capacity") {
+      meta.capacity = static_cast<std::uint64_t>(num);
+    } else if (key == "recorded") {
+      meta.recorded = static_cast<std::uint64_t>(num);
+    } else if (key == "retained") {
+      meta.retained = static_cast<std::uint64_t>(num);
+    } else if (key == "overwritten") {
+      meta.overwritten = static_cast<std::uint64_t>(num);
+    } else if (key == "dropped_fields") {
+      meta.dropped_fields = static_cast<std::uint64_t>(num);
+    } else {
+      ev.fields[key] = num;
+    }
+  }
+  return true;
+}
+
+std::string outcome_label(double code) {
+  if (code == kOutcomeCompleted) return "completed";
+  if (code == kOutcomeExpired) return "expired";
+  if (code == kOutcomeFailed) return "failed";
+  return "unknown";
+}
+
+}  // namespace
+
+bool parse_trace_jsonl(std::istream& is, std::vector<ParsedEvent>& out,
+                       TraceMeta& meta, std::string* error) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ParsedEvent ev;
+    bool is_meta = false;
+    std::string why;
+    if (!parse_line(line, ev, is_meta, meta, &why)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": " + why;
+      }
+      return false;
+    }
+    if (is_meta) {
+      meta.present = true;
+      continue;
+    }
+    out.push_back(std::move(ev));
+  }
+  return true;
+}
+
+TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
+  // Group by trace id, preserving event order within each tree.
+  std::map<std::uint64_t, std::vector<const ParsedEvent*>> by_trace;
+  for (const ParsedEvent& ev : events) {
+    if (ev.trace_id != 0) by_trace[ev.trace_id].push_back(&ev);
+  }
+
+  for (const auto& [trace_id, evs] : by_trace) {
+    TaskBreakdown task;
+    task.trace_id = trace_id;
+
+    // Reassemble spans: begins open, ends close (by span id).
+    std::map<std::uint64_t, std::size_t> open;  // span id -> index in spans
+    for (const ParsedEvent* ev : evs) {
+      if (ev->ph == 'B') {
+        Span span;
+        span.name = ev->name;
+        span.span_id = ev->span_id;
+        span.parent_id = ev->parent_id;
+        span.begin = ev->t;
+        span.fields = ev->fields;
+        open[span.span_id] = task.spans.size();
+        task.spans.push_back(std::move(span));
+      } else if (ev->ph == 'E') {
+        auto it = open.find(ev->span_id);
+        if (it == open.end()) {
+          ++unmatched_ends_;  // begin lost to the ring
+          continue;
+        }
+        Span& span = task.spans[it->second];
+        span.end = ev->t;
+        for (const auto& [k, v] : ev->fields) span.fields[k] = v;
+        open.erase(it);
+      } else if (ev->name == "task.retry") {
+        ++task.retries;
+      }
+    }
+
+    // Root span: the parentless one (task.life). Without it (ring wrap) the
+    // tree still reports legs, anchored to the earliest/latest event seen.
+    const Span* root = nullptr;
+    for (const Span& s : task.spans) {
+      if (s.parent_id == 0) {
+        root = &s;
+        break;
+      }
+    }
+    double last_t = evs.empty() ? 0.0 : evs.back()->t;
+    if (root != nullptr) {
+      task.submit = root->begin;
+      auto it = root->fields.find("task");
+      if (it != root->fields.end()) task.task = it->second;
+      if (root->closed()) {
+        task.finish = root->end;
+        auto oc = root->fields.find("outcome");
+        task.outcome =
+            oc != root->fields.end() ? outcome_label(oc->second) : "unknown";
+      } else {
+        task.finish = std::max(last_t, task.submit);
+        task.outcome = "open";
+      }
+    } else {
+      task.submit = evs.empty() ? 0.0 : evs.front()->t;
+      task.finish = last_t;
+      task.outcome = "open";
+    }
+
+    for (const Span& s : task.spans) {
+      if (!s.closed()) {
+        if (&s != root) ++task.orphaned_spans;
+        continue;
+      }
+      if (s.parent_id == 0) continue;  // the root itself
+      const double dur = s.duration();
+      if (s.name == "leg.queue") {
+        task.queueing += dur;
+      } else if (s.name == "leg.dispatch" || s.name == "leg.result") {
+        task.network += dur;
+      } else if (s.name == "leg.exec") {
+        // The exec leg starts with the input transfer (its planned length
+        // rides the span as "input_s"); that slice is network, the rest is
+        // compute. A crash can end the leg mid-transfer, hence the clamp.
+        double input = 0.0;
+        auto it = s.fields.find("input_s");
+        if (it != s.fields.end()) input = std::min(it->second, dur);
+        task.network += input;
+        task.compute += dur - input;
+      } else if (s.name == "leg.recover" || s.name == "leg.migrate") {
+        task.recovery += dur;
+        if (s.name == "leg.migrate") ++task.migrations;
+      }
+      // Any other span name falls into the residual below.
+      auto crashed = s.fields.find("crashed");
+      if (crashed != s.fields.end() && crashed->second > 0.0) ++task.crashes;
+    }
+    // Residual lifetime no classified leg covers (ring wrap, still-open
+    // legs): keeps legs_sum() == end_to_end() by construction.
+    task.other = task.end_to_end() - (task.queueing + task.network +
+                                      task.compute + task.recovery);
+    orphaned_ += task.orphaned_spans;
+    tasks_.push_back(std::move(task));
+  }
+}
+
+const TaskBreakdown* TraceAnalysis::find(std::uint64_t trace_id) const {
+  for (const TaskBreakdown& t : tasks_) {
+    if (t.trace_id == trace_id) return &t;
+  }
+  return nullptr;
+}
+
+void TraceAnalysis::write_report(std::ostream& os,
+                                 const TraceMeta& meta) const {
+  Table table("per-task critical-path latency breakdown (seconds)",
+              {"trace", "task", "outcome", "e2e", "queue", "network",
+               "compute", "recovery", "other", "retries", "crashes"});
+  double sum_e2e = 0, sum_q = 0, sum_n = 0, sum_c = 0, sum_r = 0, sum_o = 0;
+  std::size_t closed = 0;
+  for (const TaskBreakdown& t : tasks_) {
+    table.add_row({std::to_string(t.trace_id),
+                   t.task >= 0 ? Table::num(t.task, 0) : "?", t.outcome,
+                   Table::num(t.end_to_end(), 3), Table::num(t.queueing, 3),
+                   Table::num(t.network, 3), Table::num(t.compute, 3),
+                   Table::num(t.recovery, 3), Table::num(t.other, 3),
+                   std::to_string(t.retries), std::to_string(t.crashes)});
+    if (t.outcome != "open") {
+      sum_e2e += t.end_to_end();
+      sum_q += t.queueing;
+      sum_n += t.network;
+      sum_c += t.compute;
+      sum_r += t.recovery;
+      sum_o += t.other;
+      ++closed;
+    }
+  }
+  table.print(os);
+  if (closed > 0) {
+    const double n = static_cast<double>(closed);
+    os << "\naggregate over " << closed
+       << " finished tasks (mean seconds/task):\n"
+       << "  e2e " << Table::num(sum_e2e / n, 3) << " = queue "
+       << Table::num(sum_q / n, 3) << " + network " << Table::num(sum_n / n, 3)
+       << " + compute " << Table::num(sum_c / n, 3) << " + recovery "
+       << Table::num(sum_r / n, 3) << " + other " << Table::num(sum_o / n, 3)
+       << "\n";
+  }
+  os << "\ndiagnostics:\n";
+  if (meta.present) {
+    os << "  ring: " << meta.recorded << " recorded, " << meta.overwritten
+       << " overwritten"
+       << (meta.complete() ? " (complete trace)" : " (RING WRAPPED: pairing is best-effort)")
+       << ", " << meta.dropped_fields << " dropped fields\n";
+  } else {
+    os << "  ring: no metadata record (pre-metadata trace or truncated file)\n";
+  }
+  os << "  orphaned spans (begun, never closed): " << orphaned_ << "\n"
+     << "  unmatched ends (begin overwritten): " << unmatched_ends_ << "\n";
+}
+
+void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("vcl-traceview-v1");
+  w.key("meta").begin_object();
+  w.key("present").value(meta.present);
+  w.key("recorded").value(meta.recorded);
+  w.key("overwritten").value(meta.overwritten);
+  w.key("dropped_fields").value(meta.dropped_fields);
+  w.key("complete").value(meta.complete());
+  w.end_object();
+  w.key("tasks").begin_array();
+  for (const TaskBreakdown& t : tasks_) {
+    w.begin_object();
+    w.key("trace").value(t.trace_id);
+    w.key("task").value(t.task);
+    w.key("outcome").value(t.outcome);
+    w.key("e2e").value(t.end_to_end());
+    w.key("queue").value(t.queueing);
+    w.key("network").value(t.network);
+    w.key("compute").value(t.compute);
+    w.key("recovery").value(t.recovery);
+    w.key("other").value(t.other);
+    w.key("retries").value(static_cast<std::uint64_t>(
+        t.retries < 0 ? 0 : t.retries));
+    w.key("crashes").value(static_cast<std::uint64_t>(
+        t.crashes < 0 ? 0 : t.crashes));
+    w.key("migrations").value(static_cast<std::uint64_t>(
+        t.migrations < 0 ? 0 : t.migrations));
+    w.key("orphaned_spans").value(
+        static_cast<std::uint64_t>(t.orphaned_spans));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("diagnostics").begin_object();
+  w.key("orphaned_spans").value(static_cast<std::uint64_t>(orphaned_));
+  w.key("unmatched_ends").value(static_cast<std::uint64_t>(unmatched_ends_));
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace vcl::obs

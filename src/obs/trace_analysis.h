@@ -1,0 +1,125 @@
+// Trace analysis: turn an exported trace JSONL back into per-task causal
+// trees and a critical-path latency breakdown (DESIGN.md §8).
+//
+// The paper's dependability question (§V) is *where* a task's latency goes
+// when the cloud churns underneath it: queueing at the broker, dispatch and
+// result transfer over the lossy V2V channel, compute on the worker, or
+// crash detection + recovery. The cloud emits contiguous `leg.*` spans that
+// partition each task's lifetime; this module reassembles them per trace_id
+// and reduces each tree to one breakdown row whose legs sum to the
+// end-to-end latency. `tools/vcl_traceview` is a thin CLI over this.
+//
+// The parser understands exactly the flat JSONL the TraceRecorder writes
+// (one object per line, string/number values, a leading metadata record) —
+// it is not a general JSON parser.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vcl::obs {
+
+// One parsed JSONL line.
+struct ParsedEvent {
+  double t = 0.0;
+  std::string cat;
+  std::string name;
+  char ph = 'i';  // 'i' instant, 'B' begin, 'E' end
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::map<std::string, double> fields;  // every other numeric key
+};
+
+// The leading metadata record: ring completeness accounting.
+struct TraceMeta {
+  bool present = false;
+  std::uint64_t capacity = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t overwritten = 0;
+  std::uint64_t dropped_fields = 0;
+
+  // A wrapped ring lost its oldest events: span pairing is best-effort.
+  [[nodiscard]] bool complete() const { return present && overwritten == 0; }
+};
+
+// Parses recorder-shaped JSONL. Returns false (with `error` set) on a
+// malformed line; unknown keys are kept as numeric fields when numeric and
+// ignored otherwise.
+bool parse_trace_jsonl(std::istream& is, std::vector<ParsedEvent>& out,
+                       TraceMeta& meta, std::string* error = nullptr);
+
+// A reassembled duration span.
+struct Span {
+  std::string name;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  double begin = 0.0;
+  double end = -1.0;  // < 0: orphaned (no end retained)
+  std::map<std::string, double> fields;  // begin fields, end fields merged in
+
+  [[nodiscard]] bool closed() const { return end >= 0.0; }
+  [[nodiscard]] double duration() const { return closed() ? end - begin : 0.0; }
+};
+
+// Critical-path latency decomposition of one task's causal tree. The four
+// legs partition [submit, finish]; `other` catches any uncovered remainder
+// (nonzero only when the ring wrapped or the run ended mid-task).
+struct TaskBreakdown {
+  std::uint64_t trace_id = 0;
+  double task = -1.0;  // task id (root span field), -1 when absent
+  std::string outcome = "open";  // completed / expired / failed / open
+  double submit = 0.0;
+  double finish = 0.0;   // == submit while the root span is still open
+  double queueing = 0.0;  // broker queue (incl. post-recovery requeues)
+  double network = 0.0;   // dispatch ack wait + input transfer + result return
+  double compute = 0.0;   // execution on the worker (input time excluded)
+  double recovery = 0.0;  // crash -> declared dead -> requeued, migrations
+  double other = 0.0;     // lifetime not covered by any closed leg span
+  int retries = 0;        // task.retry instants in the tree
+  int crashes = 0;        // exec legs ended by a worker crash
+  int migrations = 0;     // migration legs
+  std::size_t orphaned_spans = 0;  // begun, never closed
+  std::vector<Span> spans;         // the tree, in begin order
+
+  [[nodiscard]] double end_to_end() const { return finish - submit; }
+  [[nodiscard]] double legs_sum() const {
+    return queueing + network + compute + recovery + other;
+  }
+};
+
+// Groups span/instant events by trace_id and reduces each tree.
+class TraceAnalysis {
+ public:
+  explicit TraceAnalysis(const std::vector<ParsedEvent>& events);
+
+  // One breakdown per trace_id, ordered by trace_id.
+  [[nodiscard]] const std::vector<TaskBreakdown>& tasks() const {
+    return tasks_;
+  }
+  [[nodiscard]] const TaskBreakdown* find(std::uint64_t trace_id) const;
+
+  // Diagnostics across all trees.
+  [[nodiscard]] std::size_t orphaned_spans() const { return orphaned_; }
+  // End events whose begin was overwritten by the ring.
+  [[nodiscard]] std::size_t unmatched_ends() const { return unmatched_ends_; }
+
+  // Human-readable report: per-task table, aggregate legs, diagnostics.
+  void write_report(std::ostream& os, const TraceMeta& meta) const;
+  // Machine-readable equivalent (one JSON document).
+  void write_json(std::ostream& os, const TraceMeta& meta) const;
+
+ private:
+  std::vector<TaskBreakdown> tasks_;
+  std::size_t orphaned_ = 0;
+  std::size_t unmatched_ends_ = 0;
+};
+
+}  // namespace vcl::obs

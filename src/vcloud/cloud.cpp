@@ -152,6 +152,59 @@ double VehicularCloud::earned_progress(const Task& task,
                   task.progress + (now - task.run_started) * profile.compute);
 }
 
+// ---- causal span tracing ----------------------------------------------------
+// The cloud keeps exactly one `leg.*` span open per live traced task;
+// trace_open_leg closes the previous leg at the same instant, so the legs
+// partition [submit, terminal] and a breakdown over them sums to the
+// end-to-end latency by construction (DESIGN.md §8). No simulator events
+// are scheduled for tracing — it only piggybacks on transitions that
+// already happen, so the event ordering (and thus the run) is unchanged.
+
+void VehicularCloud::trace_task_start(Task& task) {
+  if (trace_ == nullptr) return;
+  const SimTime now = net_.simulator().now();
+  task.trace.trace_id = trace_->new_trace_id();
+  task.trace.span_id = trace_->begin_span(
+      now, obs::TraceCategory::kTask, "task.life",
+      obs::TraceContext{task.trace.trace_id, 0},
+      {{"task", static_cast<double>(task.id.value())},
+       {"work", task.work},
+       {"deadline", task.deadline}});
+  trace_open_leg(task, "leg.queue");
+}
+
+void VehicularCloud::trace_open_leg(
+    Task& task, const char* name,
+    std::initializer_list<obs::TraceRecorder::Field> fields) {
+  if (trace_ == nullptr || !task.trace.valid()) return;
+  trace_close_leg(task);
+  task.open_leg =
+      trace_->begin_span(net_.simulator().now(), obs::TraceCategory::kTask,
+                         name, task.trace, fields);
+  task.open_leg_name = name;
+}
+
+void VehicularCloud::trace_close_leg(
+    Task& task, std::initializer_list<obs::TraceRecorder::Field> fields) {
+  if (trace_ == nullptr || task.open_leg == 0) return;
+  trace_->end_span(net_.simulator().now(), obs::TraceCategory::kTask,
+                   task.open_leg_name,
+                   obs::TraceContext{task.trace.trace_id, task.open_leg},
+                   fields);
+  task.open_leg = 0;
+  task.open_leg_name = "";
+}
+
+void VehicularCloud::trace_task_end(Task& task, double outcome) {
+  if (trace_ == nullptr || task.trace.span_id == 0) return;
+  trace_close_leg(task);
+  trace_->end_span(net_.simulator().now(), obs::TraceCategory::kTask,
+                   "task.life", task.trace, {{"outcome", outcome}});
+  // Keep trace_id for post-mortem lookup; zero the root span id so a
+  // second terminal transition can never double-close the tree.
+  task.trace.span_id = 0;
+}
+
 TaskId VehicularCloud::submit(Task spec) {
   spec.id = TaskId{next_task_id_++};
   spec.state = TaskState::kPending;
@@ -162,9 +215,10 @@ TaskId VehicularCloud::submit(Task spec) {
   pending_.push_back(id);
   ++stats_.submitted;
   if (trace_ != nullptr) {
-    const Task& t = tasks_.at(id.value());
+    Task& t = tasks_.at(id.value());
+    trace_task_start(t);
     trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
-                   "task.submit",
+                   "task.submit", t.trace,
                    {{"task", static_cast<double>(id.value())},
                     {"work", t.work},
                     {"deadline", t.deadline}});
@@ -177,7 +231,7 @@ void VehicularCloud::assign(Task& task, WorkerState& worker,
                             VehicleId worker_id, bool charge_input) {
   if (trace_ != nullptr) {
     trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
-                   "task.dispatch",
+                   "task.dispatch", task.trace,
                    {{"task", static_cast<double>(task.id.value())},
                     {"worker", static_cast<double>(worker_id.value())},
                     {"progress", task.progress}});
@@ -185,6 +239,8 @@ void VehicularCloud::assign(Task& task, WorkerState& worker,
   task.state = TaskState::kRunning;
   task.worker = worker_id;
   worker.running = task.id;
+  trace_open_leg(task, "leg.dispatch",
+                 {{"worker", static_cast<double>(worker_id.value())}});
   const std::uint64_t epoch = ++task_epoch_[task.id.value()];
   if (config_.dependability.retry.enabled && charge_input) {
     // The dispatch must be acked over the lossy channel before execution
@@ -205,6 +261,11 @@ void VehicularCloud::begin_execution(Task& task, WorkerState& worker,
           : 0.0;
   task.state = TaskState::kRunning;
   task.run_started = now + input_delay;
+  // The exec leg starts at the dispatch ack; the leading input transfer is
+  // carried as `input_s` so the analyzer re-attributes it to the network.
+  trace_open_leg(task, "leg.exec",
+                 {{"worker", static_cast<double>(task.worker.value())},
+                  {"input_s", input_delay}});
 
   const SimTime exec = task.remaining() / worker.profile.compute;
   const TaskId tid = task.id;
@@ -233,6 +294,9 @@ void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
   msg.src = net::Address::vehicle(broker.valid() ? broker : task.worker);
   msg.dst = net::Address::vehicle(task.worker);
   msg.size_bytes = kControlBytes;
+  msg.trace = obs::TraceContext{
+      task.trace.trace_id,
+      task.open_leg != 0 ? task.open_leg : task.trace.span_id};
   if (net_.send(msg)) {
     begin_execution(task, worker_it->second, /*charge_input=*/true, epoch);
     return;
@@ -241,7 +305,7 @@ void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
   ++stats_.retries;
   if (trace_ != nullptr) {
     trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
-                   "task.retry",
+                   "task.retry", task.trace,
                    {{"task", static_cast<double>(id.value())},
                     {"attempt", static_cast<double>(attempt)},
                     {"kind", 1.0}});  // 1 = dispatch, 2 = result
@@ -257,6 +321,7 @@ void VehicularCloud::attempt_dispatch_send(TaskId id, std::uint64_t epoch,
     task.worker = VehicleId{};
     task.run_started = 0.0;
     pending_.push_back(id);
+    trace_open_leg(task, "leg.queue");
     net_.simulator().schedule_after(delay, [this] { dispatch(); },
                                     "cloud.dispatch");
     return;
@@ -286,6 +351,9 @@ void VehicularCloud::attempt_result_send(TaskId id, std::uint64_t epoch,
   msg.src = net::Address::vehicle(task.worker);
   msg.dst = net::Address::vehicle(broker.valid() ? broker : task.worker);
   msg.size_bytes = kControlBytes;
+  msg.trace = obs::TraceContext{
+      task.trace.trace_id,
+      task.open_leg != 0 ? task.open_leg : task.trace.span_id};
   if (net_.send(msg)) {
     finalize_completion(task);
     return;
@@ -294,7 +362,7 @@ void VehicularCloud::attempt_result_send(TaskId id, std::uint64_t epoch,
   ++stats_.retries;
   if (trace_ != nullptr) {
     trace_->record(net_.simulator().now(), obs::TraceCategory::kTask,
-                   "task.retry",
+                   "task.retry", task.trace,
                    {{"task", static_cast<double>(id.value())},
                     {"attempt", static_cast<double>(attempt)},
                     {"kind", 2.0}});
@@ -363,6 +431,7 @@ void VehicularCloud::maybe_replicate(Task& task) {
   ++stats_.replicas_launched;
   if (trace_ != nullptr) {
     trace_->record(now, obs::TraceCategory::kTask, "task.replica",
+                   task.trace,
                    {{"task", static_cast<double>(task.id.value())},
                     {"worker", static_cast<double>(pick.value())}});
   }
@@ -465,6 +534,7 @@ void VehicularCloud::on_complete(TaskId id, std::uint64_t epoch) {
 
   task.progress = task.work;
   if (config_.dependability.retry.enabled) {
+    trace_open_leg(task, "leg.result");
     attempt_result_send(id, epoch, 1);
     return;
   }
@@ -485,18 +555,22 @@ void VehicularCloud::finalize_completion(Task& task) {
     ++stats_.expired;
     if (trace_ != nullptr) {
       trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                     task.trace,
                      {{"task", static_cast<double>(task.id.value())}});
     }
+    trace_task_end(task, obs::kOutcomeExpired);
   } else {
     task.state = TaskState::kCompleted;
     ++stats_.completed;
     stats_.latency.add(now - task.created);
     if (trace_ != nullptr) {
       trace_->record(now, obs::TraceCategory::kTask, "task.complete",
+                     task.trace,
                      {{"task", static_cast<double>(task.id.value())},
                       {"worker", static_cast<double>(task.worker.value())},
                       {"latency", now - task.created}});
     }
+    trace_task_end(task, obs::kOutcomeCompleted);
     if (completion_hook_) completion_hook_(task);
   }
   dispatch();
@@ -533,10 +607,13 @@ void VehicularCloud::interrupt_and_recover(Task& task,
       target_it->second.running = task.id;  // reserve the target
       if (trace_ != nullptr) {
         trace_->record(now, obs::TraceCategory::kTask, "task.migrate",
+                       task.trace,
                        {{"task", static_cast<double>(task.id.value())},
                         {"to", static_cast<double>(target.value())},
                         {"progress", task.progress}});
       }
+      trace_open_leg(task, "leg.migrate",
+                     {{"to", static_cast<double>(target.value())}});
       const TaskId tid = task.id;
       const std::uint64_t epoch = task_epoch_[tid.value()];
       net_.simulator().schedule_after(latency, [this, tid, epoch] {
@@ -553,6 +630,7 @@ void VehicularCloud::interrupt_and_recover(Task& task,
           // progress preserved (the checkpoint still exists at the broker).
           t.state = TaskState::kPending;
           pending_.push_back(t.id);
+          trace_open_leg(t, "leg.queue");
           dispatch();
           return;
         }
@@ -564,6 +642,7 @@ void VehicularCloud::interrupt_and_recover(Task& task,
     task.state = TaskState::kPending;
     task.worker = VehicleId{};
     pending_.push_back(task.id);
+    trace_open_leg(task, "leg.queue");
     return;
   }
 
@@ -578,6 +657,7 @@ void VehicularCloud::interrupt_and_recover(Task& task,
   task.state = TaskState::kPending;
   task.worker = VehicleId{};
   pending_.push_back(task.id);
+  trace_open_leg(task, "leg.queue");
 }
 
 void VehicularCloud::recover_from_crash(Task& task) {
@@ -596,6 +676,9 @@ void VehicularCloud::recover_from_crash(Task& task) {
   task.worker = VehicleId{};
   task.run_started = 0.0;
   pending_.push_back(task.id);
+  // Ends the recover leg opened at the crash: the span's duration is the
+  // crash -> declared-dead -> requeued detection latency.
+  trace_open_leg(task, "leg.queue");
 }
 
 void VehicularCloud::crash_worker(VehicleId v) {
@@ -624,6 +707,11 @@ void VehicularCloud::crash_worker(VehicleId v) {
     // latency does not credit work the dead worker never did.
     task.progress = earned_progress(task, it->second.profile, now);
     task.run_started = kNeverStarted;
+    // The exec (or dispatch) leg dies with the worker; the recover leg runs
+    // until the failure detector declares the zombie dead and requeues.
+    trace_close_leg(task, {{"crashed", 1.0}});
+    trace_open_leg(task, "leg.recover",
+                   {{"worker", static_cast<double>(v.value())}});
   }
 }
 
@@ -733,6 +821,7 @@ void VehicularCloud::checkpoint_round() {
     ++stats_.checkpoints;
     if (trace_ != nullptr) {
       trace_->record(now, obs::TraceCategory::kCloud, "cloud.ckpt",
+                     task.trace,
                      {{"task", static_cast<double>(tid)},
                       {"progress", earned}});
     }
@@ -833,8 +922,10 @@ void VehicularCloud::refresh() {
       ++stats_.expired;
       if (trace_ != nullptr) {
         trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                       task_it->second.trace,
                        {{"task", static_cast<double>(task_it->first)}});
       }
+      trace_task_end(task_it->second, obs::kOutcomeExpired);
       abort_replica(task_it->second.id);
       it = pending_.erase(it);
     } else {
@@ -860,8 +951,10 @@ void VehicularCloud::refresh() {
       ++stats_.expired;
       if (trace_ != nullptr) {
         trace_->record(now, obs::TraceCategory::kTask, "task.expire",
+                       task.trace,
                        {{"task", static_cast<double>(tid)}});
       }
+      trace_task_end(task, obs::kOutcomeExpired);
     }
   }
 

@@ -200,6 +200,23 @@ class VehicularCloud {
   [[nodiscard]] std::vector<std::uint64_t> sorted_worker_ids() const;
   [[nodiscard]] double dwell_of(VehicleId v);
 
+  // --- causal span tracing (all no-ops when tracing is off) ------------------
+  // Allocates the task's trace id, opens its root span and the first queue
+  // leg. The cloud keeps exactly one `leg.*` span open per live task;
+  // open_leg closes the previous leg at the same instant, so the legs
+  // partition [submit, terminal] and vcl_traceview's breakdown sums to the
+  // end-to-end latency by construction.
+  void trace_task_start(Task& task);
+  void trace_open_leg(
+      Task& task, const char* name,
+      std::initializer_list<obs::TraceRecorder::Field> fields = {});
+  void trace_close_leg(
+      Task& task,
+      std::initializer_list<obs::TraceRecorder::Field> fields = {});
+  // Closes the open leg and the root span with an outcome code
+  // (obs::kOutcomeCompleted / kOutcomeExpired / kOutcomeFailed).
+  void trace_task_end(Task& task, double outcome);
+
   CloudId id_;
   net::Network& net_;
   MembershipFn membership_fn_;

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -49,6 +50,14 @@ struct Task {
   SimTime run_started = 0.0;
   int migrations = 0;
   SimTime completed_at = 0.0;
+
+  // Causal tracing (DESIGN.md §8): stamped at submission when tracing is
+  // on, zero otherwise. `trace` holds {trace_id, root span id}; the cloud
+  // keeps exactly one `leg.*` child span open at any time so the legs
+  // partition the task's lifetime (queue / dispatch / exec / recover / ...).
+  obs::TraceContext trace;
+  std::uint64_t open_leg = 0;        // span id of the open leg (0 = none)
+  const char* open_leg_name = "";    // its name (string literal)
 
   [[nodiscard]] double remaining() const { return work - progress; }
   [[nodiscard]] bool terminal() const {

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <set>
 #include <stdexcept>
@@ -137,8 +139,8 @@ RepReport stochastic_rep(const RepContext& ctx) {
 }
 
 TEST(Replicate, AggregateBitIdenticalAcrossJobCounts) {
-  ReplicateOptions serial{/*reps=*/8, /*jobs=*/1, /*base_seed=*/99};
-  ReplicateOptions parallel{/*reps=*/8, /*jobs=*/8, /*base_seed=*/99};
+  ReplicateOptions serial{/*reps=*/8, /*jobs=*/1, /*base_seed=*/99, /*out_dir=*/{}};
+  ReplicateOptions parallel{/*reps=*/8, /*jobs=*/8, /*base_seed=*/99, /*out_dir=*/{}};
   const auto a = replicate(serial, stochastic_rep);
   const auto b = replicate(parallel, stochastic_rep);
   ASSERT_EQ(a.size(), b.size());
@@ -155,7 +157,7 @@ TEST(Replicate, AggregateBitIdenticalAcrossJobCounts) {
 }
 
 TEST(Replicate, RepZeroSeesBaseSeedAndOthersDiffer) {
-  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/77};
+  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/77, /*out_dir=*/{}};
   std::vector<std::uint64_t> seeds(4, 0);
   replicate(opts, [&](const RepContext& ctx) {
     seeds[ctx.rep] = ctx.seed;
@@ -168,7 +170,7 @@ TEST(Replicate, RepZeroSeesBaseSeedAndOthersDiffer) {
 }
 
 TEST(Replicate, SummaryCi95MatchesHandComputation) {
-  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/0};
+  ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/0, /*out_dir=*/{}};
   const auto summary = replicate(opts, [](const RepContext& ctx) {
     RepReport rep;
     rep.value("v", static_cast<double>(ctx.rep));  // 0, 1, 2, 3
@@ -183,7 +185,7 @@ TEST(Replicate, SummaryCi95MatchesHandComputation) {
 }
 
 TEST(Replicate, PooledMergesWithinRunDistributions) {
-  ReplicateOptions opts{/*reps=*/3, /*jobs=*/1, /*base_seed=*/0};
+  ReplicateOptions opts{/*reps=*/3, /*jobs=*/1, /*base_seed=*/0, /*out_dir=*/{}};
   const auto summary = replicate(opts, [](const RepContext& ctx) {
     RepReport rep;
     auto& d = rep.dist("x");
@@ -199,7 +201,7 @@ TEST(Replicate, PooledMergesWithinRunDistributions) {
 
 TEST(Replicate, FirstExceptionInRepOrderIsRethrown) {
   for (const std::size_t jobs : {1UL, 4UL}) {
-    ReplicateOptions opts{/*reps=*/6, /*jobs=*/jobs, /*base_seed=*/0};
+    ReplicateOptions opts{/*reps=*/6, /*jobs=*/jobs, /*base_seed=*/0, /*out_dir=*/{}};
     try {
       replicate(opts, [](const RepContext& ctx) -> RepReport {
         if (ctx.rep == 2 || ctx.rep == 4) {
@@ -212,6 +214,39 @@ TEST(Replicate, FirstExceptionInRepOrderIsRethrown) {
       EXPECT_STREQ(e.what(), "rep 2") << "jobs=" << jobs;
     }
   }
+}
+
+TEST(Replicate, OutDirCreatesOneDirectoryPerReplication) {
+  // The per-replication telemetry export path: rep k gets
+  // "<out_dir>/rep<k>", pre-created before any parallel dispatch so the
+  // replication fn can write into it without filesystem races.
+  const std::string root =
+      ::testing::TempDir() + "vcl_replicate_out/deep/tree";
+  ReplicateOptions opts{/*reps=*/3, /*jobs=*/2, /*base_seed=*/5, root};
+  replicate(opts, [](const RepContext& ctx) {
+    EXPECT_FALSE(ctx.out_dir.empty());
+    std::ofstream(ctx.out_dir + "/marker.txt") << ctx.rep << "\n";
+    RepReport rep;
+    rep.value("x", 0.0);
+    return rep;
+  });
+  for (std::size_t r = 0; r < 3; ++r) {
+    const std::string dir = root + "/rep" + std::to_string(r);
+    EXPECT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    EXPECT_TRUE(std::filesystem::exists(dir + "/marker.txt")) << dir;
+  }
+  EXPECT_FALSE(std::filesystem::exists(root + "/rep3"));
+}
+
+TEST(Replicate, EmptyOutDirLeavesContextsPathless) {
+  ReplicateOptions opts{/*reps=*/2, /*jobs=*/1, /*base_seed=*/5,
+                        /*out_dir=*/{}};
+  replicate(opts, [](const RepContext& ctx) {
+    EXPECT_TRUE(ctx.out_dir.empty());
+    RepReport rep;
+    rep.value("x", 0.0);
+    return rep;
+  });
 }
 
 // ---- Sweep ----------------------------------------------------------------
@@ -332,6 +367,43 @@ TEST(Campaign, ReplicatedCellsCarryStatsInJson) {
   EXPECT_NE(json.find("\"ci95\""), std::string::npos);
   EXPECT_NE(json.find("\"n\":3"), std::string::npos);
   EXPECT_NE(json.find("\"reps\":3"), std::string::npos);
+}
+
+TEST(Campaign, TelemetryDirRoutesEachReplicateCallToItsOwnCell) {
+  const std::string root = ::testing::TempDir() + "vcl_campaign_tel";
+  Argv args({"bench", "--reps", "2", "--telemetry-dir", root});
+  Campaign campaign("bench", args.argc(), args.argv());
+  EXPECT_EQ(campaign.telemetry_dir(), root);
+
+  std::vector<std::string> seen;
+  auto rep_fn = [&seen](const RepContext& ctx) {
+    seen.push_back(ctx.out_dir);
+    RepReport rep;
+    rep.value("x", 0.0);
+    return rep;
+  };
+  campaign.replicate(1, rep_fn);  // sweep cell 0
+  campaign.replicate(2, rep_fn);  // sweep cell 1
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], root + "/cell0/rep0");
+  EXPECT_EQ(seen[1], root + "/cell0/rep1");
+  EXPECT_EQ(seen[2], root + "/cell1/rep0");
+  EXPECT_EQ(seen[3], root + "/cell1/rep1");
+  for (const auto& dir : seen) {
+    EXPECT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  }
+}
+
+TEST(Campaign, WithoutTelemetryDirReplicationsStayPathless) {
+  Argv args({"bench", "--reps", "2"});
+  Campaign campaign("bench", args.argc(), args.argv());
+  EXPECT_TRUE(campaign.telemetry_dir().empty());
+  campaign.replicate(1, [](const RepContext& ctx) {
+    EXPECT_TRUE(ctx.out_dir.empty());
+    RepReport rep;
+    rep.value("x", 0.0);
+    return rep;
+  });
 }
 
 // ---- End-to-end determinism on the real system ----------------------------

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_analysis.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 
@@ -109,6 +111,15 @@ TEST(TraceRecorder, ExtraFieldsBeyondMaxAreDropped) {
   rec.record(0.0, TraceCategory::kSim, "big",
              {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
   EXPECT_EQ(rec.events()[0].n_fields, TraceRecorder::kMaxFields);
+  // The overflow is counted, not silently lost, and surfaces in the JSONL
+  // metadata record alongside the ring accounting.
+  EXPECT_EQ(rec.dropped_fields(), 1u);
+  rec.record(0.5, TraceCategory::kSim, "bigger",
+             {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}, {"f", 6}});
+  EXPECT_EQ(rec.dropped_fields(), 3u);
+  std::ostringstream os;
+  rec.write_jsonl(os);
+  EXPECT_NE(os.str().find("\"dropped_fields\":3"), std::string::npos);
 }
 
 TEST(TraceRecorder, JsonlOneObjectPerLine) {
@@ -118,6 +129,8 @@ TEST(TraceRecorder, JsonlOneObjectPerLine) {
   std::ostringstream os;
   rec.write_jsonl(os);
   EXPECT_EQ(os.str(),
+            "{\"meta\":\"vcl-trace-v1\",\"capacity\":8,\"recorded\":2,"
+            "\"retained\":2,\"overwritten\":0,\"dropped_fields\":0}\n"
             "{\"t\":1.5,\"cat\":\"task\",\"name\":\"task.submit\",\"task\":1}\n"
             "{\"t\":2,\"cat\":\"net\",\"name\":\"net.drop\"}\n");
 }
@@ -146,6 +159,170 @@ TEST(TraceRecorder, ClearResets) {
   EXPECT_EQ(rec.size(), 0u);
   EXPECT_EQ(rec.recorded(), 0u);
   EXPECT_TRUE(rec.events().empty());
+}
+
+// ---- Causal spans -----------------------------------------------------------
+
+TEST(TraceSpans, BeginEndCarryCausalIds) {
+  TraceRecorder rec(16);
+  const std::uint64_t trace = rec.new_trace_id();
+  const std::uint64_t root = rec.begin_span(
+      1.0, TraceCategory::kTask, "task.life", TraceContext{trace, 0},
+      {{"task", 7.0}});
+  ASSERT_NE(root, 0u);
+  const std::uint64_t leg = rec.begin_span(1.0, TraceCategory::kTask,
+                                           "leg.queue",
+                                           TraceContext{trace, root});
+  ASSERT_NE(leg, 0u);
+  EXPECT_NE(leg, root);  // span ids are unique within the recorder
+  rec.end_span(3.0, TraceCategory::kTask, "leg.queue",
+               TraceContext{trace, leg});
+  rec.end_span(4.0, TraceCategory::kTask, "task.life",
+               TraceContext{trace, root}, {{"outcome", kOutcomeCompleted}});
+
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(evs[0].trace_id, trace);
+  EXPECT_EQ(evs[0].span_id, root);
+  EXPECT_EQ(evs[0].parent_id, 0u);  // root span
+  EXPECT_EQ(evs[1].phase, TracePhase::kBegin);
+  EXPECT_EQ(evs[1].span_id, leg);
+  EXPECT_EQ(evs[1].parent_id, root);  // child points at the root span
+  EXPECT_EQ(evs[2].phase, TracePhase::kEnd);
+  EXPECT_EQ(evs[2].span_id, leg);
+  EXPECT_EQ(evs[3].phase, TracePhase::kEnd);
+  EXPECT_EQ(evs[3].span_id, root);
+  EXPECT_EQ(evs[3].trace_id, trace);
+}
+
+TEST(TraceSpans, MaskedCategoryYieldsZeroIdAndEndOfZeroIsNoOp) {
+  TraceRecorder rec(16, category_bit(TraceCategory::kNet));
+  const std::uint64_t id = rec.begin_span(
+      1.0, TraceCategory::kTask, "task.life", TraceContext{1, 0});
+  EXPECT_EQ(id, 0u);
+  rec.end_span(2.0, TraceCategory::kTask, "task.life", TraceContext{1, id});
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(TraceSpans, JsonlCarriesPhaseAndIdKeys) {
+  TraceRecorder rec(8);
+  const std::uint64_t trace = rec.new_trace_id();
+  const std::uint64_t root = rec.begin_span(
+      0.5, TraceCategory::kTask, "task.life", TraceContext{trace, 0});
+  const std::uint64_t leg = rec.begin_span(0.5, TraceCategory::kTask,
+                                           "leg.queue",
+                                           TraceContext{trace, root});
+  rec.end_span(2.0, TraceCategory::kTask, "leg.queue",
+               TraceContext{trace, leg});
+  std::ostringstream os;
+  rec.write_jsonl(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(doc.find("\"trace\":" + std::to_string(trace)),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"span\":" + std::to_string(root)), std::string::npos);
+  EXPECT_NE(doc.find("\"parent\":" + std::to_string(root)),
+            std::string::npos);
+  // Context-free instants stay byte-identical to the pre-span format: no
+  // ph/trace/span/parent keys appear on them.
+  rec.clear();
+  rec.record(1.0, TraceCategory::kNet, "net.drop");
+  std::ostringstream plain;
+  rec.write_jsonl(plain);
+  EXPECT_NE(plain.str().find("{\"t\":1,\"cat\":\"net\",\"name\":"
+                             "\"net.drop\"}\n"),
+            std::string::npos);
+}
+
+TEST(TraceSpans, ChromeTraceFoldsMatchedPairsIntoCompleteSlices) {
+  TraceRecorder rec(8);
+  const std::uint64_t trace = rec.new_trace_id();
+  const std::uint64_t root = rec.begin_span(
+      1.0, TraceCategory::kTask, "task.life", TraceContext{trace, 0});
+  rec.end_span(3.0, TraceCategory::kTask, "task.life",
+               TraceContext{trace, root});
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string doc = os.str();
+  // Matched B/E pair -> one complete "X" slice of 2 s == 2e6 trace us.
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":2000000"), std::string::npos);
+  // Ring accounting rides along for consumers of the Perfetto view.
+  EXPECT_NE(doc.find("\"otherData\""), std::string::npos);
+}
+
+// ---- TraceAnalysis ----------------------------------------------------------
+
+TEST(TraceAnalysis, BreakdownLegsSumToEndToEnd) {
+  TraceRecorder rec(64);
+  const std::uint64_t trace = rec.new_trace_id();
+  TraceContext root_ctx{trace, 0};
+  root_ctx.span_id = rec.begin_span(0.0, TraceCategory::kTask, "task.life",
+                                    root_ctx, {{"task", 42.0}});
+  // Legs partition [0, 10]: queue [0,2], dispatch [2,3], exec [3,10] with
+  // 1 s of input transfer that the analyzer re-attributes to the network.
+  std::uint64_t leg =
+      rec.begin_span(0.0, TraceCategory::kTask, "leg.queue", root_ctx);
+  rec.end_span(2.0, TraceCategory::kTask, "leg.queue",
+               TraceContext{trace, leg});
+  leg = rec.begin_span(2.0, TraceCategory::kTask, "leg.dispatch", root_ctx);
+  rec.end_span(3.0, TraceCategory::kTask, "leg.dispatch",
+               TraceContext{trace, leg});
+  leg = rec.begin_span(3.0, TraceCategory::kTask, "leg.exec", root_ctx,
+                       {{"input_s", 1.0}});
+  rec.end_span(10.0, TraceCategory::kTask, "leg.exec",
+               TraceContext{trace, leg});
+  rec.end_span(10.0, TraceCategory::kTask, "task.life", root_ctx,
+               {{"outcome", kOutcomeCompleted}});
+
+  std::stringstream ss;
+  rec.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  std::string error;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta, &error)) << error;
+  EXPECT_TRUE(meta.complete());
+
+  const TraceAnalysis analysis(events);
+  ASSERT_EQ(analysis.tasks().size(), 1u);
+  const TaskBreakdown& bd = analysis.tasks()[0];
+  EXPECT_EQ(bd.trace_id, trace);
+  EXPECT_DOUBLE_EQ(bd.task, 42.0);
+  EXPECT_EQ(bd.outcome, "completed");
+  EXPECT_DOUBLE_EQ(bd.end_to_end(), 10.0);
+  EXPECT_DOUBLE_EQ(bd.queueing, 2.0);
+  EXPECT_DOUBLE_EQ(bd.network, 2.0);  // 1 s dispatch + 1 s input transfer
+  EXPECT_DOUBLE_EQ(bd.compute, 6.0);  // exec minus its input share
+  EXPECT_DOUBLE_EQ(bd.recovery, 0.0);
+  EXPECT_DOUBLE_EQ(bd.other, 0.0);
+  EXPECT_DOUBLE_EQ(bd.legs_sum(), bd.end_to_end());
+  EXPECT_EQ(analysis.orphaned_spans(), 0u);
+  EXPECT_EQ(analysis.unmatched_ends(), 0u);
+}
+
+TEST(TraceAnalysis, OrphanedSpansAreDiagnosedNotInvented) {
+  TraceRecorder rec(64);
+  const std::uint64_t trace = rec.new_trace_id();
+  TraceContext root_ctx{trace, 0};
+  root_ctx.span_id =
+      rec.begin_span(1.0, TraceCategory::kTask, "task.life", root_ctx);
+  rec.begin_span(1.0, TraceCategory::kTask, "leg.queue", root_ctx);
+  // Run ends here: neither span is ever closed.
+  std::stringstream ss;
+  rec.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta));
+  const TraceAnalysis analysis(events);
+  ASSERT_EQ(analysis.tasks().size(), 1u);
+  // The open root is reported as the task's outcome, not double-counted as
+  // an orphan; the unclosed leg is.
+  EXPECT_EQ(analysis.tasks()[0].outcome, "open");
+  EXPECT_EQ(analysis.tasks()[0].orphaned_spans, 1u);
+  EXPECT_EQ(analysis.orphaned_spans(), 1u);
 }
 
 // ---- MetricsRegistry --------------------------------------------------------
@@ -362,6 +539,127 @@ TEST(SystemTelemetry, TelemetryOffMatchesSeedDeterminism) {
                            system.scenario().simulator().events_processed());
   };
   EXPECT_EQ(run(off), run(on));
+}
+
+TEST(SystemTelemetry, TracingIsInertUnderInjectedCrashes) {
+  // The determinism contract must survive the hardened path too: heartbeats,
+  // retries, checkpoints and crash recovery all emit spans, and none of it
+  // may perturb the simulation.
+  core::SystemConfig off;
+  off.scenario.vehicles = 20;
+  off.cloud.dependability.detector.enabled = true;
+  off.cloud.dependability.retry.enabled = true;
+  off.cloud.dependability.checkpoint.enabled = true;
+  off.faults.vehicle_crash_rate = 0.05;
+  off.faults.horizon = 60.0;
+  core::SystemConfig on = off;
+  on.telemetry.tracing = true;
+
+  auto run = [](const core::SystemConfig& cfg) {
+    core::VehicularCloudSystem system(cfg);
+    system.start();
+    vcloud::WorkloadConfig workload;
+    system.submit_workload(workload, 12);
+    system.run_for(60.0);
+    return std::make_tuple(system.cloud().stats().completed,
+                           system.cloud().stats().submitted,
+                           system.cloud().stats().crash_kills,
+                           system.cloud().stats().latency.sum(),
+                           system.scenario().simulator().events_processed());
+  };
+  EXPECT_EQ(run(off), run(on));
+}
+
+TEST(SystemTelemetry, CrashedTaskKeepsOneCausalTreeAcrossRecovery) {
+  // The PR's acceptance scenario: a task whose worker crashes mid-execution
+  // is detected, recovered and completed under ONE trace_id, and the
+  // reassembled legs still partition its whole lifetime.
+  core::SystemConfig config;
+  config.scenario.environment = core::Environment::kParkingLot;
+  config.scenario.vehicles = 12;
+  config.scenario.vehicles_parked = true;
+  config.architecture = core::CloudArchitecture::kStationary;
+  config.stationary_radius = 5000.0;
+  config.cloud.dependability.detector.enabled = true;
+  config.cloud.dependability.retry.enabled = true;
+  config.cloud.dependability.checkpoint.enabled = true;
+  config.telemetry.tracing = true;
+  core::VehicularCloudSystem system(config);
+  system.start();
+
+  vcloud::Task spec;
+  spec.work = 50.0;
+  spec.deadline = 0.0;  // none: the crash must not expire it
+  const TaskId id = system.submit(spec);
+  system.run_for(5.0);
+  const vcloud::Task* task = system.cloud().find_task(id);
+  ASSERT_NE(task, nullptr);
+  ASSERT_EQ(task->state, vcloud::TaskState::kRunning);
+  const std::uint64_t trace_id = task->trace.trace_id;
+  ASSERT_NE(trace_id, 0u);
+  system.cloud().crash_worker(task->worker);
+  system.run_for(600.0);
+
+  task = system.cloud().find_task(id);
+  ASSERT_NE(task, nullptr);
+  ASSERT_EQ(task->state, vcloud::TaskState::kCompleted);
+  // The terminal transition closed the root span but kept the tree's id.
+  EXPECT_EQ(task->trace.trace_id, trace_id);
+  EXPECT_EQ(task->trace.span_id, 0u);
+
+  std::stringstream ss;
+  system.telemetry()->trace.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  std::string error;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta, &error)) << error;
+  ASSERT_TRUE(meta.complete());
+
+  const TraceAnalysis analysis(events);
+  const TaskBreakdown* bd = analysis.find(trace_id);
+  ASSERT_NE(bd, nullptr);
+  EXPECT_EQ(bd->outcome, "completed");
+  EXPECT_GE(bd->crashes, 1);
+  EXPECT_GT(bd->recovery, 0.0);  // detection latency is attributed, not lost
+  EXPECT_GT(bd->compute, 0.0);
+  EXPECT_EQ(bd->orphaned_spans, 0u);
+  EXPECT_NEAR(bd->legs_sum(), bd->end_to_end(), 1e-9);
+
+  // The whole story — submit, dispatch, exec, crash, recover, re-exec,
+  // complete — rode a single causal tree.
+  std::size_t in_tree = 0;
+  bool saw_recover = false;
+  for (const auto& ev : system.telemetry()->trace.events()) {
+    if (ev.trace_id != trace_id) continue;
+    ++in_tree;
+    if (std::string(ev.name) == "leg.recover") saw_recover = true;
+  }
+  EXPECT_GE(in_tree, 10u);
+  EXPECT_TRUE(saw_recover);
+}
+
+// ---- write_telemetry --------------------------------------------------------
+
+TEST(Telemetry, WriteTelemetryCreatesTheExportTree) {
+  TelemetryConfig cfg;
+  cfg.tracing = true;
+  cfg.metrics = true;
+  Telemetry tel(cfg);
+  tel.trace.record(1.0, TraceCategory::kTask, "task.submit");
+  tel.metrics.counter("x.count").inc();
+  tel.metrics.sample(0.0);
+
+  const std::string dir =
+      ::testing::TempDir() + "vcl_write_telemetry/nested/rep0";
+  ASSERT_TRUE(write_telemetry(tel, dir));  // creates the directories
+  EXPECT_TRUE(std::filesystem::exists(dir + "/trace.jsonl"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/trace_chrome.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/metrics.csv"));
+
+  std::ifstream in(dir + "/trace.jsonl");
+  std::string first_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  EXPECT_NE(first_line.find("\"meta\":\"vcl-trace-v1\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// vcl_traceview: per-task critical-path latency breakdown from a trace
+// JSONL export (DESIGN.md §8).
+//
+// Reads the JSONL a TraceRecorder wrote (obs::write_telemetry's
+// trace.jsonl, or any write_jsonl stream), reassembles each task's causal
+// span tree and prints where its end-to-end latency went: broker queueing,
+// network (dispatch/input/result transfer), compute, crash recovery — plus
+// ring-completeness diagnostics (orphaned spans, overwritten history).
+//
+//   vcl_traceview out/rep0/trace.jsonl
+//   vcl_traceview --json out/rep0/trace.jsonl   # machine-readable
+//   some_bench | vcl_traceview -                # read stdin
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--json] <trace.jsonl | ->\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+
+  std::vector<vcl::obs::ParsedEvent> events;
+  vcl::obs::TraceMeta meta;
+  std::string error;
+  if (!vcl::obs::parse_trace_jsonl(in, events, meta, &error)) {
+    std::cerr << "error: " << path << ": " << error << "\n";
+    return 1;
+  }
+
+  const vcl::obs::TraceAnalysis analysis(events);
+  if (json) {
+    analysis.write_json(std::cout, meta);
+  } else {
+    analysis.write_report(std::cout, meta);
+  }
+  return 0;
+}
