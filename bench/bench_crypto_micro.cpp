@@ -9,14 +9,21 @@
 // Unlike the sim benches this one runs under google-benchmark, but it still
 // speaks the shared `--json <path>` vcl-bench-v1 contract: a custom main
 // captures every run off the console reporter and feeds one table
-// (benchmark / real_ns / cpu_ns / iterations) through obs::BenchReporter,
-// so scripts/collect_bench.sh validates it like any other bench. The
-// wall-clock cells are machine-dependent by nature — regression tooling
-// (scripts/bench_diff.py) should be pointed at them only on like hardware.
+// (benchmark / real_ns / cpu_ns) through obs::BenchReporter, so
+// scripts/collect_bench.sh validates it like any other bench.
+//
+// Each benchmark is repeated `--reps N` times (default 5; 1 disables) via
+// google-benchmark's own repetition machinery, and the real_ns/cpu_ns cells
+// carry cross-repetition {mean, ci95, n} annotations — the same CellStat
+// form the experiment engine emits — so scripts/bench_diff.py can apply its
+// CI-overlap rule to these machine-dependent wall-clock numbers instead of
+// the bench being excluded with --skip-bench.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "access/abe.h"
@@ -25,6 +32,7 @@
 #include "crypto/schnorr.h"
 #include "crypto/shamir.h"
 #include "obs/bench_output.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace {
@@ -209,27 +217,81 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   }
 };
 
+// One benchmark's repetition scatter, keyed by display name in first-seen
+// order. Accumulators retain no samples: only mean/ci95 are reported.
+struct RepStats {
+  std::string name;
+  vcl::Accumulator real_ns{/*keep_samples=*/false};
+  vcl::Accumulator cpu_ns{/*keep_samples=*/false};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   vcl::obs::BenchReporter reporter("bench_crypto_micro", argc, argv);
-  // benchmark::Initialize consumes only --benchmark_* flags; ours (--json)
-  // pass through, so ReportUnrecognizedArguments is deliberately skipped.
-  benchmark::Initialize(&argc, argv);
+
+  // Repetitions: scan our own `--reps N` flag, then hand google-benchmark a
+  // patched argv with --benchmark_repetitions so its machinery does the
+  // repeating. --reps 1 keeps the old single-run behaviour (plain cells).
+  int reps = 5;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--reps") reps = std::atoi(argv[i + 1]);
+  }
+  if (reps < 1) reps = 1;
+  std::vector<char*> patched(argv, argv + argc);
+  std::string reps_flag = "--benchmark_repetitions=" + std::to_string(reps);
+  patched.push_back(reps_flag.data());
+  int patched_argc = static_cast<int>(patched.size());
+  // benchmark::Initialize consumes only --benchmark_* flags; ours (--json,
+  // --reps) pass through, so ReportUnrecognizedArguments is skipped.
+  benchmark::Initialize(&patched_argc, patched.data());
 
   CapturingReporter console;
   benchmark::RunSpecifiedBenchmarks(&console);
 
-  vcl::Table table("E14: crypto substrate micro timings (this machine)",
-                   {"benchmark", "real_ns", "cpu_ns", "iterations"});
+  // Fold per-repetition runs (RT_Iteration) into one row per benchmark;
+  // google-benchmark's own aggregate rows (_mean/_stddev...) are dropped in
+  // favour of the house CellStat form.
+  std::vector<RepStats> folded;
   for (const auto& run : console.runs) {
     if (run.error_occurred) continue;
-    table.add_row({run.benchmark_name(),
-                   vcl::Table::num(run.GetAdjustedRealTime(), 1),
-                   vcl::Table::num(run.GetAdjustedCPUTime(), 1),
-                   std::to_string(run.iterations)});
+    if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      continue;
+    }
+    const std::string name = run.benchmark_name();
+    RepStats* slot = nullptr;
+    for (auto& s : folded) {
+      if (s.name == name) slot = &s;
+    }
+    if (slot == nullptr) {
+      folded.emplace_back();
+      slot = &folded.back();
+      slot->name = name;
+    }
+    slot->real_ns.add(run.GetAdjustedRealTime());
+    slot->cpu_ns.add(run.GetAdjustedCPUTime());
   }
-  reporter.add(table);
+
+  // Iteration counts are deliberately NOT a column: google-benchmark tunes
+  // them per run, so they would read as spurious diffs downstream.
+  vcl::Table table("E14: crypto substrate micro timings (this machine)",
+                   {"benchmark", "real_ns", "cpu_ns"});
+  vcl::obs::TableStats stats;
+  for (const auto& s : folded) {
+    table.add_row({s.name, vcl::Table::num(s.real_ns.mean(), 1),
+                   vcl::Table::num(s.cpu_ns.mean(), 1)});
+    std::vector<std::optional<vcl::obs::CellStat>> row(3);
+    if (s.real_ns.count() > 1) {
+      row[1] = vcl::obs::CellStat{s.real_ns.mean(),
+                                  vcl::ci95_half_width(s.real_ns),
+                                  s.real_ns.count()};
+      row[2] = vcl::obs::CellStat{s.cpu_ns.mean(),
+                                  vcl::ci95_half_width(s.cpu_ns),
+                                  s.cpu_ns.count()};
+    }
+    stats.push_back(std::move(row));
+  }
+  reporter.add(table, std::move(stats));
   if (!reporter.write()) {
     std::cerr << "error: could not write " << reporter.path() << "\n";
     return 1;

@@ -43,9 +43,10 @@ OUT="${positional[1]:-BENCH_summary.json}"
 
 # The paper-figure benches plus the dependability experiment: the set CI
 # tracks over time. Add a bench here once it matters for a figure.
-# bench_crypto_micro reports wall-clock timings (machine-dependent cells);
-# diff tooling should skip it across unlike hardware (bench_diff.py
-# --skip-bench bench_crypto_micro).
+# bench_crypto_micro reports wall-clock timings; since it repeats each
+# benchmark (--reps, default 5) its cells carry {mean, ci95, n} stats, so
+# bench_diff.py applies CI-overlap instead of exact comparison. Across
+# truly unlike hardware --skip-bench bench_crypto_micro still applies.
 BENCHES=(
   bench_fig1_resource_pool
   bench_fig2_cloud_comparison

@@ -1,0 +1,150 @@
+#include "core/chaos.h"
+
+#include "core/system.h"
+#include "obs/telemetry.h"
+
+namespace vcl::core {
+
+namespace {
+
+ScenarioConfig scenario_for(const ChaosScenarioConfig& config) {
+  ScenarioConfig scenario;
+  scenario.environment = Environment::kParkingLot;
+  scenario.seed = config.seed;
+  scenario.vehicles = config.vehicles;
+  scenario.vehicles_parked = true;
+  // A small RSU deployment so outage/flap events act on real units.
+  scenario.rsu_spacing = 400.0;
+  return scenario;
+}
+
+SystemConfig system_for(const ChaosScenarioConfig& config) {
+  SystemConfig sys;
+  sys.scenario = scenario_for(config);
+  sys.architecture = CloudArchitecture::kStationary;
+  sys.stationary_radius = 5000.0;
+  // Full mitigation mode (the bench_dependability "full" cell): chaos must
+  // exercise every recovery path, not the trivially-safe baseline.
+  vcloud::DependabilityConfig& dep = sys.cloud.dependability;
+  dep.detector.enabled = true;
+  dep.detector.missed_beats_to_kill = 6;
+  dep.checkpoint.enabled = true;
+  dep.checkpoint.period = 5.0;
+  dep.retry.enabled = true;
+  dep.speculation.enabled = true;
+  dep.broker_resync_delay = 0.5;
+  dep.test_drop_crash_requeue = config.inject_requeue_bug;
+  sys.invariant_oracle = true;
+  return sys;
+}
+
+}  // namespace
+
+fault::ChaosConfig chaos_config_for(const ChaosScenarioConfig& config) {
+  fault::ChaosConfig chaos;
+  chaos.base.horizon = config.duration;
+  chaos.base.vehicle_crash_rate = 0.02 * config.intensity;
+  chaos.base.broker_crash_rate = 0.005 * config.intensity;
+  chaos.base.rsu_outage_rate = 0.01 * config.intensity;
+  chaos.base.rsu_repair_mean = 10.0;
+  chaos.base.blackout_rate = 0.01 * config.intensity;
+  chaos.base.blackout_mean_duration = 5.0;
+  chaos.base.blackout_radius = 400.0;
+  // The planner draws blackout centers itself, so the box the system would
+  // normally backfill at start() has to be resolved here. A bare Scenario
+  // (never started) is just the road graph — cheap.
+  Scenario probe(scenario_for(config));
+  const auto [lo, hi] = probe.road().bounding_box();
+  chaos.base.blackout_lo = lo;
+  chaos.base.blackout_hi = hi;
+  if (config.storms) {
+    chaos.storms.burst_rate = 0.02 * config.intensity;
+    chaos.storms.cascade_rate = 0.01 * config.intensity;
+    chaos.storms.flap_rate = 0.01 * config.intensity;
+  }
+  return chaos;
+}
+
+ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config) {
+  const fault::ChaosPlanner planner(chaos_config_for(config));
+  return run_chaos_episode(config, planner.plan(config.seed));
+}
+
+ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
+                               fault::FaultPlan plan,
+                               const std::string& telemetry_dir) {
+  SystemConfig sys = system_for(config);
+  sys.fault_plan = std::move(plan);
+  if (!telemetry_dir.empty()) {
+    sys.telemetry.tracing = true;
+    sys.telemetry.metrics = true;
+  }
+
+  VehicularCloudSystem system(sys);
+  system.start();
+
+  vcloud::WorkloadGenerator workload({30.0, 1.0, 0.2, 60.0},
+                                     system.scenario().fork_rng(77));
+  auto& sim = system.scenario().simulator();
+  const SimTime load_until = config.duration;
+  sim.schedule_every(config.submit_period, [&] {
+    if (sim.now() < load_until) system.cloud().submit(workload.next(sim.now()));
+  });
+  system.run_for(config.duration + config.drain);
+
+  if (!telemetry_dir.empty() && system.telemetry() != nullptr) {
+    obs::write_telemetry(*system.telemetry(), telemetry_dir);
+  }
+
+  ChaosEpisode episode;
+  episode.seed = config.seed;
+  episode.plan = sys.fault_plan;
+  const vcloud::InvariantOracle* oracle = system.oracle();
+  if (oracle != nullptr) {
+    episode.violations = oracle->violations();
+    episode.violation_count = oracle->violation_count();
+    episode.checks_run = oracle->checks_run();
+  }
+  const vcloud::CloudStats& stats = system.cloud().stats();
+  episode.submitted = stats.submitted;
+  episode.completed = stats.completed;
+  episode.expired = stats.expired;
+  if (system.injector() != nullptr) {
+    episode.crashes = system.injector()->stats().vehicle_crashes +
+                      system.injector()->stats().broker_crashes;
+  }
+  return episode;
+}
+
+void write_chaos_repro(const ChaosScenarioConfig& config,
+                       const fault::FaultPlan& plan, std::ostream& os) {
+  fault::FaultPlanMeta meta;
+  meta.seed = config.seed;
+  meta.set("vehicles", static_cast<double>(config.vehicles));
+  meta.set("duration", config.duration);
+  meta.set("drain", config.drain);
+  meta.set("intensity", config.intensity);
+  meta.set("storms", config.storms ? 1.0 : 0.0);
+  meta.set("submit_period", config.submit_period);
+  meta.set("inject_requeue_bug", config.inject_requeue_bug ? 1.0 : 0.0);
+  fault::write_fault_plan_jsonl(plan, meta, os);
+}
+
+bool load_chaos_repro(std::istream& is, ChaosScenarioConfig& config,
+                      fault::FaultPlan& plan, std::string* error) {
+  fault::FaultPlanMeta meta;
+  if (!fault::parse_fault_plan_jsonl(is, plan, meta, error)) return false;
+  ChaosScenarioConfig defaults;
+  config.seed = meta.seed;
+  config.vehicles = static_cast<int>(
+      meta.get("vehicles", static_cast<double>(defaults.vehicles)));
+  config.duration = meta.get("duration", defaults.duration);
+  config.drain = meta.get("drain", defaults.drain);
+  config.intensity = meta.get("intensity", defaults.intensity);
+  config.storms = meta.get("storms", defaults.storms ? 1.0 : 0.0) != 0.0;
+  config.submit_period = meta.get("submit_period", defaults.submit_period);
+  config.inject_requeue_bug = meta.get("inject_requeue_bug", 0.0) != 0.0;
+  return true;
+}
+
+}  // namespace vcl::core

@@ -1,0 +1,83 @@
+// Chaos episode harness (DESIGN.md §9): one seeded, self-contained
+// adversarial run of the full system with the invariant oracle attached.
+//
+// An *episode* is a parking-lot stationary cloud (the bench_dependability
+// fixture) in full mitigation mode — failure detector, ack/retry,
+// checkpoints, speculation — serving a steady deadline-bearing task stream
+// while a fault::ChaosPlanner schedule (independent Poisson background
+// plus correlated storms) tears at it. The vcloud::InvariantOracle checks
+// global safety at every refresh and terminal transition; the episode
+// result pairs any violations with the exact FaultPlan that produced them,
+// which is the piece the oracle itself cannot carry (vcloud does not
+// depend on fault).
+//
+// Everything is a pure function of ChaosScenarioConfig: same config, same
+// episode, byte for byte — which is what makes soak failures replayable
+// (tools/vcl_chaos --repro) and fault plans shrinkable.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "vcloud/invariant_oracle.h"
+
+namespace vcl::core {
+
+struct ChaosScenarioConfig {
+  std::uint64_t seed = 1;
+  int vehicles = 40;
+  SimTime duration = 120.0;  // load window; faults also stop here
+  SimTime drain = 40.0;      // deadlines settle everything in flight
+  // Scales every fault and storm rate together (1.0 = the defaults below).
+  double intensity = 1.0;
+  bool storms = true;            // correlated storms on top of the background
+  SimTime submit_period = 0.5;   // one task per period during the load window
+  // Arms the deliberate lost-task bug in crash recovery (see
+  // DependabilityConfig::test_drop_crash_requeue). Test fixture only.
+  bool inject_requeue_bug = false;
+};
+
+// The fault/storm schedule an episode with this config faces. The blackout
+// box is derived from the scenario's road bounding box.
+[[nodiscard]] fault::ChaosConfig chaos_config_for(
+    const ChaosScenarioConfig& config);
+
+struct ChaosEpisode {
+  std::uint64_t seed = 0;
+  fault::FaultPlan plan;  // the schedule the episode actually ran
+  std::vector<vcloud::InvariantViolation> violations;  // capped at kMaxStored
+  std::size_t violation_count = 0;  // uncapped total
+  std::size_t checks_run = 0;
+  // Headline outcome numbers (full stats live in the trace export).
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t expired = 0;
+  std::size_t crashes = 0;  // injected vehicle + broker crashes
+
+  [[nodiscard]] bool ok() const { return violation_count == 0; }
+};
+
+// Generates the plan for `config` (ChaosPlanner, seed = config.seed) and
+// runs it. Deterministic.
+[[nodiscard]] ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config);
+
+// Runs an explicit plan instead (shrink candidates, loaded repro files).
+// When `telemetry_dir` is non-empty the episode records traces + metrics
+// and exports them there (trace.jsonl is vcl_traceview-ready).
+[[nodiscard]] ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
+                                             fault::FaultPlan plan,
+                                             const std::string& telemetry_dir =
+                                                 {});
+
+// Repro files: the fault-plan JSONL with the episode scenario knobs carried
+// in the meta record, so one file re-creates the exact failing episode.
+void write_chaos_repro(const ChaosScenarioConfig& config,
+                       const fault::FaultPlan& plan, std::ostream& os);
+bool load_chaos_repro(std::istream& is, ChaosScenarioConfig& config,
+                      fault::FaultPlan& plan, std::string* error = nullptr);
+
+}  // namespace vcl::core

@@ -85,6 +85,12 @@ void VehicularCloudSystem::start() {
       CloudId{1}, net, std::move(membership), std::move(region),
       make_scheduler(config_.scheduler), config_.cloud,
       scenario_.fork_rng(7));
+  if (config_.invariant_oracle) {
+    // Attach before the initial refresh so the very first end-of-round scan
+    // is already checked.
+    oracle_ = std::make_unique<vcloud::InvariantOracle>(config_.scenario.seed);
+    cloud_->set_oracle(oracle_.get());
+  }
   cloud_->attach();
   cloud_->refresh();
 
@@ -98,7 +104,12 @@ void VehicularCloudSystem::start() {
     faults.blackout_hi = hi;
   }
   Rng plan_rng = scenario_.fork_rng(13);
-  fault::FaultPlan plan = fault::make_fault_plan(faults, plan_rng);
+  // An explicit plan (chaos storms, or a shrunk repro replayed from a file)
+  // wins over generation; the fork above still happens so the other streams
+  // are identical either way.
+  fault::FaultPlan plan = config_.fault_plan.empty()
+                              ? fault::make_fault_plan(faults, plan_rng)
+                              : config_.fault_plan;
   if (!plan.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(
         net, std::move(plan), scenario_.fork_rng(14));

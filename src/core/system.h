@@ -14,6 +14,7 @@
 #include "fault/fault_injector.h"
 #include "obs/telemetry.h"
 #include "vcloud/cloud.h"
+#include "vcloud/invariant_oracle.h"
 
 namespace vcl::core {
 
@@ -41,6 +42,13 @@ struct SystemConfig {
   // Fault injection (paper §III): all rates default to 0 = no faults. The
   // blackout box is filled from the road bounding box unless set explicitly.
   fault::FaultPlanConfig faults;
+  // A non-empty explicit plan (chaos storms, a shrunk repro loaded from a
+  // file) bypasses `faults` generation entirely and is injected as-is.
+  fault::FaultPlan fault_plan;
+  // Runtime safety checking (DESIGN.md §9): attach a vcloud::InvariantOracle
+  // to the cloud. Off by default — a disabled run pays one branch per hook
+  // and stays bit-identical to the seed (same contract as telemetry).
+  bool invariant_oracle = false;
   // Observability (DESIGN.md §6): tracing, metric sampling and kernel
   // profiling, all off by default — a disabled run pays one branch per
   // would-be event and stays bit-identical to the seed.
@@ -69,6 +77,8 @@ class VehicularCloudSystem {
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
   // Present only when any telemetry piece is enabled in the config.
   [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }
+  // Present only when config.invariant_oracle is set.
+  [[nodiscard]] vcloud::InvariantOracle* oracle() { return oracle_.get(); }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
@@ -79,6 +89,7 @@ class VehicularCloudSystem {
   std::unique_ptr<vcloud::VehicularCloud> cloud_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<vcloud::InvariantOracle> oracle_;
   bool started_ = false;
 };
 

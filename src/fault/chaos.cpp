@@ -1,0 +1,407 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace vcl::fault {
+
+namespace {
+
+// Homogeneous Poisson storm arrivals over [0, horizon].
+std::vector<SimTime> storm_arrivals(double rate, SimTime horizon, Rng& rng) {
+  std::vector<SimTime> times;
+  if (rate <= 0.0 || horizon <= 0.0) return times;
+  SimTime t = rng.exponential(rate);
+  while (t < horizon) {
+    times.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return times;
+}
+
+}  // namespace
+
+std::string validate(const ChaosConfig& config) {
+  if (std::string problem = validate(config.base); !problem.empty()) {
+    return problem;
+  }
+  const StormConfig& s = config.storms;
+  if (s.burst_rate < 0.0) return "burst_rate is negative";
+  if (s.burst_rate > 0.0) {
+    if (s.burst_size == 0) return "burst_size is zero";
+    if (s.burst_window < 0.0) return "burst_window is negative";
+  }
+  if (s.cascade_rate < 0.0) return "cascade_rate is negative";
+  if (s.cascade_rate > 0.0) {
+    if (s.cascade_blackout_duration <= 0.0) {
+      return "cascade_blackout_duration must be positive";
+    }
+    if (s.cascade_broker_kills < 1) return "cascade_broker_kills must be >= 1";
+    // Cascade blackout centers draw from the base box even when the base
+    // blackout rate is zero, so the box must be usable on its own.
+    if (config.base.blackout_lo.x > config.base.blackout_hi.x ||
+        config.base.blackout_lo.y > config.base.blackout_hi.y) {
+      return "blackout box is inverted (lo > hi)";
+    }
+    if (config.base.blackout_lo.x == 0.0 && config.base.blackout_lo.y == 0.0 &&
+        config.base.blackout_hi.x == 0.0 &&
+        config.base.blackout_hi.y == 0.0) {
+      return "cascade_rate > 0 but the blackout box was left at its "
+             "all-zero default (set it from the road bounding box)";
+    }
+    if (config.base.blackout_radius < 0.0) return "blackout_radius is negative";
+  }
+  if (s.flap_rate < 0.0) return "flap_rate is negative";
+  if (s.flap_rate > 0.0) {
+    if (s.flap_cycles < 1) return "flap_cycles must be >= 1";
+    if (s.flap_period <= 0.0) return "flap_period must be positive";
+    if (s.flap_outage <= 0.0) return "flap_outage must be positive";
+  }
+  return {};
+}
+
+ChaosPlanner::ChaosPlanner(ChaosConfig config) : config_(std::move(config)) {
+  if (const std::string problem = validate(config_); !problem.empty()) {
+    throw std::invalid_argument("ChaosConfig: " + problem);
+  }
+}
+
+FaultPlan ChaosPlanner::plan(std::uint64_t seed) const {
+  const Rng root(seed);
+  const SimTime horizon = config_.base.horizon;
+  const StormConfig& storms = config_.storms;
+
+  // The background and each storm shape consume independent forked streams:
+  // turning a storm knob never reshuffles the others' schedules.
+  Rng base_rng = root.fork(1);
+  FaultPlan plan = make_fault_plan(config_.base, base_rng);
+
+  Rng burst_rng = root.fork(2);
+  for (const SimTime t :
+       storm_arrivals(storms.burst_rate, horizon, burst_rng)) {
+    // Poisson scatter around the configured size, never below one crash.
+    const std::size_t size =
+        1 + static_cast<std::size_t>(burst_rng.poisson(
+                storms.burst_size > 1
+                    ? static_cast<double>(storms.burst_size - 1)
+                    : 0.0));
+    for (std::size_t i = 0; i < size; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kVehicleCrash;
+      e.at = t + burst_rng.uniform(0.0, std::max(storms.burst_window, 1e-9));
+      plan.push_back(e);  // victim picked from the live pool at fire time
+    }
+  }
+
+  Rng cascade_rng = root.fork(3);
+  for (const SimTime t :
+       storm_arrivals(storms.cascade_rate, horizon, cascade_rng)) {
+    FaultEvent blackout;
+    blackout.kind = FaultKind::kRadioBlackout;
+    blackout.at = t;
+    blackout.center = {cascade_rng.uniform(config_.base.blackout_lo.x,
+                                           config_.base.blackout_hi.x),
+                       cascade_rng.uniform(config_.base.blackout_lo.y,
+                                           config_.base.blackout_hi.y)};
+    blackout.radius = config_.base.blackout_radius;
+    blackout.duration = storms.cascade_blackout_duration;
+    plan.push_back(blackout);
+    // Broker kills spaced strictly INSIDE the blackout window: the cloud
+    // loses its broker while the heartbeats that would elect a successor's
+    // worldview are already being eaten by the channel.
+    for (int i = 1; i <= storms.cascade_broker_kills; ++i) {
+      FaultEvent kill;
+      kill.kind = FaultKind::kBrokerCrash;
+      kill.at = t + blackout.duration * static_cast<double>(i) /
+                        static_cast<double>(storms.cascade_broker_kills + 1);
+      plan.push_back(kill);
+    }
+  }
+
+  Rng flap_rng = root.fork(4);
+  for (const SimTime t :
+       storm_arrivals(storms.flap_rate, horizon, flap_rng)) {
+    // One explicit victim for the whole storm; the injector maps the id
+    // into the deployed range (modulo), so every cycle hits the same RSU.
+    const RsuId victim{static_cast<std::uint64_t>(
+        flap_rng.uniform_int(0, 1024))};
+    for (int i = 0; i < storms.flap_cycles; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kRsuOutage;
+      e.at = t + storms.flap_period * static_cast<double>(i);
+      e.rsu = victim;
+      e.repair_after = storms.flap_outage;
+      plan.push_back(e);
+    }
+  }
+
+  sort_fault_plan(plan);
+  return plan;
+}
+
+// ---- plan (de)serialization -------------------------------------------------
+
+double FaultPlanMeta::get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : extra) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void FaultPlanMeta::set(const std::string& key, double value) {
+  for (auto& [k, v] : extra) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  extra.emplace_back(key, value);
+}
+
+namespace {
+
+// Event times/durations must survive write -> parse bit-exactly (a repro
+// file IS the episode), so they bypass json_number's lossy %.12g.
+std::string exact_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_fault_plan_jsonl(const FaultPlan& plan, const FaultPlanMeta& meta,
+                            std::ostream& os) {
+  {
+    obs::JsonWriter w(os);
+    w.begin_object()
+        .key("meta").value("vcl-fault-plan-v1")
+        .key("seed").value(static_cast<std::uint64_t>(meta.seed))
+        .key("events").value(static_cast<std::uint64_t>(plan.size()));
+    for (const auto& [key, value] : meta.extra) {
+      w.key(key).value_raw(exact_number(value));
+    }
+    w.end_object();
+  }
+  os << "\n";
+  for (const FaultEvent& e : plan) {
+    obs::JsonWriter w(os);
+    w.begin_object()
+        .key("kind").value(to_string(e.kind))
+        .key("at").value_raw(exact_number(e.at));
+    switch (e.kind) {
+      case FaultKind::kVehicleCrash:
+        if (e.vehicle.valid()) {
+          w.key("vehicle").value(static_cast<std::uint64_t>(e.vehicle.value()));
+        }
+        break;
+      case FaultKind::kBrokerCrash:
+        break;
+      case FaultKind::kRsuOutage:
+        if (e.rsu.valid()) {
+          w.key("rsu").value(static_cast<std::uint64_t>(e.rsu.value()));
+        }
+        w.key("repair_after").value_raw(exact_number(e.repair_after));
+        break;
+      case FaultKind::kRadioBlackout:
+        w.key("x").value_raw(exact_number(e.center.x));
+        w.key("y").value_raw(exact_number(e.center.y));
+        w.key("radius").value_raw(exact_number(e.radius));
+        w.key("duration").value_raw(exact_number(e.duration));
+        break;
+    }
+    w.end_object();
+    os << "\n";
+  }
+}
+
+namespace {
+
+bool parse_kind(const std::string& name, FaultKind& out) {
+  if (name == "vehicle_crash") out = FaultKind::kVehicleCrash;
+  else if (name == "broker_crash") out = FaultKind::kBrokerCrash;
+  else if (name == "rsu_outage") out = FaultKind::kRsuOutage;
+  else if (name == "radio_blackout") out = FaultKind::kRadioBlackout;
+  else return false;
+  return true;
+}
+
+// Flat single-line JSON object scanner (same shape trace_analysis parses):
+// string or numeric values only, no nesting.
+bool parse_flat_object(const std::string& line,
+                       std::vector<std::pair<std::string, std::string>>& strs,
+                       std::vector<std::pair<std::string, double>>& nums,
+                       std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+  const auto eat = [&](char c) {
+    skip_ws();
+    if (pos < line.size() && line[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  const auto read_string = [&](std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < line.size()) {
+      const char c = line[pos++];
+      if (c == '"') return true;
+      if (c == '\\' && pos < line.size()) out += line[pos++];
+      else out += c;
+    }
+    return false;
+  };
+  if (!eat('{')) return fail("line does not start with '{'");
+  bool first = true;
+  while (true) {
+    if (eat('}')) return true;
+    if (!first && !eat(',')) return fail("expected ',' between members");
+    first = false;
+    std::string key;
+    if (!read_string(key) || !eat(':')) return fail("malformed key");
+    skip_ws();
+    if (pos < line.size() && line[pos] == '"') {
+      std::string value;
+      if (!read_string(value)) return fail("unterminated string value");
+      strs.emplace_back(std::move(key), std::move(value));
+      continue;
+    }
+    const char* start = line.c_str() + pos;
+    char* end = nullptr;
+    const double num = std::strtod(start, &end);
+    if (end == start) return fail("malformed value");
+    pos += static_cast<std::size_t>(end - start);
+    nums.emplace_back(std::move(key), num);
+  }
+}
+
+}  // namespace
+
+bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
+                            FaultPlanMeta& meta, std::string* error) {
+  plan.clear();
+  meta = FaultPlanMeta{};
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::string line;
+  bool saw_meta = false;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::pair<std::string, std::string>> strs;
+    std::vector<std::pair<std::string, double>> nums;
+    std::string parse_error;
+    if (!parse_flat_object(line, strs, nums, &parse_error)) {
+      return fail("line " + std::to_string(line_no) + ": " + parse_error);
+    }
+    const auto str_of = [&](const char* key) -> const std::string* {
+      for (const auto& [k, v] : strs) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    const auto num_of = [&](const char* key, double fallback) {
+      for (const auto& [k, v] : nums) {
+        if (k == key) return v;
+      }
+      return fallback;
+    };
+    if (const std::string* m = str_of("meta"); m != nullptr) {
+      if (*m != "vcl-fault-plan-v1") {
+        return fail("unsupported schema '" + *m + "'");
+      }
+      saw_meta = true;
+      for (const auto& [k, v] : nums) {
+        if (k == "seed") meta.seed = static_cast<std::uint64_t>(v);
+        else if (k != "events") meta.extra.emplace_back(k, v);
+      }
+      continue;
+    }
+    const std::string* kind_name = str_of("kind");
+    if (kind_name == nullptr) {
+      return fail("line " + std::to_string(line_no) + ": missing \"kind\"");
+    }
+    FaultEvent e;
+    if (!parse_kind(*kind_name, e.kind)) {
+      return fail("line " + std::to_string(line_no) + ": unknown kind '" +
+                  *kind_name + "'");
+    }
+    e.at = num_of("at", 0.0);
+    switch (e.kind) {
+      case FaultKind::kVehicleCrash: {
+        const double v = num_of("vehicle", -1.0);
+        if (v >= 0.0) e.vehicle = VehicleId{static_cast<std::uint64_t>(v)};
+        break;
+      }
+      case FaultKind::kBrokerCrash:
+        break;
+      case FaultKind::kRsuOutage: {
+        const double r = num_of("rsu", -1.0);
+        if (r >= 0.0) e.rsu = RsuId{static_cast<std::uint64_t>(r)};
+        e.repair_after = num_of("repair_after", 0.0);
+        break;
+      }
+      case FaultKind::kRadioBlackout:
+        e.center = {num_of("x", 0.0), num_of("y", 0.0)};
+        e.radius = num_of("radius", 0.0);
+        e.duration = num_of("duration", 0.0);
+        break;
+    }
+    plan.push_back(e);
+  }
+  if (!saw_meta) return fail("missing vcl-fault-plan-v1 meta record");
+  return true;
+}
+
+// ---- shrinking --------------------------------------------------------------
+
+FaultPlan shrink_fault_plan(
+    FaultPlan plan, const std::function<bool(const FaultPlan&)>& still_fails) {
+  if (plan.empty()) return plan;
+  std::size_t chunk = std::max<std::size_t>(plan.size() / 2, 1);
+  while (true) {
+    bool removed = false;
+    std::size_t i = 0;
+    while (i < plan.size()) {
+      const std::size_t len = std::min(chunk, plan.size() - i);
+      FaultPlan candidate;
+      candidate.reserve(plan.size() - len);
+      candidate.insert(candidate.end(), plan.begin(),
+                       plan.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(),
+                       plan.begin() + static_cast<std::ptrdiff_t>(i + len),
+                       plan.end());
+      if (still_fails(candidate)) {
+        plan = std::move(candidate);
+        removed = true;  // the next chunk shifted into position i
+      } else {
+        i += len;
+      }
+      if (plan.empty()) return plan;
+    }
+    if (chunk > 1) chunk = std::max<std::size_t>(chunk / 2, 1);
+    else if (!removed) break;  // single-event fixpoint: 1-minimal
+  }
+  return plan;
+}
+
+}  // namespace vcl::fault

@@ -82,8 +82,13 @@ void FaultInjector::fire(const FaultEvent& e) {
       const std::size_t n = net_.rsus().count();
       if (n == 0) return;
       RsuId target = e.rsu;
-      if (!target.valid() || target.value() >= n) {
+      if (!target.valid()) {
         target = RsuId{rng_.index(n)};
+      } else if (target.value() >= n) {
+        // Wrap explicit ids into the deployed range instead of re-rolling:
+        // chaos flap storms pick one abstract victim id and rely on every
+        // cycle mapping to the SAME physical RSU.
+        target = RsuId{target.value() % n};
       }
       const net::Rsu* rsu = net_.rsus().find(target);
       if (rsu == nullptr || !rsu->online) return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 namespace vcl::fault {
 
@@ -31,7 +32,35 @@ std::vector<SimTime> arrivals(double rate, SimTime horizon, Rng& rng) {
 
 }  // namespace
 
+std::string validate(const FaultPlanConfig& config) {
+  if (config.horizon < 0.0) return "horizon is negative";
+  if (config.vehicle_crash_rate < 0.0) return "vehicle_crash_rate is negative";
+  if (config.broker_crash_rate < 0.0) return "broker_crash_rate is negative";
+  if (config.rsu_outage_rate < 0.0) return "rsu_outage_rate is negative";
+  if (config.rsu_repair_mean < 0.0) return "rsu_repair_mean is negative";
+  if (config.blackout_rate < 0.0) return "blackout_rate is negative";
+  if (config.blackout_rate > 0.0) {
+    if (config.blackout_mean_duration < 0.0) {
+      return "blackout_mean_duration is negative";
+    }
+    if (config.blackout_radius < 0.0) return "blackout_radius is negative";
+    if (config.blackout_lo.x > config.blackout_hi.x ||
+        config.blackout_lo.y > config.blackout_hi.y) {
+      return "blackout box is inverted (lo > hi)";
+    }
+    if (config.blackout_lo.x == 0.0 && config.blackout_lo.y == 0.0 &&
+        config.blackout_hi.x == 0.0 && config.blackout_hi.y == 0.0) {
+      return "blackout_rate > 0 but the blackout box was left at its "
+             "all-zero default (set it from the road bounding box)";
+    }
+  }
+  return {};
+}
+
 FaultPlan make_fault_plan(const FaultPlanConfig& config, Rng& rng) {
+  if (const std::string problem = validate(config); !problem.empty()) {
+    throw std::invalid_argument("FaultPlanConfig: " + problem);
+  }
   FaultPlan plan;
 
   // Class order is fixed so the RNG consumption sequence — and therefore
@@ -73,12 +102,16 @@ FaultPlan make_fault_plan(const FaultPlanConfig& config, Rng& rng) {
     plan.push_back(e);
   }
 
+  sort_fault_plan(plan);
+  return plan;
+}
+
+void sort_fault_plan(FaultPlan& plan) {
   std::stable_sort(plan.begin(), plan.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      if (a.at != b.at) return a.at < b.at;
                      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
                    });
-  return plan;
 }
 
 std::string to_string(const FaultEvent& e) {

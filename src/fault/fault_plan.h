@@ -59,11 +59,25 @@ struct FaultPlanConfig {
 
 using FaultPlan = std::vector<FaultEvent>;
 
+// Config sanity check, run before any plan is generated: negative rates,
+// horizons or durations, and — when blackouts are requested — an inverted
+// or left-at-default blackout box (which would silently pile every blackout
+// at the origin) are configuration errors, not schedules. Returns an empty
+// string when the config is valid, else a one-line description of the
+// first problem found.
+[[nodiscard]] std::string validate(const FaultPlanConfig& config);
+
 // Draws a plan: exponential inter-arrivals per fault class, merged and
 // sorted by fire time (ties broken by kind then draw order). Deterministic
-// for a given (config, rng-state).
+// for a given (config, rng-state). Throws std::invalid_argument when
+// validate(config) reports a problem.
 [[nodiscard]] FaultPlan make_fault_plan(const FaultPlanConfig& config,
                                         Rng& rng);
+
+// Sorts events the way make_fault_plan emits them: by fire time, ties by
+// kind then insertion order. Chaos storm generators merge through this so
+// any composed plan stays injector-ready.
+void sort_fault_plan(FaultPlan& plan);
 
 // One line per event, for logs/tests.
 [[nodiscard]] std::string to_string(const FaultEvent& e);

@@ -133,4 +133,11 @@ JsonWriter& JsonWriter::value_auto(const std::string& cell) {
   return value(cell);
 }
 
+JsonWriter& JsonWriter::value_raw(const std::string& token) {
+  comma();
+  key_pending_ = false;
+  os_ << token;
+  return *this;
+}
+
 }  // namespace vcl::obs

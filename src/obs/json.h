@@ -46,6 +46,11 @@ class JsonWriter {
   // the bridge from Table's all-string rows to typed JSON.
   JsonWriter& value_auto(const std::string& cell);
 
+  // Emits a preformatted token verbatim (no quoting, no reformatting).
+  // For callers whose numbers must round-trip bit-exactly — json_number's
+  // %.12g is lossy by design; fault-plan repro files format with %.17g.
+  JsonWriter& value_raw(const std::string& token);
+
  private:
   void comma();
 

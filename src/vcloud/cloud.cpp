@@ -6,6 +6,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "util/table.h"
+#include "vcloud/invariant_oracle.h"
 
 namespace vcl::vcloud {
 
@@ -133,6 +134,25 @@ ResourcePool VehicularCloud::pool() const {
 const Task* VehicularCloud::find_task(TaskId id) const {
   auto it = tasks_.find(id.value());
   return it == tasks_.end() ? nullptr : &it->second;
+}
+
+void VehicularCloud::for_each_task(
+    const std::function<void(const Task&)>& fn) const {
+  // Sorted ids so oracle reports are deterministic across runs.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [tid, t] : tasks_) ids.push_back(tid);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t tid : ids) fn(tasks_.at(tid));
+}
+
+std::vector<TaskId> VehicularCloud::pending_ids() const {
+  return {pending_.begin(), pending_.end()};
+}
+
+TaskId VehicularCloud::running_on(VehicleId v) const {
+  auto it = workers_.find(v.value());
+  return it == workers_.end() ? TaskId{} : it->second.running;
 }
 
 bool VehicularCloud::drained() const {
@@ -573,6 +593,7 @@ void VehicularCloud::finalize_completion(Task& task) {
     trace_task_end(task, obs::kOutcomeCompleted);
     if (completion_hook_) completion_hook_(task);
   }
+  if (oracle_ != nullptr) oracle_->on_terminal(task, now);
   dispatch();
 }
 
@@ -675,7 +696,9 @@ void VehicularCloud::recover_from_crash(Task& task) {
   task.state = TaskState::kCrashRecovering;
   task.worker = VehicleId{};
   task.run_started = 0.0;
-  pending_.push_back(task.id);
+  if (!config_.dependability.test_drop_crash_requeue) {
+    pending_.push_back(task.id);
+  }  // else: DELIBERATE test-only bug — the task strands un-queued forever
   // Ends the recover leg opened at the crash: the span's duration is the
   // crash -> declared-dead -> requeued detection latency.
   trace_open_leg(task, "leg.queue");
@@ -700,6 +723,16 @@ void VehicularCloud::crash_worker(VehicleId v) {
     stats_.redundant_work +=
         earned_by_replica(rep->second, it->second.profile, task, now);
     replicas_.erase(rep);
+    // If the primary was already lost (replica-inherit: kRunning with no
+    // worker), the crashed replica was the task's ONLY executor — without
+    // this requeue the task strands kRunning forever. Found by the chaos
+    // oracle: broker crash kills the primary, a second broker crash lands
+    // on the inheriting replica holder. The state check matters: a task
+    // already re-queued (kPending/kCrashRecovering) must NOT be queued
+    // again.
+    if (task.state == TaskState::kRunning && !task.worker.valid()) {
+      recover_from_crash(task);
+    }
     return;
   }
   if (task.worker == v && task.state == TaskState::kRunning) {
@@ -725,11 +758,15 @@ void VehicularCloud::handle_worker_loss(VehicleId v,
 
   auto rep = replicas_.find(task.id.value());
   if (rep != replicas_.end() && rep->second.worker == v) {
-    // Lost a replica: discard its work; the primary carries on.
+    // Lost a replica: discard its work; the primary carries on. Only a
+    // replica-inherit task (kRunning, no worker) needs the requeue — a task
+    // already back in the queue would end up queued twice (chaos oracle).
     stats_.redundant_work +=
         earned_by_replica(rep->second, state.profile, task, now);
     replicas_.erase(rep);
-    if (!task.worker.valid()) recover_from_crash(task);  // it was the last
+    if (task.state == TaskState::kRunning && !task.worker.valid()) {
+      recover_from_crash(task);  // it was the last executor
+    }
     return;
   }
   if (task.worker != v) return;
@@ -865,11 +902,15 @@ void VehicularCloud::refresh() {
         Task& task = it->second;
         auto rep = replicas_.find(task.id.value());
         if (rep != replicas_.end() && rep->second.worker == v) {
-          // A replica holder left gracefully: the hedge is gone.
+          // A replica holder left gracefully: the hedge is gone. Requeue
+          // only from replica-inherit (kRunning, no worker) — an already
+          // queued task must not be queued a second time (chaos oracle).
           stats_.redundant_work +=
               earned_by_replica(rep->second, state.profile, task, now);
           replicas_.erase(rep);
-          if (!task.worker.valid()) recover_from_crash(task);
+          if (task.state == TaskState::kRunning && !task.worker.valid()) {
+            recover_from_crash(task);
+          }
         } else if (task.worker == v) {
           interrupt_and_recover(task, state);
         }
@@ -927,6 +968,7 @@ void VehicularCloud::refresh() {
       }
       trace_task_end(task_it->second, obs::kOutcomeExpired);
       abort_replica(task_it->second.id);
+      if (oracle_ != nullptr) oracle_->on_terminal(task_it->second, now);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -955,10 +997,15 @@ void VehicularCloud::refresh() {
                        {{"task", static_cast<double>(tid)}});
       }
       trace_task_end(task, obs::kOutcomeExpired);
+      if (oracle_ != nullptr) oracle_->on_terminal(task, now);
     }
   }
 
   dispatch();
+  // End-of-round scan: membership, broker election and deadline reaping
+  // have all quiesced — this is the instant the structural invariants are
+  // contractually true.
+  if (oracle_ != nullptr) oracle_->check(*this, now);
 }
 
 void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) const {

@@ -44,6 +44,8 @@ class ClusterManager;
 
 namespace vcl::vcloud {
 
+class InvariantOracle;
+
 struct CloudRegion {
   geo::Vec2 center;
   double radius = 0.0;  // 0 = cloud currently has no operating area
@@ -135,6 +137,25 @@ class VehicularCloud {
   // Registers cloud.* gauges (member count, queue depth, completion,
   // detection latency) with the sampler.
   void register_metrics(obs::MetricsRegistry& metrics) const;
+
+  // --- invariant oracle (off by default: null oracle = one branch per hook) --
+  // When set, the oracle's full scan runs at the end of every refresh() and
+  // its terminal hook fires on every task terminal transition. The oracle
+  // only reads through const accessors; runs are otherwise unchanged.
+  void set_oracle(InvariantOracle* oracle) { oracle_ = oracle; }
+
+  // Read-only introspection for the invariant oracle (and tests).
+  void for_each_task(const std::function<void(const Task&)>& fn) const;
+  [[nodiscard]] std::vector<TaskId> pending_ids() const;
+  // Task occupying `v`'s execution slot (invalid when idle or unknown).
+  [[nodiscard]] TaskId running_on(VehicleId v) const;
+  [[nodiscard]] bool is_worker(VehicleId v) const {
+    return workers_.find(v.value()) != workers_.end();
+  }
+  [[nodiscard]] bool has_replica(TaskId id) const {
+    return replicas_.find(id.value()) != replicas_.end();
+  }
+  [[nodiscard]] const FailureDetector& detector() const { return detector_; }
 
   [[nodiscard]] const CloudStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t member_count() const { return workers_.size(); }
@@ -235,6 +256,7 @@ class VehicularCloud {
   std::uint64_t next_replica_epoch_ = 1;
   CloudStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  InvariantOracle* oracle_ = nullptr;
   CompletionHook completion_hook_;
 
   FailureDetector detector_;

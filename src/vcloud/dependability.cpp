@@ -30,6 +30,14 @@ bool FailureDetector::tracked(VehicleId v) const {
   return last_heard_.find(v.value()) != last_heard_.end();
 }
 
+std::vector<VehicleId> FailureDetector::tracked_ids() const {
+  std::vector<VehicleId> out;
+  out.reserve(last_heard_.size());
+  for (const auto& [vid, heard] : last_heard_) out.push_back(VehicleId{vid});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<VehicleId> FailureDetector::sweep(SimTime now) const {
   std::vector<VehicleId> dead;
   const SimTime cutoff = kill_after();

@@ -1,0 +1,205 @@
+#include "vcloud/invariant_oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "vcloud/cloud.h"
+
+namespace vcl::vcloud {
+
+std::string InvariantViolation::to_string() const {
+  std::ostringstream os;
+  os << "[" << invariant << "] t=" << at;
+  if (task.valid()) os << " task=" << task.value();
+  os << " seed=" << seed << ": " << detail;
+  return os.str();
+}
+
+void InvariantOracle::report(const std::string& invariant,
+                             const std::string& detail, SimTime at,
+                             TaskId task) {
+  ++violation_count_;
+  if (violations_.size() >= kMaxStored) return;
+  InvariantViolation v;
+  v.invariant = invariant;
+  v.detail = detail;
+  v.at = at;
+  v.task = task;
+  v.seed = seed_;
+  violations_.push_back(std::move(v));
+}
+
+void InvariantOracle::on_terminal(const Task& task, SimTime now) {
+  if (!task.terminal()) {
+    report("terminal-once",
+           std::string("terminal hook fired in non-terminal state ") +
+               vcloud::to_string(task.state),
+           now, task.id);
+    return;
+  }
+  const auto [it, inserted] =
+      terminal_state_.emplace(task.id.value(), task.state);
+  if (!inserted) {
+    report("terminal-once",
+           std::string("second terminal transition: was ") +
+               vcloud::to_string(it->second) + ", now " +
+               vcloud::to_string(task.state),
+           now, task.id);
+  }
+}
+
+void InvariantOracle::check(const VehicularCloud& cloud, SimTime now) {
+  ++checks_run_;
+
+  // Dispatch-queue multiplicity per task id. Entries referencing terminal
+  // tasks are legal (the queue reaps them lazily); dangling ids are not.
+  std::unordered_map<std::uint64_t, std::size_t> queued;
+  for (const TaskId id : cloud.pending_ids()) ++queued[id.value()];
+  for (const auto& [tid, n] : queued) {
+    if (cloud.find_task(TaskId{tid}) == nullptr) {
+      report("task-conservation", "queue entry references unknown task", now,
+             TaskId{tid});
+    }
+  }
+
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  cloud.for_each_task([&](const Task& task) {
+    ++total;
+    const std::uint64_t tid = task.id.value();
+
+    switch (task.state) {
+      case TaskState::kCompleted: ++completed; break;
+      case TaskState::kExpired: ++expired; break;
+      case TaskState::kFailed: ++failed; break;
+
+      case TaskState::kPending:
+      case TaskState::kCrashRecovering: {
+        // Queued states must sit in the dispatch queue exactly once or the
+        // task is lost (never dispatched again) / runs twice.
+        const auto it = queued.find(tid);
+        const std::size_t n = it == queued.end() ? 0 : it->second;
+        if (n != 1) {
+          std::ostringstream os;
+          os << vcloud::to_string(task.state) << " task queued " << n
+             << " times (want exactly 1)";
+          report("task-conservation", os.str(), now, task.id);
+        }
+        break;
+      }
+
+      case TaskState::kRunning: {
+        if (task.worker.valid()) {
+          if (!cloud.is_worker(task.worker)) {
+            report("task-conservation",
+                   "running on a worker the cloud no longer has", now,
+                   task.id);
+          } else if (!(cloud.running_on(task.worker) == task.id)) {
+            report("task-conservation",
+                   "running worker's slot holds a different task", now,
+                   task.id);
+          }
+        } else if (!cloud.has_replica(task.id)) {
+          // An invalid worker is legal only while a speculative replica
+          // still carries the task (replica-inherit after a primary loss).
+          report("task-conservation",
+                 "running with no worker and no replica (orphaned)", now,
+                 task.id);
+        }
+        break;
+      }
+
+      case TaskState::kMigrating: {
+        if (!task.worker.valid() || !cloud.is_worker(task.worker) ||
+            !(cloud.running_on(task.worker) == task.id)) {
+          report("task-conservation",
+                 "migrating without a reserved target worker", now, task.id);
+        }
+        break;
+      }
+    }
+
+    // terminal-once, scan half: a recorded terminal state may never mutate,
+    // and a terminal task the hook never saw means a transition bypassed it.
+    const auto term = terminal_state_.find(tid);
+    if (term != terminal_state_.end()) {
+      if (task.state != term->second) {
+        report("terminal-once",
+               std::string("terminal state mutated: recorded ") +
+                   vcloud::to_string(term->second) + ", now " +
+                   vcloud::to_string(task.state),
+               now, task.id);
+      }
+    } else if (task.terminal()) {
+      report("terminal-once", "terminal task never reported via hook", now,
+             task.id);
+    }
+
+    // checkpoint-monotonicity: the crash-survivable floor never regresses
+    // and stays within [0, work].
+    constexpr double kEps = 1e-9;
+    if (task.checkpoint_progress < -kEps ||
+        task.checkpoint_progress > task.work + kEps) {
+      std::ostringstream os;
+      os << "checkpoint " << task.checkpoint_progress << " outside [0, "
+         << task.work << "]";
+      report("checkpoint-monotonicity", os.str(), now, task.id);
+    }
+    auto [floor_it, inserted] =
+        checkpoint_floor_.emplace(tid, task.checkpoint_progress);
+    if (!inserted) {
+      if (task.checkpoint_progress < floor_it->second - kEps) {
+        std::ostringstream os;
+        os << "checkpoint regressed " << floor_it->second << " -> "
+           << task.checkpoint_progress;
+        report("checkpoint-monotonicity", os.str(), now, task.id);
+      }
+      floor_it->second = std::max(floor_it->second, task.checkpoint_progress);
+    }
+  });
+
+  // stats-consistency: counters must equal the census. (completed/expired/
+  // failed are mutually exclusive terminal states, so equality per counter
+  // also rules out double-counting.)
+  const CloudStats& stats = cloud.stats();
+  const auto check_counter = [&](const char* name, std::size_t counter,
+                                 std::size_t census) {
+    if (counter != census) {
+      std::ostringstream os;
+      os << "stats." << name << "=" << counter << " but census says "
+         << census;
+      report("stats-consistency", os.str(), now);
+    }
+  };
+  check_counter("submitted", stats.submitted, total);
+  check_counter("completed", stats.completed, completed);
+  check_counter("expired", stats.expired, expired);
+  check_counter("failed", stats.failed, failed);
+
+  // broker-uniqueness: at refresh end the broker is one of the current
+  // workers, and a non-empty cloud always has one.
+  const VehicleId broker = cloud.broker();
+  if (broker.valid() && !cloud.is_worker(broker)) {
+    std::ostringstream os;
+    os << "broker " << broker.value() << " is not a current member";
+    report("broker-uniqueness", os.str(), now);
+  }
+  if (!broker.valid() && cloud.member_count() > 0) {
+    report("broker-uniqueness", "members present but no broker elected", now);
+  }
+
+  // detector-subset: tracked ⊆ workers. The reverse (workers the detector
+  // has not picked up yet) is legal between a join and the next heartbeat
+  // round.
+  for (const VehicleId v : cloud.detector().tracked_ids()) {
+    if (!cloud.is_worker(v)) {
+      std::ostringstream os;
+      os << "detector tracks " << v.value() << " which is not a worker";
+      report("detector-subset", os.str(), now);
+    }
+  }
+}
+
+}  // namespace vcl::vcloud

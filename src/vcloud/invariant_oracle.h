@@ -1,0 +1,104 @@
+// InvariantOracle: machine-checked global safety for the vehicular cloud
+// (DESIGN.md §9).
+//
+// The dependability benches measure *how well* the cloud performs under
+// faults; nothing verified that it stays *correct* — a task silently
+// dropped on a crash path would only show up as a small completion-rate
+// drift no test asserts on. The oracle closes that gap: it is hooked into
+// VehicularCloud::refresh() (end-of-round scan) and every task terminal
+// transition, and checks structural invariants that must hold no matter
+// which faults fired:
+//
+//  * task-conservation — every submitted task is accounted for: terminal,
+//    running/migrating on a live worker entry, or queued; every
+//    kPending/kCrashRecovering task sits in the dispatch queue exactly
+//    once, and queue entries reference existing tasks.
+//  * terminal-once — a terminal state is absorbing: no task reaches a
+//    second terminal transition or mutates its terminal state afterwards.
+//  * stats-consistency — CloudStats counters equal a census of task
+//    states (submitted/completed/expired/failed).
+//  * broker-uniqueness — at refresh end the elected broker is a current
+//    member (or invalid only when the cloud has no members).
+//  * checkpoint-monotonicity — a task's crash-survivable floor never
+//    regresses and stays within [0, work].
+//  * detector-subset — the failure detector tracks only current workers
+//    (a forgotten forget() would mass-kill future joiners).
+//
+// Inertness contract (same style as telemetry): the cloud holds a nullable
+// `InvariantOracle*`; with no oracle set the only cost is one branch per
+// would-be check and runs are byte-identical to an oracle-free build. The
+// oracle never mutates the cloud — all accessors it uses are const.
+//
+// A violation is a structured record carrying {invariant, detail, sim
+// time, offending task, episode seed}. The fault schedule that produced it
+// lives one layer up (core::chaos / tools/vcl_chaos) — vcloud cannot
+// depend on fault — which pairs the violation with the replayable plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+#include "vcloud/task.h"
+
+namespace vcl::vcloud {
+
+class VehicularCloud;
+
+struct InvariantViolation {
+  std::string invariant;  // e.g. "task-conservation"
+  std::string detail;     // human-readable specifics
+  SimTime at = 0.0;       // sim time of the failing check
+  TaskId task;            // offending task (invalid when not task-scoped)
+  std::uint64_t seed = 0;  // episode seed (0 when the harness set none)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class InvariantOracle {
+ public:
+  // `seed` is stamped into every violation so a record is self-describing
+  // even after it leaves the episode that produced it.
+  explicit InvariantOracle(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // Full structural scan; the cloud calls this at the end of refresh()
+  // (several invariants only quiesce there — e.g. broker membership is
+  // transiently stale between a detector kill and the next election).
+  void check(const VehicularCloud& cloud, SimTime now);
+
+  // Terminal-transition hook: records first terminal states and flags a
+  // second terminal transition of the same task.
+  void on_terminal(const Task& task, SimTime now);
+
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violation_count_ == 0; }
+  // Total violations seen (storage caps at kMaxStored; the count does not).
+  [[nodiscard]] std::size_t violation_count() const {
+    return violation_count_;
+  }
+  [[nodiscard]] std::size_t checks_run() const { return checks_run_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  static constexpr std::size_t kMaxStored = 64;
+
+ private:
+  void report(const std::string& invariant, const std::string& detail,
+              SimTime at, TaskId task = TaskId{});
+
+  std::uint64_t seed_;
+  std::vector<InvariantViolation> violations_;
+  std::size_t violation_count_ = 0;
+  std::size_t checks_run_ = 0;
+  // First observed terminal state per task id (terminal-once).
+  std::unordered_map<std::uint64_t, TaskState> terminal_state_;
+  // Last observed checkpoint floor per task id (monotonicity).
+  std::unordered_map<std::uint64_t, double> checkpoint_floor_;
+};
+
+}  // namespace vcl::vcloud

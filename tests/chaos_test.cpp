@@ -1,0 +1,340 @@
+// Chaos engine tests (DESIGN.md §9): planner determinism and storm shapes,
+// config validation, plan JSONL round-trips, the ddmin shrinker, and the
+// end-to-end oracle demo — a deliberately seeded lost-task bug is caught by
+// the invariant oracle and shrunk to a handful of fault events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/chaos.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+
+namespace vcl::fault {
+namespace {
+
+ChaosConfig storm_config() {
+  ChaosConfig cfg;
+  cfg.base.horizon = 100.0;
+  cfg.base.vehicle_crash_rate = 0.02;
+  cfg.base.broker_crash_rate = 0.01;
+  cfg.base.rsu_outage_rate = 0.01;
+  cfg.base.blackout_rate = 0.01;
+  cfg.base.blackout_lo = {0, 0};
+  cfg.base.blackout_hi = {1000, 1000};
+  cfg.storms.burst_rate = 0.03;
+  cfg.storms.cascade_rate = 0.02;
+  cfg.storms.flap_rate = 0.02;
+  return cfg;
+}
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].at != b[i].at ||
+        a[i].vehicle != b[i].vehicle || a[i].rsu != b[i].rsu ||
+        a[i].repair_after != b[i].repair_after ||
+        a[i].center.x != b[i].center.x || a[i].center.y != b[i].center.y ||
+        a[i].radius != b[i].radius || a[i].duration != b[i].duration) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ChaosPlanner, DeterministicPerSeed) {
+  const ChaosPlanner planner(storm_config());
+  const FaultPlan a = planner.plan(42);
+  const FaultPlan b = planner.plan(42);
+  const FaultPlan c = planner.plan(43);
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(plans_equal(a, b));
+  EXPECT_FALSE(plans_equal(a, c));
+}
+
+TEST(ChaosPlanner, PlansAreSortedAndInsideHorizonStart) {
+  const ChaosConfig cfg = storm_config();
+  const ChaosPlanner planner(cfg);
+  const FaultPlan plan = planner.plan(7);
+  ASSERT_FALSE(plan.empty());
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].at, plan[i].at);
+  }
+  // Storm *arrivals* stay inside [0, horizon); follow-on events (flap
+  // cycles, cascade kills) may trail past it but only by a bounded window.
+  const SimTime slack =
+      std::max({cfg.storms.burst_window,
+                cfg.storms.cascade_blackout_duration,
+                cfg.storms.flap_period * cfg.storms.flap_cycles});
+  for (const FaultEvent& e : plan) {
+    EXPECT_GE(e.at, 0.0);
+    EXPECT_LT(e.at, cfg.base.horizon + slack);
+  }
+}
+
+TEST(ChaosPlanner, StormShapesShowUp) {
+  ChaosConfig cfg = storm_config();
+  cfg.base.vehicle_crash_rate = 0.0;  // isolate the storms
+  cfg.base.broker_crash_rate = 0.0;
+  cfg.base.rsu_outage_rate = 0.0;
+  cfg.base.blackout_rate = 0.0;
+  const ChaosPlanner planner(cfg);
+  // Over a few seeds every storm shape must have fired at least once.
+  bool saw_burst = false, saw_cascade = false, saw_flap = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const FaultPlan plan = planner.plan(seed);
+    std::size_t crashes = 0, brokers = 0, outages = 0, blackouts = 0;
+    for (const FaultEvent& e : plan) {
+      crashes += e.kind == FaultKind::kVehicleCrash;
+      brokers += e.kind == FaultKind::kBrokerCrash;
+      outages += e.kind == FaultKind::kRsuOutage;
+      blackouts += e.kind == FaultKind::kRadioBlackout;
+    }
+    saw_burst |= crashes > 0;
+    saw_cascade |= blackouts > 0 && brokers > 0;
+    saw_flap |= outages >= static_cast<std::size_t>(cfg.storms.flap_cycles);
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_cascade);
+  EXPECT_TRUE(saw_flap);
+}
+
+TEST(ChaosPlanner, FlapStormHitsOneExplicitRsu) {
+  ChaosConfig cfg;
+  cfg.base.horizon = 50.0;
+  cfg.storms.flap_rate = 0.1;  // storms only
+  const ChaosPlanner planner(cfg);
+  const FaultPlan plan = planner.plan(3);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan) {
+    ASSERT_EQ(e.kind, FaultKind::kRsuOutage);
+    EXPECT_TRUE(e.rsu.valid());  // explicit victim, not "pick random"
+    EXPECT_GT(e.repair_after, 0.0);
+  }
+}
+
+TEST(ChaosValidation, RejectsBadConfigs) {
+  // Base-config problems surface through the chaos validator too.
+  ChaosConfig negative = storm_config();
+  negative.base.vehicle_crash_rate = -1.0;
+  EXPECT_FALSE(validate(negative).empty());
+
+  ChaosConfig inverted = storm_config();
+  inverted.base.blackout_lo = {10, 10};
+  inverted.base.blackout_hi = {0, 0};
+  EXPECT_FALSE(validate(inverted).empty());
+
+  // Cascades draw blackout centers even when base blackouts are off.
+  ChaosConfig no_box;
+  no_box.base.horizon = 10.0;
+  no_box.storms.cascade_rate = 0.1;
+  EXPECT_FALSE(validate(no_box).empty());
+
+  ChaosConfig negative_storm = storm_config();
+  negative_storm.storms.burst_rate = -0.1;
+  EXPECT_FALSE(validate(negative_storm).empty());
+
+  EXPECT_TRUE(validate(storm_config()).empty());
+  EXPECT_THROW(ChaosPlanner{negative}, std::invalid_argument);
+}
+
+TEST(FaultPlanValidation, RejectsBadConfigs) {
+  FaultPlanConfig cfg;
+  cfg.vehicle_crash_rate = -0.5;
+  EXPECT_FALSE(validate(cfg).empty());
+  Rng rng(1);
+  EXPECT_THROW(make_fault_plan(cfg, rng), std::invalid_argument);
+
+  // blackout_rate > 0 with the box left at its all-zero default would pile
+  // every blackout onto the origin: a config error, not a schedule.
+  FaultPlanConfig default_box;
+  default_box.blackout_rate = 0.1;
+  EXPECT_FALSE(validate(default_box).empty());
+
+  FaultPlanConfig ok;
+  ok.blackout_rate = 0.1;
+  ok.blackout_lo = {0, 0};
+  ok.blackout_hi = {100, 100};
+  EXPECT_TRUE(validate(ok).empty());
+}
+
+TEST(FaultPlanJsonl, RoundTripsPlanAndMeta) {
+  const ChaosPlanner planner(storm_config());
+  const FaultPlan plan = planner.plan(11);
+  ASSERT_FALSE(plan.empty());
+  FaultPlanMeta meta;
+  meta.seed = 11;
+  meta.set("vehicles", 40.0);
+  meta.set("intensity", 1.5);
+
+  std::stringstream ss;
+  write_fault_plan_jsonl(plan, meta, ss);
+
+  FaultPlan parsed;
+  FaultPlanMeta parsed_meta;
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan_jsonl(ss, parsed, parsed_meta, &error)) << error;
+  EXPECT_TRUE(plans_equal(plan, parsed));
+  EXPECT_EQ(parsed_meta.seed, 11u);
+  EXPECT_DOUBLE_EQ(parsed_meta.get("vehicles", 0.0), 40.0);
+  EXPECT_DOUBLE_EQ(parsed_meta.get("intensity", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(parsed_meta.get("absent", -1.0), -1.0);
+}
+
+TEST(FaultPlanJsonl, RejectsGarbage) {
+  std::stringstream ss("not json at all\n");
+  FaultPlan plan;
+  FaultPlanMeta meta;
+  std::string error;
+  EXPECT_FALSE(parse_fault_plan_jsonl(ss, plan, meta, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+FaultPlan synthetic_plan(std::size_t n) {
+  FaultPlan plan;
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kVehicleCrash;
+    e.at = static_cast<SimTime>(i);
+    e.vehicle = VehicleId{i};
+    plan.push_back(e);
+  }
+  return plan;
+}
+
+TEST(Shrinker, FindsMinimalSubsetAndIsOneMinimal) {
+  // Failure = plan still contains victims 3 AND 17; everything else is
+  // noise the shrinker must strip.
+  const auto still_fails = [](const FaultPlan& plan) {
+    bool has3 = false, has17 = false;
+    for (const FaultEvent& e : plan) {
+      has3 |= e.vehicle == VehicleId{3};
+      has17 |= e.vehicle == VehicleId{17};
+    }
+    return has3 && has17;
+  };
+  const FaultPlan minimal = shrink_fault_plan(synthetic_plan(40), still_fails);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0].vehicle, VehicleId{3});
+  EXPECT_EQ(minimal[1].vehicle, VehicleId{17});  // order preserved
+  EXPECT_TRUE(still_fails(minimal));
+  // 1-minimal: dropping any single remaining event clears the failure.
+  for (std::size_t i = 0; i < minimal.size(); ++i) {
+    FaultPlan without = minimal;
+    without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(still_fails(without));
+  }
+}
+
+TEST(Shrinker, AlwaysFailingPredicateShrinksToEmpty) {
+  const FaultPlan minimal = shrink_fault_plan(
+      synthetic_plan(10), [](const FaultPlan&) { return true; });
+  EXPECT_TRUE(minimal.empty());
+}
+
+}  // namespace
+}  // namespace vcl::fault
+
+namespace vcl::core {
+namespace {
+
+ChaosScenarioConfig short_episode() {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.vehicles = 20;
+  cfg.duration = 40.0;
+  cfg.drain = 20.0;
+  return cfg;
+}
+
+TEST(ChaosEpisode, CleanRunHasNoViolationsAndMakesProgress) {
+  const ChaosEpisode episode = run_chaos_episode(short_episode());
+  EXPECT_TRUE(episode.ok()) << (episode.violations.empty()
+                                    ? "?"
+                                    : episode.violations[0].to_string());
+  EXPECT_GT(episode.checks_run, 0u);
+  EXPECT_GT(episode.submitted, 0u);
+  EXPECT_GT(episode.completed, 0u);
+  EXPECT_GT(episode.plan.size(), 0u);
+}
+
+TEST(ChaosEpisode, DeterministicPerConfig) {
+  const ChaosEpisode a = run_chaos_episode(short_episode());
+  const ChaosEpisode b = run_chaos_episode(short_episode());
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.plan.size(), b.plan.size());
+}
+
+TEST(ChaosEpisode, ReproFileRoundTrips) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.intensity = 1.5;
+  cfg.storms = false;
+  const fault::ChaosPlanner planner(chaos_config_for(cfg));
+  const fault::FaultPlan plan = planner.plan(cfg.seed);
+
+  std::stringstream ss;
+  write_chaos_repro(cfg, plan, ss);
+  ChaosScenarioConfig loaded;
+  fault::FaultPlan loaded_plan;
+  std::string error;
+  ASSERT_TRUE(load_chaos_repro(ss, loaded, loaded_plan, &error)) << error;
+  EXPECT_EQ(loaded.seed, cfg.seed);
+  EXPECT_EQ(loaded.vehicles, cfg.vehicles);
+  EXPECT_DOUBLE_EQ(loaded.duration, cfg.duration);
+  EXPECT_DOUBLE_EQ(loaded.intensity, cfg.intensity);
+  EXPECT_FALSE(loaded.storms);
+  EXPECT_EQ(loaded_plan.size(), plan.size());
+}
+
+// The end-to-end demo the chaos engine exists for: arm the deliberate
+// lost-task bug (crash recovery "forgets" to requeue), let the oracle catch
+// it mid-soak, then shrink the fault schedule to a minimal repro.
+TEST(ChaosEpisode, SeededBugIsCaughtAndShrinksSmall) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.inject_requeue_bug = true;
+  // Find a failing seed quickly (the bug needs one vehicle crash while a
+  // task is running; nearly every seed qualifies).
+  ChaosEpisode bad;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    cfg.seed = seed;
+    bad = run_chaos_episode(cfg);
+    found = !bad.ok();
+  }
+  ASSERT_TRUE(found) << "seeded bug never tripped the oracle";
+  ASSERT_FALSE(bad.violations.empty());
+  // The violation record carries the replay context.
+  EXPECT_EQ(bad.violations[0].seed, cfg.seed);
+  EXPECT_FALSE(bad.violations[0].invariant.empty());
+
+  const fault::FaultPlan minimal = fault::shrink_fault_plan(
+      bad.plan, [&](const fault::FaultPlan& candidate) {
+        return !run_chaos_episode(cfg, candidate).ok();
+      });
+  EXPECT_LE(minimal.size(), 5u);
+  EXPECT_GE(minimal.size(), 1u);
+  EXPECT_FALSE(run_chaos_episode(cfg, minimal).ok());
+}
+
+// Same schedule, bug disarmed: the oracle runs the whole episode clean —
+// the checker itself does not misfire on healthy recovery paths.
+TEST(ChaosEpisode, OracleStaysQuietWithBugDisarmed) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.inject_requeue_bug = true;
+  cfg.seed = 1;
+  ChaosEpisode bad = run_chaos_episode(cfg);
+  cfg.inject_requeue_bug = false;
+  const ChaosEpisode good = run_chaos_episode(cfg, bad.plan);
+  EXPECT_TRUE(good.ok()) << (good.violations.empty()
+                                 ? "?"
+                                 : good.violations[0].to_string());
+  EXPECT_GT(good.checks_run, 0u);
+}
+
+}  // namespace
+}  // namespace vcl::core

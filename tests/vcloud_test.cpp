@@ -150,6 +150,61 @@ TEST(Dependability, DetectorSweepsOnlySilentWorkers) {
   EXPECT_TRUE(det.sweep(102.9).empty());
 }
 
+TEST(Dependability, RetryBackoffDeterministicAndBaseGrowsMonotonically) {
+  RetryConfig cfg;
+  cfg.ack_timeout = 0.5;
+  cfg.backoff = 2.0;
+  cfg.jitter = 0.5;
+  // Same Rng state, same jittered delays — retries replay exactly.
+  Rng a(99), b(99);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(retry_backoff(cfg, attempt, a),
+                     retry_backoff(cfg, attempt, b));
+  }
+  // With jitter off, the base schedule is strictly exponential.
+  cfg.jitter = 0.0;
+  Rng rng(1);
+  SimTime prev = 0.0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const SimTime d = retry_backoff(cfg, attempt, rng);
+    EXPECT_GT(d, prev);
+    if (attempt > 1) EXPECT_DOUBLE_EQ(d, prev * cfg.backoff);
+    prev = d;
+  }
+}
+
+TEST(Dependability, DetectorForgetAndResetEdgeCases) {
+  FailureDetectorConfig cfg;
+  cfg.heartbeat_period = 1.0;
+  cfg.missed_beats_to_kill = 3;
+  FailureDetector det(cfg);
+  // forget() of an id that was never tracked is a no-op.
+  det.forget(VehicleId{7});
+  EXPECT_EQ(det.tracked_count(), 0u);
+
+  det.track(VehicleId{5}, 0.0);
+  det.track(VehicleId{2}, 0.0);
+  det.track(VehicleId{9}, 0.0);
+  det.forget(VehicleId{7});  // still untracked: the others are untouched
+  EXPECT_EQ(det.tracked_count(), 3u);
+  const auto ids = det.tracked_ids();
+  ASSERT_EQ(ids.size(), 3u);  // sorted, deterministic
+  EXPECT_EQ(ids[0], VehicleId{2});
+  EXPECT_EQ(ids[1], VehicleId{5});
+  EXPECT_EQ(ids[2], VehicleId{9});
+
+  // Broker change at t=9: only v5 has beaten recently. Without the fresh
+  // grace window an immediate sweep would mass-kill v2 and v9.
+  det.observe(VehicleId{5}, 8.5);
+  det.reset_all(9.0);
+  EXPECT_TRUE(det.sweep(9.1).empty());
+  EXPECT_TRUE(det.sweep(11.9).empty());
+  // The window is a grace period, not amnesty: staying silent past it still
+  // gets a worker declared dead.
+  const auto dead = det.sweep(12.5);
+  ASSERT_EQ(dead.size(), 3u);
+}
+
 TEST(Schedulers, GreedyPicksFastestIdle) {
   GreedyResourceScheduler sched;
   Rng rng(1);

@@ -1,0 +1,258 @@
+// vcl_chaos: chaos soak runner with shrinking repros (DESIGN.md §9).
+//
+// Soak mode runs N seeded chaos episodes (correlated fault storms against
+// the full-mitigation parking-lot cloud, invariant oracle attached) in
+// parallel on exp::ThreadPool. Every episode is a pure function of its
+// seed, so the first invariant violation found is replayed and
+// delta-debugged (greedy chunk removal over the FaultPlan) down to a
+// minimal failing schedule, written as a repro JSONL next to a
+// vcl_traceview-ready trace export of the failing episode.
+//
+//   vcl_chaos --episodes 200 --seed 1            # soak; exit 1 on violation
+//   vcl_chaos --repro chaos-out/repro.jsonl      # re-run one repro file
+//
+// Soak exit codes: 0 = all episodes clean, 1 = violation found (repro
+// written), 2 = usage. Repro mode: 0 = the repro no longer fails (fixed),
+// 3 = still failing.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chaos.h"
+#include "exp/thread_pool.h"
+
+using namespace vcl;
+
+namespace {
+
+struct Options {
+  std::size_t episodes = 50;
+  std::uint64_t seed = 1;
+  int vehicles = 40;
+  double duration = 120.0;
+  double intensity = 1.0;
+  bool storms = true;
+  bool inject_requeue_bug = false;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string out_dir = "chaos-out";
+  std::string repro_path;  // non-empty = repro mode
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --episodes N      seeded episodes to soak (default 50)\n"
+      << "  --seed S          base seed; episode i uses S+i (default 1)\n"
+      << "  --vehicles N      parked fleet size per episode (default 40)\n"
+      << "  --duration SEC    load window per episode (default 120)\n"
+      << "  --intensity X     fault/storm rate multiplier (default 1.0)\n"
+      << "  --no-storms       independent Poisson background only\n"
+      << "  --jobs J          parallel episodes (default: hardware)\n"
+      << "  --out DIR         repro + trace output dir (default chaos-out)\n"
+      << "  --repro FILE      re-run one repro file instead of soaking\n"
+      << "  --inject-requeue-bug  arm the deliberate test-fixture bug\n";
+  return 2;
+}
+
+core::ChaosScenarioConfig episode_config(const Options& opt,
+                                         std::uint64_t seed) {
+  core::ChaosScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.vehicles = opt.vehicles;
+  cfg.duration = opt.duration;
+  cfg.intensity = opt.intensity;
+  cfg.storms = opt.storms;
+  cfg.inject_requeue_bug = opt.inject_requeue_bug;
+  return cfg;
+}
+
+void print_violations(const core::ChaosEpisode& episode) {
+  for (const auto& v : episode.violations) {
+    std::cout << "  " << v.to_string() << "\n";
+  }
+  if (episode.violation_count > episode.violations.size()) {
+    std::cout << "  ... and "
+              << episode.violation_count - episode.violations.size()
+              << " more (storage capped)\n";
+  }
+}
+
+int run_repro(const Options& opt) {
+  std::ifstream in(opt.repro_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << opt.repro_path << "\n";
+    return 2;
+  }
+  core::ChaosScenarioConfig cfg;
+  fault::FaultPlan plan;
+  std::string error;
+  if (!core::load_chaos_repro(in, cfg, plan, &error)) {
+    std::cerr << "error: " << opt.repro_path << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << opt.repro_path << ": seed " << cfg.seed << ", "
+            << plan.size() << " fault events, " << cfg.vehicles
+            << " vehicles, " << cfg.duration << " s\n";
+  std::filesystem::create_directories(opt.out_dir);
+  const core::ChaosEpisode episode =
+      core::run_chaos_episode(cfg, plan, opt.out_dir);
+  std::cout << "episode: " << episode.submitted << " submitted, "
+            << episode.completed << " completed, " << episode.expired
+            << " expired, " << episode.crashes << " crashes, "
+            << episode.checks_run << " oracle checks\n";
+  if (episode.ok()) {
+    std::cout << "repro is CLEAN (the failure no longer reproduces)\n";
+    return 0;
+  }
+  std::cout << episode.violation_count << " invariant violation(s):\n";
+  print_violations(episode);
+  std::cout << "trace exported to " << opt.out_dir
+            << "/trace.jsonl (vcl_traceview-ready)\n";
+  return 3;
+}
+
+int run_soak(const Options& opt) {
+  const std::size_t jobs =
+      opt.jobs > 0 ? opt.jobs
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::cout << "soaking " << opt.episodes << " episodes (seeds " << opt.seed
+            << ".." << opt.seed + opt.episodes - 1 << ", " << opt.vehicles
+            << " vehicles, " << opt.duration << " s load, intensity "
+            << opt.intensity << (opt.storms ? ", storms on" : ", storms off")
+            << ") on " << jobs << " threads\n";
+
+  std::vector<core::ChaosEpisode> episodes(opt.episodes);
+  std::vector<char> ran(opt.episodes, 0);
+  std::atomic<bool> stop{false};
+  {
+    exp::ThreadPool pool(jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(opt.episodes);
+    for (std::size_t i = 0; i < opt.episodes; ++i) {
+      futures.push_back(pool.submit([&, i] {
+        if (stop.load(std::memory_order_relaxed)) return;
+        episodes[i] = core::run_chaos_episode(
+            episode_config(opt, opt.seed + i));
+        ran[i] = 1;
+        if (!episodes[i].ok()) stop.store(true, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Lowest-index failure wins so the reported seed is deterministic even
+  // though the pool finishes episodes in a nondeterministic order.
+  std::size_t completed_clean = 0;
+  std::size_t failing = opt.episodes;
+  for (std::size_t i = 0; i < opt.episodes; ++i) {
+    if (!ran[i]) continue;
+    if (!episodes[i].ok() && failing == opt.episodes) failing = i;
+    if (episodes[i].ok()) ++completed_clean;
+  }
+
+  if (failing == opt.episodes) {
+    std::size_t checks = 0;
+    for (std::size_t i = 0; i < opt.episodes; ++i) checks += episodes[i].checks_run;
+    std::cout << "OK: " << completed_clean << " episodes, " << checks
+              << " oracle checks, zero invariant violations\n";
+    return 0;
+  }
+
+  const std::uint64_t bad_seed = opt.seed + failing;
+  const core::ChaosEpisode& bad = episodes[failing];
+  std::cout << "FAIL: episode seed " << bad_seed << " ("
+            << bad.plan.size() << " fault events) violated "
+            << bad.violation_count << " invariant check(s):\n";
+  print_violations(bad);
+
+  const core::ChaosScenarioConfig cfg = episode_config(opt, bad_seed);
+  std::cout << "shrinking fault plan (" << bad.plan.size()
+            << " events) ...\n";
+  std::size_t shrink_runs = 0;
+  const fault::FaultPlan minimal = fault::shrink_fault_plan(
+      bad.plan, [&](const fault::FaultPlan& candidate) {
+        ++shrink_runs;
+        return !core::run_chaos_episode(cfg, candidate).ok();
+      });
+  std::cout << "shrunk to " << minimal.size() << " event(s) in "
+            << shrink_runs << " episode runs:\n";
+  for (const fault::FaultEvent& e : minimal) {
+    std::cout << "  " << fault::to_string(e) << "\n";
+  }
+
+  std::filesystem::create_directories(opt.out_dir);
+  const std::string repro_path = opt.out_dir + "/repro.jsonl";
+  {
+    std::ofstream out(repro_path);
+    core::write_chaos_repro(cfg, minimal, out);
+  }
+  // Re-run the minimal schedule once more with telemetry on: the exported
+  // trace.jsonl is the post-mortem view of the exact failing episode.
+  const core::ChaosEpisode final_run =
+      core::run_chaos_episode(cfg, minimal, opt.out_dir);
+  std::cout << "repro written to " << repro_path << " (re-run with --repro)\n"
+            << "trace exported to " << opt.out_dir
+            << "/trace.jsonl (vcl_traceview-ready); final run: "
+            << final_run.violation_count << " violation(s)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--episodes") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.episodes = static_cast<std::size_t>(std::stoull(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.seed = static_cast<std::uint64_t>(std::stoull(v));
+    } else if (arg == "--vehicles") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.vehicles = std::stoi(v);
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.duration = std::stod(v);
+    } else if (arg == "--intensity") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.intensity = std::stod(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.jobs = static_cast<std::size_t>(std::stoull(v));
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.out_dir = v;
+    } else if (arg == "--repro") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.repro_path = v;
+    } else if (arg == "--no-storms") {
+      opt.storms = false;
+    } else if (arg == "--inject-requeue-bug") {
+      opt.inject_requeue_bug = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.episodes == 0) return usage(argv[0]);
+  if (!opt.repro_path.empty()) return run_repro(opt);
+  return run_soak(opt);
+}
