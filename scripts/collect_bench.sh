@@ -54,6 +54,7 @@ BENCHES=(
   bench_fig4_architectures
   bench_fig5_auth_protocols
   bench_dependability
+  bench_file_replication
   bench_crypto_micro
 )
 

@@ -35,8 +35,19 @@ SystemConfig system_for(const ChaosScenarioConfig& config) {
   dep.broker_resync_delay = 0.5;
   dep.test_drop_crash_requeue = config.inject_requeue_bug;
   sys.invariant_oracle = true;
+  if (config.storage) {
+    sys.storage.enabled = true;  // canonical N=3 / W=2 / R=2 deployment
+    sys.storage.test_drop_repair_replace = config.inject_repair_bug;
+  }
   return sys;
 }
+
+// Deterministic client op mix for storage episodes: no RNG — the op index
+// alone decides put vs get and which client/object is involved, so the
+// stream is identical whatever the fault schedule does.
+constexpr std::size_t kStorageObjects = 8;
+constexpr std::size_t kStorageClients = 4;
+constexpr SimTime kStorageOpPeriod = 0.7;
 
 }  // namespace
 
@@ -61,6 +72,11 @@ fault::ChaosConfig chaos_config_for(const ChaosScenarioConfig& config) {
     chaos.storms.burst_rate = 0.02 * config.intensity;
     chaos.storms.cascade_rate = 0.01 * config.intensity;
     chaos.storms.flap_rate = 0.01 * config.intensity;
+    if (config.storage) {
+      // Storage worst case: burst-crash a write quorum of one object's
+      // holders inside a blackout that is already eating lease renewals.
+      chaos.storms.storage_rate = 0.01 * config.intensity;
+    }
   }
   return chaos;
 }
@@ -90,6 +106,29 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
   sim.schedule_every(config.submit_period, [&] {
     if (sim.now() < load_until) system.cloud().submit(workload.next(sim.now()));
   });
+  std::size_t storage_op = 0;
+  if (config.storage && system.storage() != nullptr) {
+    storage::StorageService& store = *system.storage();
+    std::vector<FileId> objects;
+    objects.reserve(kStorageObjects);
+    for (std::size_t i = 0; i < kStorageObjects; ++i) {
+      objects.push_back(store.create(sim.now()));
+    }
+    sim.schedule_every(kStorageOpPeriod, [&store, &sim, &storage_op, objects,
+                                          load_until] {
+      if (sim.now() >= load_until) return;
+      const std::size_t op = storage_op++;
+      const FileId object = objects[op % objects.size()];
+      const std::uint64_t client = op % kStorageClients;
+      // Two reads per write: the monotonic-reads invariant needs plenty of
+      // read pairs per client, and writes still touch every object often.
+      if (op % 3 == 0) {
+        store.put(client, object, sim.now());
+      } else {
+        store.get(client, object, sim.now());
+      }
+    });
+  }
   system.run_for(config.duration + config.drain);
 
   if (!telemetry_dir.empty() && system.telemetry() != nullptr) {
@@ -113,6 +152,13 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
     episode.crashes = system.injector()->stats().vehicle_crashes +
                       system.injector()->stats().broker_crashes;
   }
+  if (system.storage() != nullptr) {
+    const storage::StorageStats& st = system.storage()->stats();
+    episode.storage_writes_acked = st.writes_acked;
+    episode.storage_reads_quorum = st.reads_quorum;
+    episode.storage_reads_degraded = st.reads_degraded;
+    episode.storage_repair_copies = st.repair_copies;
+  }
   return episode;
 }
 
@@ -127,6 +173,8 @@ void write_chaos_repro(const ChaosScenarioConfig& config,
   meta.set("storms", config.storms ? 1.0 : 0.0);
   meta.set("submit_period", config.submit_period);
   meta.set("inject_requeue_bug", config.inject_requeue_bug ? 1.0 : 0.0);
+  meta.set("storage", config.storage ? 1.0 : 0.0);
+  meta.set("inject_repair_bug", config.inject_repair_bug ? 1.0 : 0.0);
   fault::write_fault_plan_jsonl(plan, meta, os);
 }
 
@@ -144,6 +192,8 @@ bool load_chaos_repro(std::istream& is, ChaosScenarioConfig& config,
   config.storms = meta.get("storms", defaults.storms ? 1.0 : 0.0) != 0.0;
   config.submit_period = meta.get("submit_period", defaults.submit_period);
   config.inject_requeue_bug = meta.get("inject_requeue_bug", 0.0) != 0.0;
+  config.storage = meta.get("storage", 0.0) != 0.0;
+  config.inject_repair_bug = meta.get("inject_repair_bug", 0.0) != 0.0;
   return true;
 }
 

@@ -39,6 +39,15 @@ struct ChaosScenarioConfig {
   // Arms the deliberate lost-task bug in crash recovery (see
   // DependabilityConfig::test_drop_crash_requeue). Test fixture only.
   bool inject_requeue_bug = false;
+  // Runs the storage service (leases + quorum replication + repair) under
+  // the same chaos: a handful of replicated objects served by a steady
+  // client read/write mix, the storage invariants armed in the oracle, and
+  // — when storms are on — the storage-targeted storm shape added to the
+  // schedule.
+  bool storage = false;
+  // Arms the deliberate lost-replica bug in storage repair (see
+  // StorageConfig::test_drop_repair_replace). Test fixture only.
+  bool inject_repair_bug = false;
 };
 
 // The fault/storm schedule an episode with this config faces. The blackout
@@ -57,6 +66,11 @@ struct ChaosEpisode {
   std::size_t completed = 0;
   std::size_t expired = 0;
   std::size_t crashes = 0;  // injected vehicle + broker crashes
+  // Storage outcome (zero when ChaosScenarioConfig::storage is off).
+  std::size_t storage_writes_acked = 0;
+  std::size_t storage_reads_quorum = 0;
+  std::size_t storage_reads_degraded = 0;
+  std::size_t storage_repair_copies = 0;
 
   [[nodiscard]] bool ok() const { return violation_count == 0; }
 };

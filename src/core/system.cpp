@@ -117,6 +117,23 @@ void VehicularCloudSystem::start() {
     injector_->attach();
   }
 
+  // Storage after faults: the injector exists, so storage-targeted storms
+  // can resolve their victims against live placements. The service's RNG is
+  // its own fork — enabling storage never reshuffles the other streams.
+  if (config_.storage.enabled) {
+    storage_ = std::make_unique<storage::StorageService>(
+        net, *cloud_, config_.storage, scenario_.fork_rng(21));
+    storage_->attach();
+    if (oracle_ != nullptr) {
+      oracle_->set_storage(storage_.get());
+      storage_->set_oracle(oracle_.get());
+    }
+    if (injector_ != nullptr) {
+      injector_->set_storage_victim_resolver(
+          [this](std::uint64_t tag) { return storage_->storm_victim(tag); });
+    }
+  }
+
   // Telemetry last: every subsystem exists, so the recorder and the gauges
   // can be threaded through in one place. Telemetry reads state and emits
   // events but never perturbs RNG streams or scheduling of the workload
@@ -127,6 +144,7 @@ void VehicularCloudSystem::start() {
       net.set_trace(&telemetry_->trace);
       cloud_->set_trace(&telemetry_->trace);
       if (injector_ != nullptr) injector_->set_trace(&telemetry_->trace);
+      if (storage_ != nullptr) storage_->set_trace(&telemetry_->trace);
       telemetry_->trace.record(scenario_.simulator().now(),
                                obs::TraceCategory::kSim, "sim.start",
                                {{"vehicles",
@@ -137,6 +155,9 @@ void VehicularCloudSystem::start() {
       cloud_->register_metrics(telemetry_->metrics);
       if (injector_ != nullptr) {
         injector_->register_metrics(telemetry_->metrics);
+      }
+      if (storage_ != nullptr) {
+        storage_->register_metrics(telemetry_->metrics);
       }
       telemetry_->metrics.gauge("sim.event.count", [this] {
         return static_cast<double>(scenario_.simulator().events_processed());

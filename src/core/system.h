@@ -13,6 +13,7 @@
 #include "core/scenario.h"
 #include "fault/fault_injector.h"
 #include "obs/telemetry.h"
+#include "storage/service.h"
 #include "vcloud/cloud.h"
 #include "vcloud/invariant_oracle.h"
 
@@ -49,6 +50,11 @@ struct SystemConfig {
   // to the cloud. Off by default — a disabled run pays one branch per hook
   // and stays bit-identical to the seed (same contract as telemetry).
   bool invariant_oracle = false;
+  // Dependable object storage over the cloud's members (DESIGN.md §10):
+  // leases, quorum replication, self-healing repair. Off by default — when
+  // storage.enabled is false no service is built, no hooks are installed and
+  // the run is bit-identical to the seed.
+  storage::StorageConfig storage;
   // Observability (DESIGN.md §6): tracing, metric sampling and kernel
   // profiling, all off by default — a disabled run pays one branch per
   // would-be event and stays bit-identical to the seed.
@@ -79,6 +85,8 @@ class VehicularCloudSystem {
   [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }
   // Present only when config.invariant_oracle is set.
   [[nodiscard]] vcloud::InvariantOracle* oracle() { return oracle_.get(); }
+  // Present only when config.storage.enabled is set.
+  [[nodiscard]] storage::StorageService* storage() { return storage_.get(); }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
@@ -90,6 +98,7 @@ class VehicularCloudSystem {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<vcloud::InvariantOracle> oracle_;
+  std::unique_ptr<storage::StorageService> storage_;
   bool started_ = false;
 };
 

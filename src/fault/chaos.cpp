@@ -62,6 +62,25 @@ std::string validate(const ChaosConfig& config) {
     if (s.flap_period <= 0.0) return "flap_period must be positive";
     if (s.flap_outage <= 0.0) return "flap_outage must be positive";
   }
+  if (s.storage_rate < 0.0) return "storage_rate is negative";
+  if (s.storage_rate > 0.0) {
+    if (s.storage_blackout_duration <= 0.0) {
+      return "storage_blackout_duration must be positive";
+    }
+    if (s.storage_crashes == 0) return "storage_crashes must be >= 1";
+    // Storage blackout centers draw from the base box, same as cascades.
+    if (config.base.blackout_lo.x > config.base.blackout_hi.x ||
+        config.base.blackout_lo.y > config.base.blackout_hi.y) {
+      return "blackout box is inverted (lo > hi)";
+    }
+    if (config.base.blackout_lo.x == 0.0 && config.base.blackout_lo.y == 0.0 &&
+        config.base.blackout_hi.x == 0.0 &&
+        config.base.blackout_hi.y == 0.0) {
+      return "storage_rate > 0 but the blackout box was left at its "
+             "all-zero default (set it from the road bounding box)";
+    }
+    if (config.base.blackout_radius < 0.0) return "blackout_radius is negative";
+  }
   return {};
 }
 
@@ -140,6 +159,34 @@ FaultPlan ChaosPlanner::plan(std::uint64_t seed) const {
     }
   }
 
+  Rng storage_rng = root.fork(5);
+  for (const SimTime t :
+       storm_arrivals(storms.storage_rate, horizon, storage_rng)) {
+    FaultEvent blackout;
+    blackout.kind = FaultKind::kRadioBlackout;
+    blackout.at = t;
+    blackout.center = {storage_rng.uniform(config_.base.blackout_lo.x,
+                                           config_.base.blackout_hi.x),
+                       storage_rng.uniform(config_.base.blackout_lo.y,
+                                           config_.base.blackout_hi.y)};
+    blackout.radius = config_.base.blackout_radius;
+    blackout.duration = storms.storage_blackout_duration;
+    plan.push_back(blackout);
+    // One tag for the whole storm: every crash resolves against the SAME
+    // object's live holders, so the storm can eat a write quorum of one
+    // object while the blackout hides its lease renewals.
+    const std::uint64_t tag =
+        1 + static_cast<std::uint64_t>(storage_rng.uniform_int(0, 1 << 20));
+    for (std::size_t i = 1; i <= storms.storage_crashes; ++i) {
+      FaultEvent kill;
+      kill.kind = FaultKind::kVehicleCrash;
+      kill.at = t + blackout.duration * static_cast<double>(i) /
+                        static_cast<double>(storms.storage_crashes + 1);
+      kill.storage_tag = tag;
+      plan.push_back(kill);
+    }
+  }
+
   sort_fault_plan(plan);
   return plan;
 }
@@ -198,6 +245,9 @@ void write_fault_plan_jsonl(const FaultPlan& plan, const FaultPlanMeta& meta,
       case FaultKind::kVehicleCrash:
         if (e.vehicle.valid()) {
           w.key("vehicle").value(static_cast<std::uint64_t>(e.vehicle.value()));
+        }
+        if (e.storage_tag != 0) {
+          w.key("storage_tag").value(static_cast<std::uint64_t>(e.storage_tag));
         }
         break;
       case FaultKind::kBrokerCrash:
@@ -350,6 +400,8 @@ bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
       case FaultKind::kVehicleCrash: {
         const double v = num_of("vehicle", -1.0);
         if (v >= 0.0) e.vehicle = VehicleId{static_cast<std::uint64_t>(v)};
+        e.storage_tag =
+            static_cast<std::uint64_t>(num_of("storage_tag", 0.0));
         break;
       }
       case FaultKind::kBrokerCrash:

@@ -14,7 +14,13 @@
 //              its state holder exactly when it cannot hear anything);
 //  * flap    — the same RSU taken down and repaired repeatedly (tests that
 //              repeated crash-recover of one victim never corrupts
-//              bookkeeping).
+//              bookkeeping);
+//  * storage — a radio blackout with a burst of crashes aimed at ONE storage
+//              object's replica holders fired inside the blackout window
+//              (the storage worst case: a write quorum of an object dies
+//              while lease renewals are already being eaten by the channel).
+//              The victims are resolved at fire time through the injector's
+//              storage resolver via FaultEvent::storage_tag.
 //
 // The output is a plain deterministic FaultPlan — same (config, seed) pair,
 // same schedule — so a storm run is exactly replayable, diffable and
@@ -58,8 +64,17 @@ struct StormConfig {
   SimTime flap_period = 3.0;
   SimTime flap_outage = 1.0;
 
+  // Storage-targeted storm: a blackout of fixed duration plus
+  // `storage_crashes` vehicle crashes spaced inside its window, all carrying
+  // the same storage_tag so the injector burst-kills the live holders of one
+  // object while its leases cannot renew. Centers draw from the base box.
+  double storage_rate = 0.0;
+  SimTime storage_blackout_duration = 8.0;
+  std::size_t storage_crashes = 2;
+
   [[nodiscard]] bool any() const {
-    return burst_rate > 0.0 || cascade_rate > 0.0 || flap_rate > 0.0;
+    return burst_rate > 0.0 || cascade_rate > 0.0 || flap_rate > 0.0 ||
+           storage_rate > 0.0;
   }
 };
 

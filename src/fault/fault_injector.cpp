@@ -48,8 +48,11 @@ void FaultInjector::crash_vehicle(VehicleId v) {
 void FaultInjector::fire(const FaultEvent& e) {
   switch (e.kind) {
     case FaultKind::kVehicleCrash: {
-      const VehicleId victim = e.vehicle.valid() ? e.vehicle
-                                                 : pick_crash_victim();
+      VehicleId victim = e.vehicle;
+      if (!victim.valid() && e.storage_tag != 0 && storage_resolver_) {
+        victim = storage_resolver_(e.storage_tag);
+      }
+      if (!victim.valid()) victim = pick_crash_victim();
       if (!victim.valid() || net_.traffic().find(victim) == nullptr) return;
       crash_vehicle(victim);
       ++stats_.vehicle_crashes;

@@ -20,6 +20,7 @@
 // sequence never perturbs the scenario's other stochastic streams.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "fault/fault_plan.h"
@@ -49,6 +50,15 @@ class FaultInjector {
     clouds_.push_back(&cloud);
   }
 
+  // Resolves a FaultEvent::storage_tag into a concrete victim when a
+  // storage-targeted crash fires (installed by the system wiring when the
+  // storage service is enabled). May return an invalid id — the injector
+  // then falls back to its ordinary victim pool.
+  using StorageVictimResolver = std::function<VehicleId(std::uint64_t)>;
+  void set_storage_victim_resolver(StorageVictimResolver resolver) {
+    storage_resolver_ = std::move(resolver);
+  }
+
   // Schedules every planned event. Call once, before (or at) t=0 of the run.
   void attach();
 
@@ -72,6 +82,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   std::vector<vcloud::VehicularCloud*> clouds_;
+  StorageVictimResolver storage_resolver_;
   FaultStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
 };

@@ -120,6 +120,7 @@ std::string to_string(const FaultEvent& e) {
   switch (e.kind) {
     case FaultKind::kVehicleCrash:
       if (e.vehicle.valid()) os << " v=" << e.vehicle.value();
+      if (e.storage_tag != 0) os << " storage_tag=" << e.storage_tag;
       break;
     case FaultKind::kBrokerCrash:
       break;

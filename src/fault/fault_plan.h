@@ -32,6 +32,11 @@ struct FaultEvent {
   // kVehicleCrash: explicit victim, or invalid = pick a random worker when
   // the event fires (the common case for generated plans).
   VehicleId vehicle;
+  // kVehicleCrash, storage-targeted storms: non-zero tag selects a storage
+  // object's live holder at fire time through the injector's resolver (the
+  // object is tag mod object-count; the victim its smallest-id live holder).
+  // Used only when `vehicle` is invalid; 0 = untargeted.
+  std::uint64_t storage_tag = 0;
   // kRsuOutage.
   RsuId rsu;
   SimTime repair_after = 0.0;  // outage duration; 0 = never repaired

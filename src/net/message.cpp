@@ -13,6 +13,9 @@ const char* to_string(MessageKind kind) {
     case MessageKind::kTaskMigrate: return "task_migrate";
     case MessageKind::kEventReport: return "event_report";
     case MessageKind::kHeartbeat: return "heartbeat";
+    case MessageKind::kStorageWrite: return "storage_write";
+    case MessageKind::kStorageRead: return "storage_read";
+    case MessageKind::kStorageRepair: return "storage_repair";
   }
   return "unknown";
 }

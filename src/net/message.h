@@ -53,8 +53,11 @@ enum class MessageKind : std::uint8_t {
   kTaskAssign,   // v-cloud task dispatch
   kTaskResult,   // v-cloud result return
   kTaskMigrate,  // encrypted checkpoint handover
-  kEventReport,  // trust module: observed physical event
-  kHeartbeat,    // worker liveness beat to the cloud broker
+  kEventReport,     // trust module: observed physical event
+  kHeartbeat,       // worker liveness beat to the cloud broker
+  kStorageWrite,    // storage service: replica write (object payload)
+  kStorageRead,     // storage service: replica read probe
+  kStorageRepair,   // storage service: re-replication copy between holders
 };
 
 // Human-readable kind label for traces and tables.

@@ -831,6 +831,7 @@ void VehicularCloud::heartbeat_round() {
     if (crashed_.count(vid) > 0) continue;  // dead radios do not beat
     if (v == broker) {
       detector_.observe(v, now);  // the broker trivially hears itself
+      if (heartbeat_hook_) heartbeat_hook_(v, now);
       continue;
     }
     net::Message beat;
@@ -839,7 +840,10 @@ void VehicularCloud::heartbeat_round() {
     beat.src = net::Address::vehicle(v);
     beat.dst = net::Address::vehicle(broker);
     beat.size_bytes = config_.dependability.detector.heartbeat_bytes;
-    if (net_.send(beat)) detector_.observe(v, now);
+    if (net_.send(beat)) {
+      detector_.observe(v, now);
+      if (heartbeat_hook_) heartbeat_hook_(v, now);
+    }
   }
   for (const VehicleId dead : detector_.sweep(now)) declare_dead(dead);
 }
@@ -1002,6 +1006,10 @@ void VehicularCloud::refresh() {
   }
 
   dispatch();
+  // Post-round maintenance (storage lease bookkeeping + repair) runs after
+  // membership and dispatch settle but before the oracle scan, so its
+  // invariants (leases ⊆ membership) are quiesced by check time.
+  if (refresh_hook_) refresh_hook_(now);
   // End-of-round scan: membership, broker election and deadline reaping
   // have all quiesced — this is the instant the structural invariants are
   // contractually true.

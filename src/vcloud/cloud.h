@@ -130,6 +130,22 @@ class VehicularCloud {
     completion_hook_ = std::move(hook);
   }
 
+  // Invoked whenever the broker hears a worker's heartbeat (including its
+  // own trivial self-beat). The storage layer renews replica leases here —
+  // lease liveness rides the existing heartbeat path rather than adding a
+  // second beacon. Unset = one branch per beat (inertness contract).
+  using HeartbeatHook = std::function<void(VehicleId, SimTime)>;
+  void set_heartbeat_hook(HeartbeatHook hook) {
+    heartbeat_hook_ = std::move(hook);
+  }
+
+  // Invoked at the end of every refresh(), after membership/broker/deadline
+  // handling and dispatch but BEFORE the invariant oracle's end-of-round
+  // scan — maintenance that must quiesce before the scan (storage lease
+  // bookkeeping and repair) runs here. Unset = one branch per refresh.
+  using RefreshHook = std::function<void(SimTime)>;
+  void set_refresh_hook(RefreshHook hook) { refresh_hook_ = std::move(hook); }
+
   // --- telemetry (off by default: null recorder = one branch per event) -------
   // Emits cloud.* / task.* trace events (membership churn, broker changes,
   // dispatch/complete/retry, failure-detector kills).
@@ -258,6 +274,8 @@ class VehicularCloud {
   obs::TraceRecorder* trace_ = nullptr;
   InvariantOracle* oracle_ = nullptr;
   CompletionHook completion_hook_;
+  HeartbeatHook heartbeat_hook_;
+  RefreshHook refresh_hook_;
 
   FailureDetector detector_;
   // Workers that crashed but have not been declared dead yet (zombies), and

@@ -48,8 +48,143 @@ void InvariantOracle::on_terminal(const Task& task, SimTime now) {
   }
 }
 
+void InvariantOracle::on_storage_ack(FileId object, std::uint64_t version,
+                                     const std::vector<VehicleId>& holders,
+                                     SimTime now) {
+  StorageTracking& t = storage_track_[object.value()];
+  if (version < t.acked_version) {
+    std::ostringstream os;
+    os << "object " << object.value() << " acked version regressed "
+       << t.acked_version << " -> " << version;
+    report("storage-durability", os.str(), now);
+    return;
+  }
+  t.acked_version = version;
+  t.durable.clear();
+  for (const VehicleId v : holders) t.durable.insert(v.value());
+  t.crash_budget = 0;
+  t.loss_reported = false;
+}
+
+void InvariantOracle::on_storage_read(std::uint64_t client, FileId object,
+                                      std::uint64_t version, bool degraded,
+                                      SimTime now) {
+  if (degraded) return;  // flagged stale-risk by contract; exempt
+  std::uint64_t& floor = read_floor_[{client, object.value()}];
+  if (version < floor) {
+    std::ostringstream os;
+    os << "client " << client << " object " << object.value()
+       << " quorum read went back in time: " << floor << " -> " << version;
+    report("storage-monotonic-reads", os.str(), now);
+    return;
+  }
+  floor = version;
+}
+
+void InvariantOracle::check_storage(const VehicularCloud& cloud, SimTime now) {
+  const std::size_t n = storage_->replica_target();
+  const std::size_t w = storage_->write_quorum();
+  // Tolerated holder deaths between full-health instants. The issue frames
+  // this as N−W; min(N−W, W−1) is the bound that is actually sound for every
+  // valid W+R>N config (W copies survive at most W−1 deaths), and the two
+  // coincide for the canonical N=3/W=2 deployment.
+  const std::size_t budget_limit = std::min(n - w, w - 1);
+
+  storage_->for_each_object([&](const StorageObjectView& obj) {
+    // storage-replica-bounds: placement within [1, N] once acked, ≤ N always.
+    if (obj.replicas.size() > n) {
+      std::ostringstream os;
+      os << "object " << obj.object.value() << " has " << obj.replicas.size()
+         << " replicas (target " << n << ")";
+      report("storage-replica-bounds", os.str(), now);
+    }
+    if (obj.acked_version > 0 && obj.replicas.empty()) {
+      std::ostringstream os;
+      os << "acked object " << obj.object.value() << " has an empty placement";
+      report("storage-replica-bounds", os.str(), now);
+    }
+
+    // storage-lease-membership: held leases belong to current members.
+    for (const StorageReplicaView& r : obj.replicas) {
+      if (r.lease_held && !cloud.is_worker(r.holder)) {
+        std::ostringstream os;
+        os << "object " << obj.object.value() << " holder "
+           << r.holder.value() << " holds a lease but is not a member";
+        report("storage-lease-membership", os.str(), now);
+      }
+    }
+
+    // storage-durability.
+    StorageTracking& t = storage_track_[obj.object.value()];
+    if (obj.acked_version < t.acked_version) {
+      std::ostringstream os;
+      os << "object " << obj.object.value() << " service acked version "
+         << "regressed " << t.acked_version << " -> " << obj.acked_version;
+      report("storage-durability", os.str(), now);
+      return;
+    }
+    if (obj.acked_version > t.acked_version) {
+      // An ack the hook never saw (service running without the ack hook
+      // wired): adopt the view's durable set so tracking stays sound.
+      t.acked_version = obj.acked_version;
+      t.durable.clear();
+      for (const StorageReplicaView& r : obj.replicas) {
+        if (r.alive && r.version >= t.acked_version) {
+          t.durable.insert(r.holder.value());
+        }
+      }
+      t.crash_budget = 0;
+      t.loss_reported = false;
+    }
+    if (t.acked_version == 0) return;  // nothing durable promised yet
+
+    std::size_t live_acked = 0;
+    std::unordered_set<std::uint64_t> present_alive;
+    for (const StorageReplicaView& r : obj.replicas) {
+      if (!r.alive) continue;
+      present_alive.insert(r.holder.value());
+      if (r.version >= t.acked_version) ++live_acked;
+    }
+    // Charge the budget for durable holders that physically died. A holder
+    // that vanished from the placement while demonstrably alive (a repair
+    // path discarding copies without deaths) charges nothing — that is the
+    // defect this invariant exists to catch.
+    for (auto it = t.durable.begin(); it != t.durable.end();) {
+      const VehicleId v{*it};
+      if (present_alive.count(*it) > 0) {
+        ++it;
+        continue;
+      }
+      if (!cloud.is_worker(v) || cloud.worker_crashed(v)) ++t.crash_budget;
+      it = t.durable.erase(it);
+    }
+    if (live_acked >= n) {
+      // Full health: repair restored the target replication, so the clock
+      // on tolerated deaths restarts from this durable set.
+      t.durable.clear();
+      for (const StorageReplicaView& r : obj.replicas) {
+        if (r.alive && r.version >= t.acked_version) {
+          t.durable.insert(r.holder.value());
+        }
+      }
+      t.crash_budget = 0;
+      t.loss_reported = false;
+    } else if (live_acked == 0 && t.crash_budget <= budget_limit &&
+               !t.loss_reported) {
+      std::ostringstream os;
+      os << "object " << obj.object.value() << " acked v" << t.acked_version
+         << " has no live up-to-date copy after only " << t.crash_budget
+         << " holder death(s) (quorum tolerates " << budget_limit << ")";
+      report("storage-durability", os.str(), now);
+      t.loss_reported = true;
+    }
+  });
+}
+
 void InvariantOracle::check(const VehicularCloud& cloud, SimTime now) {
   ++checks_run_;
+
+  if (storage_ != nullptr) check_storage(cloud, now);
 
   // Dispatch-queue multiplicity per task id. Entries referencing terminal
   // tasks are legal (the queue reaps them lazily); dangling ids are not.

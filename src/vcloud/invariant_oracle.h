@@ -24,6 +24,25 @@
 //  * detector-subset — the failure detector tracks only current workers
 //    (a forgotten forget() would mass-kill future joiners).
 //
+// When a storage service registers itself (set_storage, an abstract
+// StorageIntrospection so vcloud never depends on storage), the same scan
+// additionally checks the storage-layer invariants:
+//
+//  * storage-durability — no acknowledged write is lost while the holder
+//    crash budget is within what the write quorum tolerates: an acked
+//    object with zero live up-to-date copies is a violation unless more
+//    than min(N−W, W−1) of its durable holders physically died since the
+//    last ack / full-health instant. (Deleting copies without deaths — a
+//    broken repair path — is exactly what this catches.)
+//  * storage-monotonic-reads — per (client, object), quorum reads never
+//    return an older version than an earlier quorum read. Degraded reads
+//    are flagged stale-risk by contract and exempt.
+//  * storage-replica-bounds — replica placement never exceeds N, and an
+//    acknowledged object never has an empty placement (repair swaps, it
+//    does not discard).
+//  * storage-lease-membership — every currently-held lease belongs to a
+//    current cloud member.
+//
 // Inertness contract (same style as telemetry): the cloud holds a nullable
 // `InvariantOracle*`; with no oracle set the only cost is one branch per
 // would-be check and runs are byte-identical to an oracle-free build. The
@@ -36,9 +55,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/ids.h"
@@ -48,6 +70,32 @@
 namespace vcl::vcloud {
 
 class VehicularCloud;
+
+// Read-only storage-layer view for the oracle's storage invariants. The
+// concrete store lives in src/storage (which depends on vcloud, not the
+// other way around), so the oracle sees it through this interface.
+struct StorageReplicaView {
+  VehicleId holder;
+  std::uint64_t version = 0;  // physical copy version (0 = no data yet)
+  bool alive = false;         // vehicle exists in traffic and has not crashed
+  bool lease_held = false;    // unexpired lease at view time
+};
+
+struct StorageObjectView {
+  FileId object;
+  std::uint64_t acked_version = 0;  // highest version acked to a client
+  std::vector<StorageReplicaView> replicas;  // current placement
+};
+
+class StorageIntrospection {
+ public:
+  virtual ~StorageIntrospection() = default;
+  // Objects in ascending id order (deterministic violation ordering).
+  virtual void for_each_object(
+      const std::function<void(const StorageObjectView&)>& fn) const = 0;
+  [[nodiscard]] virtual std::size_t replica_target() const = 0;  // N
+  [[nodiscard]] virtual std::size_t write_quorum() const = 0;    // W
+};
 
 struct InvariantViolation {
   std::string invariant;  // e.g. "task-conservation"
@@ -74,6 +122,18 @@ class InvariantOracle {
   // second terminal transition of the same task.
   void on_terminal(const Task& task, SimTime now);
 
+  // --- storage invariants (active only after set_storage) --------------------
+  // Registers the storage service; its objects join every check() scan.
+  void set_storage(const StorageIntrospection* storage) { storage_ = storage; }
+  // A write was acknowledged to a client: `holders` is the replica set that
+  // made the quorum. Resets the object's durable set and crash budget.
+  void on_storage_ack(FileId object, std::uint64_t version,
+                      const std::vector<VehicleId>& holders, SimTime now);
+  // A read returned to `client`. Quorum reads feed the per-(client, object)
+  // monotonicity floor; degraded (stale-risk) reads are exempt by contract.
+  void on_storage_read(std::uint64_t client, FileId object,
+                       std::uint64_t version, bool degraded, SimTime now);
+
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
@@ -90,6 +150,18 @@ class InvariantOracle {
  private:
   void report(const std::string& invariant, const std::string& detail,
               SimTime at, TaskId task = TaskId{});
+  void check_storage(const VehicularCloud& cloud, SimTime now);
+
+  // Durability bookkeeping per object: the holders that carried the acked
+  // version at the last reset (ack or full health) and how many of them
+  // have physically died since. A loss is only a violation while the death
+  // count is within what the write quorum contractually tolerates.
+  struct StorageTracking {
+    std::uint64_t acked_version = 0;
+    std::unordered_set<std::uint64_t> durable;  // holders of the acked copy
+    std::size_t crash_budget = 0;               // durable holders dead since reset
+    bool loss_reported = false;                 // one report per acked epoch
+  };
 
   std::uint64_t seed_;
   std::vector<InvariantViolation> violations_;
@@ -99,6 +171,10 @@ class InvariantOracle {
   std::unordered_map<std::uint64_t, TaskState> terminal_state_;
   // Last observed checkpoint floor per task id (monotonicity).
   std::unordered_map<std::uint64_t, double> checkpoint_floor_;
+  const StorageIntrospection* storage_ = nullptr;
+  std::unordered_map<std::uint64_t, StorageTracking> storage_track_;
+  // Highest version returned by a quorum read, per (client, object).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> read_floor_;
 };
 
 }  // namespace vcl::vcloud

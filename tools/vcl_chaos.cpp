@@ -9,11 +9,14 @@
 // vcl_traceview-ready trace export of the failing episode.
 //
 //   vcl_chaos --episodes 200 --seed 1            # soak; exit 1 on violation
+//   vcl_chaos --storage --episodes 200           # storage service under chaos
 //   vcl_chaos --repro chaos-out/repro.jsonl      # re-run one repro file
 //
-// Soak exit codes: 0 = all episodes clean, 1 = violation found (repro
-// written), 2 = usage. Repro mode: 0 = the repro no longer fails (fixed),
-// 3 = still failing.
+// Exit codes (the single authoritative statement is in usage()/--help;
+// README's chaos section points here): soak 0 = all episodes clean,
+// 1 = violation found (repro written), 2 = usage/IO error; repro mode
+// 0 = the repro no longer reproduces (fixed), 3 = still reproduces,
+// 2 = usage/IO error.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -39,6 +42,8 @@ struct Options {
   double intensity = 1.0;
   bool storms = true;
   bool inject_requeue_bug = false;
+  bool storage = false;
+  bool inject_repair_bug = false;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string out_dir = "chaos-out";
   std::string repro_path;  // non-empty = repro mode
@@ -56,7 +61,21 @@ int usage(const char* argv0) {
       << "  --jobs J          parallel episodes (default: hardware)\n"
       << "  --out DIR         repro + trace output dir (default chaos-out)\n"
       << "  --repro FILE      re-run one repro file instead of soaking\n"
-      << "  --inject-requeue-bug  arm the deliberate test-fixture bug\n";
+      << "  --storage         run the storage service (leases + quorum\n"
+      << "                    replication + repair) under the chaos, with the\n"
+      << "                    storage invariants armed and the storage-\n"
+      << "                    targeted storm shape in the schedule\n"
+      << "  --inject-requeue-bug  arm the deliberate requeue test-fixture bug\n"
+      << "  --inject-repair-bug   arm the deliberate storage-repair bug\n"
+      << "                        (implies --storage)\n"
+      << "\n"
+      << "exit codes:\n"
+      << "  soak mode:   0 = all episodes clean\n"
+      << "               1 = invariant violation found (shrunk repro written)\n"
+      << "               2 = usage or I/O error\n"
+      << "  repro mode:  0 = the repro no longer reproduces (bug fixed)\n"
+      << "               3 = the repro still reproduces the violation\n"
+      << "               2 = usage or I/O error\n";
   return 2;
 }
 
@@ -69,6 +88,8 @@ core::ChaosScenarioConfig episode_config(const Options& opt,
   cfg.intensity = opt.intensity;
   cfg.storms = opt.storms;
   cfg.inject_requeue_bug = opt.inject_requeue_bug;
+  cfg.storage = opt.storage;
+  cfg.inject_repair_bug = opt.inject_repair_bug;
   return cfg;
 }
 
@@ -106,6 +127,13 @@ int run_repro(const Options& opt) {
             << episode.completed << " completed, " << episode.expired
             << " expired, " << episode.crashes << " crashes, "
             << episode.checks_run << " oracle checks\n";
+  if (cfg.storage) {
+    std::cout << "storage: " << episode.storage_writes_acked
+              << " writes acked, " << episode.storage_reads_quorum
+              << " quorum reads, " << episode.storage_reads_degraded
+              << " degraded reads, " << episode.storage_repair_copies
+              << " repair copies\n";
+  }
   if (episode.ok()) {
     std::cout << "repro is CLEAN (the failure no longer reproduces)\n";
     return 0;
@@ -125,7 +153,8 @@ int run_soak(const Options& opt) {
             << ".." << opt.seed + opt.episodes - 1 << ", " << opt.vehicles
             << " vehicles, " << opt.duration << " s load, intensity "
             << opt.intensity << (opt.storms ? ", storms on" : ", storms off")
-            << ") on " << jobs << " threads\n";
+            << (opt.storage ? ", storage on" : "") << ") on " << jobs
+            << " threads\n";
 
   std::vector<core::ChaosEpisode> episodes(opt.episodes);
   std::vector<char> ran(opt.episodes, 0);
@@ -161,6 +190,16 @@ int run_soak(const Options& opt) {
     for (std::size_t i = 0; i < opt.episodes; ++i) checks += episodes[i].checks_run;
     std::cout << "OK: " << completed_clean << " episodes, " << checks
               << " oracle checks, zero invariant violations\n";
+    if (opt.storage) {
+      std::size_t acked = 0, degraded = 0, repairs = 0;
+      for (const core::ChaosEpisode& e : episodes) {
+        acked += e.storage_writes_acked;
+        degraded += e.storage_reads_degraded;
+        repairs += e.storage_repair_copies;
+      }
+      std::cout << "storage: " << acked << " writes acked, " << degraded
+                << " degraded reads, " << repairs << " repair copies\n";
+    }
     return 0;
   }
 
@@ -246,8 +285,13 @@ int main(int argc, char** argv) {
       opt.repro_path = v;
     } else if (arg == "--no-storms") {
       opt.storms = false;
+    } else if (arg == "--storage") {
+      opt.storage = true;
     } else if (arg == "--inject-requeue-bug") {
       opt.inject_requeue_bug = true;
+    } else if (arg == "--inject-repair-bug") {
+      opt.inject_repair_bug = true;
+      opt.storage = true;  // the bug lives in the storage repair pipeline
     } else {
       return usage(argv[0]);
     }
