@@ -53,7 +53,7 @@ int main() {
   table.add_row({"migrations (handover)", std::to_string(stats.migrations)});
   table.add_row({"mean latency (s)", Table::num(stats.latency.mean(), 2)});
   table.add_row({"p95 latency (s)",
-                 Table::num(stats.latency.percentile(95), 2)});
+                 Table::num(stats.latency_tail.percentile(95), 2)});
   table.add_row({"broker re-elections",
                  std::to_string(system.cloud().broker_changes())});
   table.print(std::cout);

@@ -12,6 +12,11 @@ output). Cells are matched positionally per (bench, table title, row, col):
   are flagged when the 95% confidence intervals do NOT overlap:
   |mean_a - mean_b| > ci95_a + ci95_b. Overlapping CIs are treated as
   statistical noise.
+* Tail cells ({p50, p99, p999, n}, quantile-sketch percentiles) carry no
+  CI; each percentile is compared with --rel-tol (default 0: exact, which
+  is correct because sketch merges are bit-identical per config+seed).
+  A tail cell against a baseline written before tail cells existed (plain
+  or stat cell there) is flagged as a cell-type change, never a KeyError.
 * Plain numeric cells are compared exactly by default (single-rep runs are
   deterministic, so any drift is a real behavior change); --rel-tol R
   loosens this to a relative tolerance for machine-dependent numbers.
@@ -47,14 +52,39 @@ def is_stat(cell):
     return isinstance(cell, dict) and "mean" in cell
 
 
+def is_tail(cell):
+    return isinstance(cell, dict) and "p50" in cell
+
+
 def fmt(cell):
     if is_stat(cell):
         return f"{cell['mean']:.6g} ±{cell['ci95']:.6g} (n={cell['n']})"
+    if is_tail(cell):
+        return (f"p50={cell['p50']:.6g} p99={cell['p99']:.6g} "
+                f"p999={cell['p999']:.6g} (n={cell['n']})")
     return repr(cell)
+
+
+def rel_close(a, b, rel_tol):
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return rel_tol > 0 and scale > 0 and abs(a - b) / scale <= rel_tol
 
 
 def diff_cells(a, b, rel_tol):
     """Returns a reason string when the cells differ significantly."""
+    if is_tail(a) != is_tail(b):
+        # One side predates tail cells (old baseline) or dropped them:
+        # structural, not a latency regression — surfaced via the caller's
+        # notes path, never a crash on the missing keys.
+        return ("tail cell vs non-tail cell "
+                "(baseline predates sketch percentiles?)")
+    if is_tail(a):
+        for key in ("p50", "p99", "p999"):
+            if not rel_close(a[key], b[key], rel_tol):
+                return (f"{key} differs (|Δ| = {abs(a[key] - b[key]):.6g})")
+        return None
     if is_stat(a) != is_stat(b):
         return "stat cell vs plain cell (reps mismatch between runs?)"
     if is_stat(a):
@@ -64,10 +94,7 @@ def diff_cells(a, b, rel_tol):
         return None
     if isinstance(a, str) or isinstance(b, str):
         return None if a == b else "label changed"
-    if a == b:
-        return None
-    scale = max(abs(a), abs(b))
-    if rel_tol > 0 and scale > 0 and abs(a - b) / scale <= rel_tol:
+    if rel_close(a, b, rel_tol):
         return None
     return f"values differ (|Δ| = {abs(a - b):.6g})"
 

@@ -116,8 +116,15 @@ benches = sys.argv[3:]
 
 
 def check_cell(bench, title, cell):
-    """A cell is a plain number, a string, or a {mean, ci95, n} stat object."""
+    """A cell is a plain number, a string, a {mean, ci95, n} stat object,
+    or a {p50, p99, p999, n} tail object (quantile-sketch percentiles,
+    emitted at any rep count since the sketch pools observations)."""
     if isinstance(cell, dict):
+        if set(cell) == {"p50", "p99", "p999", "n"}:
+            if not isinstance(cell["n"], int) or cell["n"] < 1:
+                sys.exit(f"error: {bench}: tail cell with n={cell['n']!r} "
+                         f"in table {title!r}")
+            return
         if set(cell) != {"mean", "ci95", "n"}:
             sys.exit(f"error: {bench}: bad stat cell keys {sorted(cell)} "
                      f"in table {title!r}")

@@ -1,6 +1,9 @@
 #include "core/chaos.h"
 
+#include <fstream>
+
 #include "core/system.h"
+#include "obs/json.h"
 #include "obs/telemetry.h"
 
 namespace vcl::core {
@@ -133,6 +136,41 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
 
   if (!telemetry_dir.empty() && system.telemetry() != nullptr) {
     obs::write_telemetry(*system.telemetry(), telemetry_dir);
+    // Oracle violations ride next to the trace so tools/vcl_report can fold
+    // them into the run-health report: one flat JSON object per line
+    // (vcl-violations-v1), written even when empty — an existing-but-empty
+    // file distinguishes "checked clean" from "never exported".
+    if (system.oracle() != nullptr) {
+      std::ofstream os(telemetry_dir + "/violations.jsonl");
+      if (os) {
+        {
+          obs::JsonWriter w(os);
+          w.begin_object();
+          w.key("meta").value("vcl-violations-v1");
+          w.key("seed").value(config.seed);
+          w.key("checks_run").value(
+              static_cast<std::uint64_t>(system.oracle()->checks_run()));
+          w.key("violations").value(
+              static_cast<std::uint64_t>(system.oracle()->violation_count()));
+          w.end_object();
+        }
+        os << '\n';
+        for (const vcloud::InvariantViolation& v :
+             system.oracle()->violations()) {
+          obs::JsonWriter w(os);
+          w.begin_object();
+          w.key("t").value(v.at);
+          w.key("invariant").value(v.invariant);
+          w.key("detail").value(v.detail);
+          if (v.task.valid()) {
+            w.key("task").value(static_cast<double>(v.task.value()));
+          }
+          w.key("seed").value(v.seed);
+          w.end_object();
+          os << '\n';
+        }
+      }
+    }
   }
 
   ChaosEpisode episode;

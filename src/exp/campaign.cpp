@@ -16,6 +16,23 @@ Cell::Cell(const Summary& s, int decimals) {
   }
 }
 
+Cell Cell::tail(const Summary& s, int decimals) {
+  if (!s.has_tail || s.tail.count() == 0) return Cell("-");
+  const double p50 = s.tail.quantile(0.50);
+  const double p99 = s.tail.quantile(0.99);
+  const double p999 = s.tail.quantile(0.999);
+  Cell cell(Table::num(p50, decimals) + "/" + Table::num(p99, decimals) + "/" +
+            Table::num(p999, decimals));
+  obs::CellStat stat;
+  stat.n = static_cast<std::size_t>(s.tail.count());
+  stat.has_tail = true;
+  stat.p50 = p50;
+  stat.p99 = p99;
+  stat.p999 = p999;
+  cell.stat = stat;
+  return cell;
+}
+
 namespace {
 
 std::size_t parse_count_flag(int argc, char** argv, const std::string& flag,

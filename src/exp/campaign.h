@@ -48,6 +48,12 @@ struct Cell {
   // Stat cell: "mean" at n==1 (exactly Table::num(mean, decimals)),
   // "mean ±ci95" at n>1; the JSON side gets {"mean","ci95","n"} when n>1.
   Cell(const Summary& s, int decimals);
+
+  // Tail cell over a Summary's pooled sketch: prints "p50/p99/p999" and the
+  // JSON side gets {"p50","p99","p999","n"} (always an object — the text is
+  // not a number). Quantiles come from integer bucket counts, so the cell
+  // is bit-identical for any --jobs. Empty sketches render "-".
+  static Cell tail(const Summary& s, int decimals);
 };
 
 class Campaign {

@@ -13,6 +13,10 @@ Accumulator& RepReport::dist(const std::string& name) {
   return metrics_.try_emplace(name, /*keep_samples=*/true).first->second;
 }
 
+QuantileSketch& RepReport::tail(const std::string& name) {
+  return tails_.try_emplace(name).first->second;
+}
+
 std::uint64_t rep_seed(std::uint64_t base_seed, std::size_t rep) {
   if (rep == 0) return base_seed;
   return Rng(base_seed).fork(rep).seed();
@@ -30,6 +34,12 @@ std::map<std::string, Summary> reduce(const std::vector<RepReport>& reports) {
       Summary& s = out[name];
       s.across.add(acc.mean());
       s.pooled.merge(acc);
+    }
+    for (const auto& [name, sketch] : report.tails()) {
+      if (sketch.count() == 0) continue;
+      Summary& s = out[name];
+      s.tail.merge(sketch);
+      s.has_tail = true;
     }
   }
   return out;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "exp/thread_pool.h"
+#include "util/quantile_sketch.h"
 #include "util/stats.h"
 
 namespace vcl::exp {
@@ -37,13 +38,22 @@ class RepReport {
  public:
   void value(const std::string& name, double v) { dist(name).add(v); }
   Accumulator& dist(const std::string& name);
+  // Fixed-memory tail distribution (p50/p99/p999) for metrics with many
+  // observations per replication. All tails use the sketch's default layout
+  // so cross-replication merges are always layout-compatible. A tail may
+  // share its name with a dist(); they reduce into the same Summary.
+  QuantileSketch& tail(const std::string& name);
 
   [[nodiscard]] const std::map<std::string, Accumulator>& metrics() const {
     return metrics_;
   }
+  [[nodiscard]] const std::map<std::string, QuantileSketch>& tails() const {
+    return tails_;
+  }
 
  private:
   std::map<std::string, Accumulator> metrics_;
+  std::map<std::string, QuantileSketch> tails_;
 };
 
 // Cross-replication reduction of one metric.
@@ -53,6 +63,11 @@ struct Summary {
   // Every replication's samples merged in replication order; percentiles
   // here pool the within-run distributions.
   Accumulator pooled;
+  // Per-replication tail sketches merged in replication order. Bucket
+  // counts are integers, so the pooled quantiles are bit-identical for any
+  // `jobs`; the fixed fold order additionally pins the floating-point sum.
+  QuantileSketch tail;
+  bool has_tail = false;
 
   [[nodiscard]] std::size_t n() const { return across.count(); }
   [[nodiscard]] double mean() const { return across.mean(); }

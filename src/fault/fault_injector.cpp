@@ -131,6 +131,15 @@ void FaultInjector::fire(const FaultEvent& e) {
                         {"y", e.center.y},
                         {"radius", e.radius},
                         {"duration", e.duration}});
+        // Explicit storm-window annotation: [start, end] in absolute sim
+        // time, so trace_analysis can split latency into in-storm vs
+        // clear-sky without re-pairing start/end events across a possibly
+        // wrapped ring.
+        trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                       "fault.window",
+                       {{"start", net_.simulator().now()},
+                        {"end", net_.simulator().now() + e.duration},
+                        {"radius", e.radius}});
       }
       net_.simulator().schedule_after(
           e.duration,

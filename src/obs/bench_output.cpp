@@ -61,7 +61,14 @@ std::string BenchReporter::to_json() const {
         if (r < t.stats.size() && c < t.stats[r].size()) {
           stat = &t.stats[r][c];
         }
-        if (stat != nullptr && stat->has_value()) {
+        if (stat != nullptr && stat->has_value() && (*stat)->has_tail) {
+          w.begin_object();
+          w.key("p50").value((*stat)->p50);
+          w.key("p99").value((*stat)->p99);
+          w.key("p999").value((*stat)->p999);
+          w.key("n").value(static_cast<std::uint64_t>((*stat)->n));
+          w.end_object();
+        } else if (stat != nullptr && stat->has_value()) {
           w.begin_object();
           w.key("mean").value((*stat)->mean);
           w.key("ci95").value((*stat)->ci95);

@@ -18,6 +18,26 @@ Accumulator& MetricsRegistry::histogram(const std::string& name) {
   return histograms_.try_emplace(name, /*keep_samples=*/true).first->second;
 }
 
+QuantileSketch& MetricsRegistry::sketch(const std::string& name) {
+  return sketches_.try_emplace(name).first->second;
+}
+
+void MetricsRegistry::sketch_view(const std::string& name,
+                                  const QuantileSketch& s) {
+  sketch_views_[name] = &s;
+}
+
+const QuantileSketch* MetricsRegistry::find_sketch(
+    const std::string& name) const {
+  if (auto it = sketches_.find(name); it != sketches_.end()) {
+    return &it->second;
+  }
+  if (auto it = sketch_views_.find(name); it != sketch_views_.end()) {
+    return it->second;
+  }
+  return nullptr;
+}
+
 double MetricsRegistry::value(const std::string& name) const {
   if (auto it = counters_.find(name); it != counters_.end()) {
     return it->second.value();
@@ -28,11 +48,15 @@ double MetricsRegistry::value(const std::string& name) const {
   if (auto it = histograms_.find(name); it != histograms_.end()) {
     return it->second.mean();
   }
+  if (const QuantileSketch* s = find_sketch(name); s != nullptr) {
+    return s->count() ? s->quantile(0.99) : 0.0;
+  }
   return 0.0;
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         sketches_.size() + sketch_views_.size();
 }
 
 void MetricsRegistry::capture_columns() {
@@ -43,7 +67,15 @@ void MetricsRegistry::capture_columns() {
     columns_.push_back(name + ".count");
     columns_.push_back(name + ".mean");
   }
-  // The three maps are each sorted; a global sort makes the column order
+  const auto sketch_columns = [this](const std::string& name) {
+    columns_.push_back(name + ".count");
+    columns_.push_back(name + ".p50");
+    columns_.push_back(name + ".p99");
+    columns_.push_back(name + ".p999");
+  };
+  for (const auto& [name, s] : sketches_) sketch_columns(name);
+  for (const auto& [name, s] : sketch_views_) sketch_columns(name);
+  // The maps are each sorted; a global sort makes the column order
   // independent of metric kind.
   std::sort(columns_.begin(), columns_.end());
 }
@@ -60,13 +92,28 @@ std::vector<double> MetricsRegistry::snapshot_row() const {
       row.push_back(it->second ? it->second() : 0.0);
       continue;
     }
-    // Histogram-derived columns carry a ".count"/".mean" suffix.
+    // Histogram/sketch-derived columns carry a ".count"/".mean"/".pXX"
+    // suffix.
     const auto dot = col.rfind('.');
     const std::string base = col.substr(0, dot);
     const std::string kind = col.substr(dot + 1);
     if (auto it = histograms_.find(base); it != histograms_.end()) {
       row.push_back(kind == "count" ? static_cast<double>(it->second.count())
                                     : it->second.mean());
+      continue;
+    }
+    if (const QuantileSketch* s = find_sketch(base); s != nullptr) {
+      if (kind == "count") {
+        row.push_back(static_cast<double>(s->count()));
+      } else if (s->count() == 0) {
+        row.push_back(0.0);  // quantile of nothing: keep the CSV numeric
+      } else if (kind == "p50") {
+        row.push_back(s->quantile(0.50));
+      } else if (kind == "p99") {
+        row.push_back(s->quantile(0.99));
+      } else {
+        row.push_back(s->quantile(0.999));
+      }
       continue;
     }
     row.push_back(0.0);  // metric vanished (should not happen)
@@ -109,6 +156,40 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     w.value(s.t);
     for (const double v : s.values) w.value(v);
     w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsRegistry::write_sketches_json(std::ostream& os) const {
+  // Owned sketches and views export identically, in one sorted namespace.
+  std::map<std::string, const QuantileSketch*> all;
+  for (const auto& [name, s] : sketches_) all.emplace(name, &s);
+  for (const auto& [name, s] : sketch_views_) all.emplace(name, s);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("vcl-sketch-v1");
+  w.key("sketches").begin_array();
+  for (const auto& [name, s] : all) {
+    w.begin_object();
+    w.key("name").value(name);
+    w.key("relative_error").value(s->relative_error());
+    w.key("max_buckets").value(static_cast<std::uint64_t>(s->max_buckets()));
+    w.key("count").value(s->count());
+    w.key("sum").value(s->sum());
+    w.key("min").value(s->min());
+    w.key("max").value(s->max());
+    w.key("zero_count").value(s->zero_count());
+    w.key("buckets").begin_array();
+    for (const QuantileSketch::Bucket& b : s->buckets()) {
+      w.begin_array();
+      w.value(static_cast<double>(b.index));  // exact: indices are small ints
+      w.value(b.count);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
   }
   w.end_array();
   w.end_object();

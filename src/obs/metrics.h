@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/quantile_sketch.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -47,10 +48,20 @@ class MetricsRegistry {
   void gauge(const std::string& name, GaugeFn fn);
   // Returns the distribution registered under `name` (samples retained for
   // percentile queries; use Accumulator::merge to fold per-component ones).
+  // Memory grows with sample count — prefer sketch() for hot paths.
   Accumulator& histogram(const std::string& name);
+  // Returns the tail-quantile sketch registered under `name`: fixed-memory
+  // DDSketch-style distribution for hot paths that stream millions of
+  // observations. Contributes `<name>.count/.p50/.p99/.p999` columns to the
+  // sampled time series and a full snapshot to sketches.json on export.
+  QuantileSketch& sketch(const std::string& name);
+  // Registers a component-owned sketch by reference (the sketch analogue of
+  // a gauge: the component feeds it on its hot path, the registry samples
+  // and exports it). The sketch must outlive the registry's sampling run.
+  void sketch_view(const std::string& name, const QuantileSketch& s);
 
-  // Current value of any metric by name (histograms report their mean);
-  // 0 when unknown.
+  // Current value of any metric by name (histograms report their mean,
+  // sketches their p99); 0 when unknown.
   [[nodiscard]] double value(const std::string& name) const;
   [[nodiscard]] std::size_t metric_count() const;
 
@@ -66,16 +77,26 @@ class MetricsRegistry {
   [[nodiscard]] const std::vector<std::string>& series_columns() const {
     return columns_;
   }
+  // True when any sketch (owned or view) is registered.
+  [[nodiscard]] bool has_sketches() const {
+    return !sketches_.empty() || !sketch_views_.empty();
+  }
   [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
 
   // CSV: header `t,<col>,...` then one row per sample.
   void write_csv(std::ostream& os) const;
   // JSON: {"columns":[...],"samples":[[t,...],...]}
   void write_json(std::ostream& os) const;
+  // Full sketch snapshots, one vcl-sketch-v1 document: every registered
+  // sketch's layout + bucket counts, so tools (vcl_report) can reconstruct
+  // and merge exact quantile state across replications.
+  void write_sketches_json(std::ostream& os) const;
 
  private:
   void capture_columns();
   [[nodiscard]] std::vector<double> snapshot_row() const;
+  // Owned sketch or registered view under `name`; nullptr when unknown.
+  [[nodiscard]] const QuantileSketch* find_sketch(const std::string& name) const;
 
   struct Sample {
     SimTime t;
@@ -86,6 +107,8 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, GaugeFn> gauges_;
   std::map<std::string, Accumulator> histograms_;
+  std::map<std::string, QuantileSketch> sketches_;
+  std::map<std::string, const QuantileSketch*> sketch_views_;
   std::vector<std::string> columns_;
   std::vector<Sample> samples_;
 };

@@ -1,0 +1,95 @@
+// Run-health report (tools/vcl_report): merges one or more telemetry
+// export directories — trace.jsonl, metrics.csv, sketches.json,
+// violations.jsonl — into a single health view: tail-latency tables,
+// storm-attributed task/storage latency, per-component counters, and
+// oracle violation records.
+//
+// Every artifact is optional: a bench export has no violations, a
+// metrics-off run has no sketches. Missing files just leave their section
+// empty; a file that exists but cannot be parsed fails the build with an
+// error message (silent partial reports would lie).
+//
+// Multiple directories (one per replication) merge exactly where the data
+// is mergeable: quantile sketches add bucket counts (bit-identical for any
+// directory order), counters sum, trace-derived aggregates accumulate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+#include "util/quantile_sketch.h"
+
+namespace vcl::obs {
+
+// One oracle violation record from violations.jsonl.
+struct ReportViolation {
+  double t = 0.0;
+  std::string invariant;
+  std::string detail;
+  double task = -1.0;  // -1 when the violation is not task-scoped
+  std::uint64_t seed = 0;
+};
+
+// Everything the report knows about a run (or a set of replications).
+struct RunHealth {
+  std::vector<std::string> dirs;
+  bool have_trace = false;
+  bool have_metrics = false;
+  bool have_sketches = false;
+  bool have_violations = false;
+
+  // --- trace-derived (trace.jsonl) ----------------------------------------
+  TraceMeta trace_meta;  // from the last directory parsed
+  std::size_t tasks = 0;
+  std::size_t tasks_closed = 0;
+  double task_e2e_s = 0.0;
+  double task_queue_s = 0.0;
+  double task_network_s = 0.0;
+  double task_compute_s = 0.0;
+  double task_recovery_s = 0.0;
+  double task_other_s = 0.0;
+  double task_storm_s = 0.0;
+  QuantileSketch task_e2e_tail;
+  // Storage ops, with put/get latency attributed to fault windows: an op
+  // overlapping a window lands in the *_storm sketch, the rest in *_clear.
+  std::size_t storage_ops = 0;
+  std::size_t storage_in_storm = 0;
+  double storage_storm_s = 0.0;
+  double storage_total_s = 0.0;
+  QuantileSketch put_tail, put_storm_tail, put_clear_tail;
+  QuantileSketch get_tail, get_storm_tail, get_clear_tail;
+  std::size_t fault_windows = 0;
+  double fault_window_s = 0.0;
+  std::size_t orphaned_spans = 0;
+  std::size_t unmatched_ends = 0;
+  std::size_t unknown_roots = 0;
+
+  // --- metrics.csv: final-row value per column, summed across dirs --------
+  std::map<std::string, double> counters;
+
+  // --- sketches.json: reconstructed + merged across dirs ------------------
+  std::map<std::string, QuantileSketch> sketches;
+
+  // --- violations.jsonl ---------------------------------------------------
+  std::uint64_t checks_run = 0;
+  std::uint64_t violation_count = 0;            // uncapped total
+  std::vector<ReportViolation> violations;      // stored records
+};
+
+// Loads whatever artifacts exist under each directory and merges them.
+// Returns false (with `error` set) only when a present file is malformed
+// or none of the directories held any artifact at all.
+bool build_run_health(const std::vector<std::string>& dirs, RunHealth& out,
+                      std::string* error = nullptr);
+
+// Human-readable report: artifact inventory, tail tables, task breakdown,
+// storm-attributed storage latency, counters, violations, diagnostics.
+void write_health_text(std::ostream& os, const RunHealth& h);
+// Machine-readable equivalent, one JSON document (schema vcl-report-v1).
+void write_health_json(std::ostream& os, const RunHealth& h);
+
+}  // namespace vcl::obs

@@ -30,6 +30,11 @@ bool write_telemetry(const Telemetry& telemetry, const std::string& dir) {
     ok &= write_file("metrics.csv", [&](std::ostream& os) {
       telemetry.metrics.write_csv(os);
     });
+    if (telemetry.metrics.has_sketches()) {
+      ok &= write_file("sketches.json", [&](std::ostream& os) {
+        telemetry.metrics.write_sketches_json(os);
+      });
+    }
   }
   return ok;
 }

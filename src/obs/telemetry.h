@@ -43,7 +43,8 @@ struct Telemetry {
 };
 
 // Writes the bundle into `dir` (created if missing): `trace.jsonl` and
-// `trace_chrome.json` when tracing is on, `metrics.csv` when sampling is.
+// `trace_chrome.json` when tracing is on, `metrics.csv` (plus
+// `sketches.json` when any tail sketches are registered) when sampling is.
 // This is the per-replication export path exp::Campaign routes through
 // `--telemetry-dir <dir>/cell<c>/rep<k>/`. Returns false on any IO error.
 bool write_telemetry(const Telemetry& telemetry, const std::string& dir);

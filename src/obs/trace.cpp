@@ -14,6 +14,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kCloud: return "cloud";
     case TraceCategory::kTask: return "task";
     case TraceCategory::kFault: return "fault";
+    case TraceCategory::kStorage: return "storage";
   }
   return "unknown";
 }

@@ -41,8 +41,9 @@ enum class TraceCategory : std::uint8_t {
   kCloud = 2,  // cloud.form / cloud.member.* / cloud.broker.* / cloud.ckpt
   kTask = 3,   // task.submit / task.dispatch / task.complete / leg.* spans
   kFault = 4,  // fault.crash / fault.rsu.* / fault.blackout.*
+  kStorage = 5,  // storage.put / storage.get / storage.repair + leg spans
 };
-inline constexpr std::size_t kTraceCategoryCount = 5;
+inline constexpr std::size_t kTraceCategoryCount = 6;
 
 [[nodiscard]] const char* to_string(TraceCategory c);
 

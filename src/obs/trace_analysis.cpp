@@ -184,6 +184,10 @@ bool parse_trace_jsonl(std::istream& is, std::vector<ParsedEvent>& out,
 }
 
 TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
+  // Fault windows first: both task and storage breakdowns are attributed
+  // against them below.
+  windows_ = extract_fault_windows(events);
+
   // Group by trace id, preserving event order within each tree.
   std::map<std::uint64_t, std::vector<const ParsedEvent*>> by_trace;
   for (const ParsedEvent& ev : events) {
@@ -193,6 +197,7 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
   for (const auto& [trace_id, evs] : by_trace) {
     TaskBreakdown task;
     task.trace_id = trace_id;
+    std::vector<std::uint64_t> replica_holders;
 
     // Reassemble spans: begins open, ends close (by span id).
     std::map<std::uint64_t, std::size_t> open;  // span id -> index in spans
@@ -218,11 +223,18 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
         open.erase(it);
       } else if (ev->name == "task.retry") {
         ++task.retries;
+      } else if (ev->name.rfind("storage.replica.", 0) == 0 ||
+                 ev->name == "storage.repair.replica") {
+        const auto h = ev->fields.find("holder");
+        if (h != ev->fields.end()) {
+          replica_holders.push_back(static_cast<std::uint64_t>(h->second));
+        }
       }
     }
 
-    // Root span: the parentless one (task.life). Without it (ring wrap) the
-    // tree still reports legs, anchored to the earliest/latest event seen.
+    // Root span: the parentless one. task.life roots (and rootless trees —
+    // ring wrap) reduce to a task breakdown; storage.* roots to a storage
+    // op; anything else is a newer recorder's category — skip and count.
     const Span* root = nullptr;
     for (const Span& s : task.spans) {
       if (s.parent_id == 0) {
@@ -231,6 +243,58 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
       }
     }
     double last_t = evs.empty() ? 0.0 : evs.back()->t;
+
+    if (root != nullptr && root->name.rfind("storage.", 0) == 0) {
+      StorageOpBreakdown op;
+      op.trace_id = trace_id;
+      op.kind = root->name.substr(8);
+      const auto obj = root->fields.find("object");
+      if (obj != root->fields.end()) op.object = obj->second;
+      op.begin = root->begin;
+      op.closed = root->closed();
+      op.end = op.closed ? root->end : std::max(last_t, root->begin);
+      const auto field_of = [&root](const char* key) {
+        const auto it = root->fields.find(key);
+        return it == root->fields.end() ? 0.0 : it->second;
+      };
+      if (op.kind == "put") {
+        op.ok = field_of("acked") > 0.0;
+      } else if (op.kind == "get") {
+        op.ok = field_of("ok") > 0.0;
+        op.degraded = field_of("degraded") > 0.0;
+      } else {
+        op.ok = true;  // a repair cycle that ran is a repair cycle that ran
+      }
+      for (const Span& s : task.spans) {
+        if (&s == root) continue;
+        if (!s.closed()) {
+          // Orphaned leg (run ended mid-op): attempted, but no duration.
+          if (s.name == "storage.leg.attempt") ++op.attempts;
+          ++orphaned_;
+          continue;
+        }
+        if (s.name == "storage.leg.attempt") {
+          ++op.attempts;
+          op.legs += s.duration();
+        }
+      }
+      std::sort(replica_holders.begin(), replica_holders.end());
+      replica_holders.erase(
+          std::unique(replica_holders.begin(), replica_holders.end()),
+          replica_holders.end());
+      op.replicas = std::move(replica_holders);
+      op.storm = storm_overlap(windows_, op.begin, op.end);
+      op.in_storm = op.storm > 0.0;
+      for (const FaultWindow& w : windows_) {
+        if (w.contains(op.begin)) op.in_storm = true;
+      }
+      storage_ops_.push_back(std::move(op));
+      continue;
+    }
+    if (root != nullptr && root->name != "task.life") {
+      ++unknown_roots_;  // skip-and-count: never fatal, never misfiled
+      continue;
+    }
     if (root != nullptr) {
       task.submit = root->begin;
       auto it = root->fields.find("task");
@@ -282,9 +346,60 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
     // legs): keeps legs_sum() == end_to_end() by construction.
     task.other = task.end_to_end() - (task.queueing + task.network +
                                       task.compute + task.recovery);
+    task.storm = storm_overlap(windows_, task.submit, task.finish);
     orphaned_ += task.orphaned_spans;
     tasks_.push_back(std::move(task));
   }
+}
+
+std::vector<FaultWindow> extract_fault_windows(
+    const std::vector<ParsedEvent>& events) {
+  std::vector<FaultWindow> raw;
+  bool have_annotations = false;
+  for (const ParsedEvent& ev : events) {
+    if (ev.name == "fault.window") {
+      const auto s = ev.fields.find("start");
+      const auto e = ev.fields.find("end");
+      if (s != ev.fields.end() && e != ev.fields.end() &&
+          e->second > s->second) {
+        raw.push_back({s->second, e->second});
+        have_annotations = true;
+      }
+    }
+  }
+  if (!have_annotations) {
+    // Pre-annotation trace: reconstruct blackout windows from the start
+    // events' planned duration.
+    for (const ParsedEvent& ev : events) {
+      if (ev.name != "fault.blackout.start") continue;
+      const auto d = ev.fields.find("duration");
+      if (d != ev.fields.end() && d->second > 0.0) {
+        raw.push_back({ev.t, ev.t + d->second});
+      }
+    }
+  }
+  std::sort(raw.begin(), raw.end(), [](const FaultWindow& a,
+                                       const FaultWindow& b) {
+    return a.start < b.start;
+  });
+  std::vector<FaultWindow> merged;
+  for (const FaultWindow& w : raw) {
+    if (!merged.empty() && w.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+double storm_overlap(const std::vector<FaultWindow>& windows, double begin,
+                     double end) {
+  double covered = 0.0;
+  for (const FaultWindow& w : windows) {
+    covered += std::max(0.0, std::min(end, w.end) - std::max(begin, w.start));
+  }
+  return covered;
 }
 
 const TaskBreakdown* TraceAnalysis::find(std::uint64_t trace_id) const {
@@ -294,12 +409,31 @@ const TaskBreakdown* TraceAnalysis::find(std::uint64_t trace_id) const {
   return nullptr;
 }
 
+void TraceAnalysis::write_diagnostics(std::ostream& os,
+                                      const TraceMeta& meta) const {
+  os << "\ndiagnostics:\n";
+  if (meta.present) {
+    os << "  ring: " << meta.recorded << " recorded, " << meta.overwritten
+       << " overwritten"
+       << (meta.complete() ? " (complete trace)" : " (RING WRAPPED: pairing is best-effort)")
+       << ", " << meta.dropped_fields << " dropped fields\n";
+  } else {
+    os << "  ring: no metadata record (pre-metadata trace or truncated file)\n";
+  }
+  os << "  orphaned spans (begun, never closed): " << orphaned_ << "\n"
+     << "  unmatched ends (begin overwritten): " << unmatched_ends_ << "\n"
+     << "  unknown root categories (skipped): " << unknown_roots_ << "\n"
+     << "  fault windows: " << windows_.size() << "\n";
+}
+
 void TraceAnalysis::write_report(std::ostream& os,
                                  const TraceMeta& meta) const {
   Table table("per-task critical-path latency breakdown (seconds)",
               {"trace", "task", "outcome", "e2e", "queue", "network",
-               "compute", "recovery", "other", "retries", "crashes"});
+               "compute", "recovery", "other", "storm", "retries",
+               "crashes"});
   double sum_e2e = 0, sum_q = 0, sum_n = 0, sum_c = 0, sum_r = 0, sum_o = 0;
+  double sum_storm = 0;
   std::size_t closed = 0;
   for (const TaskBreakdown& t : tasks_) {
     table.add_row({std::to_string(t.trace_id),
@@ -307,7 +441,8 @@ void TraceAnalysis::write_report(std::ostream& os,
                    Table::num(t.end_to_end(), 3), Table::num(t.queueing, 3),
                    Table::num(t.network, 3), Table::num(t.compute, 3),
                    Table::num(t.recovery, 3), Table::num(t.other, 3),
-                   std::to_string(t.retries), std::to_string(t.crashes)});
+                   Table::num(t.storm, 3), std::to_string(t.retries),
+                   std::to_string(t.crashes)});
     if (t.outcome != "open") {
       sum_e2e += t.end_to_end();
       sum_q += t.queueing;
@@ -315,6 +450,7 @@ void TraceAnalysis::write_report(std::ostream& os,
       sum_c += t.compute;
       sum_r += t.recovery;
       sum_o += t.other;
+      sum_storm += t.storm;
       ++closed;
     }
   }
@@ -327,19 +463,75 @@ void TraceAnalysis::write_report(std::ostream& os,
        << Table::num(sum_q / n, 3) << " + network " << Table::num(sum_n / n, 3)
        << " + compute " << Table::num(sum_c / n, 3) << " + recovery "
        << Table::num(sum_r / n, 3) << " + other " << Table::num(sum_o / n, 3)
-       << "\n";
+       << "\n"
+       << "  in-storm " << Table::num(sum_storm / n, 3) << " + clear-sky "
+       << Table::num((sum_e2e - sum_storm) / n, 3) << " ("
+       << windows_.size() << " fault windows)\n";
   }
-  os << "\ndiagnostics:\n";
-  if (meta.present) {
-    os << "  ring: " << meta.recorded << " recorded, " << meta.overwritten
-       << " overwritten"
-       << (meta.complete() ? " (complete trace)" : " (RING WRAPPED: pairing is best-effort)")
-       << ", " << meta.dropped_fields << " dropped fields\n";
-  } else {
-    os << "  ring: no metadata record (pre-metadata trace or truncated file)\n";
+  write_diagnostics(os, meta);
+}
+
+void TraceAnalysis::write_storage_report(std::ostream& os,
+                                         const TraceMeta& meta) const {
+  // Per-object aggregation of the storage op breakdowns.
+  struct ObjectAgg {
+    std::size_t puts = 0, gets = 0, repairs = 0;
+    std::size_t acked = 0, degraded = 0;
+    double put_s = 0, put_max = 0, get_s = 0, get_max = 0;
+    std::size_t storm_ops = 0;
+    double storm_s = 0, total_s = 0;
+  };
+  std::map<double, ObjectAgg> objects;
+  for (const StorageOpBreakdown& op : storage_ops_) {
+    ObjectAgg& agg = objects[op.object];
+    if (op.kind == "put") {
+      ++agg.puts;
+      agg.acked += op.ok ? 1 : 0;
+      agg.put_s += op.e2e();
+      agg.put_max = std::max(agg.put_max, op.e2e());
+    } else if (op.kind == "get") {
+      ++agg.gets;
+      agg.degraded += op.degraded ? 1 : 0;
+      agg.get_s += op.e2e();
+      agg.get_max = std::max(agg.get_max, op.e2e());
+    } else {
+      ++agg.repairs;
+    }
+    if (op.in_storm) ++agg.storm_ops;
+    agg.storm_s += op.storm;
+    agg.total_s += op.e2e();
   }
-  os << "  orphaned spans (begun, never closed): " << orphaned_ << "\n"
-     << "  unmatched ends (begin overwritten): " << unmatched_ends_ << "\n";
+
+  Table table("per-object storage op breakdown (seconds)",
+              {"object", "puts", "acked", "put_mean", "put_max", "gets",
+               "degraded", "get_mean", "get_max", "repairs", "storm_ops"});
+  for (const auto& [object, agg] : objects) {
+    table.add_row(
+        {object >= 0 ? Table::num(object, 0) : "?", std::to_string(agg.puts),
+         std::to_string(agg.acked),
+         Table::num(agg.puts ? agg.put_s / static_cast<double>(agg.puts) : 0.0,
+                    3),
+         Table::num(agg.put_max, 3), std::to_string(agg.gets),
+         std::to_string(agg.degraded),
+         Table::num(agg.gets ? agg.get_s / static_cast<double>(agg.gets) : 0.0,
+                    3),
+         Table::num(agg.get_max, 3), std::to_string(agg.repairs),
+         std::to_string(agg.storm_ops)});
+  }
+  table.print(os);
+  double storm_s = 0, total_s = 0;
+  std::size_t in_storm = 0;
+  for (const StorageOpBreakdown& op : storage_ops_) {
+    storm_s += op.storm;
+    total_s += op.e2e();
+    in_storm += op.in_storm ? 1 : 0;
+  }
+  os << "\n" << storage_ops_.size() << " storage ops, " << in_storm
+     << " overlapping a fault window (" << windows_.size() << " windows); "
+     << "op time " << Table::num(total_s, 3) << " s total, "
+     << Table::num(storm_s, 3) << " s in-storm, "
+     << Table::num(total_s - storm_s, 3) << " s clear-sky\n";
+  write_diagnostics(os, meta);
 }
 
 void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
@@ -365,6 +557,8 @@ void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
     w.key("compute").value(t.compute);
     w.key("recovery").value(t.recovery);
     w.key("other").value(t.other);
+    w.key("storm").value(t.storm);
+    w.key("clear").value(t.clear_sky());
     w.key("retries").value(static_cast<std::uint64_t>(
         t.retries < 0 ? 0 : t.retries));
     w.key("crashes").value(static_cast<std::uint64_t>(
@@ -376,9 +570,41 @@ void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
     w.end_object();
   }
   w.end_array();
+  w.key("storage").begin_array();
+  for (const StorageOpBreakdown& op : storage_ops_) {
+    w.begin_object();
+    w.key("trace").value(op.trace_id);
+    w.key("kind").value(op.kind);
+    w.key("object").value(op.object);
+    w.key("begin").value(op.begin);
+    w.key("end").value(op.end);
+    w.key("e2e").value(op.e2e());
+    w.key("closed").value(op.closed);
+    w.key("ok").value(op.ok);
+    w.key("degraded").value(op.degraded);
+    w.key("attempts").value(
+        static_cast<std::uint64_t>(op.attempts < 0 ? 0 : op.attempts));
+    w.key("legs").value(op.legs);
+    w.key("storm").value(op.storm);
+    w.key("in_storm").value(op.in_storm);
+    w.key("replicas").begin_array();
+    for (const std::uint64_t holder : op.replicas) w.value(holder);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("fault_windows").begin_array();
+  for (const FaultWindow& win : windows_) {
+    w.begin_object();
+    w.key("start").value(win.start);
+    w.key("end").value(win.end);
+    w.end_object();
+  }
+  w.end_array();
   w.key("diagnostics").begin_object();
   w.key("orphaned_spans").value(static_cast<std::uint64_t>(orphaned_));
   w.key("unmatched_ends").value(static_cast<std::uint64_t>(unmatched_ends_));
+  w.key("unknown_roots").value(static_cast<std::uint64_t>(unknown_roots_));
   w.end_object();
   w.end_object();
   os << '\n';

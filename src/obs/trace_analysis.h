@@ -56,6 +56,30 @@ struct TraceMeta {
 bool parse_trace_jsonl(std::istream& is, std::vector<ParsedEvent>& out,
                        TraceMeta& meta, std::string* error = nullptr);
 
+// A fault window [start, end] in absolute sim time, as stamped by the
+// injector's "fault.window" annotation (with "fault.blackout.start"
+// {duration} understood as a fallback for traces predating the
+// annotation). Windows are the storm-attribution ground truth: any
+// task/storage-op lifetime overlapping one counts as in-storm time.
+struct FaultWindow {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] bool contains(double t) const {
+    return t >= start && t <= end;
+  }
+};
+
+// Extracts fault windows from parsed events and merges overlaps: the
+// result is sorted and disjoint (a union, so overlap accounting never
+// double-counts concurrent storms).
+[[nodiscard]] std::vector<FaultWindow> extract_fault_windows(
+    const std::vector<ParsedEvent>& events);
+
+// Seconds of [begin, end] covered by the (disjoint, sorted) window union.
+[[nodiscard]] double storm_overlap(const std::vector<FaultWindow>& windows,
+                                   double begin, double end);
+
 // A reassembled duration span.
 struct Span {
   std::string name;
@@ -86,16 +110,46 @@ struct TaskBreakdown {
   int retries = 0;        // task.retry instants in the tree
   int crashes = 0;        // exec legs ended by a worker crash
   int migrations = 0;     // migration legs
+  double storm = 0.0;     // lifetime seconds inside injected fault windows
   std::size_t orphaned_spans = 0;  // begun, never closed
   std::vector<Span> spans;         // the tree, in begin order
 
   [[nodiscard]] double end_to_end() const { return finish - submit; }
+  // Lifetime outside every fault window (e2e == storm + clear_sky).
+  [[nodiscard]] double clear_sky() const { return end_to_end() - storm; }
   [[nodiscard]] double legs_sum() const {
     return queueing + network + compute + recovery + other;
   }
 };
 
-// Groups span/instant events by trace_id and reduces each tree.
+// One storage operation's causal tree, reduced. Roots named
+// "storage.put" / "storage.get" / "storage.repair" route here instead of
+// the task breakdown; attempt legs partition the op's virtual timeline
+// (legs == e2e for closed ops), and the replica instants in the tree
+// carry the holder set the op touched.
+struct StorageOpBreakdown {
+  std::uint64_t trace_id = 0;
+  std::string kind;        // "put" / "get" / "repair"
+  double object = -1.0;    // object id (root span field), -1 when absent
+  double begin = 0.0;
+  double end = 0.0;
+  bool closed = false;     // root span end retained
+  bool ok = false;         // put acked / get answered / repair always true
+  bool degraded = false;   // stale-risk get
+  int attempts = 0;        // storage.leg.attempt spans seen
+  double legs = 0.0;       // summed closed attempt-leg durations
+  double storm = 0.0;      // op seconds inside injected fault windows
+  bool in_storm = false;   // overlaps a window (true for zero-length ops
+                           // that *start* inside one, e.g. repair cycles)
+  std::vector<std::uint64_t> replicas;  // holders, ascending, deduplicated
+
+  [[nodiscard]] double e2e() const { return end - begin; }
+};
+
+// Groups span/instant events by trace_id and reduces each tree: task roots
+// (task.life) to TaskBreakdowns, storage roots to StorageOpBreakdowns.
+// Trees with any other root name are skipped and counted in
+// unknown_roots() — a newer recorder never crashes an older analyzer.
 class TraceAnalysis {
  public:
   explicit TraceAnalysis(const std::vector<ParsedEvent>& events);
@@ -105,21 +159,40 @@ class TraceAnalysis {
     return tasks_;
   }
   [[nodiscard]] const TaskBreakdown* find(std::uint64_t trace_id) const;
+  [[nodiscard]] const std::vector<StorageOpBreakdown>& storage_ops() const {
+    return storage_ops_;
+  }
+  // Injected fault windows (sorted, disjoint) the breakdowns were
+  // attributed against.
+  [[nodiscard]] const std::vector<FaultWindow>& fault_windows() const {
+    return windows_;
+  }
 
   // Diagnostics across all trees.
   [[nodiscard]] std::size_t orphaned_spans() const { return orphaned_; }
   // End events whose begin was overwritten by the ring.
   [[nodiscard]] std::size_t unmatched_ends() const { return unmatched_ends_; }
+  // Trees whose root span name is neither task.life nor storage.* —
+  // skipped, not fatal.
+  [[nodiscard]] std::size_t unknown_roots() const { return unknown_roots_; }
 
   // Human-readable report: per-task table, aggregate legs, diagnostics.
   void write_report(std::ostream& os, const TraceMeta& meta) const;
-  // Machine-readable equivalent (one JSON document).
+  // Per-object storage breakdown (put/get/repair latency, storm split).
+  void write_storage_report(std::ostream& os, const TraceMeta& meta) const;
+  // Machine-readable equivalent (one JSON document: tasks + storage ops +
+  // fault windows + diagnostics).
   void write_json(std::ostream& os, const TraceMeta& meta) const;
 
  private:
+  void write_diagnostics(std::ostream& os, const TraceMeta& meta) const;
+
   std::vector<TaskBreakdown> tasks_;
+  std::vector<StorageOpBreakdown> storage_ops_;
+  std::vector<FaultWindow> windows_;
   std::size_t orphaned_ = 0;
   std::size_t unmatched_ends_ = 0;
+  std::size_t unknown_roots_ = 0;
 };
 
 }  // namespace vcl::obs

@@ -144,11 +144,40 @@ WriteResult StorageService::put(std::uint64_t client, FileId object,
   // retry_backoff) runs out. Replies and retries happen within one sim
   // instant — the channel's sampled losses (blackouts included) are what
   // the retries fight.
+  // Storage op spans run over the op's VIRTUAL timeline: all retries happen
+  // within one sim instant while `elapsed` accrues backoff, so the root
+  // span covers [now, now + elapsed] and one storage.leg.attempt child per
+  // attempt covers [its start, the next attempt's start) — the legs
+  // partition the op end-to-end exactly (tested in obs_test). Each replica
+  // that takes the version leaves a storage.replica.write instant in the
+  // leg, so the span tree carries the full replica set. Tracing draws no
+  // RNG, so an instrumented run stays bit-identical.
+  const bool traced =
+      trace_ != nullptr && trace_->enabled(obs::TraceCategory::kStorage);
+  obs::TraceContext op_ctx;
+  if (traced) {
+    op_ctx.trace_id = trace_->new_trace_id();
+    op_ctx.span_id = trace_->begin_span(
+        now, obs::TraceCategory::kStorage, "storage.put", op_ctx,
+        {{"object", static_cast<double>(object.value())},
+         {"client", static_cast<double>(client)},
+         {"version", static_cast<double>(version)},
+         {"replicas", static_cast<double>(obj.placement.size())}});
+  }
+
   std::vector<VehicleId> written;
   SimTime elapsed = 0.0;
   const int max_attempts =
       config_.retry.enabled ? std::max(1, config_.retry.max_attempts) : 1;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const SimTime leg_begin = elapsed;
+    obs::TraceContext leg_ctx;
+    if (traced) {
+      leg_ctx.trace_id = op_ctx.trace_id;
+      leg_ctx.span_id = trace_->begin_span(
+          now + leg_begin, obs::TraceCategory::kStorage, "storage.leg.attempt",
+          op_ctx, {{"attempt", static_cast<double>(attempt)}});
+    }
     for (const VehicleId v : obj.placement) {
       if (std::find(written.begin(), written.end(), v) != written.end()) {
         continue;
@@ -159,12 +188,29 @@ WriteResult StorageService::put(std::uint64_t client, FileId object,
       }
       obj.copy_version[v.value()] = version;
       written.push_back(v);
+      if (traced) {
+        trace_->record(now + leg_begin, obs::TraceCategory::kStorage,
+                       "storage.replica.write", leg_ctx,
+                       {{"holder", static_cast<double>(v.value())},
+                        {"version", static_cast<double>(version)}});
+      }
     }
-    if (written.size() >= config_.write_quorum) break;
-    if (attempt == max_attempts) break;
+    if (written.size() >= config_.write_quorum || attempt == max_attempts) {
+      if (traced) {
+        trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                         "storage.leg.attempt", leg_ctx);
+      }
+      break;
+    }
     elapsed += vcloud::retry_backoff(config_.retry, attempt, rng_);
+    if (traced) {
+      trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                       "storage.leg.attempt", leg_ctx,
+                       {{"backoff", elapsed - leg_begin}});
+    }
     if (elapsed > config_.op_deadline) break;
   }
+  stats_.put_latency_tail.add(elapsed);
 
   if (!written.empty()) obj.latest_version = version;
   result.version = written.empty() ? 0 : version;
@@ -193,6 +239,12 @@ WriteResult StorageService::put(std::uint64_t client, FileId object,
                       {"replicas", static_cast<double>(written.size())}});
     }
   }
+  if (traced) {
+    trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                     "storage.put", op_ctx,
+                     {{"acked", result.acked ? 1.0 : 0.0},
+                      {"replicas", static_cast<double>(written.size())}});
+  }
   return result;
 }
 
@@ -203,12 +255,35 @@ ReadResult StorageService::get(std::uint64_t client, FileId object,
   if (it == objects_.end()) return result;
   ObjectState& obj = it->second;
 
+  // Same virtual-timeline span structure as put(): root storage.get over
+  // [now, now + elapsed], attempt legs partitioning it, and one
+  // storage.replica.read instant per responding holder (the replica set).
+  const bool traced =
+      trace_ != nullptr && trace_->enabled(obs::TraceCategory::kStorage);
+  obs::TraceContext op_ctx;
+  if (traced) {
+    op_ctx.trace_id = trace_->new_trace_id();
+    op_ctx.span_id = trace_->begin_span(
+        now, obs::TraceCategory::kStorage, "storage.get", op_ctx,
+        {{"object", static_cast<double>(object.value())},
+         {"client", static_cast<double>(client)},
+         {"replicas", static_cast<double>(obj.placement.size())}});
+  }
+
   std::vector<VehicleId> answered;
   std::uint64_t max_seen = 0;
   SimTime elapsed = 0.0;
   const int max_attempts =
       config_.retry.enabled ? std::max(1, config_.retry.max_attempts) : 1;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const SimTime leg_begin = elapsed;
+    obs::TraceContext leg_ctx;
+    if (traced) {
+      leg_ctx.trace_id = op_ctx.trace_id;
+      leg_ctx.span_id = trace_->begin_span(
+          now + leg_begin, obs::TraceCategory::kStorage, "storage.leg.attempt",
+          op_ctx, {{"attempt", static_cast<double>(attempt)}});
+    }
     for (const VehicleId v : obj.placement) {
       if (std::find(answered.begin(), answered.end(), v) != answered.end()) {
         continue;
@@ -218,16 +293,45 @@ ReadResult StorageService::get(std::uint64_t client, FileId object,
       answered.push_back(v);
       const auto cv = obj.copy_version.find(v.value());
       if (cv != obj.copy_version.end()) max_seen = std::max(max_seen, cv->second);
+      if (traced) {
+        trace_->record(now + leg_begin, obs::TraceCategory::kStorage,
+                       "storage.replica.read", leg_ctx,
+                       {{"holder", static_cast<double>(v.value())},
+                        {"version",
+                         static_cast<double>(cv != obj.copy_version.end()
+                                                 ? cv->second
+                                                 : 0)}});
+      }
     }
-    if (answered.size() >= config_.read_quorum) break;
-    if (attempt == max_attempts) break;
+    if (answered.size() >= config_.read_quorum || attempt == max_attempts) {
+      if (traced) {
+        trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                         "storage.leg.attempt", leg_ctx);
+      }
+      break;
+    }
     elapsed += vcloud::retry_backoff(config_.retry, attempt, rng_);
+    if (traced) {
+      trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                       "storage.leg.attempt", leg_ctx,
+                       {{"backoff", elapsed - leg_begin}});
+    }
     if (elapsed > config_.op_deadline) break;
   }
+  stats_.get_latency_tail.add(elapsed);
+  const auto end_op_span = [&](double ok, double degraded) {
+    if (!traced) return;
+    trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
+                     "storage.get", op_ctx,
+                     {{"ok", ok},
+                      {"degraded", degraded},
+                      {"responses", static_cast<double>(answered.size())}});
+  };
 
   result.responses = answered.size();
   if (answered.empty()) {
     ++stats_.reads_failed;
+    end_op_span(0.0, 0.0);
     return result;
   }
   result.ok = true;
@@ -257,6 +361,7 @@ ReadResult StorageService::get(std::uint64_t client, FileId object,
                       {"version", static_cast<double>(max_seen)}});
     }
   }
+  end_op_span(1.0, result.degraded ? 1.0 : 0.0);
   return result;
 }
 
@@ -319,6 +424,14 @@ void StorageService::repair_object(std::uint64_t id, ObjectState& obj,
     for (const VehicleId v : suspects) prune_holder(obj, v);
     return;
   }
+
+  // Snapshot repair counters so an activity-gated storage.repair span can
+  // be emitted at the end: idle rounds (the common case) leave no trace, so
+  // the ring is not flooded with objects x rounds no-op spans.
+  const std::size_t copies0 = stats_.repair_copies;
+  const std::size_t freshened0 = stats_.freshen_copies;
+  const std::size_t regranted0 = stats_.leases_regranted;
+  const std::size_t pruned0 = stats_.pruned;
 
   // Recovered suspects: the holder is alive and back in the membership —
   // re-grant its lease and keep the copy instead of re-replicating (the
@@ -455,6 +568,38 @@ void StorageService::repair_object(std::uint64_t id, ObjectState& obj,
       }
     }
   }
+
+  // Repair happens within one sim instant, so an active cycle becomes a
+  // zero-duration span: begin and end both stamped `now`, carrying the
+  // object id, what the cycle did, and (as child instants) the replica set
+  // it left behind. trace_analysis buckets these per object and attributes
+  // them to fault windows.
+  if (trace_ != nullptr && trace_->enabled(obs::TraceCategory::kStorage)) {
+    const std::size_t copies = stats_.repair_copies - copies0;
+    const std::size_t freshened = stats_.freshen_copies - freshened0;
+    const std::size_t regranted = stats_.leases_regranted - regranted0;
+    const std::size_t pruned = stats_.pruned - pruned0;
+    if (copies + freshened + regranted + pruned > 0) {
+      obs::TraceContext ctx;
+      ctx.trace_id = trace_->new_trace_id();
+      ctx.span_id = trace_->begin_span(
+          now, obs::TraceCategory::kStorage, "storage.repair", ctx,
+          {{"object", static_cast<double>(id)},
+           {"replicas", static_cast<double>(obj.placement.size())}});
+      for (const VehicleId v : obj.placement) {
+        trace_->record(now, obs::TraceCategory::kStorage,
+                       "storage.repair.replica", ctx,
+                       {{"holder", static_cast<double>(v.value())},
+                        {"version", static_cast<double>(version_of(v))}});
+      }
+      trace_->end_span(now, obs::TraceCategory::kStorage, "storage.repair",
+                       ctx,
+                       {{"copies", static_cast<double>(copies)},
+                        {"freshened", static_cast<double>(freshened)},
+                        {"regranted", static_cast<double>(regranted)},
+                        {"pruned", static_cast<double>(pruned)}});
+    }
+  }
 }
 
 VehicleId StorageService::storm_victim(std::uint64_t tag) const {
@@ -533,6 +678,10 @@ void StorageService::register_metrics(obs::MetricsRegistry& metrics) const {
     return static_cast<double>(stats_.leases_expired);
   });
   metrics.gauge("storage.mb_copied", [this] { return stats_.mb_copied; });
+  // Tail distributions of per-op virtual latency; snapshot columns + the
+  // sketches.json export both read through these views.
+  metrics.sketch_view("storage.put.latency", stats_.put_latency_tail);
+  metrics.sketch_view("storage.get.latency", stats_.get_latency_tail);
 }
 
 }  // namespace vcl::storage

@@ -42,6 +42,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/lease.h"
+#include "util/quantile_sketch.h"
 #include "vcloud/cloud.h"
 #include "vcloud/invariant_oracle.h"
 
@@ -87,6 +88,10 @@ struct StorageStats {
   std::size_t freshen_copies = 0;    // stale live replicas caught up
   std::size_t pruned = 0;            // suspects swapped out of placements
   double mb_copied = 0.0;            // repair + freshen traffic
+  // Per-op virtual latency (retry backoff accrued within the op deadline):
+  // fixed-memory sketches, so tail percentiles survive million-op runs.
+  QuantileSketch put_latency_tail;
+  QuantileSketch get_latency_tail;
 };
 
 struct WriteResult {

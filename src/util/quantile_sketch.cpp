@@ -1,0 +1,132 @@
+#include "util/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vcl {
+
+QuantileSketch::QuantileSketch(double relative_error, std::size_t max_buckets)
+    : alpha_(relative_error), max_buckets_(std::max<std::size_t>(max_buckets, 2)) {
+  if (!(relative_error > 0.0) || !(relative_error < 1.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch: relative_error must be in (0, 1)");
+  }
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  log_gamma_ = std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::index_of(double x) const {
+  // ceil(log_gamma(x)): the smallest i with gamma^i >= x.
+  return static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double QuantileSketch::value_of(std::int32_t index) const {
+  // Midpoint (harmonic) representative: within alpha of every bucket value.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::observe_moments(double x, std::uint64_t n) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+}
+
+void QuantileSketch::add_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  if (!(x >= kMinTrackable)) {  // zero, negatives and NaN all land here
+    const double clamped = std::isnan(x) ? 0.0 : std::max(x, 0.0);
+    observe_moments(clamped, n);
+    zero_count_ += n;
+    return;
+  }
+  observe_moments(x, n);
+  buckets_[index_of(x)] += n;
+  collapse_if_needed();
+}
+
+void QuantileSketch::add_bucket(std::int32_t index, std::uint64_t count) {
+  if (count == 0) return;
+  observe_moments(value_of(index), count);
+  buckets_[index] += count;
+  collapse_if_needed();
+}
+
+void QuantileSketch::add_zero(std::uint64_t count) {
+  if (count == 0) return;
+  observe_moments(0.0, count);
+  zero_count_ += count;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.alpha_ != alpha_ || other.max_buckets_ != max_buckets_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: incompatible sketch layout "
+        "(relative_error/max_buckets differ)");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  collapse_if_needed();
+}
+
+void QuantileSketch::collapse_if_needed() {
+  // Collapse the LOWEST buckets into the cutoff bucket: tail quantiles stay
+  // alpha-accurate, only the low extreme coarsens. std::map iteration is
+  // index-ascending, so the survivor set is a deterministic function of the
+  // bucket multiset alone.
+  while (buckets_.size() > max_buckets_) {
+    auto lowest = buckets_.begin();
+    auto next = std::next(lowest);
+    next->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  // Target rank over the merged counts; integer arithmetic keeps the walk
+  // bit-identical however the counts were assembled.
+  const auto rank = static_cast<std::uint64_t>(
+      clamped_q * static_cast<double>(count_ - 1));
+  double estimate = 0.0;
+  if (rank < zero_count_) {
+    estimate = 0.0;
+  } else {
+    std::uint64_t cumulative = zero_count_;
+    estimate = min_;  // overwritten unless the walk falls through (rounding)
+    for (const auto& [index, n] : buckets_) {
+      cumulative += n;
+      if (cumulative > rank) {
+        estimate = value_of(index);
+        break;
+      }
+    }
+  }
+  return std::clamp(estimate, min_, max_);
+}
+
+std::vector<QuantileSketch::Bucket> QuantileSketch::buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size());
+  for (const auto& [index, n] : buckets_) out.push_back({index, n});
+  return out;
+}
+
+}  // namespace vcl

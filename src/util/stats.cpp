@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace vcl {
@@ -57,8 +58,10 @@ void Accumulator::merge(const Accumulator& other) {
 }
 
 double Accumulator::percentile(double p) const {
-  // Documented contract: 0.0 without retention — never a moment estimate.
-  if (!keep_samples_ || samples_.empty()) return 0.0;
+  // Documented contract: NaN without retention — never a moment estimate,
+  // never a silent zero masquerading as a measured latency.
+  if (!keep_samples_) return std::numeric_limits<double>::quiet_NaN();
+  if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

@@ -27,9 +27,11 @@ class Accumulator {
 
   // Percentile in [0, 100] via linear interpolation over retained samples.
   // Contract: requires construction with keep_samples=true; when retention
-  // is disabled (or no values were added) it returns exactly 0.0 — it never
-  // interpolates from moments. Callers that stream without retention must
-  // use mean()/stddev() instead.
+  // is disabled the query is unanswerable and returns quiet NaN — loudly
+  // unusable downstream (tables print "nan", JSON emits null) instead of a
+  // silent 0.0 that reads like a real latency. Retaining-but-empty returns
+  // 0.0 ("no data yet"). It never interpolates from moments; callers that
+  // stream without retention should use QuantileSketch instead.
   [[nodiscard]] double percentile(double p) const;
 
   // Folds `other` into this accumulator (Chan's parallel Welford update):

@@ -53,7 +53,9 @@ std::vector<std::string> CloudStats::table_row() const {
           Table::num(wasted_work, 1),
           Table::num(redundant_work, 1),
           Table::num(detection_latency.mean(), 2),
-          Table::num(latency.percentile(95), 1)};
+          // Sketch-backed: alpha-relative-accurate in fixed memory (the
+          // latency Accumulator no longer retains samples).
+          Table::num(latency_tail.percentile(95), 1)};
 }
 
 // ---- VehicularCloud ---------------------------------------------------------
@@ -415,7 +417,9 @@ void VehicularCloud::dispatch() {
       return;  // scheduler picked a busy/gone worker: wait for refresh
     }
     pending_.pop_front();
-    stats_.queue_delay.add(net_.simulator().now() - task.created);
+    const SimTime queued = net_.simulator().now() - task.created;
+    stats_.queue_delay.add(queued);
+    stats_.queue_delay_tail.add(queued);
     assign(task, worker_it->second, pick, /*charge_input=*/true);
     maybe_replicate(task);
   }
@@ -583,6 +587,7 @@ void VehicularCloud::finalize_completion(Task& task) {
     task.state = TaskState::kCompleted;
     ++stats_.completed;
     stats_.latency.add(now - task.created);
+    stats_.latency_tail.add(now - task.created);
     if (trace_ != nullptr) {
       trace_->record(now, obs::TraceCategory::kTask, "task.complete",
                      task.trace,
@@ -842,6 +847,17 @@ void VehicularCloud::heartbeat_round() {
     beat.size_bytes = config_.dependability.detector.heartbeat_bytes;
     if (net_.send(beat)) {
       detector_.observe(v, now);
+      if (heartbeat_rtt_enabled_) {
+        // Modeled round trip (beat + implicit ack) at the channel's hop
+        // delay for this beat's size and the worker's local contention —
+        // the same model bootstrap registration uses. Gated: the density
+        // lookup is a spatial query undisturbed runs must not pay.
+        const auto pos = net_.position_of(net::Address::vehicle(v));
+        const std::size_t density =
+            pos.has_value() ? net_.local_density(*pos) : 0;
+        stats_.heartbeat_rtt_tail.add(
+            2.0 * net_.channel().hop_delay(beat.size_bytes, density));
+      }
       if (heartbeat_hook_) heartbeat_hook_(v, now);
     }
   }
@@ -1016,7 +1032,7 @@ void VehicularCloud::refresh() {
   if (oracle_ != nullptr) oracle_->check(*this, now);
 }
 
-void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) const {
+void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) {
   metrics.gauge("cloud.member.count",
                 [this] { return static_cast<double>(workers_.size()); });
   metrics.gauge("cloud.task.pending",
@@ -1036,6 +1052,12 @@ void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) const {
                 [this] { return stats_.detection_latency.mean(); });
   metrics.gauge("cloud.queue.delay_mean",
                 [this] { return stats_.queue_delay.mean(); });
+  // Tail sketches: sampled as .count/.p50/.p99/.p999 columns and exported
+  // in full to sketches.json.
+  metrics.sketch_view("cloud.task.e2e", stats_.latency_tail);
+  metrics.sketch_view("cloud.queue.delay", stats_.queue_delay_tail);
+  metrics.sketch_view("cloud.heartbeat.rtt", stats_.heartbeat_rtt_tail);
+  heartbeat_rtt_enabled_ = true;
 }
 
 // ---- architecture factories --------------------------------------------------

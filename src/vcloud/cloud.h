@@ -31,6 +31,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/quantile_sketch.h"
 #include "util/stats.h"
 #include "vcloud/broker.h"
 #include "vcloud/dependability.h"
@@ -59,8 +60,18 @@ struct CloudStats {
   std::size_t migrations = 0;
   std::size_t reallocations = 0;  // re-queued from zero after a departure
   double wasted_work = 0.0;       // work units thrown away
-  Accumulator latency;            // completion - creation, seconds
-  Accumulator queue_delay;        // dispatch - creation, seconds
+  // Moments stream without sample retention; the paired sketches answer
+  // percentile queries in fixed memory, so the stats survive 10⁶-task runs
+  // (the old retaining Accumulators grew one double per task).
+  Accumulator latency{/*keep_samples=*/false};      // completion - creation, s
+  Accumulator queue_delay{/*keep_samples=*/false};  // dispatch - creation, s
+  QuantileSketch latency_tail;      // tail quantiles of `latency`
+  QuantileSketch queue_delay_tail;  // tail quantiles of `queue_delay`
+  // Modeled broker<->worker heartbeat round trip (2x channel hop delay at
+  // the beat's size and local density). Fed only while metrics telemetry is
+  // registered: the density lookup is a spatial query we refuse to pay on
+  // undisturbed runs.
+  QuantileSketch heartbeat_rtt_tail;
 
   // Dependability counters (see dependability.h; all zero when the
   // hardened path is disabled).
@@ -151,8 +162,10 @@ class VehicularCloud {
   // dispatch/complete/retry, failure-detector kills).
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   // Registers cloud.* gauges (member count, queue depth, completion,
-  // detection latency) with the sampler.
-  void register_metrics(obs::MetricsRegistry& metrics) const;
+  // detection latency) and the tail sketches (task e2e, queue delay,
+  // heartbeat RTT) with the sampler; also arms the per-beat heartbeat-RTT
+  // sampling, which stays off until metrics are registered.
+  void register_metrics(obs::MetricsRegistry& metrics);
 
   // --- invariant oracle (off by default: null oracle = one branch per hook) --
   // When set, the oracle's full scan runs at the end of every refresh() and
@@ -272,6 +285,9 @@ class VehicularCloud {
   std::uint64_t next_replica_epoch_ = 1;
   CloudStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  // Armed by register_metrics(): per-beat RTT sampling costs a density
+  // lookup, so undisturbed runs never pay it (telemetry inertness).
+  bool heartbeat_rtt_enabled_ = false;
   InvariantOracle* oracle_ = nullptr;
   CompletionHook completion_hook_;
   HeartbeatHook heartbeat_hook_;

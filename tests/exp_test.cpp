@@ -156,6 +156,36 @@ TEST(Replicate, AggregateBitIdenticalAcrossJobCounts) {
   }
 }
 
+RepReport tailed_rep(const RepContext& ctx) {
+  Rng rng(ctx.seed);
+  RepReport rep;
+  auto& t = rep.tail("latency");
+  for (int i = 0; i < 200; ++i) t.add(std::exp(rng.normal(-3.0, 1.5)));
+  rep.value("rep_index", static_cast<double>(ctx.rep));
+  return rep;
+}
+
+TEST(Replicate, TailSketchesBitIdenticalAcrossJobCounts) {
+  // Tail sketches fold in fixed rep order regardless of which worker
+  // finished first, and bucket-count merges are exact — so every quantile
+  // (and even the order-sensitive sum) is bit-identical for any --jobs.
+  ReplicateOptions serial{/*reps=*/8, /*jobs=*/1, /*base_seed=*/99, /*out_dir=*/{}};
+  ReplicateOptions parallel{/*reps=*/8, /*jobs=*/8, /*base_seed=*/99, /*out_dir=*/{}};
+  const auto a = replicate(serial, tailed_rep);
+  const auto b = replicate(parallel, tailed_rep);
+  const Summary& sa = a.at("latency");
+  const Summary& sb = b.at("latency");
+  ASSERT_TRUE(sa.has_tail);
+  ASSERT_TRUE(sb.has_tail);
+  EXPECT_EQ(sa.tail.count(), sb.tail.count());
+  EXPECT_EQ(sa.tail.count(), 8u * 200u);
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(sa.tail.quantile(q), sb.tail.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(sa.tail.sum(), sb.tail.sum());
+  EXPECT_EQ(sa.tail.min(), sb.tail.min());
+}
+
 TEST(Replicate, RepZeroSeesBaseSeedAndOthersDiffer) {
   ReplicateOptions opts{/*reps=*/4, /*jobs=*/1, /*base_seed=*/77, /*out_dir=*/{}};
   std::vector<std::uint64_t> seeds(4, 0);

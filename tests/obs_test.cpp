@@ -12,6 +12,7 @@
 #include "obs/bench_output.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "obs/trace_analysis.h"
@@ -323,6 +324,195 @@ TEST(TraceAnalysis, OrphanedSpansAreDiagnosedNotInvented) {
   EXPECT_EQ(analysis.tasks()[0].outcome, "open");
   EXPECT_EQ(analysis.tasks()[0].orphaned_spans, 1u);
   EXPECT_EQ(analysis.orphaned_spans(), 1u);
+}
+
+TEST(TraceAnalysis, FaultWindowAnnotationsMergeAndSplitTaskTime) {
+  TraceRecorder rec(64);
+  // Two overlapping storm windows [2,5] + [4,8] (merge to [2,8]) and a
+  // disjoint one [20,22], stamped the way fault::FaultInjector does.
+  rec.record(2.0, TraceCategory::kFault, "fault.window",
+             {{"start", 2.0}, {"end", 5.0}, {"radius", 100.0}});
+  rec.record(4.0, TraceCategory::kFault, "fault.window",
+             {{"start", 4.0}, {"end", 8.0}, {"radius", 100.0}});
+  rec.record(20.0, TraceCategory::kFault, "fault.window",
+             {{"start", 20.0}, {"end", 22.0}, {"radius", 100.0}});
+  const std::uint64_t trace = rec.new_trace_id();
+  TraceContext root_ctx{trace, 0};
+  root_ctx.span_id = rec.begin_span(0.0, TraceCategory::kTask, "task.life",
+                                    root_ctx, {{"task", 1.0}});
+  rec.end_span(10.0, TraceCategory::kTask, "task.life", root_ctx,
+               {{"outcome", kOutcomeCompleted}});
+
+  std::stringstream ss;
+  rec.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta));
+
+  const auto windows = extract_fault_windows(events);
+  ASSERT_EQ(windows.size(), 2u);  // overlap merged into a disjoint union
+  EXPECT_DOUBLE_EQ(windows[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(windows[0].end, 8.0);
+  EXPECT_DOUBLE_EQ(windows[1].start, 20.0);
+  EXPECT_DOUBLE_EQ(storm_overlap(windows, 0.0, 10.0), 6.0);
+  EXPECT_DOUBLE_EQ(storm_overlap(windows, 9.0, 12.0), 0.0);
+  EXPECT_DOUBLE_EQ(storm_overlap(windows, 7.0, 21.0), 2.0);  // 1 + 1
+
+  const TraceAnalysis analysis(events);
+  ASSERT_EQ(analysis.tasks().size(), 1u);
+  const TaskBreakdown& bd = analysis.tasks()[0];
+  EXPECT_DOUBLE_EQ(bd.storm, 6.0);  // [0,10] ∩ [2,8]
+  EXPECT_DOUBLE_EQ(bd.clear_sky(), 4.0);
+  ASSERT_EQ(analysis.fault_windows().size(), 2u);
+}
+
+TEST(TraceAnalysis, StorageRootsGetTheirOwnBreakdown) {
+  TraceRecorder rec(64);
+  rec.record(1.0, TraceCategory::kFault, "fault.window",
+             {{"start", 1.0}, {"end", 2.0}, {"radius", 50.0}});
+  // A storage.put whose two attempt legs partition [1.0, 1.5] exactly,
+  // writing to holders 7 and 3.
+  const std::uint64_t trace = rec.new_trace_id();
+  TraceContext op{trace, 0};
+  op.span_id = rec.begin_span(1.0, TraceCategory::kStorage, "storage.put", op,
+                              {{"object", 4.0}, {"version", 2.0}});
+  TraceContext leg{trace, op.span_id};
+  leg.span_id =
+      rec.begin_span(1.0, TraceCategory::kStorage, "storage.leg.attempt", op,
+                     {{"attempt", 1.0}});
+  rec.record(1.0, TraceCategory::kStorage, "storage.replica.write", leg,
+             {{"holder", 7.0}, {"version", 2.0}});
+  rec.end_span(1.2, TraceCategory::kStorage, "storage.leg.attempt", leg);
+  leg.span_id =
+      rec.begin_span(1.2, TraceCategory::kStorage, "storage.leg.attempt", op,
+                     {{"attempt", 2.0}});
+  rec.record(1.2, TraceCategory::kStorage, "storage.replica.write", leg,
+             {{"holder", 3.0}, {"version", 2.0}});
+  rec.end_span(1.5, TraceCategory::kStorage, "storage.leg.attempt", leg);
+  rec.end_span(1.5, TraceCategory::kStorage, "storage.put", op,
+               {{"acked", 1.0}, {"replicas", 2.0}});
+  // A root the analyzer has never heard of: skipped and counted, not fatal.
+  TraceContext weird{rec.new_trace_id(), 0};
+  weird.span_id =
+      rec.begin_span(3.0, TraceCategory::kTask, "weird.root", weird);
+  rec.end_span(4.0, TraceCategory::kTask, "weird.root", weird);
+
+  std::stringstream ss;
+  rec.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta));
+  const TraceAnalysis analysis(events);
+
+  EXPECT_TRUE(analysis.tasks().empty());  // neither root is a task
+  EXPECT_EQ(analysis.unknown_roots(), 1u);
+  ASSERT_EQ(analysis.storage_ops().size(), 1u);
+  const StorageOpBreakdown& put = analysis.storage_ops()[0];
+  EXPECT_EQ(put.kind, "put");
+  EXPECT_DOUBLE_EQ(put.object, 4.0);
+  EXPECT_TRUE(put.closed);
+  EXPECT_TRUE(put.ok);
+  EXPECT_EQ(put.attempts, 2);
+  EXPECT_DOUBLE_EQ(put.e2e(), 0.5);
+  EXPECT_DOUBLE_EQ(put.legs, put.e2e());  // legs partition the op exactly
+  ASSERT_EQ(put.replicas.size(), 2u);     // sorted, deduped holder set
+  EXPECT_EQ(put.replicas[0], 3u);
+  EXPECT_EQ(put.replicas[1], 7u);
+  EXPECT_TRUE(put.in_storm);
+  EXPECT_DOUBLE_EQ(put.storm, 0.5);  // fully inside [1,2]
+}
+
+// ---- storage tracing end-to-end ---------------------------------------------
+
+core::SystemConfig traced_storage_system(std::uint64_t seed, bool tracing) {
+  core::SystemConfig sys;
+  sys.scenario.environment = core::Environment::kParkingLot;
+  sys.scenario.seed = seed;
+  sys.scenario.vehicles = 20;
+  sys.scenario.vehicles_parked = true;
+  sys.architecture = core::CloudArchitecture::kStationary;
+  sys.stationary_radius = 5000.0;
+  sys.cloud.dependability.detector.enabled = true;
+  sys.storage.enabled = true;
+  sys.telemetry.tracing = tracing;
+  return sys;
+}
+
+TEST(StorageTelemetry, StorageSpansPartitionOpLatency) {
+  core::VehicularCloudSystem system(traced_storage_system(31, true));
+  system.start();
+  system.run_for(2.0);
+  auto& store = *system.storage();
+  auto& sim = system.scenario().simulator();
+
+  const FileId object = store.create(sim.now());
+  ASSERT_TRUE(store.put(1, object, sim.now()).acked);
+  ASSERT_TRUE(store.get(2, object, sim.now()).ok);
+  // Under a blanket blackout every radio leg is lost, so the op burns its
+  // whole retry budget: attempts > 1 and non-zero virtual elapsed time.
+  const auto [lo, hi] = system.scenario().road().bounding_box();
+  const geo::Vec2 center{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  auto& channel = system.scenario().network().channel();
+  const std::uint64_t token = channel.add_blackout({center, 1e6});
+  store.get(3, object, sim.now());
+  channel.remove_blackout(token);
+
+  EXPECT_EQ(store.stats().put_latency_tail.count(), 1u);
+  EXPECT_EQ(store.stats().get_latency_tail.count(), 2u);
+
+  std::stringstream ss;
+  system.telemetry()->trace.write_jsonl(ss);
+  std::vector<ParsedEvent> events;
+  TraceMeta meta;
+  ASSERT_TRUE(parse_trace_jsonl(ss, events, meta));
+  const TraceAnalysis analysis(events);
+
+  ASSERT_EQ(analysis.storage_ops().size(), 3u);
+  std::size_t puts = 0, gets = 0;
+  bool saw_retries = false;
+  for (const StorageOpBreakdown& bd : analysis.storage_ops()) {
+    ASSERT_TRUE(bd.closed);
+    (bd.kind == "put" ? puts : gets) += 1;
+    EXPECT_DOUBLE_EQ(bd.object, static_cast<double>(object.value()));
+    EXPECT_GE(bd.attempts, 1);
+    // The partition invariant: attempt legs sum EXACTLY to the op's
+    // end-to-end time (each leg spans [its start, the next one's start)).
+    EXPECT_NEAR(bd.legs, bd.e2e(), 1e-9) << bd.kind;
+    if (bd.attempts > 1) {
+      saw_retries = true;
+      EXPECT_GT(bd.e2e(), 0.0);
+    }
+    if (bd.ok) {
+      EXPECT_FALSE(bd.replicas.empty());
+    }
+  }
+  EXPECT_EQ(puts, 1u);
+  EXPECT_EQ(gets, 2u);
+  EXPECT_TRUE(saw_retries);  // the blacked-out get retried
+  EXPECT_EQ(analysis.unknown_roots(), 0u);
+}
+
+TEST(StorageTelemetry, TracingOffLeavesStorageBehaviorUntouched) {
+  // Instrumentation draws no randomness and allocates no ids when off, so
+  // the same seed must produce bit-identical storage behavior either way.
+  auto run = [](bool tracing) {
+    core::VehicularCloudSystem system(traced_storage_system(33, tracing));
+    system.start();
+    system.run_for(2.0);
+    auto& store = *system.storage();
+    auto& sim = system.scenario().simulator();
+    const FileId object = store.create(sim.now());
+    const auto w = store.put(1, object, sim.now());
+    const auto r = store.get(2, object, sim.now());
+    system.run_for(10.0);
+    return std::make_tuple(w.acked, w.version, w.replicas, r.ok, r.version,
+                           store.stats().writes_acked,
+                           store.stats().repair_copies,
+                           store.stats().put_latency_tail.sum(),
+                           store.stats().get_latency_tail.sum(),
+                           system.scenario().simulator().events_processed());
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 // ---- MetricsRegistry --------------------------------------------------------
@@ -660,6 +850,130 @@ TEST(Telemetry, WriteTelemetryCreatesTheExportTree) {
   std::string first_line;
   ASSERT_TRUE(std::getline(in, first_line));
   EXPECT_NE(first_line.find("\"meta\":\"vcl-trace-v1\""), std::string::npos);
+}
+
+// ---- run-health report (tools/vcl_report) -----------------------------------
+
+TEST(RunHealth, MergesArtifactsAndAttributesStormLatency) {
+  TelemetryConfig cfg;
+  cfg.tracing = true;
+  cfg.metrics = true;
+  Telemetry tel(cfg);
+  // One fault window [1,2]; a put fully inside it, a get in clear sky.
+  tel.trace.record(1.0, TraceCategory::kFault, "fault.window",
+                   {{"start", 1.0}, {"end", 2.0}, {"radius", 9.0}});
+  {
+    TraceContext op{tel.trace.new_trace_id(), 0};
+    op.span_id = tel.trace.begin_span(1.0, TraceCategory::kStorage,
+                                      "storage.put", op, {{"object", 1.0}});
+    tel.trace.end_span(1.5, TraceCategory::kStorage, "storage.put", op,
+                       {{"acked", 1.0}});
+  }
+  {
+    TraceContext op{tel.trace.new_trace_id(), 0};
+    op.span_id = tel.trace.begin_span(5.0, TraceCategory::kStorage,
+                                      "storage.get", op, {{"object", 1.0}});
+    tel.trace.end_span(5.25, TraceCategory::kStorage, "storage.get", op,
+                       {{"ok", 1.0}});
+  }
+  {
+    TraceContext task{tel.trace.new_trace_id(), 0};
+    task.span_id = tel.trace.begin_span(0.0, TraceCategory::kTask,
+                                        "task.life", task, {{"task", 1.0}});
+    tel.trace.end_span(4.0, TraceCategory::kTask, "task.life", task,
+                       {{"outcome", kOutcomeCompleted}});
+  }
+  tel.metrics.counter("x.count").inc();
+  tel.metrics.counter("x.count").inc();
+  auto& sk = tel.metrics.sketch("demo.latency");
+  sk.add(0.1);
+  sk.add(0.2);
+  sk.add(0.4);
+  tel.metrics.sample(0.0);
+
+  const std::string dir = ::testing::TempDir() + "vcl_run_health/rep0";
+  ASSERT_TRUE(write_telemetry(tel, dir));
+  {
+    std::ofstream v(dir + "/violations.jsonl");
+    v << R"({"meta":"vcl-violations-v1","seed":7,"checks_run":100,)"
+      << R"("violations":2})" << "\n"
+      << R"({"t":1.5,"invariant":"storage.durability",)"
+      << R"("detail":"object 1 lost every copy","task":3,"seed":7})" << "\n"
+      << R"({"t":2.5,"invariant":"task.conservation",)"
+      << R"("detail":"states do not sum","seed":7})" << "\n";
+  }
+
+  RunHealth h;
+  std::string error;
+  ASSERT_TRUE(build_run_health({dir}, h, &error)) << error;
+  EXPECT_TRUE(h.have_trace);
+  EXPECT_TRUE(h.have_metrics);
+  EXPECT_TRUE(h.have_sketches);
+  EXPECT_TRUE(h.have_violations);
+
+  EXPECT_EQ(h.tasks, 1u);
+  EXPECT_EQ(h.tasks_closed, 1u);
+  EXPECT_DOUBLE_EQ(h.task_e2e_s, 4.0);
+  EXPECT_DOUBLE_EQ(h.task_storm_s, 1.0);  // [0,4] ∩ [1,2]
+  EXPECT_EQ(h.storage_ops, 2u);
+  EXPECT_EQ(h.storage_in_storm, 1u);
+  EXPECT_EQ(h.fault_windows, 1u);
+  EXPECT_DOUBLE_EQ(h.fault_window_s, 1.0);
+  // The storm/clear split is exactly what the acceptance criterion wants:
+  // the in-storm put latency lands in put_storm_tail, nothing leaks into
+  // the clear-sky cell (and vice versa for the get).
+  EXPECT_EQ(h.put_storm_tail.count(), 1u);
+  EXPECT_EQ(h.put_clear_tail.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.put_storm_tail.max(), 0.5);
+  EXPECT_EQ(h.get_storm_tail.count(), 0u);
+  EXPECT_EQ(h.get_clear_tail.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.get_clear_tail.max(), 0.25);
+
+  EXPECT_DOUBLE_EQ(h.counters.at("x.count"), 2.0);
+  ASSERT_EQ(h.sketches.count("demo.latency"), 1u);
+  const QuantileSketch& rebuilt = h.sketches.at("demo.latency");
+  EXPECT_EQ(rebuilt.count(), 3u);
+  // Reconstruction from bucket snapshots reproduces quantiles exactly.
+  EXPECT_EQ(rebuilt.quantile(0.5), sk.quantile(0.5));
+  EXPECT_EQ(rebuilt.quantile(0.999), sk.quantile(0.999));
+
+  EXPECT_EQ(h.checks_run, 100u);
+  EXPECT_EQ(h.violation_count, 2u);
+  ASSERT_EQ(h.violations.size(), 2u);
+  EXPECT_EQ(h.violations[0].invariant, "storage.durability");
+  EXPECT_DOUBLE_EQ(h.violations[0].task, 3.0);
+  EXPECT_DOUBLE_EQ(h.violations[1].task, -1.0);  // not task-scoped
+
+  // Merging the same directory twice doubles every additive aggregate —
+  // and sketch merges stay exact (bucket-count addition).
+  RunHealth twice;
+  ASSERT_TRUE(build_run_health({dir, dir}, twice, &error)) << error;
+  EXPECT_EQ(twice.storage_ops, 4u);
+  EXPECT_DOUBLE_EQ(twice.counters.at("x.count"), 4.0);
+  EXPECT_EQ(twice.sketches.at("demo.latency").count(), 6u);
+  // A doubled distribution has the same shape: the median bucket (and the
+  // exact extremes) must not move.
+  EXPECT_EQ(twice.sketches.at("demo.latency").quantile(0.5),
+            rebuilt.quantile(0.5));
+  EXPECT_EQ(twice.sketches.at("demo.latency").max(), rebuilt.max());
+  EXPECT_EQ(twice.violation_count, 4u);
+
+  // The writers must render both views without tripping over anything.
+  std::ostringstream text, json;
+  write_health_text(text, h);
+  write_health_json(json, h);
+  EXPECT_NE(text.str().find("2 VIOLATION"), std::string::npos);
+  EXPECT_NE(json.str().find("\"schema\":\"vcl-report-v1\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"in_storm\""), std::string::npos);
+}
+
+TEST(RunHealth, EmptyDirectoryIsAnErrorNotAnEmptyReport) {
+  const std::string dir = ::testing::TempDir() + "vcl_run_health_empty";
+  std::filesystem::create_directories(dir);
+  RunHealth h;
+  std::string error;
+  EXPECT_FALSE(build_run_health({dir}, h, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

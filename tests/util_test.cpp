@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/ids.h"
+#include "util/quantile_sketch.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -119,13 +122,14 @@ TEST(Accumulator, Percentiles) {
   EXPECT_NEAR(acc.percentile(95), 95.05, 0.2);
 }
 
-TEST(Accumulator, PercentileWithoutRetentionIsZero) {
+TEST(Accumulator, PercentileWithoutRetentionIsNaN) {
   // Documented contract: keep_samples=false means percentile() returns
-  // exactly 0.0 — it never interpolates from moments.
+  // quiet NaN — it never interpolates from moments, and it never returns a
+  // silent 0.0 that reads like a measured latency downstream.
   Accumulator acc(/*keep_samples=*/false);
   for (int i = 1; i <= 100; ++i) acc.add(i);
-  EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
-  EXPECT_DOUBLE_EQ(acc.percentile(99), 0.0);
+  EXPECT_TRUE(std::isnan(acc.percentile(50)));
+  EXPECT_TRUE(std::isnan(acc.percentile(99)));
   // Moments stay fully usable without retention.
   EXPECT_EQ(acc.count(), 100u);
   EXPECT_DOUBLE_EQ(acc.mean(), 50.5);
@@ -412,7 +416,7 @@ TEST(AccumulatorMerge, MergeWithEmptyIsIdentity) {
 
 TEST(AccumulatorMerge, NoRetentionMergeKeepsMomentsButNoPercentiles) {
   // The keep_samples=false contract: moments of the union are exact, but
-  // percentile() must return exactly 0 rather than inventing an answer.
+  // percentile() must return NaN rather than inventing an answer.
   const std::vector<double> values = stochastic_values(200);
   Accumulator expect_acc(false);
   for (const double v : values) expect_acc.add(v);
@@ -422,8 +426,8 @@ TEST(AccumulatorMerge, NoRetentionMergeKeepsMomentsButNoPercentiles) {
     merged.merge(s);
   }
   expect_moments_near(merged, expect_acc);
-  EXPECT_DOUBLE_EQ(merged.percentile(50), 0.0);
-  EXPECT_DOUBLE_EQ(merged.percentile(95), 0.0);
+  EXPECT_TRUE(std::isnan(merged.percentile(50)));
+  EXPECT_TRUE(std::isnan(merged.percentile(95)));
 }
 
 // ---- Student-t table (confidence intervals) -------------------------------
@@ -449,6 +453,219 @@ TEST(StudentT, Ci95HalfWidth) {
   reps.add(5.0);
   // n=2: t95(1) * stddev / sqrt(2), stddev = sqrt(2).
   EXPECT_NEAR(ci95_half_width(reps), student_t95(1), 1e-9);
+}
+
+// ---- QuantileSketch --------------------------------------------------------
+
+// Exact percentile with the sketch's rank convention: the value at rank
+// floor(q * (n - 1)) of the sorted sample.
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1));
+  return xs[rank];
+}
+
+void expect_within_relative_error(const QuantileSketch& sk,
+                                  const std::vector<double>& xs,
+                                  const char* label) {
+  for (const double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double exact = exact_quantile(xs, q);
+    const double est = sk.quantile(q);
+    if (exact < QuantileSketch::kMinTrackable) {
+      EXPECT_EQ(est, 0.0) << label << " q=" << q;
+    } else {
+      EXPECT_NEAR(est, exact, sk.relative_error() * exact * (1 + 1e-9))
+          << label << " q=" << q;
+    }
+  }
+}
+
+TEST(QuantileSketch, EmptyIsNaNAndZeroedMoments) {
+  const QuantileSketch sk;
+  EXPECT_TRUE(std::isnan(sk.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(sk.percentile(99)));
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_EQ(sk.min(), 0.0);
+  EXPECT_EQ(sk.max(), 0.0);
+  EXPECT_EQ(sk.mean(), 0.0);
+}
+
+TEST(QuantileSketch, AccuracyOnAdversarialDistributions) {
+  Rng rng(20260808);
+  struct Case {
+    const char* label;
+    std::vector<double> xs;
+  };
+  std::vector<Case> cases;
+  {  // Uniform: dense mid-range mass.
+    Case c{"uniform", {}};
+    for (int i = 0; i < 5000; ++i) c.xs.push_back(rng.uniform(0.1, 10.0));
+    cases.push_back(std::move(c));
+  }
+  {  // Heavy tail (exp of normal, lognormal-ish): spans several decades.
+    Case c{"lognormal", {}};
+    for (int i = 0; i < 5000; ++i) {
+      c.xs.push_back(std::exp(rng.normal(0.0, 2.0)));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Bimodal with a 9-decade gap: buckets far apart, nothing between.
+    Case c{"bimodal", {}};
+    for (int i = 0; i < 2000; ++i) {
+      c.xs.push_back(rng.bernoulli(0.5) ? rng.uniform(1e-6, 2e-6)
+                                        : rng.uniform(1e3, 2e3));
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // Constant: every quantile must hit it exactly (clamped to min/max).
+    Case c{"constant", std::vector<double>(100, 3.14)};
+    cases.push_back(std::move(c));
+  }
+  {  // Geometric ladder: one value per bucket across the whole range.
+    Case c{"geometric", {}};
+    for (int i = 0; i < 600; ++i) c.xs.push_back(1e-6 * std::pow(1.05, i));
+    cases.push_back(std::move(c));
+  }
+  for (const auto& c : cases) {
+    QuantileSketch sk;
+    for (const double x : c.xs) sk.add(x);
+    ASSERT_EQ(sk.count(), c.xs.size()) << c.label;
+    expect_within_relative_error(sk, c.xs, c.label);
+    // min/max are tracked exactly, and every estimate is clamped into them.
+    const auto [lo, hi] = std::minmax_element(c.xs.begin(), c.xs.end());
+    EXPECT_DOUBLE_EQ(sk.min(), *lo) << c.label;
+    EXPECT_DOUBLE_EQ(sk.max(), *hi) << c.label;
+    EXPECT_GE(sk.quantile(0.0), *lo) << c.label;
+    EXPECT_LE(sk.quantile(1.0), *hi) << c.label;
+  }
+}
+
+TEST(QuantileSketch, ZeroAndNegativeRouteToZeroBucket) {
+  QuantileSketch sk;
+  sk.add(0.0);
+  sk.add(-5.0);
+  sk.add(1e-12);  // below kMinTrackable
+  EXPECT_EQ(sk.zero_count(), 3u);
+  EXPECT_EQ(sk.count(), 3u);
+  EXPECT_EQ(sk.bucket_count(), 0u);
+  EXPECT_EQ(sk.quantile(0.5), 0.0);
+  sk.add(100.0);
+  // Three of four samples are zero: the median is still the zero bucket.
+  EXPECT_EQ(sk.quantile(0.5), 0.0);
+  EXPECT_NEAR(sk.quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(QuantileSketch, MergeMatchesBulkAddBitIdentically) {
+  Rng rng(7);
+  QuantileSketch bulk;
+  QuantileSketch a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::exp(rng.normal(0.0, 3.0));
+    bulk.add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  QuantileSketch merged;
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged.count(), bulk.count());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), bulk.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeFoldOrderIsBitIdentical) {
+  // Integer bucket counts make merge associative and commutative EXACTLY,
+  // which is what lets exp::Replicator fold worker results in any grouping
+  // without perturbing a single output bit.
+  Rng rng(99);
+  std::vector<QuantileSketch> parts(5);
+  for (auto& p : parts) {
+    const int n = static_cast<int>(rng.uniform_int(10, 400));
+    for (int i = 0; i < n; ++i) p.add(std::exp(rng.normal(-2.0, 2.5)));
+  }
+  auto fold = [&](std::vector<std::size_t> order) {
+    QuantileSketch acc;
+    for (const std::size_t i : order) acc.merge(parts[i]);
+    return acc;
+  };
+  const QuantileSketch fwd = fold({0, 1, 2, 3, 4});
+  const QuantileSketch rev = fold({4, 3, 2, 1, 0});
+  const QuantileSketch mix = fold({2, 0, 4, 1, 3});
+  // Pairwise tree fold, like a parallel reduction would produce.
+  QuantileSketch left, right;
+  left.merge(parts[0]);
+  left.merge(parts[1]);
+  right.merge(parts[2]);
+  right.merge(parts[3]);
+  right.merge(parts[4]);
+  QuantileSketch tree;
+  tree.merge(left);
+  tree.merge(right);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(fwd.quantile(q), rev.quantile(q)) << "q=" << q;
+    EXPECT_EQ(fwd.quantile(q), mix.quantile(q)) << "q=" << q;
+    EXPECT_EQ(fwd.quantile(q), tree.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(fwd.count(), tree.count());
+  EXPECT_EQ(fwd.min(), tree.min());
+  EXPECT_EQ(fwd.max(), tree.max());
+}
+
+TEST(QuantileSketch, MergeLayoutMismatchThrows) {
+  QuantileSketch a(0.01, 2048);
+  QuantileSketch alpha_mismatch(0.02, 2048);
+  QuantileSketch bound_mismatch(0.01, 1024);
+  EXPECT_THROW(a.merge(alpha_mismatch), std::invalid_argument);
+  EXPECT_THROW(a.merge(bound_mismatch), std::invalid_argument);
+}
+
+TEST(QuantileSketch, CollapseBoundsMemoryAndKeepsTheTail) {
+  // Force collapse: a tiny bucket budget against a range that needs far
+  // more. Memory must stay bounded and the TAIL quantiles must stay
+  // alpha-accurate — only the low extreme is allowed to degrade.
+  QuantileSketch sk(0.01, 32);
+  std::vector<double> xs;
+  Rng rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.uniform(std::log(1e-6), std::log(1e6)));
+    xs.push_back(x);
+    sk.add(x);
+  }
+  EXPECT_LE(sk.bucket_count(), 32u);
+  EXPECT_EQ(sk.count(), xs.size());
+  for (const double q : {0.99, 0.999, 1.0}) {
+    const double exact = exact_quantile(xs, q);
+    EXPECT_NEAR(sk.quantile(q), exact, sk.relative_error() * exact * (1 + 1e-9))
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, BucketsRoundTripThroughSnapshot) {
+  // add_bucket/add_zero must exactly reproduce quantile state: this is the
+  // contract sketches.json reconstruction (tools/vcl_report) relies on.
+  Rng rng(5);
+  QuantileSketch orig;
+  for (int i = 0; i < 1000; ++i) orig.add(std::exp(rng.normal(0.0, 2.0)));
+  orig.add(0.0);
+  orig.add(-1.0);
+
+  QuantileSketch rebuilt(orig.relative_error(), orig.max_buckets());
+  for (const auto& b : orig.buckets()) rebuilt.add_bucket(b.index, b.count);
+  rebuilt.add_zero(orig.zero_count());
+  EXPECT_EQ(rebuilt.count(), orig.count());
+  EXPECT_EQ(rebuilt.zero_count(), orig.zero_count());
+  EXPECT_EQ(rebuilt.bucket_count(), orig.bucket_count());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(rebuilt.quantile(q), orig.quantile(q)) << "q=" << q;
+  }
+  // Zero-count restores are no-ops, not spurious buckets.
+  QuantileSketch empty_restore;
+  empty_restore.add_bucket(5, 0);
+  empty_restore.add_zero(0);
+  EXPECT_EQ(empty_restore.count(), 0u);
+  EXPECT_EQ(empty_restore.bucket_count(), 0u);
 }
 
 }  // namespace

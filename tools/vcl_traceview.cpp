@@ -9,7 +9,11 @@
 //
 //   vcl_traceview out/rep0/trace.jsonl
 //   vcl_traceview --json out/rep0/trace.jsonl   # machine-readable
+//   vcl_traceview --storage chaos-out/trace.jsonl  # per-object storage ops
 //   some_bench | vcl_traceview -                # read stdin
+//
+// Unknown root-span categories (a newer recorder's traces) are skipped and
+// counted in the diagnostics, never fatal.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,7 +24,13 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--json] <trace.jsonl | ->\n";
+  std::cerr << "usage: " << argv0
+            << " [--json] [--storage] <trace.jsonl | ->\n"
+            << "  --json     machine-readable output (tasks + storage ops +\n"
+            << "             fault windows in one document)\n"
+            << "  --storage  per-object storage breakdown (put/get/repair\n"
+            << "             latency, storm attribution) instead of the\n"
+            << "             per-task table\n";
   return 2;
 }
 
@@ -28,11 +38,14 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool storage = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--storage") {
+      storage = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (path.empty()) {
@@ -64,6 +77,8 @@ int main(int argc, char** argv) {
   const vcl::obs::TraceAnalysis analysis(events);
   if (json) {
     analysis.write_json(std::cout, meta);
+  } else if (storage) {
+    analysis.write_storage_report(std::cout, meta);
   } else {
     analysis.write_report(std::cout, meta);
   }
