@@ -28,8 +28,16 @@ only counts as a failure when something present in BOTH documents moved.
 `--skip-bench bench_crypto_micro` when the two summaries come from
 different machines, since its wall-clock cells are hardware-dependent.
 
+A bench present in the baseline but absent from the current summary is an
+error, not a note: it usually means the bench was dropped from
+collect_bench.sh (or its binary failed to build) and the regression gate
+would silently stop covering it. This exits 3 so CI can distinguish
+"coverage shrank" from "numbers moved". Benches only in the current
+summary stay informational — new coverage is added via a baseline refresh.
+
 Exit status: 0 = no significant differences, 1 = differences found,
-2 = bad invocation/unreadable input.
+2 = bad invocation/unreadable input, 3 = a baseline bench is missing
+from the current summary (coverage shrank).
 """
 
 import argparse
@@ -121,8 +129,7 @@ def main():
 
     flagged = []
     notes = []
-    for name in sorted(set(base) - set(cur)):
-        notes.append(f"bench {name}: only in baseline")
+    missing = sorted(set(base) - set(cur))
     for name in sorted(set(cur) - set(base)):
         notes.append(f"bench {name}: only in current")
 
@@ -153,6 +160,15 @@ def main():
 
     for note in notes:
         print(f"note: {note}")
+    if missing:
+        for name in missing:
+            print(f"error: bench {name}: present in baseline but missing "
+                  f"from current summary — was it removed from "
+                  f"collect_bench.sh, or did its binary fail to build?")
+        print(f"\n{len(missing)} baseline bench(es) missing from the "
+              f"current summary; the regression gate no longer covers "
+              f"them (exit 3)")
+        return 3
     if flagged:
         print(f"\n{len(flagged)} significant difference(s):")
         for f in flagged:

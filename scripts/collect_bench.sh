@@ -56,6 +56,7 @@ BENCHES=(
   bench_dependability
   bench_file_replication
   bench_crypto_micro
+  bench_dag_workloads
 )
 
 if [[ ! -d "$BUILD_DIR" ]]; then

@@ -1,8 +1,10 @@
 #include "core/chaos.h"
 
 #include <fstream>
+#include <memory>
 
 #include "core/system.h"
+#include "dag/generator.h"
 #include "obs/json.h"
 #include "obs/telemetry.h"
 
@@ -42,6 +44,18 @@ SystemConfig system_for(const ChaosScenarioConfig& config) {
     sys.storage.enabled = true;  // canonical N=3 / W=2 / R=2 deployment
     sys.storage.test_drop_repair_replace = config.inject_repair_bug;
   }
+  if (config.dag) {
+    sys.dag.enabled = true;
+    // Reliability-aware: the policy with the most moving parts (backup
+    // launches, dwell predictions on crashed hosts) — what chaos is for.
+    sys.dag.policy = dag::DagPolicy::kReliabilityAware;
+    sys.dag.replicas = 2;
+    // Attempts only terminate completed or expired (the cloud requeues
+    // crashes internally), so a graph deadline is what makes the failure
+    // path — and the seeded stranded-node bug behind it — reachable.
+    sys.dag.graph_deadline = 30.0;
+    sys.dag.test_drop_failed_resubmit = config.inject_dag_bug;
+  }
   return sys;
 }
 
@@ -51,6 +65,10 @@ SystemConfig system_for(const ChaosScenarioConfig& config) {
 constexpr std::size_t kStorageObjects = 8;
 constexpr std::size_t kStorageClients = 4;
 constexpr SimTime kStorageOpPeriod = 0.7;
+
+// DAG episodes submit one generated graph per period; shapes cycle through
+// the generator's canon (chain, fork-join, diamond, layered).
+constexpr SimTime kDagSubmitPeriod = 6.0;
 
 }  // namespace
 
@@ -79,6 +97,11 @@ fault::ChaosConfig chaos_config_for(const ChaosScenarioConfig& config) {
       // Storage worst case: burst-crash a write quorum of one object's
       // holders inside a blackout that is already eating lease renewals.
       chaos.storms.storage_rate = 0.01 * config.intensity;
+    }
+    if (config.dag) {
+      // DAG worst case: repeatedly crash whichever worker currently holds
+      // a live run's critical-path node, chasing re-placements.
+      chaos.storms.dag_rate = 0.01 * config.intensity;
     }
   }
   return chaos;
@@ -129,6 +152,28 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
         store.put(client, object, sim.now());
       } else {
         store.get(client, object, sim.now());
+      }
+    });
+  }
+  if (config.dag && system.dag() != nullptr) {
+    // Deterministic graph stream: its own forked RNG, so enabling the DAG
+    // layer never reshuffles the task workload or the fault schedule. Light
+    // graphs, so a healthy episode completes them well inside the graph
+    // deadline and only injected chaos pushes one over it.
+    dag::DagWorkloadConfig graphs;
+    graphs.mean_node_work = 6.0;
+    graphs.mean_transfer_mb = 0.5;
+    graphs.mean_output_mb = 0.2;
+    graphs.chain_length = 4;
+    graphs.fanout = 4;
+    graphs.layers = 3;
+    graphs.layer_width = 2;
+    auto gen = std::make_shared<dag::DagWorkloadGenerator>(
+        graphs, system.scenario().fork_rng(78));
+    dag::DagScheduler& dsched = *system.dag();
+    sim.schedule_every(kDagSubmitPeriod, [&dsched, &sim, gen, load_until] {
+      if (sim.now() < load_until) {
+        dsched.submit_graph(gen->next(), sim.now());
       }
     });
   }
@@ -197,6 +242,14 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
     episode.storage_reads_degraded = st.reads_degraded;
     episode.storage_repair_copies = st.repair_copies;
   }
+  if (system.dag() != nullptr) {
+    const dag::DagStats& ds = system.dag()->stats();
+    episode.dag_graphs_submitted = ds.graphs_submitted;
+    episode.dag_graphs_completed = ds.graphs_completed;
+    episode.dag_graphs_failed = ds.graphs_failed;
+    episode.dag_nodes_succeeded = ds.nodes_succeeded;
+    episode.dag_backups = ds.backups;
+  }
   return episode;
 }
 
@@ -213,6 +266,8 @@ void write_chaos_repro(const ChaosScenarioConfig& config,
   meta.set("inject_requeue_bug", config.inject_requeue_bug ? 1.0 : 0.0);
   meta.set("storage", config.storage ? 1.0 : 0.0);
   meta.set("inject_repair_bug", config.inject_repair_bug ? 1.0 : 0.0);
+  meta.set("dag", config.dag ? 1.0 : 0.0);
+  meta.set("inject_dag_bug", config.inject_dag_bug ? 1.0 : 0.0);
   fault::write_fault_plan_jsonl(plan, meta, os);
 }
 
@@ -232,6 +287,8 @@ bool load_chaos_repro(std::istream& is, ChaosScenarioConfig& config,
   config.inject_requeue_bug = meta.get("inject_requeue_bug", 0.0) != 0.0;
   config.storage = meta.get("storage", 0.0) != 0.0;
   config.inject_repair_bug = meta.get("inject_repair_bug", 0.0) != 0.0;
+  config.dag = meta.get("dag", 0.0) != 0.0;
+  config.inject_dag_bug = meta.get("inject_dag_bug", 0.0) != 0.0;
   return true;
 }
 

@@ -48,6 +48,14 @@ struct ChaosScenarioConfig {
   // Arms the deliberate lost-replica bug in storage repair (see
   // StorageConfig::test_drop_repair_replace). Test fixture only.
   bool inject_repair_bug = false;
+  // Runs the DAG decomposition scheduler under the same chaos: a steady
+  // stream of generated task graphs (reliability-aware policy), the DAG
+  // invariants armed in the oracle, and — when storms are on — the
+  // critical-path-chasing storm shape added to the schedule.
+  bool dag = false;
+  // Arms the deliberate stranded-node bug in the DAG scheduler (see
+  // DagConfig::test_drop_failed_resubmit). Test fixture only.
+  bool inject_dag_bug = false;
 };
 
 // The fault/storm schedule an episode with this config faces. The blackout
@@ -71,6 +79,12 @@ struct ChaosEpisode {
   std::size_t storage_reads_quorum = 0;
   std::size_t storage_reads_degraded = 0;
   std::size_t storage_repair_copies = 0;
+  // DAG outcome (zero when ChaosScenarioConfig::dag is off).
+  std::size_t dag_graphs_submitted = 0;
+  std::size_t dag_graphs_completed = 0;
+  std::size_t dag_graphs_failed = 0;
+  std::size_t dag_nodes_succeeded = 0;
+  std::size_t dag_backups = 0;
 
   [[nodiscard]] bool ok() const { return violation_count == 0; }
 };

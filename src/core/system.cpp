@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include <stdexcept>
+
 namespace vcl::core {
 
 const char* to_string(CloudArchitecture a) {
@@ -134,6 +136,29 @@ void VehicularCloudSystem::start() {
     }
   }
 
+  // DAG decomposition scheduling after storage: it claims the cloud's
+  // terminal hook and registers as a chaos storm target, both of which need
+  // the cloud and injector already built. Its RNG is its own fork —
+  // enabling the DAG layer never reshuffles the other streams.
+  if (config_.dag.enabled) {
+    if (const std::string problem =
+            dag::validate(config_.dag, config_.scenario.vehicles);
+        !problem.empty()) {
+      throw std::invalid_argument("DagConfig: " + problem);
+    }
+    dag_ = std::make_unique<dag::DagScheduler>(net, *cloud_, config_.dag,
+                                               scenario_.fork_rng(23));
+    dag_->attach();
+    if (oracle_ != nullptr) {
+      oracle_->set_dag(dag_.get());
+      dag_->set_oracle(oracle_.get());
+    }
+    if (injector_ != nullptr) {
+      injector_->set_dag_victim_resolver(
+          [this](std::uint64_t tag) { return dag_->storm_victim(tag); });
+    }
+  }
+
   // Telemetry last: every subsystem exists, so the recorder and the gauges
   // can be threaded through in one place. Telemetry reads state and emits
   // events but never perturbs RNG streams or scheduling of the workload
@@ -145,6 +170,7 @@ void VehicularCloudSystem::start() {
       cloud_->set_trace(&telemetry_->trace);
       if (injector_ != nullptr) injector_->set_trace(&telemetry_->trace);
       if (storage_ != nullptr) storage_->set_trace(&telemetry_->trace);
+      if (dag_ != nullptr) dag_->set_trace(&telemetry_->trace);
       telemetry_->trace.record(scenario_.simulator().now(),
                                obs::TraceCategory::kSim, "sim.start",
                                {{"vehicles",

@@ -11,6 +11,7 @@
 #include "auth/authority.h"
 #include "cluster/moving_zone.h"
 #include "core/scenario.h"
+#include "dag/scheduler.h"
 #include "fault/fault_injector.h"
 #include "obs/telemetry.h"
 #include "storage/service.h"
@@ -55,6 +56,11 @@ struct SystemConfig {
   // storage.enabled is false no service is built, no hooks are installed and
   // the run is bit-identical to the seed.
   storage::StorageConfig storage;
+  // DAG task-graph workloads (DESIGN.md §11): decomposition scheduling of
+  // dependency graphs over the broker, with blind-k or reliability-aware
+  // replication. Off by default — when dag.enabled is false no scheduler is
+  // built, no hooks are installed and the run is bit-identical to the seed.
+  dag::DagConfig dag;
   // Observability (DESIGN.md §6): tracing, metric sampling and kernel
   // profiling, all off by default — a disabled run pays one branch per
   // would-be event and stays bit-identical to the seed.
@@ -87,6 +93,8 @@ class VehicularCloudSystem {
   [[nodiscard]] vcloud::InvariantOracle* oracle() { return oracle_.get(); }
   // Present only when config.storage.enabled is set.
   [[nodiscard]] storage::StorageService* storage() { return storage_.get(); }
+  // Present only when config.dag.enabled is set.
+  [[nodiscard]] dag::DagScheduler* dag() { return dag_.get(); }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
@@ -99,6 +107,7 @@ class VehicularCloudSystem {
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<vcloud::InvariantOracle> oracle_;
   std::unique_ptr<storage::StorageService> storage_;
+  std::unique_ptr<dag::DagScheduler> dag_;
   bool started_ = false;
 };
 

@@ -62,6 +62,11 @@ std::string validate(const ChaosConfig& config) {
     if (s.flap_period <= 0.0) return "flap_period must be positive";
     if (s.flap_outage <= 0.0) return "flap_outage must be positive";
   }
+  if (s.dag_rate < 0.0) return "dag_rate is negative";
+  if (s.dag_rate > 0.0) {
+    if (s.dag_window <= 0.0) return "dag_window must be positive";
+    if (s.dag_crashes == 0) return "dag_crashes must be >= 1";
+  }
   if (s.storage_rate < 0.0) return "storage_rate is negative";
   if (s.storage_rate > 0.0) {
     if (s.storage_blackout_duration <= 0.0) {
@@ -187,6 +192,23 @@ FaultPlan ChaosPlanner::plan(std::uint64_t seed) const {
     }
   }
 
+  Rng dag_rng = root.fork(6);
+  for (const SimTime t : storm_arrivals(storms.dag_rate, horizon, dag_rng)) {
+    // One tag for the whole storm: every crash re-resolves against the SAME
+    // DAG run, so the storm chases that run's critical path from host to
+    // host as the scheduler re-places the node after each kill.
+    const std::uint64_t tag =
+        1 + static_cast<std::uint64_t>(dag_rng.uniform_int(0, 1 << 20));
+    for (std::size_t i = 0; i < storms.dag_crashes; ++i) {
+      FaultEvent kill;
+      kill.kind = FaultKind::kVehicleCrash;
+      kill.at = t + storms.dag_window * static_cast<double>(i) /
+                        static_cast<double>(storms.dag_crashes);
+      kill.dag_tag = tag;
+      plan.push_back(kill);
+    }
+  }
+
   sort_fault_plan(plan);
   return plan;
 }
@@ -248,6 +270,9 @@ void write_fault_plan_jsonl(const FaultPlan& plan, const FaultPlanMeta& meta,
         }
         if (e.storage_tag != 0) {
           w.key("storage_tag").value(static_cast<std::uint64_t>(e.storage_tag));
+        }
+        if (e.dag_tag != 0) {
+          w.key("dag_tag").value(static_cast<std::uint64_t>(e.dag_tag));
         }
         break;
       case FaultKind::kBrokerCrash:
@@ -402,6 +427,7 @@ bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
         if (v >= 0.0) e.vehicle = VehicleId{static_cast<std::uint64_t>(v)};
         e.storage_tag =
             static_cast<std::uint64_t>(num_of("storage_tag", 0.0));
+        e.dag_tag = static_cast<std::uint64_t>(num_of("dag_tag", 0.0));
         break;
       }
       case FaultKind::kBrokerCrash:

@@ -21,6 +21,10 @@
 //              while lease renewals are already being eaten by the channel).
 //              The victims are resolved at fire time through the injector's
 //              storage resolver via FaultEvent::storage_tag.
+//  * dag     — a burst of crashes that each re-target ONE DAG run's current
+//              critical-path holder at fire time (FaultEvent::dag_tag): the
+//              storm follows the makespan-determining node as the scheduler
+//              re-places it, the worst case for decomposition scheduling.
 //
 // The output is a plain deterministic FaultPlan — same (config, seed) pair,
 // same schedule — so a storm run is exactly replayable, diffable and
@@ -72,9 +76,18 @@ struct StormConfig {
   SimTime storage_blackout_duration = 8.0;
   std::size_t storage_crashes = 2;
 
+  // DAG-targeted storm: `dag_crashes` vehicle crashes spaced over
+  // [t, t + dag_window], all carrying the same dag_tag so each crash
+  // re-resolves (at fire time) against the SAME DAG run's current
+  // critical-path holder — the storm chases the run's heaviest pending
+  // node from host to host as the scheduler re-places it.
+  double dag_rate = 0.0;
+  SimTime dag_window = 6.0;
+  std::size_t dag_crashes = 2;
+
   [[nodiscard]] bool any() const {
     return burst_rate > 0.0 || cascade_rate > 0.0 || flap_rate > 0.0 ||
-           storage_rate > 0.0;
+           storage_rate > 0.0 || dag_rate > 0.0;
   }
 };
 

@@ -52,6 +52,9 @@ void FaultInjector::fire(const FaultEvent& e) {
       if (!victim.valid() && e.storage_tag != 0 && storage_resolver_) {
         victim = storage_resolver_(e.storage_tag);
       }
+      if (!victim.valid() && e.dag_tag != 0 && dag_resolver_) {
+        victim = dag_resolver_(e.dag_tag);
+      }
       if (!victim.valid()) victim = pick_crash_victim();
       if (!victim.valid() || net_.traffic().find(victim) == nullptr) return;
       crash_vehicle(victim);

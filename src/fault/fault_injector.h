@@ -59,6 +59,15 @@ class FaultInjector {
     storage_resolver_ = std::move(resolver);
   }
 
+  // Resolves a FaultEvent::dag_tag into the worker currently holding a live
+  // DAG run's critical-path node (installed by the system wiring when the
+  // DAG scheduler is enabled). May return an invalid id — the injector then
+  // falls back to its ordinary victim pool.
+  using DagVictimResolver = std::function<VehicleId(std::uint64_t)>;
+  void set_dag_victim_resolver(DagVictimResolver resolver) {
+    dag_resolver_ = std::move(resolver);
+  }
+
   // Schedules every planned event. Call once, before (or at) t=0 of the run.
   void attach();
 
@@ -83,6 +92,7 @@ class FaultInjector {
   Rng rng_;
   std::vector<vcloud::VehicularCloud*> clouds_;
   StorageVictimResolver storage_resolver_;
+  DagVictimResolver dag_resolver_;
   FaultStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
 };

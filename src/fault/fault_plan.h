@@ -37,6 +37,12 @@ struct FaultEvent {
   // object is tag mod object-count; the victim its smallest-id live holder).
   // Used only when `vehicle` is invalid; 0 = untargeted.
   std::uint64_t storage_tag = 0;
+  // kVehicleCrash, DAG-targeted storms: non-zero tag selects a live DAG
+  // run's current critical-path holder at fire time through the injector's
+  // dag resolver (the run is tag mod live-run-count; the victim the worker
+  // running its heaviest-downstream-weight node). Consulted only when both
+  // `vehicle` is invalid and storage_tag is 0; 0 = untargeted.
+  std::uint64_t dag_tag = 0;
   // kRsuOutage.
   RsuId rsu;
   SimTime repair_after = 0.0;  // outage duration; 0 = never repaired

@@ -15,6 +15,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kTask: return "task";
     case TraceCategory::kFault: return "fault";
     case TraceCategory::kStorage: return "storage";
+    case TraceCategory::kDag: return "dag";
   }
   return "unknown";
 }

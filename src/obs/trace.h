@@ -42,8 +42,9 @@ enum class TraceCategory : std::uint8_t {
   kTask = 3,   // task.submit / task.dispatch / task.complete / leg.* spans
   kFault = 4,  // fault.crash / fault.rsu.* / fault.blackout.*
   kStorage = 5,  // storage.put / storage.get / storage.repair + leg spans
+  kDag = 6,      // dag.run spans + dag.node / dag.edge instants
 };
-inline constexpr std::size_t kTraceCategoryCount = 6;
+inline constexpr std::size_t kTraceCategoryCount = 7;
 
 [[nodiscard]] const char* to_string(TraceCategory c);
 

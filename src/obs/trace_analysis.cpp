@@ -291,6 +291,10 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
       storage_ops_.push_back(std::move(op));
       continue;
     }
+    if (root != nullptr && root->name == "dag.run") {
+      reduce_dag(trace_id, task.spans, evs, root, last_t);
+      continue;
+    }
     if (root != nullptr && root->name != "task.life") {
       ++unknown_roots_;  // skip-and-count: never fatal, never misfiled
       continue;
@@ -350,6 +354,213 @@ TraceAnalysis::TraceAnalysis(const std::vector<ParsedEvent>& events) {
     orphaned_ += task.orphaned_spans;
     tasks_.push_back(std::move(task));
   }
+}
+
+void TraceAnalysis::reduce_dag(std::uint64_t trace_id,
+                               const std::vector<Span>& spans,
+                               const std::vector<const ParsedEvent*>& evs,
+                               const Span* root, double last_t) {
+  DagRunBreakdown run;
+  run.trace_id = trace_id;
+  const auto root_field = [&root](const char* key) {
+    const auto it = root->fields.find(key);
+    return it == root->fields.end() ? -1.0 : it->second;
+  };
+  run.graph = root_field("graph");
+  const double declared = root_field("nodes");
+  if (declared > 0.0) run.nodes_declared = static_cast<std::size_t>(declared);
+  run.begin = root->begin;
+  run.closed = root->closed();
+  run.end = run.closed ? root->end : std::max(last_t, run.begin);
+  if (run.closed) {
+    const auto oc = root->fields.find("outcome");
+    run.outcome =
+        oc != root->fields.end() ? outcome_label(oc->second) : "unknown";
+  }
+
+  // dag.node instants join task ids to node indices; dag.edge instants
+  // rebuild the dependency structure the scheduler walked.
+  std::map<double, std::size_t> task_to_node;
+  std::map<std::size_t, int> attempts_of;
+  std::size_t max_node = 0;
+  bool any_node = false;
+  for (const ParsedEvent* ev : evs) {
+    if (ev->name == "dag.node") {
+      const auto n = ev->fields.find("node");
+      const auto t = ev->fields.find("task");
+      if (n == ev->fields.end()) continue;
+      const auto node = static_cast<std::size_t>(n->second);
+      if (t != ev->fields.end()) task_to_node[t->second] = node;
+      ++attempts_of[node];
+      max_node = std::max(max_node, node);
+      any_node = true;
+    } else if (ev->name == "dag.edge") {
+      const auto f = ev->fields.find("from");
+      const auto to = ev->fields.find("to");
+      if (f == ev->fields.end() || to == ev->fields.end()) continue;
+      const auto from = static_cast<std::size_t>(f->second);
+      const auto dest = static_cast<std::size_t>(to->second);
+      run.edges.emplace_back(from, dest);
+      max_node = std::max(max_node, std::max(from, dest));
+      any_node = true;
+    }
+  }
+  const std::size_t n_nodes =
+      std::max(run.nodes_declared, any_node ? max_node + 1 : 0);
+  run.nodes.resize(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    run.nodes[i].node = i;
+    const auto a = attempts_of.find(i);
+    if (a != attempts_of.end()) run.nodes[i].attempts = a->second;
+  }
+
+  // Per node, pick the *winning* attempt: the task.life child that closed
+  // with outcome completed (the scheduler commits exactly one). Its legs
+  // become the node's breakdown; a node with no winner keeps its latest
+  // attempt's timings so failed runs still report where time went.
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : spans) by_id[s.span_id] = &s;
+  const auto owning_life = [&by_id](const Span& s) -> const Span* {
+    const Span* cur = &s;
+    for (int hops = 0; hops < 64 && cur->parent_id != 0; ++hops) {
+      const auto it = by_id.find(cur->parent_id);
+      if (it == by_id.end()) return nullptr;  // parent lost to the ring
+      cur = it->second;
+      if (cur->name == "task.life") return cur;
+    }
+    return nullptr;
+  };
+
+  std::map<std::size_t, const Span*> winner_of;  // node -> winning task.life
+  for (const Span& s : spans) {
+    if (s.name != "task.life") continue;
+    const auto t = s.fields.find("task");
+    if (t == s.fields.end()) continue;
+    const auto node_it = task_to_node.find(t->second);
+    if (node_it == task_to_node.end()) continue;
+    const std::size_t node = node_it->second;
+    if (node >= run.nodes.size()) continue;
+    const auto oc = s.fields.find("outcome");
+    const bool completed = s.closed() && oc != s.fields.end() &&
+                           oc->second == kOutcomeCompleted;
+    auto& slot = winner_of[node];
+    const auto slot_oc =
+        slot != nullptr ? slot->fields.find("outcome") : s.fields.end();
+    const bool slot_completed = slot != nullptr && slot->closed() &&
+                                slot_oc != slot->fields.end() &&
+                                slot_oc->second == kOutcomeCompleted;
+    if (slot == nullptr || (completed && !slot_completed) ||
+        (completed == slot_completed && s.begin > slot->begin)) {
+      slot = &s;
+    }
+  }
+  for (const auto& [node, life] : winner_of) {
+    DagNodeBreakdown& nb = run.nodes[node];
+    const auto t = life->fields.find("task");
+    if (t != life->fields.end()) nb.task = t->second;
+    nb.submit = life->begin;
+    if (life->closed()) {
+      nb.finish = life->end;
+      const auto oc = life->fields.find("outcome");
+      nb.outcome =
+          oc != life->fields.end() ? outcome_label(oc->second) : "unknown";
+    } else {
+      nb.finish = std::max(last_t, nb.submit);
+    }
+  }
+
+  // Leg classification, winning attempt only — same rules as the per-task
+  // reduction, so each node's legs partition its winning attempt's e2e.
+  for (const Span& s : spans) {
+    if (s.name.rfind("leg.", 0) != 0) continue;
+    const Span* life = owning_life(s);
+    if (life == nullptr) continue;
+    const auto t = life->fields.find("task");
+    if (t == life->fields.end()) continue;
+    const auto node_it = task_to_node.find(t->second);
+    if (node_it == task_to_node.end() || node_it->second >= run.nodes.size()) {
+      continue;
+    }
+    DagNodeBreakdown& nb = run.nodes[node_it->second];
+    const auto crashed = s.fields.find("crashed");
+    if (crashed != s.fields.end() && crashed->second > 0.0) ++nb.crashes;
+    const auto win = winner_of.find(node_it->second);
+    if (win == winner_of.end() || win->second != life) continue;
+    if (!s.closed()) continue;
+    const double dur = s.duration();
+    if (s.name == "leg.queue") {
+      nb.queueing += dur;
+    } else if (s.name == "leg.dispatch" || s.name == "leg.result") {
+      nb.network += dur;
+    } else if (s.name == "leg.exec") {
+      double input = 0.0;
+      const auto in = s.fields.find("input_s");
+      if (in != s.fields.end()) input = std::min(in->second, dur);
+      nb.network += input;
+      nb.compute += dur - input;
+    } else if (s.name == "leg.recover" || s.name == "leg.migrate") {
+      nb.recovery += dur;
+    }
+  }
+  for (auto& nb : run.nodes) {
+    nb.other = nb.end_to_end() -
+               (nb.queueing + nb.network + nb.compute + nb.recovery);
+    if (nb.outcome == "completed") {
+      run.partition_max_dev =
+          std::max(run.partition_max_dev, std::abs(nb.other));
+    }
+  }
+
+  // Measured critical path: longest dependency chain by summed node e2e,
+  // via DP in topological order over the reconstructed edges.
+  const std::size_t n = run.nodes.size();
+  if (n > 0) {
+    std::vector<std::vector<std::size_t>> children(n);
+    std::vector<std::size_t> indeg(n, 0);
+    for (const auto& [from, to] : run.edges) {
+      if (from >= n || to >= n) continue;
+      children[from].push_back(to);
+      ++indeg[to];
+    }
+    std::vector<double> dist(n, 0.0);
+    std::vector<std::size_t> pred(n, n);  // n == "no predecessor"
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indeg[i] == 0) order.push_back(i);
+    }
+    for (std::size_t i = 0; i < n; ++i) dist[i] = run.nodes[i].end_to_end();
+    for (std::size_t qi = 0; qi < order.size(); ++qi) {
+      const std::size_t u = order[qi];
+      for (const std::size_t v : children[u]) {
+        const double through = dist[u] + run.nodes[v].end_to_end();
+        if (through > dist[v]) {
+          dist[v] = through;
+          pred[v] = u;
+        }
+        if (--indeg[v] == 0) order.push_back(v);
+      }
+    }
+    std::size_t sink = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (dist[i] > dist[sink]) sink = i;
+    }
+    run.critical_len = dist[sink];
+    for (std::size_t cur = sink; cur != n; cur = pred[cur]) {
+      run.critical_path.push_back(cur);
+      if (run.critical_path.size() > n) break;  // cycle guard (bad trace)
+    }
+    std::reverse(run.critical_path.begin(), run.critical_path.end());
+    for (const std::size_t i : run.critical_path) {
+      run.nodes[i].on_critical_path = true;
+    }
+  }
+
+  run.storm = storm_overlap(windows_, run.begin, run.end);
+  for (const Span& s : spans) {
+    if (!s.closed() && &s != root) ++orphaned_;
+  }
+  dags_.push_back(std::move(run));
 }
 
 std::vector<FaultWindow> extract_fault_windows(
@@ -534,6 +745,46 @@ void TraceAnalysis::write_storage_report(std::ostream& os,
   write_diagnostics(os, meta);
 }
 
+void TraceAnalysis::write_dag_report(std::ostream& os,
+                                     const TraceMeta& meta) const {
+  if (dags_.empty()) {
+    os << "no dag.run trees in this trace (was the DAG scheduler enabled "
+          "and the dag category unmasked?)\n";
+    write_diagnostics(os, meta);
+    return;
+  }
+  for (const DagRunBreakdown& run : dags_) {
+    os << "dag run: trace " << run.trace_id << ", graph "
+       << (run.graph >= 0 ? Table::num(run.graph, 0) : "?") << ", "
+       << run.outcome << ", makespan " << Table::num(run.makespan(), 3)
+       << " s, " << run.nodes.size() << " nodes, " << run.edges.size()
+       << " edges, in-storm " << Table::num(run.storm, 3) << " s\n";
+    Table table("per-node winning-attempt breakdown (seconds)",
+                {"node", "task", "attempts", "outcome", "e2e", "queue",
+                 "network", "compute", "recovery", "other", "crit"});
+    for (const DagNodeBreakdown& nb : run.nodes) {
+      table.add_row({std::to_string(nb.node),
+                     nb.task >= 0 ? Table::num(nb.task, 0) : "?",
+                     std::to_string(nb.attempts), nb.outcome,
+                     Table::num(nb.end_to_end(), 3),
+                     Table::num(nb.queueing, 3), Table::num(nb.network, 3),
+                     Table::num(nb.compute, 3), Table::num(nb.recovery, 3),
+                     Table::num(nb.other, 3),
+                     nb.on_critical_path ? "*" : ""});
+    }
+    table.print(os);
+    os << "critical path:";
+    for (std::size_t i = 0; i < run.critical_path.size(); ++i) {
+      os << (i == 0 ? " " : " -> ") << run.critical_path[i];
+    }
+    os << " (" << Table::num(run.critical_len, 3)
+       << " s of node time on the path)\n"
+       << "leg partition max deviation: "
+       << Table::num(run.partition_max_dev, 9) << " s\n\n";
+  }
+  write_diagnostics(os, meta);
+}
+
 void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
   JsonWriter w(os);
   w.begin_object();
@@ -589,6 +840,51 @@ void TraceAnalysis::write_json(std::ostream& os, const TraceMeta& meta) const {
     w.key("in_storm").value(op.in_storm);
     w.key("replicas").begin_array();
     for (const std::uint64_t holder : op.replicas) w.value(holder);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("dags").begin_array();
+  for (const DagRunBreakdown& run : dags_) {
+    w.begin_object();
+    w.key("trace").value(run.trace_id);
+    w.key("graph").value(run.graph);
+    w.key("outcome").value(run.outcome);
+    w.key("makespan").value(run.makespan());
+    w.key("closed").value(run.closed);
+    w.key("storm").value(run.storm);
+    w.key("critical_len").value(run.critical_len);
+    w.key("partition_max_dev").value(run.partition_max_dev);
+    w.key("critical_path").begin_array();
+    for (const std::size_t i : run.critical_path) {
+      w.value(static_cast<std::uint64_t>(i));
+    }
+    w.end_array();
+    w.key("nodes").begin_array();
+    for (const DagNodeBreakdown& nb : run.nodes) {
+      w.begin_object();
+      w.key("node").value(static_cast<std::uint64_t>(nb.node));
+      w.key("task").value(nb.task);
+      w.key("attempts").value(
+          static_cast<std::uint64_t>(nb.attempts < 0 ? 0 : nb.attempts));
+      w.key("outcome").value(nb.outcome);
+      w.key("e2e").value(nb.end_to_end());
+      w.key("queue").value(nb.queueing);
+      w.key("network").value(nb.network);
+      w.key("compute").value(nb.compute);
+      w.key("recovery").value(nb.recovery);
+      w.key("other").value(nb.other);
+      w.key("critical").value(nb.on_critical_path);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("edges").begin_array();
+    for (const auto& [from, to] : run.edges) {
+      w.begin_object();
+      w.key("from").value(static_cast<std::uint64_t>(from));
+      w.key("to").value(static_cast<std::uint64_t>(to));
+      w.end_object();
+    }
     w.end_array();
     w.end_object();
   }

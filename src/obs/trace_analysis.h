@@ -146,10 +146,64 @@ struct StorageOpBreakdown {
   [[nodiscard]] double e2e() const { return end - begin; }
 };
 
+// One DAG node's reduced latency inside a dag.run tree. The winning
+// (successful) attempt's leg spans are classified exactly like a
+// standalone task's — queue / network / compute / recovery partition the
+// attempt's task.life lifetime, `other` catches whatever no closed leg
+// covers. For a complete trace |other| ~ 0 for every completed node; that
+// is the partition invariant `vcl_traceview --dag` asserts.
+struct DagNodeBreakdown {
+  std::size_t node = 0;   // node index within the graph
+  double task = -1.0;     // winning attempt's task id, -1 when none seen
+  int attempts = 0;       // dag.node submission instants for this node
+  std::string outcome = "open";  // completed / expired / failed / open
+  double submit = 0.0;    // winning attempt's task.life begin
+  double finish = 0.0;    // == submit while still open
+  double queueing = 0.0;
+  double network = 0.0;
+  double compute = 0.0;
+  double recovery = 0.0;
+  double other = 0.0;     // lifetime not covered by any closed leg span
+  int crashes = 0;        // exec legs (any attempt) ended by a crash
+  bool on_critical_path = false;
+
+  [[nodiscard]] double end_to_end() const { return finish - submit; }
+  [[nodiscard]] double legs_sum() const {
+    return queueing + network + compute + recovery + other;
+  }
+};
+
+// One DAG run's causal tree, reduced: the dag.run root span, its per-node
+// winning-attempt breakdowns, the dependency edges (from dag.edge
+// instants), and the measured critical path — the dependency chain whose
+// summed node end-to-end latencies is longest. This is the *true* critical
+// path of the run as executed (retries, backup attempts and storms
+// included), not the static critical weight of the graph.
+struct DagRunBreakdown {
+  std::uint64_t trace_id = 0;
+  double graph = -1.0;    // graph id (root span field), -1 when absent
+  std::string outcome = "open";  // completed / failed / open
+  double begin = 0.0;
+  double end = 0.0;       // last event time while the root is still open
+  bool closed = false;    // root span end retained
+  std::size_t nodes_declared = 0;  // "nodes" field on the root span
+  std::vector<DagNodeBreakdown> nodes;  // indexed by node id
+  // Dependency edges (from, to) reconstructed from dag.edge instants.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<std::size_t> critical_path;  // node ids, source -> sink
+  double critical_len = 0.0;  // summed node e2e along critical_path
+  // max |other| over completed nodes: 0 for a complete, clean trace.
+  double partition_max_dev = 0.0;
+  double storm = 0.0;     // run seconds inside injected fault windows
+
+  [[nodiscard]] double makespan() const { return end - begin; }
+};
+
 // Groups span/instant events by trace_id and reduces each tree: task roots
-// (task.life) to TaskBreakdowns, storage roots to StorageOpBreakdowns.
-// Trees with any other root name are skipped and counted in
-// unknown_roots() — a newer recorder never crashes an older analyzer.
+// (task.life) to TaskBreakdowns, storage roots to StorageOpBreakdowns,
+// dag.run roots to DagRunBreakdowns. Trees with any other root name are
+// skipped and counted in unknown_roots() — a newer recorder never crashes
+// an older analyzer.
 class TraceAnalysis {
  public:
   explicit TraceAnalysis(const std::vector<ParsedEvent>& events);
@@ -161,6 +215,10 @@ class TraceAnalysis {
   [[nodiscard]] const TaskBreakdown* find(std::uint64_t trace_id) const;
   [[nodiscard]] const std::vector<StorageOpBreakdown>& storage_ops() const {
     return storage_ops_;
+  }
+  // One breakdown per dag.run tree, ordered by trace_id.
+  [[nodiscard]] const std::vector<DagRunBreakdown>& dags() const {
+    return dags_;
   }
   // Injected fault windows (sorted, disjoint) the breakdowns were
   // attributed against.
@@ -180,15 +238,22 @@ class TraceAnalysis {
   void write_report(std::ostream& os, const TraceMeta& meta) const;
   // Per-object storage breakdown (put/get/repair latency, storm split).
   void write_storage_report(std::ostream& os, const TraceMeta& meta) const;
+  // Per-DAG-run breakdown: node table, measured critical path, partition
+  // deviation (vcl_traceview --dag).
+  void write_dag_report(std::ostream& os, const TraceMeta& meta) const;
   // Machine-readable equivalent (one JSON document: tasks + storage ops +
   // fault windows + diagnostics).
   void write_json(std::ostream& os, const TraceMeta& meta) const;
 
  private:
   void write_diagnostics(std::ostream& os, const TraceMeta& meta) const;
+  void reduce_dag(std::uint64_t trace_id, const std::vector<Span>& spans,
+                  const std::vector<const ParsedEvent*>& evs,
+                  const Span* root, double last_t);
 
   std::vector<TaskBreakdown> tasks_;
   std::vector<StorageOpBreakdown> storage_ops_;
+  std::vector<DagRunBreakdown> dags_;
   std::vector<FaultWindow> windows_;
   std::size_t orphaned_ = 0;
   std::size_t unmatched_ends_ = 0;

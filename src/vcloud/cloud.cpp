@@ -157,6 +157,11 @@ TaskId VehicularCloud::running_on(VehicleId v) const {
   return it == workers_.end() ? TaskId{} : it->second.running;
 }
 
+const ResourceProfile* VehicularCloud::worker_profile(VehicleId v) const {
+  auto it = workers_.find(v.value());
+  return it == workers_.end() ? nullptr : &it->second.profile;
+}
+
 bool VehicularCloud::drained() const {
   for (const auto& [tid, t] : tasks_) {
     if (!t.terminal()) return false;
@@ -185,10 +190,13 @@ double VehicularCloud::earned_progress(const Task& task,
 void VehicularCloud::trace_task_start(Task& task) {
   if (trace_ == nullptr) return;
   const SimTime now = net_.simulator().now();
-  task.trace.trace_id = trace_->new_trace_id();
+  // A pre-stamped context (the DAG scheduler's dag.run root) makes this
+  // task a child subtree of an existing trace; otherwise it roots its own.
+  const std::uint64_t parent_span = task.trace.span_id;
+  if (task.trace.trace_id == 0) task.trace.trace_id = trace_->new_trace_id();
   task.trace.span_id = trace_->begin_span(
       now, obs::TraceCategory::kTask, "task.life",
-      obs::TraceContext{task.trace.trace_id, 0},
+      obs::TraceContext{task.trace.trace_id, parent_span},
       {{"task", static_cast<double>(task.id.value())},
        {"work", task.work},
        {"deadline", task.deadline}});
@@ -599,6 +607,9 @@ void VehicularCloud::finalize_completion(Task& task) {
     if (completion_hook_) completion_hook_(task);
   }
   if (oracle_ != nullptr) oracle_->on_terminal(task, now);
+  // Last use of `task`: the terminal hook may submit follow-up tasks (DAG
+  // children), rehashing tasks_ and invalidating the reference.
+  if (terminal_hook_) terminal_hook_(task, now);
   dispatch();
 }
 
@@ -974,7 +985,10 @@ void VehicularCloud::refresh() {
     }
   }
 
-  // Expire pending tasks past their deadlines.
+  // Expire pending tasks past their deadlines. Terminal-hook calls are
+  // deferred past both expiry loops: the hook may submit follow-up tasks
+  // (DAG children), which would invalidate the deque/map iterators here.
+  std::vector<TaskId> reaped;
   for (auto it = pending_.begin(); it != pending_.end();) {
     auto task_it = tasks_.find(it->value());
     if (task_it != tasks_.end() && task_it->second.deadline > 0.0 &&
@@ -989,6 +1003,7 @@ void VehicularCloud::refresh() {
       trace_task_end(task_it->second, obs::kOutcomeExpired);
       abort_replica(task_it->second.id);
       if (oracle_ != nullptr) oracle_->on_terminal(task_it->second, now);
+      if (terminal_hook_) reaped.push_back(task_it->second.id);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -1018,7 +1033,12 @@ void VehicularCloud::refresh() {
       }
       trace_task_end(task, obs::kOutcomeExpired);
       if (oracle_ != nullptr) oracle_->on_terminal(task, now);
+      if (terminal_hook_) reaped.push_back(task.id);
     }
+  }
+  for (const TaskId id : reaped) {
+    const auto task_it = tasks_.find(id.value());
+    if (task_it != tasks_.end()) terminal_hook_(task_it->second, now);
   }
 
   dispatch();

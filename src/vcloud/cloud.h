@@ -157,6 +157,18 @@ class VehicularCloud {
   using RefreshHook = std::function<void(SimTime)>;
   void set_refresh_hook(RefreshHook hook) { refresh_hook_ = std::move(hook); }
 
+  // Invoked on EVERY task terminal transition (completed, expired, failed),
+  // after state/stat updates and the oracle's terminal hook. The DAG
+  // scheduler routes attempt terminals back to their graph node here. The
+  // hook may submit follow-up tasks (which rehashes the task table), so it
+  // is always the last use of the terminal task's reference and is never
+  // fired while the cloud iterates its task structures. Unset = one branch
+  // per terminal (inertness contract).
+  using TerminalHook = std::function<void(const Task&, SimTime)>;
+  void set_terminal_hook(TerminalHook hook) {
+    terminal_hook_ = std::move(hook);
+  }
+
   // --- telemetry (off by default: null recorder = one branch per event) -------
   // Emits cloud.* / task.* trace events (membership churn, broker changes,
   // dispatch/complete/retry, failure-detector kills).
@@ -200,6 +212,13 @@ class VehicularCloud {
   [[nodiscard]] const Task* find_task(TaskId id) const;
   [[nodiscard]] CloudRegion region() const { return region_fn_(); }
   [[nodiscard]] CloudId id() const { return id_; }
+  // Compute profile of a current member (nullptr when not a member).
+  [[nodiscard]] const ResourceProfile* worker_profile(VehicleId v) const;
+  // Estimated dwell of `v` in the cloud's current region, under the
+  // configured DwellMode: +inf for parked vehicles, 0 for departed or
+  // despawned (crashed) ones. The DAG replication policy predicts host
+  // departure with this.
+  [[nodiscard]] double worker_dwell(VehicleId v) { return dwell_of(v); }
 
   // True when every submitted task reached a terminal state.
   [[nodiscard]] bool drained() const;
@@ -292,6 +311,7 @@ class VehicularCloud {
   CompletionHook completion_hook_;
   HeartbeatHook heartbeat_hook_;
   RefreshHook refresh_hook_;
+  TerminalHook terminal_hook_;
 
   FailureDetector detector_;
   // Workers that crashed but have not been declared dead yet (zombies), and

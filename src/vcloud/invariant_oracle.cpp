@@ -181,10 +181,77 @@ void InvariantOracle::check_storage(const VehicularCloud& cloud, SimTime now) {
   });
 }
 
+void InvariantOracle::on_dag_node_terminal(std::uint64_t graph,
+                                           std::size_t node, SimTime now) {
+  const auto [it, inserted] = dag_node_done_.emplace(graph, node);
+  (void)it;
+  if (!inserted) {
+    std::ostringstream os;
+    os << "graph " << graph << " node " << node
+       << " committed success a second time";
+    report("dag-terminal-once", os.str(), now);
+  }
+}
+
+void InvariantOracle::check_dag(SimTime now) {
+  dag_->for_each_graph([&](const DagGraphView& g) {
+    const std::vector<DagNodeStateView>& nodes = *g.nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const DagNodeStateView& n = nodes[i];
+      // dag-completion-subset: success implies submission, and a completed
+      // graph left no node behind.
+      if (n.succeeded && !n.submitted) {
+        std::ostringstream os;
+        os << "graph " << g.id << " node " << i
+           << " succeeded without ever being submitted";
+        report("dag-completion-subset", os.str(), now);
+      }
+      if (g.completed && !n.succeeded) {
+        std::ostringstream os;
+        os << "graph " << g.id << " is completed but node " << i
+           << " never succeeded";
+        report("dag-completion-subset", os.str(), now);
+      }
+      // dag-dependency-order: no node is handed to the broker before every
+      // parent reached terminal success.
+      if (n.submitted) {
+        for (const std::size_t p : n.parents) {
+          if (!nodes[p].succeeded) {
+            std::ostringstream os;
+            os << "graph " << g.id << " node " << i
+               << " submitted before parent " << p << " succeeded";
+            report("dag-dependency-order", os.str(), now);
+          }
+        }
+      }
+      // dag-node-liveness: on a live graph a submitted node either already
+      // succeeded or still has a live attempt — otherwise nothing will ever
+      // finish it and the graph is silently stuck (the deliberate
+      // test_drop_failed_resubmit bug lands exactly here).
+      if (!g.terminal && n.submitted && !n.succeeded &&
+          n.live_attempts == 0) {
+        std::ostringstream os;
+        os << "graph " << g.id << " node " << i
+           << " has no live attempt and no resubmission (stranded)";
+        report("dag-node-liveness", os.str(), now);
+      }
+    }
+    // dag-no-orphaned-intermediates: a finished graph released every parked
+    // parent output.
+    if (g.terminal && g.intermediates_held != 0) {
+      std::ostringstream os;
+      os << "graph " << g.id << " is terminal but still holds "
+         << g.intermediates_held << " intermediate output(s)";
+      report("dag-no-orphaned-intermediates", os.str(), now);
+    }
+  });
+}
+
 void InvariantOracle::check(const VehicularCloud& cloud, SimTime now) {
   ++checks_run_;
 
   if (storage_ != nullptr) check_storage(cloud, now);
+  if (dag_ != nullptr) check_dag(now);
 
   // Dispatch-queue multiplicity per task id. Entries referencing terminal
   // tasks are legal (the queue reaps them lazily); dangling ids are not.

@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -97,6 +98,33 @@ class StorageIntrospection {
   [[nodiscard]] virtual std::size_t write_quorum() const = 0;    // W
 };
 
+// Read-only DAG-scheduler view for the oracle's DAG invariants. The
+// concrete scheduler lives in src/dag (which depends on vcloud, not the
+// other way around), so the oracle sees it through this interface — the
+// same pattern as StorageIntrospection.
+struct DagNodeStateView {
+  bool submitted = false;   // at least one attempt handed to the broker
+  bool succeeded = false;   // a winning attempt completed
+  std::size_t live_attempts = 0;  // attempts not yet terminal
+  std::vector<std::size_t> parents;  // dependency node indices
+};
+
+struct DagGraphView {
+  std::uint64_t id = 0;
+  bool terminal = false;   // completed or failed
+  bool completed = false;  // every node succeeded
+  std::size_t intermediates_held = 0;  // parent outputs parked at the broker
+  const std::vector<DagNodeStateView>* nodes = nullptr;
+};
+
+class DagIntrospection {
+ public:
+  virtual ~DagIntrospection() = default;
+  // Graphs in ascending id order (deterministic violation ordering).
+  virtual void for_each_graph(
+      const std::function<void(const DagGraphView&)>& fn) const = 0;
+};
+
 struct InvariantViolation {
   std::string invariant;  // e.g. "task-conservation"
   std::string detail;     // human-readable specifics
@@ -134,6 +162,24 @@ class InvariantOracle {
   void on_storage_read(std::uint64_t client, FileId object,
                        std::uint64_t version, bool degraded, SimTime now);
 
+  // --- DAG invariants (active only after set_dag) ----------------------------
+  // Registers the DAG scheduler; its graphs join every check() scan:
+  //  * dag-dependency-order — a submitted node's parents all succeeded (no
+  //    node runs before every parent reached terminal success);
+  //  * dag-completion-subset — a completed graph has every node succeeded,
+  //    and a succeeded node was submitted (completed ⊆ submitted);
+  //  * dag-node-liveness — on a live graph, a submitted-but-unsucceeded
+  //    node keeps at least one live attempt (a dropped resubmit strands
+  //    the node, and the whole graph, forever);
+  //  * dag-no-orphaned-intermediates — a terminal graph holds no parked
+  //    parent outputs.
+  void set_dag(const DagIntrospection* dag) { dag_ = dag; }
+  // A node's success was committed (children unlocked, intermediate
+  // parked). A second commit for the same (graph, node) is the DAG
+  // terminal-once violation.
+  void on_dag_node_terminal(std::uint64_t graph, std::size_t node,
+                            SimTime now);
+
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
@@ -151,6 +197,7 @@ class InvariantOracle {
   void report(const std::string& invariant, const std::string& detail,
               SimTime at, TaskId task = TaskId{});
   void check_storage(const VehicularCloud& cloud, SimTime now);
+  void check_dag(SimTime now);
 
   // Durability bookkeeping per object: the holders that carried the acked
   // version at the last reset (ack or full health) and how many of them
@@ -175,6 +222,9 @@ class InvariantOracle {
   std::unordered_map<std::uint64_t, StorageTracking> storage_track_;
   // Highest version returned by a quorum read, per (client, object).
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> read_floor_;
+  const DagIntrospection* dag_ = nullptr;
+  // (graph, node) pairs whose success was committed (DAG terminal-once).
+  std::set<std::pair<std::uint64_t, std::size_t>> dag_node_done_;
 };
 
 }  // namespace vcl::vcloud

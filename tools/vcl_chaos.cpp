@@ -44,6 +44,8 @@ struct Options {
   bool inject_requeue_bug = false;
   bool storage = false;
   bool inject_repair_bug = false;
+  bool dag = false;
+  bool inject_dag_bug = false;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string out_dir = "chaos-out";
   std::string repro_path;  // non-empty = repro mode
@@ -65,9 +67,16 @@ int usage(const char* argv0) {
       << "                    replication + repair) under the chaos, with the\n"
       << "                    storage invariants armed and the storage-\n"
       << "                    targeted storm shape in the schedule\n"
+      << "  --dag             run the DAG decomposition scheduler (generated\n"
+      << "                    task graphs, reliability-aware replication)\n"
+      << "                    under the chaos, with the DAG invariants armed\n"
+      << "                    and the critical-path-chasing storm shape in\n"
+      << "                    the schedule\n"
       << "  --inject-requeue-bug  arm the deliberate requeue test-fixture bug\n"
       << "  --inject-repair-bug   arm the deliberate storage-repair bug\n"
       << "                        (implies --storage)\n"
+      << "  --inject-dag-bug      arm the deliberate stranded-node DAG bug\n"
+      << "                        (implies --dag)\n"
       << "\n"
       << "exit codes:\n"
       << "  soak mode:   0 = all episodes clean\n"
@@ -90,6 +99,8 @@ core::ChaosScenarioConfig episode_config(const Options& opt,
   cfg.inject_requeue_bug = opt.inject_requeue_bug;
   cfg.storage = opt.storage;
   cfg.inject_repair_bug = opt.inject_repair_bug;
+  cfg.dag = opt.dag;
+  cfg.inject_dag_bug = opt.inject_dag_bug;
   return cfg;
 }
 
@@ -134,6 +145,13 @@ int run_repro(const Options& opt) {
               << " degraded reads, " << episode.storage_repair_copies
               << " repair copies\n";
   }
+  if (cfg.dag) {
+    std::cout << "dag: " << episode.dag_graphs_submitted << " graphs ("
+              << episode.dag_graphs_completed << " completed, "
+              << episode.dag_graphs_failed << " failed), "
+              << episode.dag_nodes_succeeded << " nodes succeeded, "
+              << episode.dag_backups << " backups\n";
+  }
   if (episode.ok()) {
     std::cout << "repro is CLEAN (the failure no longer reproduces)\n";
     return 0;
@@ -153,7 +171,8 @@ int run_soak(const Options& opt) {
             << ".." << opt.seed + opt.episodes - 1 << ", " << opt.vehicles
             << " vehicles, " << opt.duration << " s load, intensity "
             << opt.intensity << (opt.storms ? ", storms on" : ", storms off")
-            << (opt.storage ? ", storage on" : "") << ") on " << jobs
+            << (opt.storage ? ", storage on" : "")
+            << (opt.dag ? ", dag on" : "") << ") on " << jobs
             << " threads\n";
 
   std::vector<core::ChaosEpisode> episodes(opt.episodes);
@@ -199,6 +218,17 @@ int run_soak(const Options& opt) {
       }
       std::cout << "storage: " << acked << " writes acked, " << degraded
                 << " degraded reads, " << repairs << " repair copies\n";
+    }
+    if (opt.dag) {
+      std::size_t graphs = 0, done = 0, failed = 0, backups = 0;
+      for (const core::ChaosEpisode& e : episodes) {
+        graphs += e.dag_graphs_submitted;
+        done += e.dag_graphs_completed;
+        failed += e.dag_graphs_failed;
+        backups += e.dag_backups;
+      }
+      std::cout << "dag: " << graphs << " graphs (" << done << " completed, "
+                << failed << " failed), " << backups << " backups\n";
     }
     return 0;
   }
@@ -292,6 +322,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--inject-repair-bug") {
       opt.inject_repair_bug = true;
       opt.storage = true;  // the bug lives in the storage repair pipeline
+    } else if (arg == "--dag") {
+      opt.dag = true;
+    } else if (arg == "--inject-dag-bug") {
+      opt.inject_dag_bug = true;
+      opt.dag = true;  // the bug lives in the DAG resubmit path
     } else {
       return usage(argv[0]);
     }
