@@ -70,6 +70,116 @@ constexpr SimTime kStorageOpPeriod = 0.7;
 // the generator's canon (chain, fork-join, diamond, layered).
 constexpr SimTime kDagSubmitPeriod = 6.0;
 
+// Snapshots the whole system into a vcl-incident-v1 bundle at the instant
+// `first` fired. Runs inside the oracle's violation hook — i.e. inside a
+// cloud refresh or terminal transition — so it only reads const accessors
+// and never touches the simulator. Ids use the bundle convention 0 = none
+// (Id<Tag>'s internal invalid value is UINT64_MAX, never serialized).
+obs::IncidentBundle snapshot_incident(VehicularCloudSystem& system,
+                                      const ChaosScenarioConfig& config,
+                                      const vcloud::InvariantViolation& first) {
+  obs::IncidentBundle b;
+  b.seed = config.seed;
+  b.captured_at = first.at;
+  b.trigger = first.invariant;
+
+  const obs::FlightRecorder& flight = system.flight();
+  b.flight_recorded = flight.recorded();
+  b.flight_overwritten = flight.overwritten();
+  obs::append_flight_tail(b, flight.tail());
+
+  const vcloud::VehicularCloud& cloud = system.cloud();
+  b.broker = cloud.broker().valid() ? cloud.broker().value() : 0;
+  b.pending = cloud.pending_count();
+  for (VehicleId v : cloud.worker_ids()) {
+    obs::IncidentWorker w;
+    w.id = v.value();
+    w.crashed = cloud.worker_crashed(v);
+    w.tracked = cloud.detector().tracked(v);
+    b.workers.push_back(w);
+  }
+  cloud.for_each_task([&b](const vcloud::Task& t) {
+    if (t.terminal()) return;
+    obs::IncidentTask it;
+    it.id = t.id.value();
+    it.state = vcloud::to_string(t.state);
+    it.progress = t.progress;
+    it.work = t.work;
+    it.checkpoint = t.checkpoint_progress;
+    it.worker = t.worker.valid() ? t.worker.value() : 0;
+    it.trace_id = t.trace.trace_id;
+    b.tasks.push_back(it);
+  });
+
+  if (const fault::FaultInjector* inj = system.injector(); inj != nullptr) {
+    for (const fault::BlackoutWindow& w : inj->blackout_windows()) {
+      obs::IncidentWindow iw;
+      iw.start = w.start;
+      iw.end = w.end;
+      iw.x = w.center.x;
+      iw.y = w.center.y;
+      iw.radius = w.radius;
+      iw.active = first.at >= w.start && first.at <= w.end;
+      b.windows.push_back(iw);
+    }
+  }
+
+  if (const obs::Telemetry* tel = system.telemetry(); tel != nullptr) {
+    for (const obs::TraceRecorder::Event& e : tel->trace.open_spans()) {
+      obs::IncidentOpenSpan s;
+      s.begin = e.t;
+      s.cat = obs::to_string(e.cat);
+      s.name = e.name;
+      s.trace_id = e.trace_id;
+      s.span_id = e.span_id;
+      b.open_spans.push_back(s);
+    }
+  }
+
+  if (const storage::StorageService* store = system.storage();
+      store != nullptr) {
+    store->for_each_object([&b](const vcloud::StorageObjectView& o) {
+      obs::IncidentObject io;
+      io.id = o.object.valid() ? o.object.value() : 0;
+      io.acked_version = o.acked_version;
+      b.objects.push_back(io);
+      for (const vcloud::StorageReplicaView& r : o.replicas) {
+        obs::IncidentReplica ir;
+        ir.object = io.id;
+        ir.holder = r.holder.valid() ? r.holder.value() : 0;
+        ir.version = r.version;
+        ir.alive = r.alive;
+        ir.lease_held = r.lease_held;
+        b.replicas.push_back(ir);
+      }
+    });
+  }
+
+  if (const dag::DagScheduler* dsched = system.dag(); dsched != nullptr) {
+    dsched->for_each_graph([&b](const vcloud::DagGraphView& g) {
+      obs::IncidentDagGraph ig;
+      ig.id = g.id;
+      ig.terminal = g.terminal;
+      ig.completed = g.completed;
+      ig.intermediates_held = g.intermediates_held;
+      b.graphs.push_back(ig);
+      if (g.nodes == nullptr) return;
+      for (std::size_t i = 0; i < g.nodes->size(); ++i) {
+        const vcloud::DagNodeStateView& n = (*g.nodes)[i];
+        obs::IncidentDagNode in;
+        in.graph = g.id;
+        in.node = i;
+        in.submitted = n.submitted;
+        in.succeeded = n.succeeded;
+        in.live_attempts = n.live_attempts;
+        b.dag_nodes.push_back(in);
+      }
+    });
+  }
+
+  return b;
+}
+
 }  // namespace
 
 fault::ChaosConfig chaos_config_for(const ChaosScenarioConfig& config) {
@@ -125,6 +235,22 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
   VehicularCloudSystem system(sys);
   system.start();
 
+  // Incident capture (DESIGN.md §12): snapshot the system at the FIRST
+  // violation, inside the oracle's report() — the state the checker
+  // actually objected to, not the drained end-of-episode state. Later
+  // violations only append to the bundle's violation list after the run.
+  auto incident = std::make_shared<obs::IncidentBundle>();
+  bool incident_captured = false;
+  if (system.oracle() != nullptr) {
+    system.oracle()->set_violation_hook(
+        [&system, &config, &incident,
+         &incident_captured](const vcloud::InvariantViolation& v) {
+          if (incident_captured) return;
+          incident_captured = true;
+          *incident = snapshot_incident(system, config, v);
+        });
+  }
+
   vcloud::WorkloadGenerator workload({30.0, 1.0, 0.2, 60.0},
                                      system.scenario().fork_rng(77));
   auto& sim = system.scenario().simulator();
@@ -179,6 +305,21 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
   }
   system.run_for(config.duration + config.drain);
 
+  if (incident_captured && system.oracle() != nullptr) {
+    // The trigger snapshot keeps captured_at/trigger/state from the first
+    // violation; the violation list is refreshed to the oracle's full
+    // stored set so the bundle names everything the episode tripped.
+    incident->violations.clear();
+    for (const vcloud::InvariantViolation& v : system.oracle()->violations()) {
+      obs::IncidentViolation iv;
+      iv.t = v.at;
+      iv.invariant = v.invariant;
+      iv.detail = v.detail;
+      iv.task = v.task.valid() ? v.task.value() : 0;
+      incident->violations.push_back(std::move(iv));
+    }
+  }
+
   if (!telemetry_dir.empty() && system.telemetry() != nullptr) {
     obs::write_telemetry(*system.telemetry(), telemetry_dir);
     // Oracle violations ride next to the trace so tools/vcl_report can fold
@@ -216,11 +357,19 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
         }
       }
     }
+    // The forensic bundle rides next to the repro and the trace
+    // (vcl-incident-v1, rendered by tools/vcl_incident). Only written when
+    // a violation actually fired — absence means "episode was clean".
+    if (incident_captured) {
+      std::ofstream os(telemetry_dir + "/incident.jsonl");
+      if (os) obs::write_incident_bundle(*incident, os);
+    }
   }
 
   ChaosEpisode episode;
   episode.seed = config.seed;
   episode.plan = sys.fault_plan;
+  if (incident_captured) episode.incident = incident;
   const vcloud::InvariantOracle* oracle = system.oracle();
   if (oracle != nullptr) {
     episode.violations = oracle->violations();

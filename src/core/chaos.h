@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "fault/chaos.h"
+#include "obs/incident.h"
 #include "vcloud/invariant_oracle.h"
 
 namespace vcl::core {
@@ -85,6 +87,12 @@ struct ChaosEpisode {
   std::size_t dag_graphs_failed = 0;
   std::size_t dag_nodes_succeeded = 0;
   std::size_t dag_backups = 0;
+  // Forensic snapshot captured at the instant of the FIRST violation
+  // (DESIGN.md §12): flight-recorder tail, open fault windows, in-flight
+  // spans, membership/task/replica/DAG state — everything vcl_incident
+  // needs to render the causal timeline. Null when the episode was clean.
+  // shared_ptr keeps ChaosEpisode cheaply copyable for the soak harness.
+  std::shared_ptr<obs::IncidentBundle> incident;
 
   [[nodiscard]] bool ok() const { return violation_count == 0; }
 };

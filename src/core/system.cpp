@@ -87,6 +87,10 @@ void VehicularCloudSystem::start() {
       CloudId{1}, net, std::move(membership), std::move(region),
       make_scheduler(config_.scheduler), config_.cloud,
       scenario_.fork_rng(7));
+  // The flight recorder is always on (DESIGN.md §12): unlike telemetry it
+  // is wired unconditionally — fixed memory, no RNG, no scheduling impact,
+  // so the run stays bit-identical while the black box fills.
+  cloud_->set_flight(&flight_);
   if (config_.invariant_oracle) {
     // Attach before the initial refresh so the very first end-of-round scan
     // is already checked.
@@ -116,6 +120,7 @@ void VehicularCloudSystem::start() {
     injector_ = std::make_unique<fault::FaultInjector>(
         net, std::move(plan), scenario_.fork_rng(14));
     injector_->register_cloud(*cloud_);
+    injector_->set_flight(&flight_);
     injector_->attach();
   }
 
@@ -125,6 +130,7 @@ void VehicularCloudSystem::start() {
   if (config_.storage.enabled) {
     storage_ = std::make_unique<storage::StorageService>(
         net, *cloud_, config_.storage, scenario_.fork_rng(21));
+    storage_->set_flight(&flight_);
     storage_->attach();
     if (oracle_ != nullptr) {
       oracle_->set_storage(storage_.get());
@@ -148,6 +154,7 @@ void VehicularCloudSystem::start() {
     }
     dag_ = std::make_unique<dag::DagScheduler>(net, *cloud_, config_.dag,
                                                scenario_.fork_rng(23));
+    dag_->set_flight(&flight_);
     dag_->attach();
     if (oracle_ != nullptr) {
       oracle_->set_dag(dag_.get());

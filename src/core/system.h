@@ -13,6 +13,7 @@
 #include "core/scenario.h"
 #include "dag/scheduler.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "storage/service.h"
 #include "vcloud/cloud.h"
@@ -95,11 +96,18 @@ class VehicularCloudSystem {
   [[nodiscard]] storage::StorageService* storage() { return storage_.get(); }
   // Present only when config.dag.enabled is set.
   [[nodiscard]] dag::DagScheduler* dag() { return dag_.get(); }
+  // ALWAYS present (DESIGN.md §12): the fixed-memory forensic flight
+  // recorder is wired into every subsystem at start(), telemetry on or
+  // off. RNG-neutral and allocation-free after construction, so runs are
+  // bit-identical with or without anyone reading it.
+  [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const { return flight_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
   SystemConfig config_;
   Scenario scenario_;
+  obs::FlightRecorder flight_;
   cluster::MovingZone zones_;
   auth::TrustedAuthority ta_;
   std::unique_ptr<vcloud::VehicularCloud> cloud_;

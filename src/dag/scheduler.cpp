@@ -228,6 +228,10 @@ void DagScheduler::complete_graph(GraphRun& g, SimTime now) {
 void DagScheduler::fail_graph(GraphRun& g, SimTime now) {
   g.failed = true;
   ++stats_.graphs_failed;
+  if (flight_ != nullptr) {
+    flight_->record(now, obs::FlightCategory::kDag, "dag.graph.fail", g.id,
+                    g.succeeded_count);
+  }
   // The broker discards the parked outputs of a failed graph.
   g.intermediates_held = 0;
   close_graph_trace(g, now, obs::kOutcomeFailed);
@@ -277,6 +281,10 @@ void DagScheduler::reliability_scan() {
       }
       if (at_risk) {
         ++stats_.backups;
+        if (flight_ != nullptr) {
+          flight_->record(now, obs::FlightCategory::kDag, "dag.backup", g.id,
+                          i);
+        }
         submit_attempt(g, i, now);
       }
     }

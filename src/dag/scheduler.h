@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "dag/task_graph.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/quantile_sketch.h"
 #include "util/stats.h"
@@ -125,6 +126,9 @@ class DagScheduler final : public vcloud::DagIntrospection {
   // Nullable hookups, same inertness contract as the cloud's.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   void set_oracle(vcloud::InvariantOracle* oracle) { oracle_ = oracle; }
+  // Always-on forensics (DESIGN.md §12): backup launches and graph
+  // failures land in the flight recorder.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   // --- DagIntrospection (invariant oracle view) ------------------------------
   void for_each_graph(
@@ -181,6 +185,7 @@ class DagScheduler final : public vcloud::DagIntrospection {
   std::uint64_t next_graph_id_ = 1;
   DagStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   vcloud::InvariantOracle* oracle_ = nullptr;
 };
 

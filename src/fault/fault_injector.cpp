@@ -64,6 +64,10 @@ void FaultInjector::fire(const FaultEvent& e) {
                        "fault.crash",
                        {{"vehicle", static_cast<double>(victim.value())}});
       }
+      if (flight_ != nullptr) {
+        flight_->record(net_.simulator().now(), obs::FlightCategory::kFault,
+                        "fault.crash", victim.value());
+      }
       return;
     }
     case FaultKind::kBrokerCrash: {
@@ -78,6 +82,11 @@ void FaultInjector::fire(const FaultEvent& e) {
             trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
                            "fault.broker.crash",
                            {{"vehicle", static_cast<double>(broker.value())}});
+          }
+          if (flight_ != nullptr) {
+            flight_->record(net_.simulator().now(),
+                            obs::FlightCategory::kFault, "fault.broker.crash",
+                            broker.value());
           }
           return;
         }
@@ -106,6 +115,11 @@ void FaultInjector::fire(const FaultEvent& e) {
                        {{"rsu", static_cast<double>(target.value())},
                         {"repair_after", e.repair_after}});
       }
+      if (flight_ != nullptr) {
+        flight_->record(net_.simulator().now(), obs::FlightCategory::kFault,
+                        "fault.rsu.outage", target.value(), 0,
+                        e.repair_after);
+      }
       if (e.repair_after > 0.0) {
         net_.simulator().schedule_after(
             e.repair_after,
@@ -117,6 +131,11 @@ void FaultInjector::fire(const FaultEvent& e) {
                                obs::TraceCategory::kFault, "fault.rsu.repair",
                                {{"rsu", static_cast<double>(target.value())}});
               }
+              if (flight_ != nullptr) {
+                flight_->record(net_.simulator().now(),
+                                obs::FlightCategory::kFault,
+                                "fault.rsu.repair", target.value());
+              }
             },
             "fault.event");
       }
@@ -127,6 +146,13 @@ void FaultInjector::fire(const FaultEvent& e) {
       const std::uint64_t token =
           net_.channel().add_blackout({e.center, e.radius});
       ++stats_.blackouts;
+      const SimTime start = net_.simulator().now();
+      blackout_windows_.push_back(
+          {start, start + e.duration, e.center, e.radius});
+      if (flight_ != nullptr) {
+        flight_->record(start, obs::FlightCategory::kFault,
+                        "fault.blackout.start", 0, 0, e.duration);
+      }
       if (trace_ != nullptr) {
         trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
                        "fault.blackout.start",
@@ -152,6 +178,11 @@ void FaultInjector::fire(const FaultEvent& e) {
               trace_->record(net_.simulator().now(),
                              obs::TraceCategory::kFault, "fault.blackout.end",
                              {{"token", static_cast<double>(token)}});
+            }
+            if (flight_ != nullptr) {
+              flight_->record(net_.simulator().now(),
+                              obs::FlightCategory::kFault,
+                              "fault.blackout.end", token);
             }
           },
           "fault.event");

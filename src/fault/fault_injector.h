@@ -25,6 +25,7 @@
 
 #include "fault/fault_plan.h"
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "vcloud/cloud.h"
@@ -37,6 +38,17 @@ struct FaultStats {
   std::size_t rsu_outages = 0;
   std::size_t rsu_repairs = 0;
   std::size_t blackouts = 0;
+};
+
+// One installed radio-blackout window in absolute sim time. The injector
+// keeps every window it opened (they are few), so incident capture can
+// list the storms that were active — or recently active — at a violation
+// without re-pairing start/end events.
+struct BlackoutWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  geo::Vec2 center{};
+  double radius = 0.0;
 };
 
 class FaultInjector {
@@ -73,6 +85,15 @@ class FaultInjector {
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  // Every blackout window fired so far, in fire order.
+  [[nodiscard]] const std::vector<BlackoutWindow>& blackout_windows() const {
+    return blackout_windows_;
+  }
+
+  // Always-on forensics (DESIGN.md §12): every fired fault also lands in
+  // the flight recorder — injected faults are the "cause" half of the
+  // causal timeline an incident bundle reconstructs. Null = one branch.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   // Telemetry (off by default): every fired fault becomes a fault.* trace
   // event — the ground truth a trace analysis correlates detection latency
@@ -94,7 +115,9 @@ class FaultInjector {
   StorageVictimResolver storage_resolver_;
   DagVictimResolver dag_resolver_;
   FaultStats stats_;
+  std::vector<BlackoutWindow> blackout_windows_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace vcl::fault

@@ -1,0 +1,408 @@
+#include "obs/incident.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace vcl::obs {
+
+namespace {
+
+// Sim times and payloads must survive write → parse bit-exactly (the
+// bundle-determinism tests compare serialized bytes), so they bypass
+// json_number's lossy %.12g — same contract as fault-plan repro files.
+std::string exact_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// ---- flat single-line scanner ----------------------------------------------
+// Keys map to either a string or a raw (unparsed) number token; keeping
+// the token lets integer ids re-parse through strtoull without a double
+// round-trip.
+
+struct FlatValue {
+  bool is_string = false;
+  std::string text;
+};
+
+using FlatObject = std::vector<std::pair<std::string, FlatValue>>;
+
+bool scan_flat_object(const std::string& line, FlatObject& out,
+                      std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+  const auto eat = [&](char c) {
+    skip_ws();
+    if (pos < line.size() && line[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  const auto read_string = [&](std::string& s) {
+    if (!eat('"')) return false;
+    s.clear();
+    while (pos < line.size()) {
+      const char c = line[pos++];
+      if (c == '"') return true;
+      if (c == '\\' && pos < line.size()) {
+        const char esc = line[pos++];
+        switch (esc) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          default: s += esc; break;
+        }
+      } else {
+        s += c;
+      }
+    }
+    return false;
+  };
+  if (!eat('{')) return fail("line does not start with '{'");
+  bool first = true;
+  while (true) {
+    if (eat('}')) return true;
+    if (!first && !eat(',')) return fail("expected ',' between members");
+    first = false;
+    std::string key;
+    if (!read_string(key) || !eat(':')) return fail("malformed key");
+    skip_ws();
+    FlatValue value;
+    if (pos < line.size() && line[pos] == '"') {
+      value.is_string = true;
+      if (!read_string(value.text)) return fail("unterminated string value");
+    } else {
+      const std::size_t start = pos;
+      while (pos < line.size() && line[pos] != ',' && line[pos] != '}' &&
+             !std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      if (pos == start) return fail("malformed value");
+      value.text = line.substr(start, pos - start);
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+const FlatValue* find(const FlatObject& obj, const char* key) {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string get_str(const FlatObject& obj, const char* key) {
+  const FlatValue* v = find(obj, key);
+  return v != nullptr && v->is_string ? v->text : std::string();
+}
+
+double get_num(const FlatObject& obj, const char* key) {
+  const FlatValue* v = find(obj, key);
+  return v != nullptr && !v->is_string ? std::strtod(v->text.c_str(), nullptr)
+                                       : 0.0;
+}
+
+std::uint64_t get_u64(const FlatObject& obj, const char* key) {
+  const FlatValue* v = find(obj, key);
+  return v != nullptr && !v->is_string
+             ? std::strtoull(v->text.c_str(), nullptr, 10)
+             : 0;
+}
+
+bool get_flag(const FlatObject& obj, const char* key) {
+  return get_u64(obj, key) != 0;
+}
+
+}  // namespace
+
+void append_flight_tail(IncidentBundle& bundle,
+                        const std::vector<FlightEvent>& tail) {
+  bundle.flight.reserve(bundle.flight.size() + tail.size());
+  for (const FlightEvent& e : tail) {
+    IncidentFlightEvent out;
+    out.t = e.t;
+    out.seq = e.seq;
+    out.cat = to_string(e.cat);
+    out.name = e.name;
+    out.a = e.a;
+    out.b = e.b;
+    out.x = e.x;
+    bundle.flight.push_back(std::move(out));
+  }
+}
+
+void write_incident_bundle(const IncidentBundle& b, std::ostream& os) {
+  {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("meta").value("vcl-incident-v1")
+        .key("seed").value(b.seed)
+        .key("captured_at").value_raw(exact_number(b.captured_at))
+        .key("trigger").value(b.trigger)
+        .key("flight_recorded").value(b.flight_recorded)
+        .key("flight_overwritten").value(b.flight_overwritten)
+        .key("broker").value(b.broker)
+        .key("pending").value(b.pending)
+        .end_object();
+  }
+  os << '\n';
+  for (const IncidentViolation& v : b.violations) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("violation")
+        .key("t").value_raw(exact_number(v.t))
+        .key("invariant").value(v.invariant)
+        .key("detail").value(v.detail)
+        .key("task").value(v.task)
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentFlightEvent& e : b.flight) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("flight")
+        .key("t").value_raw(exact_number(e.t))
+        .key("seq").value(e.seq)
+        .key("cat").value(e.cat)
+        .key("name").value(e.name)
+        .key("a").value(e.a)
+        .key("b").value(e.b)
+        .key("x").value_raw(exact_number(e.x))
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentWindow& win : b.windows) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("window")
+        .key("start").value_raw(exact_number(win.start))
+        .key("end").value_raw(exact_number(win.end))
+        .key("x").value_raw(exact_number(win.x))
+        .key("y").value_raw(exact_number(win.y))
+        .key("radius").value_raw(exact_number(win.radius))
+        .key("active").value(static_cast<std::uint64_t>(win.active ? 1 : 0))
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentOpenSpan& s : b.open_spans) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("span")
+        .key("begin").value_raw(exact_number(s.begin))
+        .key("cat").value(s.cat)
+        .key("name").value(s.name)
+        .key("trace").value(s.trace_id)
+        .key("span").value(s.span_id)
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentWorker& wkr : b.workers) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("worker")
+        .key("id").value(wkr.id)
+        .key("crashed").value(static_cast<std::uint64_t>(wkr.crashed ? 1 : 0))
+        .key("tracked").value(static_cast<std::uint64_t>(wkr.tracked ? 1 : 0))
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentTask& t : b.tasks) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("task")
+        .key("id").value(t.id)
+        .key("state").value(t.state)
+        .key("progress").value_raw(exact_number(t.progress))
+        .key("work").value_raw(exact_number(t.work))
+        .key("checkpoint").value_raw(exact_number(t.checkpoint))
+        .key("worker").value(t.worker)
+        .key("trace").value(t.trace_id)
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentObject& o : b.objects) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("object")
+        .key("id").value(o.id)
+        .key("acked_version").value(o.acked_version)
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentReplica& r : b.replicas) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("replica")
+        .key("object").value(r.object)
+        .key("holder").value(r.holder)
+        .key("version").value(r.version)
+        .key("alive").value(static_cast<std::uint64_t>(r.alive ? 1 : 0))
+        .key("lease").value(static_cast<std::uint64_t>(r.lease_held ? 1 : 0))
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentDagGraph& g : b.graphs) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("graph")
+        .key("id").value(g.id)
+        .key("terminal").value(static_cast<std::uint64_t>(g.terminal ? 1 : 0))
+        .key("completed").value(
+            static_cast<std::uint64_t>(g.completed ? 1 : 0))
+        .key("intermediates").value(g.intermediates_held)
+        .end_object();
+    os << '\n';
+  }
+  for (const IncidentDagNode& n : b.dag_nodes) {
+    JsonWriter w(os);
+    w.begin_object()
+        .key("rec").value("dagnode")
+        .key("graph").value(n.graph)
+        .key("node").value(n.node)
+        .key("submitted").value(
+            static_cast<std::uint64_t>(n.submitted ? 1 : 0))
+        .key("succeeded").value(
+            static_cast<std::uint64_t>(n.succeeded ? 1 : 0))
+        .key("live").value(n.live_attempts)
+        .end_object();
+    os << '\n';
+  }
+}
+
+bool parse_incident_bundle(std::istream& is, IncidentBundle& b,
+                           std::string* error) {
+  b = IncidentBundle{};
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_meta = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    FlatObject obj;
+    std::string why;
+    if (!scan_flat_object(line, obj, &why)) {
+      return fail("line " + std::to_string(lineno) + ": " + why);
+    }
+    if (!have_meta) {
+      if (get_str(obj, "meta") != "vcl-incident-v1") {
+        return fail("line 1: not a vcl-incident-v1 meta record");
+      }
+      b.seed = get_u64(obj, "seed");
+      b.captured_at = get_num(obj, "captured_at");
+      b.trigger = get_str(obj, "trigger");
+      b.flight_recorded = get_u64(obj, "flight_recorded");
+      b.flight_overwritten = get_u64(obj, "flight_overwritten");
+      b.broker = get_u64(obj, "broker");
+      b.pending = get_u64(obj, "pending");
+      have_meta = true;
+      continue;
+    }
+    const std::string rec = get_str(obj, "rec");
+    if (rec == "violation") {
+      IncidentViolation v;
+      v.t = get_num(obj, "t");
+      v.invariant = get_str(obj, "invariant");
+      v.detail = get_str(obj, "detail");
+      v.task = get_u64(obj, "task");
+      b.violations.push_back(std::move(v));
+    } else if (rec == "flight") {
+      IncidentFlightEvent e;
+      e.t = get_num(obj, "t");
+      e.seq = get_u64(obj, "seq");
+      e.cat = get_str(obj, "cat");
+      e.name = get_str(obj, "name");
+      e.a = get_u64(obj, "a");
+      e.b = get_u64(obj, "b");
+      e.x = get_num(obj, "x");
+      b.flight.push_back(std::move(e));
+    } else if (rec == "window") {
+      IncidentWindow w;
+      w.start = get_num(obj, "start");
+      w.end = get_num(obj, "end");
+      w.x = get_num(obj, "x");
+      w.y = get_num(obj, "y");
+      w.radius = get_num(obj, "radius");
+      w.active = get_flag(obj, "active");
+      b.windows.push_back(w);
+    } else if (rec == "span") {
+      IncidentOpenSpan s;
+      s.begin = get_num(obj, "begin");
+      s.cat = get_str(obj, "cat");
+      s.name = get_str(obj, "name");
+      s.trace_id = get_u64(obj, "trace");
+      s.span_id = get_u64(obj, "span");
+      b.open_spans.push_back(std::move(s));
+    } else if (rec == "worker") {
+      IncidentWorker w;
+      w.id = get_u64(obj, "id");
+      w.crashed = get_flag(obj, "crashed");
+      w.tracked = get_flag(obj, "tracked");
+      b.workers.push_back(w);
+    } else if (rec == "task") {
+      IncidentTask t;
+      t.id = get_u64(obj, "id");
+      t.state = get_str(obj, "state");
+      t.progress = get_num(obj, "progress");
+      t.work = get_num(obj, "work");
+      t.checkpoint = get_num(obj, "checkpoint");
+      t.worker = get_u64(obj, "worker");
+      t.trace_id = get_u64(obj, "trace");
+      b.tasks.push_back(std::move(t));
+    } else if (rec == "object") {
+      IncidentObject o;
+      o.id = get_u64(obj, "id");
+      o.acked_version = get_u64(obj, "acked_version");
+      b.objects.push_back(o);
+    } else if (rec == "replica") {
+      IncidentReplica r;
+      r.object = get_u64(obj, "object");
+      r.holder = get_u64(obj, "holder");
+      r.version = get_u64(obj, "version");
+      r.alive = get_flag(obj, "alive");
+      r.lease_held = get_flag(obj, "lease");
+      b.replicas.push_back(r);
+    } else if (rec == "graph") {
+      IncidentDagGraph g;
+      g.id = get_u64(obj, "id");
+      g.terminal = get_flag(obj, "terminal");
+      g.completed = get_flag(obj, "completed");
+      g.intermediates_held = get_u64(obj, "intermediates");
+      b.graphs.push_back(g);
+    } else if (rec == "dagnode") {
+      IncidentDagNode n;
+      n.graph = get_u64(obj, "graph");
+      n.node = get_u64(obj, "node");
+      n.submitted = get_flag(obj, "submitted");
+      n.succeeded = get_flag(obj, "succeeded");
+      n.live_attempts = get_u64(obj, "live");
+      b.dag_nodes.push_back(n);
+    } else {
+      return fail("line " + std::to_string(lineno) + ": unknown record \"" +
+                  rec + "\"");
+    }
+  }
+  if (!have_meta) return fail("empty input (no meta record)");
+  return true;
+}
+
+}  // namespace vcl::obs

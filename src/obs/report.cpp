@@ -277,6 +277,11 @@ bool load_trace_jsonl(const std::string& path, RunHealth& h,
     return fail(error, path + ": " + why);
   }
   h.trace_meta = meta;
+  if (meta.present) {
+    h.trace_overwritten += meta.overwritten;
+    h.trace_dropped_fields += meta.dropped_fields;
+    if (!meta.complete()) ++h.traces_wrapped;
+  }
   const TraceAnalysis analysis(events);
   for (const TaskBreakdown& t : analysis.tasks()) {
     ++h.tasks;
@@ -352,22 +357,49 @@ bool build_run_health(const std::vector<std::string>& dirs, RunHealth& out,
     const std::string metrics = dir + "/metrics.csv";
     const std::string sketches = dir + "/sketches.json";
     const std::string violations = dir + "/violations.jsonl";
+    // Optional inputs note-and-continue: an absent artifact only empties
+    // its section, but the note says so explicitly — "no storage table"
+    // should never make a reader wonder whether the run or the report
+    // dropped it.
     if (file_exists(trace)) {
       if (!load_trace_jsonl(trace, out, error)) return false;
       out.have_trace = true;
+    } else {
+      out.notes.push_back(dir + ": trace.jsonl absent (skipped)");
     }
     if (file_exists(metrics)) {
       if (!load_metrics_csv(metrics, out, error)) return false;
       out.have_metrics = true;
+    } else {
+      out.notes.push_back(dir + ": metrics.csv absent (skipped)");
     }
     if (file_exists(sketches)) {
       if (!load_sketches_json(sketches, out, error)) return false;
       out.have_sketches = true;
+    } else {
+      out.notes.push_back(dir + ": sketches.json absent (skipped)");
     }
     if (file_exists(violations)) {
       if (!load_violations_jsonl(violations, out, error)) return false;
       out.have_violations = true;
+    } else {
+      out.notes.push_back(dir + ": violations.jsonl absent (skipped)");
     }
+  }
+  if (out.trace_overwritten > 0) {
+    out.warnings.push_back(
+        "trace ring wrapped in " + std::to_string(out.traces_wrapped) +
+        " director" + (out.traces_wrapped == 1 ? "y" : "ies") + ": " +
+        std::to_string(out.trace_overwritten) +
+        " events overwritten — oldest history lost, span pairing and every "
+        "trace-derived table below are truncated (raise TraceRecorder "
+        "capacity)");
+  }
+  if (out.trace_dropped_fields > 0) {
+    out.warnings.push_back(
+        std::to_string(out.trace_dropped_fields) +
+        " trace event fields dropped (beyond the per-event field cap) — "
+        "recorded events are missing payload columns");
   }
   if (!out.have_trace && !out.have_metrics && !out.have_sketches &&
       !out.have_violations) {
@@ -384,7 +416,13 @@ void write_health_text(std::ostream& os, const RunHealth& h) {
   os << "artifacts: trace " << (h.have_trace ? "yes" : "no") << ", metrics "
      << (h.have_metrics ? "yes" : "no") << ", sketches "
      << (h.have_sketches ? "yes" : "no") << ", violations "
-     << (h.have_violations ? "yes" : "no") << "\n\n";
+     << (h.have_violations ? "yes" : "no") << "\n";
+  for (const std::string& note : h.notes) os << "note: " << note << "\n";
+  os << "\n";
+  for (const std::string& warning : h.warnings) {
+    os << "WARNING: " << warning << "\n";
+  }
+  if (!h.warnings.empty()) os << "\n";
 
   // Verdict first: the line a CI log reader needs.
   if (h.have_violations) {
@@ -459,7 +497,14 @@ void write_health_text(std::ostream& os, const RunHealth& h) {
      << h.unmatched_ends << " unmatched ends, " << h.unknown_roots
      << " unknown roots";
   if (h.trace_meta.present) {
-    os << "; ring " << (h.trace_meta.complete() ? "complete" : "WRAPPED");
+    os << "; ring "
+       << (h.traces_wrapped == 0
+               ? "complete"
+               : "WRAPPED (" + std::to_string(h.trace_overwritten) +
+                     " events overwritten)");
+    if (h.trace_dropped_fields > 0) {
+      os << ", " << h.trace_dropped_fields << " fields dropped";
+    }
   }
   os << "\n";
 }
@@ -477,6 +522,12 @@ void write_health_json(std::ostream& os, const RunHealth& h) {
   w.key("sketches").value(h.have_sketches);
   w.key("violations").value(h.have_violations);
   w.end_object();
+  w.key("notes").begin_array();
+  for (const std::string& note : h.notes) w.value(note);
+  w.end_array();
+  w.key("warnings").begin_array();
+  for (const std::string& warning : h.warnings) w.value(warning);
+  w.end_array();
 
   w.key("tails").begin_object();
   for (const auto& [name, sketch] : h.sketches) {
@@ -546,7 +597,10 @@ void write_health_json(std::ostream& os, const RunHealth& h) {
   w.key("orphaned_spans").value(static_cast<std::uint64_t>(h.orphaned_spans));
   w.key("unmatched_ends").value(static_cast<std::uint64_t>(h.unmatched_ends));
   w.key("unknown_roots").value(static_cast<std::uint64_t>(h.unknown_roots));
-  w.key("ring_complete").value(h.trace_meta.complete());
+  w.key("ring_complete").value(h.have_trace && h.traces_wrapped == 0);
+  w.key("trace_overwritten").value(h.trace_overwritten);
+  w.key("trace_dropped_fields").value(h.trace_dropped_fields);
+  w.key("traces_wrapped").value(static_cast<std::uint64_t>(h.traces_wrapped));
   w.end_object();
   w.end_object();
   os << '\n';

@@ -42,8 +42,21 @@ struct RunHealth {
   bool have_sketches = false;
   bool have_violations = false;
 
+  // Per-directory "optional artifact absent (skipped)" notes and explicit
+  // data-loss warnings (ring overwrite, dropped fields), both in
+  // deterministic directory order. Warnings are the report's loud channel:
+  // a wrapped trace ring silently truncates every downstream table, so the
+  // reader is told instead of left to notice a too-small task count.
+  std::vector<std::string> notes;
+  std::vector<std::string> warnings;
+
   // --- trace-derived (trace.jsonl) ----------------------------------------
   TraceMeta trace_meta;  // from the last directory parsed
+  // Ring-loss totals summed across every parsed trace (trace_meta above
+  // keeps only the last raw meta record).
+  std::uint64_t trace_overwritten = 0;
+  std::uint64_t trace_dropped_fields = 0;
+  std::size_t traces_wrapped = 0;  // directories whose ring wrapped
   std::size_t tasks = 0;
   std::size_t tasks_closed = 0;
   double task_e2e_s = 0.0;

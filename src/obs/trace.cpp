@@ -103,6 +103,27 @@ std::vector<TraceRecorder::Event> TraceRecorder::events() const {
   return out;
 }
 
+std::vector<TraceRecorder::Event> TraceRecorder::open_spans() const {
+  // One linear pass over the retained window: collect begins in order,
+  // erase each one its end closes. What survives is still open.
+  std::vector<Event> open;
+  const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    if (e.phase == TracePhase::kBegin) {
+      open.push_back(e);
+    } else if (e.phase == TracePhase::kEnd) {
+      for (std::size_t j = open.size(); j > 0; --j) {
+        if (open[j - 1].span_id == e.span_id) {
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(j - 1));
+          break;
+        }
+      }
+    }
+  }
+  return open;
+}
+
 namespace {
 
 const char* phase_label(TracePhase p) {

@@ -145,6 +145,11 @@ class TraceRecorder {
 
   // Retained events, oldest first.
   [[nodiscard]] std::vector<Event> events() const;
+  // Begin events whose matching end has not been recorded yet, oldest
+  // first — the work in flight at this instant. Best-effort on a wrapped
+  // ring (an overwritten begin makes its end look unmatched, not open).
+  // Incident bundles snapshot these (DESIGN.md §12).
+  [[nodiscard]] std::vector<Event> open_spans() const;
 
   // Metadata record first ({"meta":"vcl-trace-v1","recorded":...}), then
   // one JSON object per line: {"t":1.5,"cat":"task","name":"task.submit",...}

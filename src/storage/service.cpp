@@ -238,6 +238,11 @@ WriteResult StorageService::put(std::uint64_t client, FileId object,
                       {"client", static_cast<double>(client)},
                       {"replicas", static_cast<double>(written.size())}});
     }
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kQuorum,
+                      "quorum.write.failed", object.value(), client,
+                      static_cast<double>(written.size()));
+    }
   }
   if (traced) {
     trace_->end_span(now + elapsed, obs::TraceCategory::kStorage,
@@ -331,6 +336,10 @@ ReadResult StorageService::get(std::uint64_t client, FileId object,
   result.responses = answered.size();
   if (answered.empty()) {
     ++stats_.reads_failed;
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kQuorum,
+                      "quorum.read.failed", object.value(), client);
+    }
     end_op_span(0.0, 0.0);
     return result;
   }
@@ -359,6 +368,11 @@ ReadResult StorageService::get(std::uint64_t client, FileId object,
                       {"client", static_cast<double>(client)},
                       {"responses", static_cast<double>(answered.size())},
                       {"version", static_cast<double>(max_seen)}});
+    }
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kQuorum,
+                      "quorum.read.degraded", object.value(), client,
+                      static_cast<double>(answered.size()));
     }
   }
   end_op_span(1.0, result.degraded ? 1.0 : 0.0);
@@ -392,6 +406,10 @@ void StorageService::maintenance(SimTime now) {
         trace_->record(now, obs::TraceCategory::kCloud, "storage.lease.expire",
                        {{"object", static_cast<double>(id)},
                         {"holder", static_cast<double>(v.value())}});
+      }
+      if (flight_ != nullptr) {
+        flight_->record(now, obs::FlightCategory::kLease, "lease.expire", id,
+                        v.value());
       }
     }
     for (const VehicleId v : obj.placement) {

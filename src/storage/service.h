@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/lease.h"
@@ -158,6 +159,9 @@ class StorageService final : public vcloud::StorageIntrospection {
   // Nullable hookups, same inertness contract as the cloud's.
   void set_oracle(vcloud::InvariantOracle* oracle) { oracle_ = oracle; }
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Always-on forensics (DESIGN.md §12): lease expiries and quorum
+  // degradations are the storage clues an incident bundle needs.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
   void register_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
@@ -202,6 +206,7 @@ class StorageService final : public vcloud::StorageIntrospection {
   StorageStats stats_;
   vcloud::InvariantOracle* oracle_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace vcl::storage

@@ -591,6 +591,11 @@ void VehicularCloud::finalize_completion(Task& task) {
                      {{"task", static_cast<double>(task.id.value())}});
     }
     trace_task_end(task, obs::kOutcomeExpired);
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kTask, "task.expire",
+                      task.id.value(),
+                      task.worker.valid() ? task.worker.value() : 0);
+    }
   } else {
     task.state = TaskState::kCompleted;
     ++stats_.completed;
@@ -604,6 +609,11 @@ void VehicularCloud::finalize_completion(Task& task) {
                       {"latency", now - task.created}});
     }
     trace_task_end(task, obs::kOutcomeCompleted);
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kTask, "task.complete",
+                      task.id.value(), task.worker.value(),
+                      now - task.created);
+    }
     if (completion_hook_) completion_hook_(task);
   }
   if (oracle_ != nullptr) oracle_->on_terminal(task, now);
@@ -817,6 +827,10 @@ void VehicularCloud::declare_dead(VehicleId v) {
                         {"crashed", 1.0},
                         {"latency", now - ct->second}});
       }
+      if (flight_ != nullptr) {
+        flight_->record(now, obs::FlightCategory::kDetector, "detector.evict",
+                        v.value(), 1, now - ct->second);
+      }
       crash_time_.erase(ct);
     }
   } else {
@@ -828,6 +842,10 @@ void VehicularCloud::declare_dead(VehicleId v) {
     // The worker is alive — its beats were eaten by the channel. Killing
     // it anyway is the price of bounded detection latency.
     ++stats_.false_positive_kills;
+    if (flight_ != nullptr) {
+      flight_->record(now, obs::FlightCategory::kDetector, "detector.evict",
+                      v.value(), 0);
+    }
   }
   const WorkerState state = it->second;
   workers_.erase(it);
@@ -1001,6 +1019,10 @@ void VehicularCloud::refresh() {
                        {{"task", static_cast<double>(task_it->first)}});
       }
       trace_task_end(task_it->second, obs::kOutcomeExpired);
+      if (flight_ != nullptr) {
+        flight_->record(now, obs::FlightCategory::kTask, "task.expire",
+                        task_it->first);
+      }
       abort_replica(task_it->second.id);
       if (oracle_ != nullptr) oracle_->on_terminal(task_it->second, now);
       if (terminal_hook_) reaped.push_back(task_it->second.id);
@@ -1032,6 +1054,10 @@ void VehicularCloud::refresh() {
                        {{"task", static_cast<double>(tid)}});
       }
       trace_task_end(task, obs::kOutcomeExpired);
+      if (flight_ != nullptr) {
+        flight_->record(now, obs::FlightCategory::kTask, "task.expire", tid,
+                        task.worker.valid() ? task.worker.value() : 0);
+      }
       if (oracle_ != nullptr) oracle_->on_terminal(task, now);
       if (terminal_hook_) reaped.push_back(task.id);
     }

@@ -29,6 +29,7 @@
 #include <unordered_set>
 
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/quantile_sketch.h"
@@ -179,6 +180,12 @@ class VehicularCloud {
   // sampling, which stays off until metrics are registered.
   void register_metrics(obs::MetricsRegistry& metrics);
 
+  // --- flight recorder (always-on forensics, DESIGN.md §12) ------------------
+  // Unlike set_trace this is wired unconditionally by the system facade:
+  // the recorder is fixed-memory and RNG-neutral, so it stays on even when
+  // telemetry is off. Null (bare unit-test clouds) = one branch per event.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
   // --- invariant oracle (off by default: null oracle = one branch per hook) --
   // When set, the oracle's full scan runs at the end of every refresh() and
   // its terminal hook fires on every task terminal transition. The oracle
@@ -304,6 +311,7 @@ class VehicularCloud {
   std::uint64_t next_replica_epoch_ = 1;
   CloudStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   // Armed by register_metrics(): per-beat RTT sampling costs a density
   // lookup, so undisturbed runs never pay it (telemetry inertness).
   bool heartbeat_rtt_enabled_ = false;

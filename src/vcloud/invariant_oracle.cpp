@@ -19,13 +19,16 @@ void InvariantOracle::report(const std::string& invariant,
                              const std::string& detail, SimTime at,
                              TaskId task) {
   ++violation_count_;
-  if (violations_.size() >= kMaxStored) return;
   InvariantViolation v;
   v.invariant = invariant;
   v.detail = detail;
   v.at = at;
   v.task = task;
   v.seed = seed_;
+  // The hook sees EVERY violation (the incident capture keys off the
+  // first); storage below caps at kMaxStored.
+  if (violation_hook_) violation_hook_(v);
+  if (violations_.size() >= kMaxStored) return;
   violations_.push_back(std::move(v));
 }
 

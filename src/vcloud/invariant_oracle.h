@@ -180,6 +180,17 @@ class InvariantOracle {
   void on_dag_node_terminal(std::uint64_t graph, std::size_t node,
                             SimTime now);
 
+  // Fires on EVERY reported violation, at the instant report() runs —
+  // before control returns to the subsystem that tripped the check. The
+  // incident-forensics layer (core::chaos) installs a capture here so the
+  // bundle snapshots the system in the exact offending state, not the
+  // drained end-of-episode state. The hook must only read (const
+  // accessors); it runs inside cloud refresh/terminal paths.
+  using ViolationHook = std::function<void(const InvariantViolation&)>;
+  void set_violation_hook(ViolationHook hook) {
+    violation_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
@@ -211,6 +222,7 @@ class InvariantOracle {
   };
 
   std::uint64_t seed_;
+  ViolationHook violation_hook_;
   std::vector<InvariantViolation> violations_;
   std::size_t violation_count_ = 0;
   std::size_t checks_run_ = 0;

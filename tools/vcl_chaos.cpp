@@ -61,7 +61,9 @@ int usage(const char* argv0) {
       << "  --intensity X     fault/storm rate multiplier (default 1.0)\n"
       << "  --no-storms       independent Poisson background only\n"
       << "  --jobs J          parallel episodes (default: hardware)\n"
-      << "  --out DIR         repro + trace output dir (default chaos-out)\n"
+      << "  --out DIR         repro + trace + incident-bundle output dir\n"
+      << "                    (default chaos-out; a failing episode writes\n"
+      << "                    incident.jsonl there — render with vcl_incident)\n"
       << "  --repro FILE      re-run one repro file instead of soaking\n"
       << "  --storage         run the storage service (leases + quorum\n"
       << "                    replication + repair) under the chaos, with the\n"
@@ -160,6 +162,10 @@ int run_repro(const Options& opt) {
   print_violations(episode);
   std::cout << "trace exported to " << opt.out_dir
             << "/trace.jsonl (vcl_traceview-ready)\n";
+  if (episode.incident != nullptr) {
+    std::cout << "incident bundle written to " << opt.out_dir
+              << "/incident.jsonl (render with vcl_incident)\n";
+  }
   return 3;
 }
 
@@ -269,6 +275,10 @@ int run_soak(const Options& opt) {
             << "trace exported to " << opt.out_dir
             << "/trace.jsonl (vcl_traceview-ready); final run: "
             << final_run.violation_count << " violation(s)\n";
+  if (final_run.incident != nullptr) {
+    std::cout << "incident bundle written to " << opt.out_dir
+              << "/incident.jsonl (render with vcl_incident)\n";
+  }
   return 1;
 }
 

@@ -15,8 +15,11 @@
 //   vcl_report --out report.json out/rep0 out/rep1  # text to stdout AND
 //                                                   # JSON artifact to file
 //
-// Exit codes: 0 = report produced (violations included — the report is an
-// observer; gating is the chaos runner's job), 2 = usage or I/O error.
+// Absent optional artifacts note-and-continue (a per-directory "absent
+// (skipped)" note in the output); trace-ring data loss (overwritten
+// events, dropped fields) is surfaced as explicit WARNING lines / a
+// "warnings" JSON array. Exit codes: the single authoritative statement
+// is in usage()/--help.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -34,8 +37,15 @@ int usage(const char* argv0) {
             << "              (CI artifact next to the text on stdout)\n"
             << "\n"
             << "Merges trace.jsonl / metrics.csv / sketches.json /\n"
-            << "violations.jsonl from each DIR; every artifact is optional.\n"
-            << "Exit 0 = report produced, 2 = usage or I/O error.\n";
+            << "violations.jsonl from each DIR; every artifact is optional\n"
+            << "and an absent one is noted and skipped, never fatal. Trace\n"
+            << "ring overwrites and dropped fields become WARNING lines (a\n"
+            << "\"warnings\" array in --json).\n"
+            << "exit codes:\n"
+            << "  0  report produced (violations included — the report is\n"
+            << "     an observer; gating is the chaos runner's job)\n"
+            << "  2  usage error, unreadable/malformed input, or no\n"
+            << "     artifact found in any DIR\n";
   return 2;
 }
 

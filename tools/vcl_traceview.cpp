@@ -43,7 +43,12 @@ int usage(const char* argv0) {
             << "             per-task table\n"
             << "  --dag      per-DAG-run breakdown: node table, measured\n"
             << "             critical path, leg-partition check (exits 1 on\n"
-            << "             a partition violation in a complete trace)\n";
+            << "             a partition violation in a complete trace)\n"
+            << "exit codes:\n"
+            << "  0  report rendered\n"
+            << "  1  unreadable or malformed trace, or (--dag) a\n"
+            << "     leg-partition violation in a complete trace\n"
+            << "  2  usage error\n";
   return 2;
 }
 
