@@ -1,0 +1,244 @@
+// E24 — adversarial chaos: §IV attack storms vs the revocation-aware
+// admission defenses (DESIGN.md §13).
+//
+// A stationary parking-lot cloud in full mitigation mode serves a steady
+// deadline-bearing task stream while a ChaosPlanner schedule drives the
+// three §IV attack shapes at it: Sybil bursts inside radio blackouts,
+// CRL-propagation races against members holding work, and replay floods of
+// captured joins/acks past their freshness window. The SAME scenario seed
+// is used for both defense settings at a given attack intensity, so the
+// defended and wide-open cells face the identical attack schedule AND the
+// identical workload; differences are attributable to the defense alone:
+//
+//   off   admission wide open (the vulnerable baseline): fabricated claims
+//         become members, revocations evict nobody — a revoked identity
+//         keeps its seat and its tasks forever on a parked fleet — and
+//         every stale replay lands (ghost re-admissions, zombie
+//         heartbeats that blind the failure detector);
+//   on    membership refresh consults the RSU-side CRL view (Bloom fast
+//         path), revoked members are evicted at first visibility with
+//         their work re-queued, unverifiable claims are quarantined —
+//         capacity degrades gracefully, membership stays clean — and the
+//         freshness window kills the whole replay flood.
+//
+// Expected shape: the defended cells hold membership pollution at zero and
+// reject every stale replay at any intensity, while completion stays at or
+// near the undefended cells' — the defense costs quarantine capacity, not
+// task throughput.
+//
+// Runs through the experiment engine: an exp::Sweep spans the attack
+// intensity x defense grid and exp::Campaign replicates each cell
+// (--reps N --jobs J). Stat cells are bit-identical for any --jobs split.
+#include <iostream>
+
+#include "core/system.h"
+#include "exp/campaign.h"
+#include "exp/sweep.h"
+#include "fault/chaos.h"
+#include "util/table.h"
+
+using namespace vcl;
+
+namespace {
+
+constexpr SimTime kLoadWindow = 180.0;
+constexpr SimTime kDrain = 60.0;
+constexpr SimTime kSubmitPeriod = 0.5;
+
+// The attack schedule is a pure function of (intensity, seed): storm rates
+// scale together, and both defense cells at one intensity replay the same
+// plan. The scaled rates ride in cfg.adversary (where validation sees
+// them); this turns them into the planned schedule.
+fault::FaultPlan make_attack_plan(const core::SystemConfig& cfg,
+                                  std::uint64_t seed) {
+  fault::ChaosConfig chaos;
+  chaos.base.horizon = kLoadWindow;
+  // A light benign background keeps the recovery stack honest: the defense
+  // must coexist with ordinary crash handling, not replace it.
+  chaos.base.vehicle_crash_rate = 0.01;
+  // Sybil storms draw blackout centers from the base box; resolve it from
+  // the road graph exactly like the system would at start().
+  core::Scenario probe(cfg.scenario);
+  const auto [lo, hi] = probe.road().bounding_box();
+  chaos.base.blackout_lo = lo;
+  chaos.base.blackout_hi = hi;
+  chaos.base.blackout_radius = 400.0;
+  chaos.storms.sybil_rate = cfg.adversary.sybil_rate;
+  chaos.storms.sybil_count = cfg.adversary.sybil_count;
+  chaos.storms.revoke_rate = cfg.adversary.revoke_rate;
+  chaos.storms.replay_rate = cfg.adversary.replay_rate;
+  chaos.storms.replay_window = cfg.adversary.freshness_window;
+  // Every storm replay is minted stale: a working freshness gate rejects
+  // the entire flood, an open door accepts it wholesale.
+  chaos.storms.replay_age = cfg.adversary.freshness_window + 2.0;
+  const fault::ChaosPlanner planner(chaos);
+  return planner.plan(seed);
+}
+
+exp::RepReport run_cell(core::SystemConfig cfg, const std::string& out_dir) {
+  cfg.fault_plan = make_attack_plan(cfg, cfg.scenario.seed);
+  core::VehicularCloudSystem system(cfg);
+  system.start();
+
+  vcloud::WorkloadGenerator workload({30.0, 1.0, 0.2, 60.0},
+                                     system.scenario().fork_rng(77));
+  auto& sim = system.scenario().simulator();
+  sim.schedule_every(kSubmitPeriod, [&] {
+    if (sim.now() < kLoadWindow) {
+      system.cloud().submit(workload.next(sim.now()));
+    }
+  });
+  system.run_for(kLoadWindow + kDrain);
+
+  if (!out_dir.empty() && system.telemetry() != nullptr) {
+    obs::write_telemetry(*system.telemetry(), out_dir);
+  }
+
+  const vcloud::CloudStats& s = system.cloud().stats();
+  const vcloud::AdmissionStats& a = system.admission()->stats();
+  exp::RepReport rep;
+  rep.value("completed", static_cast<double>(s.completed));
+  rep.value("expired", static_cast<double>(s.expired));
+  rep.value("completion", s.completion_rate());
+  rep.value("sybil_claims", static_cast<double>(a.sybil_claims));
+  rep.value("sybil_admitted", static_cast<double>(a.sybil_admitted));
+  rep.value("quarantined", static_cast<double>(a.sybil_quarantined));
+  rep.value("replays", static_cast<double>(a.replays_seen));
+  rep.value("replays_ok", static_cast<double>(a.replays_accepted));
+  rep.value("revoked", static_cast<double>(a.revocations));
+  rep.value("evicted", static_cast<double>(a.revoked_evictions));
+  // Parked fleets never depart: an unevicted revoked member keeps its seat
+  // to the end of the run, so retention == revocations - evictions.
+  rep.value("revoked_retained",
+            static_cast<double>(a.revocations - a.revoked_evictions));
+  rep.tail("task_lat").merge(s.latency_tail);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Campaign campaign("bench_adversary", argc, argv);
+
+  std::cout << "E24 (DESIGN.md §13): §IV attack storms vs revocation-aware "
+               "admission\n24 parked workers, one task every "
+            << kSubmitPeriod << " s for " << kLoadWindow
+            << " s, drained " << kDrain
+            << " s; Sybil bursts\ninside blackouts, CRL-propagation races, "
+               "stale replay floods. Both\ndefense cells at one intensity "
+               "face the identical attack schedule and\nworkload (same "
+               "seed, dedicated RNG streams).\n\n";
+  campaign.describe(std::cout);
+
+  exp::Sweep<core::SystemConfig> sweep;
+  auto& attack_axis = sweep.axis("attack");
+  for (const double i : {0.5, 1.0, 2.0}) {
+    attack_axis.point(Table::num(i, 1), [i](core::SystemConfig& c) {
+      c.adversary.sybil_rate = 0.02 * i;
+      c.adversary.revoke_rate = 0.01 * i;
+      c.adversary.replay_rate = 0.01 * i;
+    });
+  }
+  auto& defense_axis = sweep.axis("defense");
+  for (const bool defend : {false, true}) {
+    defense_axis.point(defend ? "on" : "off",
+                       [defend](core::SystemConfig& c) {
+                         c.adversary.defend = defend;
+                       });
+  }
+
+  std::map<std::string, std::map<std::string, exp::Summary>> by_cell;
+  std::vector<std::vector<exp::Cell>> rows;
+  for (const auto& cell : sweep.cells()) {
+    const auto summary =
+        campaign.replicate(1234, [&cell](const exp::RepContext& ctx) {
+          core::SystemConfig cfg;
+          cfg.scenario.environment = core::Environment::kParkingLot;
+          cfg.scenario.vehicles = 24;
+          cfg.scenario.vehicles_parked = true;
+          cfg.architecture = core::CloudArchitecture::kStationary;
+          cfg.stationary_radius = 5000.0;
+          // Full mitigation (the chaos-episode fixture): the defense runs
+          // on top of a working recovery stack, not instead of one.
+          vcloud::DependabilityConfig& dep = cfg.cloud.dependability;
+          dep.detector.enabled = true;
+          dep.detector.missed_beats_to_kill = 6;
+          dep.checkpoint.enabled = true;
+          dep.checkpoint.period = 5.0;
+          dep.retry.enabled = true;
+          dep.speculation.enabled = true;
+          dep.broker_resync_delay = 0.5;
+          cfg.adversary.enabled = true;
+          cfg.adversary.freshness_window = 4.0;
+          // Shared by both defense cells at this intensity: identical
+          // attack schedule and workload.
+          cfg.scenario.seed = ctx.seed;
+          if (!ctx.out_dir.empty()) {
+            cfg.telemetry.tracing = true;
+            cfg.telemetry.metrics = true;
+          }
+          return run_cell(cell.make(cfg), ctx.out_dir);
+        });
+    rows.push_back({exp::Cell(cell.labels[0]), exp::Cell(cell.labels[1]),
+                    exp::Cell(summary.at("completed"), 0),
+                    exp::Cell(summary.at("expired"), 0),
+                    exp::Cell(summary.at("completion"), 3),
+                    exp::Cell::tail(summary.at("task_lat"), 1),
+                    exp::Cell(summary.at("sybil_claims"), 0),
+                    exp::Cell(summary.at("sybil_admitted"), 0),
+                    exp::Cell(summary.at("quarantined"), 0),
+                    exp::Cell(summary.at("replays"), 0),
+                    exp::Cell(summary.at("replays_ok"), 0),
+                    exp::Cell(summary.at("revoked"), 0),
+                    exp::Cell(summary.at("evicted"), 0),
+                    exp::Cell(summary.at("revoked_retained"), 0)});
+    by_cell[cell.label()] = summary;
+  }
+  campaign.emit("E24: completion and membership pollution by defense",
+                {"attack", "defense", "completed", "expired", "completion",
+                 "task_lat_s", "sybil_claims", "sybil_admitted",
+                 "quarantined", "replays", "replays_ok", "revoked",
+                 "evicted", "revoked_retained"},
+                rows);
+
+  // Qualitative acceptance checks (printed, not asserted: this is a bench).
+  const std::string high = Table::num(2.0, 1);
+  const auto& open_hi = by_cell.at(high + "/off");
+  const auto& def_hi = by_cell.at(high + "/on");
+  bool clean_all = true;
+  for (const double i : {0.5, 1.0, 2.0}) {
+    const auto& c = by_cell.at(Table::num(i, 1) + "/on");
+    clean_all = clean_all && c.at("sybil_admitted").mean() == 0.0 &&
+                c.at("replays_ok").mean() == 0.0 &&
+                c.at("revoked_retained").mean() == 0.0;
+  }
+  const bool polluted_open = open_hi.at("sybil_admitted").mean() > 0.0 &&
+                             open_hi.at("replays_ok").mean() > 0.0 &&
+                             open_hi.at("revoked_retained").mean() > 0.0;
+  const double open_completion = open_hi.at("completion").mean();
+  const double def_completion = def_hi.at("completion").mean();
+  std::cout << "\n[" << (clean_all ? "PASS" : "FAIL")
+            << "] defended cells stay clean at every intensity: zero sybil "
+               "admissions,\n       zero accepted replays, zero revoked "
+               "members retained\n";
+  std::cout << "[" << (polluted_open ? "PASS" : "FAIL")
+            << "] the open door measurably pollutes at high intensity ("
+            << Table::num(open_hi.at("sybil_admitted").mean(), 0)
+            << " sybil members,\n       "
+            << Table::num(open_hi.at("replays_ok").mean(), 0)
+            << " replays landed, "
+            << Table::num(open_hi.at("revoked_retained").mean(), 0)
+            << " revoked members kept their seats)\n";
+  std::cout << "[INFO] completion at high intensity: defended "
+            << Table::num(def_completion, 3) << " vs open "
+            << Table::num(open_completion, 3)
+            << " — the defense spends quarantine\n       capacity and "
+               "eviction requeues, not correctness\n";
+  std::cout << "\nShape vs paper §IV: none of the three §IV attack classes "
+               "needs to be\ntolerated — verification-or-quarantine, "
+               "CRL-horizon eviction with work\nrequeue, and a strict "
+               "freshness window each close their class outright,\nand the "
+               "bill is capacity (quarantine pen, eviction churn), never\n"
+               "membership integrity.\n";
+  return campaign.finish();
+}

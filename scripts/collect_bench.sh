@@ -57,6 +57,7 @@ BENCHES=(
   bench_file_replication
   bench_crypto_micro
   bench_dag_workloads
+  bench_adversary
 )
 
 if [[ ! -d "$BUILD_DIR" ]]; then

@@ -1,0 +1,100 @@
+#include "core/adversary.h"
+
+namespace vcl::core {
+
+void AdversaryDriver::handle(const fault::FaultEvent& e) {
+  // Every attack observes membership first: replay victims must be drawn
+  // from identities that were ACTUALLY members at some point (a captured
+  // message exists for them), and the roster must grow deterministically
+  // with the event sequence, not with wall-clock sampling.
+  remember_members();
+  switch (e.kind) {
+    case fault::FaultKind::kSybilJoin: handle_sybil_join(e); break;
+    case fault::FaultKind::kRevokeIdentity: handle_revoke(e); break;
+    case fault::FaultKind::kCrlDeliver: handle_crl_deliver(e); break;
+    case fault::FaultKind::kReplayInject: handle_replay(e); break;
+    default: break;  // benign kinds never reach the attack handler
+  }
+}
+
+void AdversaryDriver::remember_members() {
+  for (const VehicleId v : cloud_.worker_ids()) {
+    if (admission_.is_fabricated(v)) continue;
+    auto [it, inserted] = ever_seen_.emplace(v.value(), true);
+    (void)it;
+    if (inserted) ever_members_.push_back(v);
+  }
+}
+
+void AdversaryDriver::handle_sybil_join(const fault::FaultEvent& e) {
+  const VehicleId fake = sybil_identity(e.attack_tag);
+  ++stats_.sybil_claims;
+  admission_.note_fabricated(fake);
+  if (cloud_.offer_join(fake, /*fabricated=*/true)) ++stats_.sybil_members;
+}
+
+VehicleId AdversaryDriver::pick_revocation_victim() const {
+  VehicleId fallback;
+  for (const VehicleId v : cloud_.worker_ids()) {  // sorted ascending
+    if (admission_.is_fabricated(v)) continue;
+    if (revoked_.count(v.value()) != 0) continue;
+    if (cloud_.worker_crashed(v)) continue;
+    if (cloud_.running_on(v).valid()) return v;  // busy: maximum damage
+    if (!fallback.valid()) fallback = v;
+  }
+  return fallback;
+}
+
+void AdversaryDriver::handle_revoke(const fault::FaultEvent& e) {
+  const VehicleId victim = pick_revocation_victim();
+  if (!victim.valid()) {
+    ++stats_.skipped_no_victim;
+    return;  // no group mapping either: the paired delivery skips too
+  }
+  revoked_[victim.value()] = true;
+  if (e.group != 0) group_victim_[e.group] = victim;
+  // Authority-side truth first (every pseudonym dies), then the admission
+  // control's bookkeeping. NO RSU learns anything yet — the window until
+  // the paired kCrlDeliver is the revocation-propagation race.
+  authority_.revoke_vehicle(victim);
+  admission_.note_revoked(victim, e.at);
+  ++stats_.revocations;
+}
+
+void AdversaryDriver::handle_crl_deliver(const fault::FaultEvent& e) {
+  const auto it = group_victim_.find(e.group);
+  if (it == group_victim_.end()) {
+    ++stats_.skipped_no_victim;
+    return;
+  }
+  admission_.deliver_crl(it->second, /*visible_at=*/e.at,
+                         /*horizon_at=*/e.at + e.crl_horizon_after, e.at);
+  ++stats_.crl_deliveries;
+}
+
+void AdversaryDriver::handle_replay(const fault::FaultEvent& e) {
+  if (ever_members_.empty()) {
+    ++stats_.skipped_no_victim;
+    return;
+  }
+  const VehicleId victim =
+      ever_members_[e.attack_tag % ever_members_.size()];
+  ++stats_.replays;
+  // The captured message was minted `replay_age` ago; its nonce is the
+  // planned tag (a flood re-sending one capture shares the tag, so the
+  // nonce memory alone kills the duplicates even inside the window).
+  if (!admission_.accept_replay(e.at - e.replay_age, e.attack_tag, e.at)) {
+    return;
+  }
+  ++stats_.replays_delivered;
+  // Land the harm. Even tags replay a heartbeat (keeps a crashed zombie
+  // alive on the detector's books); odd tags replay a join (re-admits a
+  // departed identity as a ghost member).
+  if (e.attack_tag % 2 == 0) {
+    cloud_.replayed_heartbeat(victim);
+  } else {
+    cloud_.offer_join(victim, /*fabricated=*/false);
+  }
+}
+
+}  // namespace vcl::core

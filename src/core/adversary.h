@@ -1,0 +1,105 @@
+// AdversaryDriver: turns planned attack events into concrete §IV attacks.
+//
+// The fault layer plans attack storms abstractly (kSybilJoin with an
+// attack_tag, kRevokeIdentity with a causal group, ...) because it cannot
+// name victims: fault depends on vcloud, not on the full system. This
+// driver is the resolver the system wiring installs as the injector's
+// AttackHandler — it owns the mapping from planned events to the concrete
+// identities and modules they hit:
+//
+//  * kSybilJoin — mints a fabricated credential id in the reserved Sybil
+//    high range (no real vehicle behind it), registers it with the
+//    admission control and presents the join claim to the cloud. Fired
+//    inside a planned blackout: the verification channel is exactly what
+//    the storm has darkened.
+//  * kRevokeIdentity — deterministically picks the most damaging victim
+//    (smallest-id BUSY non-crashed member, i.e. one holding a task; falls
+//    back to the smallest-id member), revokes it at the authority and
+//    tells the admission control — but NOT the RSUs. The gap until the
+//    paired kCrlDeliver IS the §IV revocation-propagation race.
+//  * kCrlDeliver — the fresh CRL reaches the cloud's RSUs: looks up the
+//    paired revocation's victim via the event group and delivers it with
+//    the planned propagation horizon. Eviction (when defending) acts from
+//    here; the oracle's revoked-membership invariant arms past the horizon.
+//  * kReplayInject — replays a captured message of a once-seen member past
+//    its freshness window: through the admission control's REAL
+//    attack::FreshnessChecker gate, then (if it survives — defense off, or
+//    a fresh-enough capture) lands the harm: a replayed heartbeat keeps a
+//    crashed zombie alive on the detector's books, a replayed join
+//    re-admits a departed identity as a ghost member.
+//
+// Victim choice is deterministic and RNG-free: the planned event's tag and
+// group plus sorted membership decide everything, so episodes stay a pure
+// function of (config, seed) and `--jobs N` soaks are order-independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "auth/authority.h"
+#include "fault/fault_plan.h"
+#include "util/ids.h"
+#include "vcloud/admission.h"
+#include "vcloud/cloud.h"
+
+namespace vcl::core {
+
+struct AdversaryDriverStats {
+  std::size_t sybil_claims = 0;      // fabricated join claims presented
+  std::size_t sybil_members = 0;     // claims that became members
+  std::size_t revocations = 0;       // authority-side revokes driven
+  std::size_t crl_deliveries = 0;    // CRLs delivered to the cloud's RSUs
+  std::size_t replays = 0;           // replayed messages injected
+  std::size_t replays_delivered = 0; // replays that survived the gate
+  std::size_t skipped_no_victim = 0; // events dropped: nobody to attack
+};
+
+class AdversaryDriver {
+ public:
+  AdversaryDriver(vcloud::VehicularCloud& cloud,
+                  vcloud::AdmissionControl& admission,
+                  auth::TrustedAuthority& authority)
+      : cloud_(cloud), admission_(admission), authority_(authority) {}
+
+  // The injector's AttackHandler: fires at the event's planned time, so
+  // `e.at` is the current sim time.
+  void handle(const fault::FaultEvent& e);
+
+  [[nodiscard]] const AdversaryDriverStats& stats() const { return stats_; }
+
+  // Fabricated credential ids live in the same reserved high range as
+  // attack::SybilFactory, so they can never collide with a scenario
+  // vehicle id.
+  [[nodiscard]] static VehicleId sybil_identity(std::uint64_t attack_tag) {
+    return VehicleId{(1ULL << 48) | attack_tag};
+  }
+
+ private:
+  void handle_sybil_join(const fault::FaultEvent& e);
+  void handle_revoke(const fault::FaultEvent& e);
+  void handle_crl_deliver(const fault::FaultEvent& e);
+  void handle_replay(const fault::FaultEvent& e);
+  // Smallest-id busy (task-holding) non-crashed genuine member; falls back
+  // to the smallest-id non-crashed genuine member. Never a fabricated or
+  // already-revoked identity. Invalid when no such member exists.
+  [[nodiscard]] VehicleId pick_revocation_victim() const;
+  // Folds the cloud's current members into the ever-seen roster (insertion
+  // order, deduped) — the capture pool replays draw victims from.
+  void remember_members();
+
+  vcloud::VehicularCloud& cloud_;
+  vcloud::AdmissionControl& admission_;
+  auth::TrustedAuthority& authority_;
+  AdversaryDriverStats stats_;
+  // Planned revocation group -> concrete victim (pairs kRevokeIdentity with
+  // its kCrlDeliver).
+  std::unordered_map<std::uint64_t, VehicleId> group_victim_;
+  std::unordered_map<std::uint64_t, bool> revoked_;
+  // Every genuine identity ever seen as a member, in first-seen order.
+  std::vector<VehicleId> ever_members_;
+  std::unordered_map<std::uint64_t, bool> ever_seen_;
+};
+
+}  // namespace vcl::core

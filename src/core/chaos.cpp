@@ -44,6 +44,14 @@ SystemConfig system_for(const ChaosScenarioConfig& config) {
     sys.storage.enabled = true;  // canonical N=3 / W=2 / R=2 deployment
     sys.storage.test_drop_repair_replace = config.inject_repair_bug;
   }
+  if (config.adversary) {
+    sys.adversary.enabled = true;
+    sys.adversary.defend = true;  // episodes test the defended path
+    // Storm replays are minted well past this window (ChaosConfig's
+    // replay_age default), so a defended episode rejects the whole flood.
+    sys.adversary.freshness_window = 4.0;
+    sys.adversary.test_drop_revoked_requeue = config.inject_revoked_bug;
+  }
   if (config.dag) {
     sys.dag.enabled = true;
     // Reliability-aware: the policy with the most moving parts (backup
@@ -212,6 +220,16 @@ fault::ChaosConfig chaos_config_for(const ChaosScenarioConfig& config) {
       // DAG worst case: repeatedly crash whichever worker currently holds
       // a live run's critical-path node, chasing re-placements.
       chaos.storms.dag_rate = 0.01 * config.intensity;
+    }
+    if (config.adversary) {
+      // §IV worst cases: fabricated joins inside a verification blackout,
+      // revocations racing their CRL to the RSUs while the victim holds
+      // work, and captured-message floods past the freshness window.
+      chaos.storms.sybil_rate = 0.02 * config.intensity;
+      chaos.storms.revoke_rate = 0.01 * config.intensity;
+      chaos.storms.replay_rate = 0.01 * config.intensity;
+      chaos.storms.replay_window = 4.0;  // matches the episode freshness gate
+      chaos.storms.replay_age = 6.0;     // every storm replay is stale
     }
   }
   return chaos;
@@ -399,6 +417,16 @@ ChaosEpisode run_chaos_episode(const ChaosScenarioConfig& config,
     episode.dag_nodes_succeeded = ds.nodes_succeeded;
     episode.dag_backups = ds.backups;
   }
+  if (system.admission() != nullptr) {
+    const vcloud::AdmissionStats& as = system.admission()->stats();
+    episode.sybil_claims = as.sybil_claims;
+    episode.sybil_quarantined = as.sybil_quarantined;
+    episode.sybil_admitted = as.sybil_admitted;
+    episode.replays_seen = as.replays_seen;
+    episode.replays_rejected = as.replays_rejected;
+    episode.revocations = as.revocations;
+    episode.revoked_evictions = as.revoked_evictions;
+  }
   return episode;
 }
 
@@ -417,6 +445,8 @@ void write_chaos_repro(const ChaosScenarioConfig& config,
   meta.set("inject_repair_bug", config.inject_repair_bug ? 1.0 : 0.0);
   meta.set("dag", config.dag ? 1.0 : 0.0);
   meta.set("inject_dag_bug", config.inject_dag_bug ? 1.0 : 0.0);
+  meta.set("adversary", config.adversary ? 1.0 : 0.0);
+  meta.set("inject_revoked_bug", config.inject_revoked_bug ? 1.0 : 0.0);
   fault::write_fault_plan_jsonl(plan, meta, os);
 }
 
@@ -438,6 +468,8 @@ bool load_chaos_repro(std::istream& is, ChaosScenarioConfig& config,
   config.inject_repair_bug = meta.get("inject_repair_bug", 0.0) != 0.0;
   config.dag = meta.get("dag", 0.0) != 0.0;
   config.inject_dag_bug = meta.get("inject_dag_bug", 0.0) != 0.0;
+  config.adversary = meta.get("adversary", 0.0) != 0.0;
+  config.inject_revoked_bug = meta.get("inject_revoked_bug", 0.0) != 0.0;
   return true;
 }
 

@@ -58,6 +58,15 @@ struct ChaosScenarioConfig {
   // Arms the deliberate stranded-node bug in the DAG scheduler (see
   // DagConfig::test_drop_failed_resubmit). Test fixture only.
   bool inject_dag_bug = false;
+  // Runs the §IV adversary under the same chaos: attack storms (sybil
+  // bursts inside blackouts, CRL-propagation races, replay floods) added to
+  // the schedule, the revocation-aware admission/eviction defenses on the
+  // broker path, and the auth invariants armed in the oracle.
+  bool adversary = false;
+  // Arms the deliberate dropped-requeue bug in the revocation eviction
+  // sweep (see AdversaryConfig::test_drop_revoked_requeue). Test fixture
+  // only.
+  bool inject_revoked_bug = false;
 };
 
 // The fault/storm schedule an episode with this config faces. The blackout
@@ -87,6 +96,14 @@ struct ChaosEpisode {
   std::size_t dag_graphs_failed = 0;
   std::size_t dag_nodes_succeeded = 0;
   std::size_t dag_backups = 0;
+  // Adversary outcome (zero when ChaosScenarioConfig::adversary is off).
+  std::size_t sybil_claims = 0;
+  std::size_t sybil_quarantined = 0;
+  std::size_t sybil_admitted = 0;
+  std::size_t replays_seen = 0;
+  std::size_t replays_rejected = 0;
+  std::size_t revocations = 0;
+  std::size_t revoked_evictions = 0;
   // Forensic snapshot captured at the instant of the FIRST violation
   // (DESIGN.md §12): flight-recorder tail, open fault windows, in-flight
   // spans, membership/task/replica/DAG state — everything vcl_incident

@@ -97,6 +97,30 @@ void VehicularCloudSystem::start() {
     oracle_ = std::make_unique<vcloud::InvariantOracle>(config_.scenario.seed);
     cloud_->set_oracle(oracle_.get());
   }
+  // Adversarial admission before the initial refresh: the control is
+  // RNG-free and inert until an attack event fires, but the eviction sweep
+  // and arrival gate must cover every refresh from the first.
+  if (config_.adversary.enabled) {
+    attack::validate_or_throw(
+        config_.adversary,
+        static_cast<std::size_t>(config_.scenario.vehicles));
+    vcloud::AdmissionConfig adm;
+    adm.defend = config_.adversary.defend;
+    adm.freshness_window = config_.adversary.freshness_window;
+    adm.max_unverified_admissions =
+        config_.adversary.max_unverified_admissions;
+    adm.test_drop_revoked_requeue =
+        config_.adversary.test_drop_revoked_requeue;
+    admission_ = std::make_unique<vcloud::AdmissionControl>(adm);
+    admission_->set_flight(&flight_);
+    cloud_->set_admission(admission_.get());
+    // The auth invariants only arm on a defended run: with the door
+    // deliberately open (the E24 vulnerable baseline) membership pollution
+    // is the expected outcome, not a safety violation.
+    if (oracle_ != nullptr && config_.adversary.defend) {
+      oracle_->set_admission(admission_.get());
+    }
+  }
   cloud_->attach();
   cloud_->refresh();
 
@@ -122,6 +146,16 @@ void VehicularCloudSystem::start() {
     injector_->register_cloud(*cloud_);
     injector_->set_flight(&flight_);
     injector_->attach();
+  }
+
+  // Adversary driver after the injector: it is the injector's attack-event
+  // resolver, landing planned kSybilJoin / kRevokeIdentity / kCrlDeliver /
+  // kReplayInject events on concrete victims. RNG-free — victim choice is
+  // a pure function of the planned event and sorted membership.
+  if (config_.adversary.enabled && injector_ != nullptr) {
+    adversary_ = std::make_unique<AdversaryDriver>(*cloud_, *admission_, ta_);
+    injector_->set_attack_handler(
+        [this](const fault::FaultEvent& e) { adversary_->handle(e); });
   }
 
   // Storage after faults: the injector exists, so storage-targeted storms

@@ -8,8 +8,10 @@
 
 #include <memory>
 
+#include "attack/adversary.h"
 #include "auth/authority.h"
 #include "cluster/moving_zone.h"
+#include "core/adversary.h"
 #include "core/scenario.h"
 #include "dag/scheduler.h"
 #include "fault/fault_injector.h"
@@ -62,6 +64,14 @@ struct SystemConfig {
   // replication. Off by default — when dag.enabled is false no scheduler is
   // built, no hooks are installed and the run is bit-identical to the seed.
   dag::DagConfig dag;
+  // Adversarial chaos (paper §IV, DESIGN.md §13): revocation-aware
+  // admission/eviction on the broker path, the replay freshness gate and
+  // sybil quarantine, plus the AdversaryDriver that lands planned attack
+  // events (kSybilJoin / kRevokeIdentity / kCrlDeliver / kReplayInject) on
+  // concrete victims. Off by default — when adversary.enabled is false no
+  // admission control or driver is built, every hook is one branch, and the
+  // run is bit-identical to the seed.
+  attack::AdversaryConfig adversary;
   // Observability (DESIGN.md §6): tracing, metric sampling and kernel
   // profiling, all off by default — a disabled run pays one branch per
   // would-be event and stays bit-identical to the seed.
@@ -96,6 +106,14 @@ class VehicularCloudSystem {
   [[nodiscard]] storage::StorageService* storage() { return storage_.get(); }
   // Present only when config.dag.enabled is set.
   [[nodiscard]] dag::DagScheduler* dag() { return dag_.get(); }
+  // Present only when config.adversary.enabled is set.
+  [[nodiscard]] vcloud::AdmissionControl* admission() {
+    return admission_.get();
+  }
+  // Present only when config.adversary.enabled is set AND a fault plan
+  // exists (the driver resolves planned attack events; without an injector
+  // there is nothing to resolve).
+  [[nodiscard]] AdversaryDriver* adversary() { return adversary_.get(); }
   // ALWAYS present (DESIGN.md §12): the fixed-memory forensic flight
   // recorder is wired into every subsystem at start(), telemetry on or
   // off. RNG-neutral and allocation-free after construction, so runs are
@@ -116,6 +134,8 @@ class VehicularCloudSystem {
   std::unique_ptr<vcloud::InvariantOracle> oracle_;
   std::unique_ptr<storage::StorageService> storage_;
   std::unique_ptr<dag::DagScheduler> dag_;
+  std::unique_ptr<vcloud::AdmissionControl> admission_;
+  std::unique_ptr<AdversaryDriver> adversary_;
   bool started_ = false;
 };
 

@@ -67,6 +67,36 @@ std::string validate(const ChaosConfig& config) {
     if (s.dag_window <= 0.0) return "dag_window must be positive";
     if (s.dag_crashes == 0) return "dag_crashes must be >= 1";
   }
+  if (s.sybil_rate < 0.0) return "sybil_rate is negative";
+  if (s.sybil_rate > 0.0) {
+    if (s.sybil_blackout_duration <= 0.0) {
+      return "sybil_blackout_duration must be positive";
+    }
+    if (s.sybil_count == 0) return "sybil_count must be >= 1";
+    // Sybil blackout centers draw from the base box, same as cascades.
+    if (config.base.blackout_lo.x > config.base.blackout_hi.x ||
+        config.base.blackout_lo.y > config.base.blackout_hi.y) {
+      return "blackout box is inverted (lo > hi)";
+    }
+    if (config.base.blackout_lo.x == 0.0 && config.base.blackout_lo.y == 0.0 &&
+        config.base.blackout_hi.x == 0.0 &&
+        config.base.blackout_hi.y == 0.0) {
+      return "sybil_rate > 0 but the blackout box was left at its "
+             "all-zero default (set it from the road bounding box)";
+    }
+    if (config.base.blackout_radius < 0.0) return "blackout_radius is negative";
+  }
+  if (s.revoke_rate < 0.0) return "revoke_rate is negative";
+  if (s.revoke_rate > 0.0) {
+    if (s.revoke_crl_visible < 0.0) return "revoke_crl_visible is negative";
+    if (s.revoke_crl_horizon < 0.0) return "revoke_crl_horizon is negative";
+  }
+  if (s.replay_rate < 0.0) return "replay_rate is negative";
+  if (s.replay_rate > 0.0) {
+    if (s.replay_window <= 0.0) return "replay_window must be positive";
+    if (s.replay_count == 0) return "replay_count must be >= 1";
+    if (s.replay_age <= 0.0) return "replay_age must be positive";
+  }
   if (s.storage_rate < 0.0) return "storage_rate is negative";
   if (s.storage_rate > 0.0) {
     if (s.storage_blackout_duration <= 0.0) {
@@ -209,6 +239,78 @@ FaultPlan ChaosPlanner::plan(std::uint64_t seed) const {
     }
   }
 
+  // Attack storms. Each compound storm stamps ONE fresh shrink group on its
+  // events so the ddmin shrinker keeps causal pairs (revoke ↔ delivery,
+  // blackout ↔ nested joins) atomic. Benign storms stay ungrouped — their
+  // plans (and serialized repro files) are byte-identical to before.
+  std::uint64_t next_group = 1;
+
+  Rng sybil_rng = root.fork(7);
+  for (const SimTime t :
+       storm_arrivals(storms.sybil_rate, horizon, sybil_rng)) {
+    const std::uint64_t group = next_group++;
+    FaultEvent blackout;
+    blackout.kind = FaultKind::kRadioBlackout;
+    blackout.at = t;
+    blackout.center = {sybil_rng.uniform(config_.base.blackout_lo.x,
+                                         config_.base.blackout_hi.x),
+                       sybil_rng.uniform(config_.base.blackout_lo.y,
+                                         config_.base.blackout_hi.y)};
+    blackout.radius = config_.base.blackout_radius;
+    blackout.duration = storms.sybil_blackout_duration;
+    blackout.group = group;
+    plan.push_back(blackout);
+    // Joins spaced strictly INSIDE the blackout window: the fabricated
+    // identities knock exactly while the channel is eating the beacons that
+    // would expose them. Distinct tags = distinct fabricated identities.
+    for (std::size_t i = 1; i <= storms.sybil_count; ++i) {
+      FaultEvent join;
+      join.kind = FaultKind::kSybilJoin;
+      join.at = t + blackout.duration * static_cast<double>(i) /
+                        static_cast<double>(storms.sybil_count + 1);
+      join.attack_tag =
+          1 + static_cast<std::uint64_t>(sybil_rng.uniform_int(0, 1 << 20));
+      join.group = group;
+      plan.push_back(join);
+    }
+  }
+
+  Rng revoke_rng = root.fork(8);
+  for (const SimTime t :
+       storm_arrivals(storms.revoke_rate, horizon, revoke_rng)) {
+    const std::uint64_t group = next_group++;
+    // The victim is resolved at fire time (a busy member, so held work is
+    // at stake); the delayed delivery finds it again through the group.
+    FaultEvent revoke;
+    revoke.kind = FaultKind::kRevokeIdentity;
+    revoke.at = t;
+    revoke.group = group;
+    plan.push_back(revoke);
+    FaultEvent deliver;
+    deliver.kind = FaultKind::kCrlDeliver;
+    deliver.at = t + storms.revoke_crl_visible;
+    deliver.crl_horizon_after = storms.revoke_crl_horizon;
+    deliver.group = group;
+    plan.push_back(deliver);
+  }
+
+  Rng replay_rng = root.fork(9);
+  for (const SimTime t :
+       storm_arrivals(storms.replay_rate, horizon, replay_rng)) {
+    const std::uint64_t group = next_group++;
+    for (std::size_t i = 0; i < storms.replay_count; ++i) {
+      FaultEvent inject;
+      inject.kind = FaultKind::kReplayInject;
+      inject.at = t + storms.replay_window * static_cast<double>(i) /
+                          static_cast<double>(storms.replay_count);
+      inject.attack_tag =
+          1 + static_cast<std::uint64_t>(replay_rng.uniform_int(0, 1 << 20));
+      inject.replay_age = storms.replay_age;
+      inject.group = group;
+      plan.push_back(inject);
+    }
+  }
+
   sort_fault_plan(plan);
   return plan;
 }
@@ -289,6 +391,24 @@ void write_fault_plan_jsonl(const FaultPlan& plan, const FaultPlanMeta& meta,
         w.key("radius").value_raw(exact_number(e.radius));
         w.key("duration").value_raw(exact_number(e.duration));
         break;
+      case FaultKind::kSybilJoin:
+        w.key("attack_tag").value(static_cast<std::uint64_t>(e.attack_tag));
+        break;
+      case FaultKind::kRevokeIdentity:
+        if (e.vehicle.valid()) {
+          w.key("vehicle").value(static_cast<std::uint64_t>(e.vehicle.value()));
+        }
+        break;
+      case FaultKind::kCrlDeliver:
+        w.key("horizon_after").value_raw(exact_number(e.crl_horizon_after));
+        break;
+      case FaultKind::kReplayInject:
+        w.key("attack_tag").value(static_cast<std::uint64_t>(e.attack_tag));
+        w.key("age").value_raw(exact_number(e.replay_age));
+        break;
+    }
+    if (e.group != 0) {
+      w.key("group").value(static_cast<std::uint64_t>(e.group));
     }
     w.end_object();
     os << "\n";
@@ -302,6 +422,10 @@ bool parse_kind(const std::string& name, FaultKind& out) {
   else if (name == "broker_crash") out = FaultKind::kBrokerCrash;
   else if (name == "rsu_outage") out = FaultKind::kRsuOutage;
   else if (name == "radio_blackout") out = FaultKind::kRadioBlackout;
+  else if (name == "sybil_join") out = FaultKind::kSybilJoin;
+  else if (name == "revoke_identity") out = FaultKind::kRevokeIdentity;
+  else if (name == "crl_deliver") out = FaultKind::kCrlDeliver;
+  else if (name == "replay_inject") out = FaultKind::kReplayInject;
   else return false;
   return true;
 }
@@ -443,7 +567,23 @@ bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
         e.radius = num_of("radius", 0.0);
         e.duration = num_of("duration", 0.0);
         break;
+      case FaultKind::kSybilJoin:
+        e.attack_tag = static_cast<std::uint64_t>(num_of("attack_tag", 0.0));
+        break;
+      case FaultKind::kRevokeIdentity: {
+        const double v = num_of("vehicle", -1.0);
+        if (v >= 0.0) e.vehicle = VehicleId{static_cast<std::uint64_t>(v)};
+        break;
+      }
+      case FaultKind::kCrlDeliver:
+        e.crl_horizon_after = num_of("horizon_after", 0.0);
+        break;
+      case FaultKind::kReplayInject:
+        e.attack_tag = static_cast<std::uint64_t>(num_of("attack_tag", 0.0));
+        e.replay_age = num_of("age", 0.0);
+        break;
     }
+    e.group = static_cast<std::uint64_t>(num_of("group", 0.0));
     plan.push_back(e);
   }
   if (!saw_meta) return fail("missing vcl-fault-plan-v1 meta record");
@@ -455,31 +595,78 @@ bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
 FaultPlan shrink_fault_plan(
     FaultPlan plan, const std::function<bool(const FaultPlan&)>& still_fails) {
   if (plan.empty()) return plan;
-  std::size_t chunk = std::max<std::size_t>(plan.size() / 2, 1);
+
+  // Causal units: events sharing a non-zero `group` are one atom — a revoke
+  // without its CRL delivery, or a sybil burst without the blackout that
+  // covers it, is a different incident, so the shrinker removes or keeps
+  // whole groups. Ungrouped events are singleton units, which makes the
+  // loop below behave exactly like the old per-event ddmin on plans that
+  // carry no groups.
+  std::vector<std::size_t> unit_of(plan.size());
+  std::size_t unit_count = 0;
+  {
+    std::vector<std::pair<std::uint64_t, std::size_t>> group_unit;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].group == 0) {
+        unit_of[i] = unit_count++;
+        continue;
+      }
+      bool found = false;
+      for (const auto& [g, u] : group_unit) {
+        if (g == plan[i].group) {
+          unit_of[i] = u;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        group_unit.emplace_back(plan[i].group, unit_count);
+        unit_of[i] = unit_count++;
+      }
+    }
+  }
+
+  // ddmin over units. `live` holds the kept unit ids in first-appearance
+  // order; a candidate materializes by walking the ORIGINAL plan and
+  // emitting events whose unit survives, so interleaved background events
+  // keep their relative order.
+  std::vector<std::size_t> live(unit_count);
+  for (std::size_t u = 0; u < unit_count; ++u) live[u] = u;
+  const auto materialize = [&](const std::vector<std::size_t>& kept) {
+    std::vector<char> keep(unit_count, 0);
+    for (const std::size_t u : kept) keep[u] = 1;
+    FaultPlan out;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (keep[unit_of[i]] != 0) out.push_back(plan[i]);
+    }
+    return out;
+  };
+
+  std::size_t chunk = std::max<std::size_t>(live.size() / 2, 1);
   while (true) {
     bool removed = false;
     std::size_t i = 0;
-    while (i < plan.size()) {
-      const std::size_t len = std::min(chunk, plan.size() - i);
-      FaultPlan candidate;
-      candidate.reserve(plan.size() - len);
-      candidate.insert(candidate.end(), plan.begin(),
-                       plan.begin() + static_cast<std::ptrdiff_t>(i));
+    while (i < live.size()) {
+      const std::size_t len = std::min(chunk, live.size() - i);
+      std::vector<std::size_t> candidate;
+      candidate.reserve(live.size() - len);
+      candidate.insert(candidate.end(), live.begin(),
+                       live.begin() + static_cast<std::ptrdiff_t>(i));
       candidate.insert(candidate.end(),
-                       plan.begin() + static_cast<std::ptrdiff_t>(i + len),
-                       plan.end());
-      if (still_fails(candidate)) {
-        plan = std::move(candidate);
+                       live.begin() + static_cast<std::ptrdiff_t>(i + len),
+                       live.end());
+      if (still_fails(materialize(candidate))) {
+        live = std::move(candidate);
         removed = true;  // the next chunk shifted into position i
       } else {
         i += len;
       }
-      if (plan.empty()) return plan;
+      if (live.empty()) return {};
     }
     if (chunk > 1) chunk = std::max<std::size_t>(chunk / 2, 1);
-    else if (!removed) break;  // single-event fixpoint: 1-minimal
+    else if (!removed) break;  // single-unit fixpoint: 1-minimal per unit
   }
-  return plan;
+  return materialize(live);
 }
 
 }  // namespace vcl::fault

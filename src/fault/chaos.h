@@ -85,9 +85,38 @@ struct StormConfig {
   SimTime dag_window = 6.0;
   std::size_t dag_crashes = 2;
 
+  // Sybil burst inside a radio blackout (paper §IV.B): a blackout of fixed
+  // duration plus `sybil_count` fabricated-identity joins spaced inside its
+  // window — the fabricated hosts present themselves exactly while the real
+  // holders are dark and verification traffic is being eaten. Centers draw
+  // from the base box. The blackout and its joins share one shrink group.
+  double sybil_rate = 0.0;
+  SimTime sybil_blackout_duration = 8.0;
+  std::size_t sybil_count = 3;
+
+  // CRL-propagation race (paper §IV.A): the authority revokes an identity
+  // that may hold tasks/leases at storm time; the fresh CRL reaches the
+  // RSUs only `revoke_crl_visible` later, and the LAST RSU only
+  // `revoke_crl_horizon` after that. Inside the horizon the race is legal;
+  // past it a revoked member is a safety violation. The revoke and its
+  // delivery share one shrink group.
+  double revoke_rate = 0.0;
+  SimTime revoke_crl_visible = 2.0;
+  SimTime revoke_crl_horizon = 4.0;
+
+  // Replay flood (paper §IV.C): `replay_count` captured join/ack messages
+  // re-injected over [t, t + replay_window], each `replay_age` seconds past
+  // its original timestamp — stale by construction, so a working freshness
+  // window rejects every one. The flood shares one shrink group.
+  double replay_rate = 0.0;
+  SimTime replay_window = 4.0;
+  std::size_t replay_count = 3;
+  SimTime replay_age = 5.0;
+
   [[nodiscard]] bool any() const {
     return burst_rate > 0.0 || cascade_rate > 0.0 || flap_rate > 0.0 ||
-           storage_rate > 0.0 || dag_rate > 0.0;
+           storage_rate > 0.0 || dag_rate > 0.0 || sybil_rate > 0.0 ||
+           revoke_rate > 0.0 || replay_rate > 0.0;
   }
 };
 
@@ -153,6 +182,12 @@ bool parse_fault_plan_jsonl(std::istream& is, FaultPlan& plan,
 // event makes the failure vanish. `still_fails(plan)` must be true for the
 // input plan; the predicate is called O(n log n) times, so keep episode
 // runs short. Event order is preserved.
+//
+// Events sharing a non-zero FaultEvent::group shrink as ONE atomic unit:
+// a kRevokeIdentity is meaningless without its paired kCrlDeliver (and a
+// sybil burst without its blackout), so the chunking never separates a
+// causal pair — it keeps or drops the whole group. Ungrouped plans shrink
+// exactly as before.
 [[nodiscard]] FaultPlan shrink_fault_plan(
     FaultPlan plan, const std::function<bool(const FaultPlan&)>& still_fails);
 

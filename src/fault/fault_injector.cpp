@@ -188,6 +188,47 @@ void FaultInjector::fire(const FaultEvent& e) {
           "fault.event");
       return;
     }
+    case FaultKind::kSybilJoin:
+    case FaultKind::kRevokeIdentity:
+    case FaultKind::kCrlDeliver:
+    case FaultKind::kReplayInject: {
+      // The injector logs the "cause" half (a fault.* flight event, same as
+      // every other injection); the driver behind the handler logs the
+      // admission/eviction "decision" half on the auth/attack categories.
+      if (!attack_handler_) return;
+      const char* name = "";
+      switch (e.kind) {
+        case FaultKind::kSybilJoin:
+          ++stats_.sybil_joins;
+          name = "fault.sybil.join";
+          break;
+        case FaultKind::kRevokeIdentity:
+          ++stats_.revocations;
+          name = "fault.revoke";
+          break;
+        case FaultKind::kCrlDeliver:
+          ++stats_.crl_deliveries;
+          name = "fault.crl.deliver";
+          break;
+        case FaultKind::kReplayInject:
+          ++stats_.replays;
+          name = "fault.replay.inject";
+          break;
+        default: break;
+      }
+      if (flight_ != nullptr) {
+        flight_->record(net_.simulator().now(), obs::FlightCategory::kFault,
+                        name, e.attack_tag, e.group);
+      }
+      if (trace_ != nullptr) {
+        trace_->record(net_.simulator().now(), obs::TraceCategory::kFault,
+                       name,
+                       {{"attack_tag", static_cast<double>(e.attack_tag)},
+                        {"group", static_cast<double>(e.group)}});
+      }
+      attack_handler_(e);
+      return;
+    }
   }
 }
 

@@ -38,6 +38,11 @@ struct FaultStats {
   std::size_t rsu_outages = 0;
   std::size_t rsu_repairs = 0;
   std::size_t blackouts = 0;
+  // Attack events routed to the adversary driver (0 when none is wired).
+  std::size_t sybil_joins = 0;
+  std::size_t revocations = 0;
+  std::size_t crl_deliveries = 0;
+  std::size_t replays = 0;
 };
 
 // One installed radio-blackout window in absolute sim time. The injector
@@ -80,6 +85,15 @@ class FaultInjector {
     dag_resolver_ = std::move(resolver);
   }
 
+  // Routes adversarial events (kSybilJoin / kRevokeIdentity / kCrlDeliver /
+  // kReplayInject) to the adversary driver the system wiring installs when
+  // adversarial chaos is enabled. Unset = attack events are inert, so a
+  // benign run replaying a plan that happens to carry them is unchanged.
+  using AttackHandler = std::function<void(const FaultEvent&)>;
+  void set_attack_handler(AttackHandler handler) {
+    attack_handler_ = std::move(handler);
+  }
+
   // Schedules every planned event. Call once, before (or at) t=0 of the run.
   void attach();
 
@@ -114,6 +128,7 @@ class FaultInjector {
   std::vector<vcloud::VehicularCloud*> clouds_;
   StorageVictimResolver storage_resolver_;
   DagVictimResolver dag_resolver_;
+  AttackHandler attack_handler_;
   FaultStats stats_;
   std::vector<BlackoutWindow> blackout_windows_;
   obs::TraceRecorder* trace_ = nullptr;

@@ -12,6 +12,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kBrokerCrash: return "broker_crash";
     case FaultKind::kRsuOutage: return "rsu_outage";
     case FaultKind::kRadioBlackout: return "radio_blackout";
+    case FaultKind::kSybilJoin: return "sybil_join";
+    case FaultKind::kRevokeIdentity: return "revoke_identity";
+    case FaultKind::kCrlDeliver: return "crl_deliver";
+    case FaultKind::kReplayInject: return "replay_inject";
   }
   return "unknown";
 }
@@ -132,7 +136,20 @@ std::string to_string(const FaultEvent& e) {
       os << " center=(" << e.center.x << "," << e.center.y << ") r=" << e.radius
          << " dur=" << e.duration;
       break;
+    case FaultKind::kSybilJoin:
+      os << " attack_tag=" << e.attack_tag;
+      break;
+    case FaultKind::kRevokeIdentity:
+      if (e.vehicle.valid()) os << " v=" << e.vehicle.value();
+      break;
+    case FaultKind::kCrlDeliver:
+      os << " horizon_after=" << e.crl_horizon_after;
+      break;
+    case FaultKind::kReplayInject:
+      os << " attack_tag=" << e.attack_tag << " age=" << e.replay_age;
+      break;
   }
+  if (e.group != 0) os << " group=" << e.group;
   return os.str();
 }
 

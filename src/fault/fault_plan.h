@@ -18,10 +18,14 @@
 namespace vcl::fault {
 
 enum class FaultKind : std::uint8_t {
-  kVehicleCrash,   // a worker vanishes mid-task, no handover
-  kBrokerCrash,    // the elected broker vanishes (metadata re-sync)
-  kRsuOutage,      // an RSU goes offline, repaired later
-  kRadioBlackout,  // reception forced to ~0 inside a region for a window
+  kVehicleCrash,    // a worker vanishes mid-task, no handover
+  kBrokerCrash,     // the elected broker vanishes (metadata re-sync)
+  kRsuOutage,       // an RSU goes offline, repaired later
+  kRadioBlackout,   // reception forced to ~0 inside a region for a window
+  kSybilJoin,       // a fabricated identity presents itself for admission
+  kRevokeIdentity,  // the authority revokes an identity (victim at fire time)
+  kCrlDeliver,      // the revocation reaches the RSUs (delayed CRL push)
+  kReplayInject,    // a captured join/ack is re-injected past its freshness
 };
 
 const char* to_string(FaultKind kind);
@@ -50,6 +54,22 @@ struct FaultEvent {
   geo::Vec2 center;
   double radius = 0.0;
   SimTime duration = 0.0;
+  // Adversarial events. kSybilJoin / kReplayInject: non-zero tag selects the
+  // fabricated identity (sybil) or the captured message's victim + nonce
+  // (replay) deterministically at fire time; 0 = event is inert.
+  std::uint64_t attack_tag = 0;
+  // kCrlDeliver: extra time after delivery until EVERY RSU holds the fresh
+  // CRL (per-RSU propagation spread). The oracle enforces revocation only
+  // past this horizon; inside it the race is legal.
+  SimTime crl_horizon_after = 0.0;
+  // kReplayInject: how stale the captured message is when re-injected
+  // (seconds past its original timestamp).
+  SimTime replay_age = 0.0;
+  // Causal-pair marker: events sharing a non-zero group are one compound
+  // storm (revoke ↔ its delayed CRL delivery, blackout ↔ the sybil burst it
+  // covers) and are kept or dropped ATOMICALLY by shrink_fault_plan — a
+  // revoke without its delivery is not the same incident. 0 = ungrouped.
+  std::uint64_t group = 0;
 };
 
 // Poisson-process intensities for each fault class over [0, horizon].

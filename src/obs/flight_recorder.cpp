@@ -12,6 +12,8 @@ const char* to_string(FlightCategory c) {
     case FlightCategory::kQuorum: return "quorum";
     case FlightCategory::kDag: return "dag";
     case FlightCategory::kFault: return "fault";
+    case FlightCategory::kAuth: return "auth";
+    case FlightCategory::kAttack: return "attack";
   }
   return "unknown";
 }

@@ -39,8 +39,10 @@ enum class FlightCategory : std::uint8_t {
   kQuorum = 3,    // quorum.read.degraded / quorum.read.failed / write.failed
   kDag = 4,       // dag.backup / dag.graph.fail
   kFault = 5,     // fault.* injections + blackout window edges
+  kAuth = 6,      // auth.revoke / auth.crl.deliver / auth.evict decisions
+  kAttack = 7,    // attack.sybil.* / attack.replay.* admission outcomes
 };
-inline constexpr std::size_t kFlightCategoryCount = 6;
+inline constexpr std::size_t kFlightCategoryCount = 8;
 
 [[nodiscard]] const char* to_string(FlightCategory c);
 
@@ -56,7 +58,7 @@ struct FlightEvent {
 
 class FlightRecorder {
  public:
-  // 256 events x 6 categories x ~56 bytes ≈ 86 KiB per system: cheap
+  // 256 events x 8 categories x ~56 bytes ≈ 115 KiB per system: cheap
   // enough to leave on for every run, deep enough that the causal chain
   // behind a violation (fault → detection → recovery → failure) survives
   // even when one category is chatty.

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "util/table.h"
+#include "vcloud/admission.h"
 #include "vcloud/invariant_oracle.h"
 
 namespace vcl::vcloud {
@@ -967,11 +968,13 @@ void VehicularCloud::refresh() {
     }
   }
 
-  // Arrivals.
+  // Arrivals. With admission control wired, refresh consults the RSU-side
+  // CRL view: a revoked-and-visible identity never re-enters membership.
   for (const VehicleId v : members) {
     if (workers_.find(v.value()) != workers_.end()) continue;
     const mobility::VehicleState* s = net_.traffic().find(v);
     if (s == nullptr) continue;
+    if (admission_ != nullptr && !admission_->allow_arrival(v, now)) continue;
     workers_.emplace(v.value(),
                      WorkerState{profile_for(s->automation), TaskId{}});
     detector_.track(v, now);
@@ -979,6 +982,35 @@ void VehicularCloud::refresh() {
       trace_->record(now, obs::TraceCategory::kCloud, "cloud.member.join",
                      {{"worker", static_cast<double>(v.value())},
                       {"members", static_cast<double>(workers_.size())}});
+    }
+  }
+
+  // Revocation eviction sweep: a member whose fresh CRL entry became
+  // visible to the RSUs is evicted NOW — before broker election, so a
+  // revoked broker is replaced in the same round. Held work re-queues
+  // through the ordinary loss path (requeue, replica-inherit, checkpoint
+  // floor), not lost.
+  if (admission_ != nullptr) {
+    for (const std::uint64_t vid : sorted_worker_ids()) {
+      const VehicleId v{vid};
+      if (!admission_->should_evict(v, now)) continue;
+      const WorkerState state = workers_[vid];
+      workers_.erase(vid);
+      detector_.forget(v);
+      crashed_.erase(vid);
+      crash_time_.erase(vid);
+      admission_->note_evicted(v, now);
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceCategory::kCloud,
+                       "cloud.member.revoked",
+                       {{"worker", static_cast<double>(vid)},
+                        {"members", static_cast<double>(workers_.size())}});
+      }
+      if (!admission_->config().test_drop_revoked_requeue) {
+        handle_worker_loss(v, state);
+      }
+      // else: DELIBERATE test-only bug — the held task strands kRunning on
+      // a worker the cloud no longer has (task-conservation catches it).
     }
   }
 
@@ -1076,6 +1108,49 @@ void VehicularCloud::refresh() {
   // have all quiesced — this is the instant the structural invariants are
   // contractually true.
   if (oracle_ != nullptr) oracle_->check(*this, now);
+}
+
+bool VehicularCloud::offer_join(VehicleId v, bool fabricated) {
+  const SimTime now = net_.simulator().now();
+  if (workers_.find(v.value()) != workers_.end()) return true;
+  if (admission_ != nullptr &&
+      admission_->offer_claim(v, fabricated, now) !=
+          AdmissionControl::ClaimOutcome::kAdmitted) {
+    return false;  // quarantined or rejected: capacity, not correctness
+  }
+  const mobility::VehicleState* s = net_.traffic().find(v);
+  // A fabricated identity has no vehicle behind it; the forged join
+  // advertises a baseline profile.
+  workers_.emplace(
+      v.value(),
+      WorkerState{s != nullptr
+                      ? profile_for(s->automation)
+                      : profile_for(mobility::AutomationLevel::kNoAutomation),
+                  TaskId{}});
+  detector_.track(v, now);
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::TraceCategory::kCloud, "cloud.member.join",
+                   {{"worker", static_cast<double>(v.value())},
+                    {"claimed", 1.0},
+                    {"members", static_cast<double>(workers_.size())}});
+  }
+  return true;
+}
+
+void VehicularCloud::replayed_heartbeat(VehicleId v) {
+  auto it = workers_.find(v.value());
+  if (it == workers_.end()) return;
+  const SimTime now = net_.simulator().now();
+  // The replayed beat is indistinguishable from a genuine one past the
+  // (bypassed) freshness gate: it refreshes detector liveness — keeping a
+  // crashed zombie off the detector's books — and fires the heartbeat hook
+  // (lease renewals), exactly the §IV harm.
+  if (detector_.tracked(v)) detector_.observe(v, now);
+  if (heartbeat_hook_) heartbeat_hook_(v, now);
+}
+
+bool VehicularCloud::worker_in_traffic(VehicleId v) const {
+  return net_.traffic().find(v) != nullptr;
 }
 
 void VehicularCloud::register_metrics(obs::MetricsRegistry& metrics) {

@@ -46,6 +46,7 @@ class ClusterManager;
 
 namespace vcl::vcloud {
 
+class AdmissionControl;
 class InvariantOracle;
 
 struct CloudRegion {
@@ -192,6 +193,35 @@ class VehicularCloud {
   // only reads through const accessors; runs are otherwise unchanged.
   void set_oracle(InvariantOracle* oracle) { oracle_ = oracle; }
 
+  // --- adversarial admission (off by default: null = one branch per hook) ----
+  // When set, refresh() consults the revocation-aware admission policy
+  // (see admission.h): arrivals of revoked-visible identities are refused,
+  // revoked members are evicted at the first refresh after their CRL
+  // becomes visible — held work re-queued, not lost — and join claims
+  // outside the beacon path go through offer_join(). The control is owned
+  // by the system wiring; the cloud only consults it.
+  void set_admission(AdmissionControl* admission) { admission_ = admission; }
+  [[nodiscard]] const AdmissionControl* admission() const {
+    return admission_;
+  }
+
+  // A join claim arriving OUTSIDE the beacon membership path (fabricated
+  // sybil identity, or a replayed join that survived the freshness gate).
+  // With no admission control — or the defense off — the claim is admitted
+  // as a full member: the membership pollution the E24 bench measures.
+  // Returns true when the claim became a member.
+  bool offer_join(VehicleId v, bool fabricated);
+  // A replayed heartbeat that passed (or bypassed) the freshness gate:
+  // refreshes the victim's detector liveness exactly like a genuine beat —
+  // which is the §IV replay harm: it keeps a crashed zombie off the
+  // failure detector's books.
+  void replayed_heartbeat(VehicleId v);
+
+  // True when `v` currently exists in the traffic model. The oracle's
+  // membership census distinguishes traffic-backed members from crashed
+  // zombies and admitted claims.
+  [[nodiscard]] bool worker_in_traffic(VehicleId v) const;
+
   // Read-only introspection for the invariant oracle (and tests).
   void for_each_task(const std::function<void(const Task&)>& fn) const;
   [[nodiscard]] std::vector<TaskId> pending_ids() const;
@@ -316,6 +346,7 @@ class VehicularCloud {
   // lookup, so undisturbed runs never pay it (telemetry inertness).
   bool heartbeat_rtt_enabled_ = false;
   InvariantOracle* oracle_ = nullptr;
+  AdmissionControl* admission_ = nullptr;
   CompletionHook completion_hook_;
   HeartbeatHook heartbeat_hook_;
   RefreshHook refresh_hook_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "vcloud/admission.h"
 #include "vcloud/cloud.h"
 
 namespace vcl::vcloud {
@@ -250,11 +251,91 @@ void InvariantOracle::check_dag(SimTime now) {
   });
 }
 
+void InvariantOracle::check_admission(const VehicularCloud& cloud,
+                                      SimTime now) {
+  const AdmissionControl& adm = *admission_;
+
+  std::size_t fabricated_members = 0;
+  for (const VehicleId v : cloud.worker_ids()) {
+    // auth-revoked-membership: inside [visible, horizon) the propagation
+    // race is legal (SOME RSU knows, this one may not); strictly past the
+    // horizon every RSU holds the CRL and eviction was contractually due.
+    if (now > adm.revocation_horizon(v)) {
+      std::ostringstream os;
+      os << "worker " << v.value() << " is still a member past its CRL "
+         << "horizon (" << adm.revocation_horizon(v) << ")";
+      report("auth-revoked-membership", os.str(), now);
+    }
+    if (adm.is_fabricated(v)) ++fabricated_members;
+    // membership-census: every worker entered through an accounted-for
+    // path — live in traffic (beacon membership), a crashed zombie the
+    // detector has not reaped, or an explicitly admitted claim.
+    if (!cloud.worker_in_traffic(v) && !cloud.worker_crashed(v) &&
+        !adm.was_admitted_claim(v)) {
+      std::ostringstream os;
+      os << "worker " << v.value() << " is neither traffic-backed, a known "
+         << "crashed zombie, nor an admitted claim";
+      report("membership-census", os.str(), now);
+    }
+  }
+
+  // auth-sybil-admission: fabricated members stay within the verification
+  // policy's tolerance (0 = strict: quarantine, never membership).
+  if (fabricated_members > adm.config().max_unverified_admissions) {
+    std::ostringstream os;
+    os << fabricated_members << " fabricated member(s) exceed the policy "
+       << "bound of " << adm.config().max_unverified_admissions;
+    report("auth-sybil-admission", os.str(), now);
+  }
+
+  // auth-revoked-holder: no live task is held by an identity revoked past
+  // its horizon, or fabricated without ever being admitted.
+  cloud.for_each_task([&](const Task& task) {
+    if (task.terminal() || !task.worker.valid()) return;
+    if (now > adm.revocation_horizon(task.worker)) {
+      std::ostringstream os;
+      os << "worker " << task.worker.value()
+         << " holds a live task past its CRL horizon";
+      report("auth-revoked-holder", os.str(), now, task.id);
+    }
+    if (adm.is_fabricated(task.worker) &&
+        !adm.was_admitted_claim(task.worker)) {
+      std::ostringstream os;
+      os << "fabricated identity " << task.worker.value()
+         << " holds a live task without ever being admitted";
+      report("auth-revoked-holder", os.str(), now, task.id);
+    }
+  });
+
+  // Leases / replicas via the storage view, when one is registered.
+  if (storage_ != nullptr) {
+    storage_->for_each_object([&](const StorageObjectView& obj) {
+      for (const StorageReplicaView& r : obj.replicas) {
+        if (!r.lease_held) continue;
+        if (now > adm.revocation_horizon(r.holder)) {
+          std::ostringstream os;
+          os << "object " << obj.object.value() << " holder "
+             << r.holder.value() << " keeps a lease past its CRL horizon";
+          report("auth-revoked-holder", os.str(), now);
+        }
+        if (adm.is_fabricated(r.holder) &&
+            !adm.was_admitted_claim(r.holder)) {
+          std::ostringstream os;
+          os << "object " << obj.object.value() << " lease held by "
+             << "never-admitted fabricated identity " << r.holder.value();
+          report("auth-revoked-holder", os.str(), now);
+        }
+      }
+    });
+  }
+}
+
 void InvariantOracle::check(const VehicularCloud& cloud, SimTime now) {
   ++checks_run_;
 
   if (storage_ != nullptr) check_storage(cloud, now);
   if (dag_ != nullptr) check_dag(now);
+  if (admission_ != nullptr) check_admission(cloud, now);
 
   // Dispatch-queue multiplicity per task id. Entries referencing terminal
   // tasks are legal (the queue reaps them lazily); dangling ids are not.

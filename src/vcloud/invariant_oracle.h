@@ -70,6 +70,7 @@
 
 namespace vcl::vcloud {
 
+class AdmissionControl;
 class VehicularCloud;
 
 // Read-only storage-layer view for the oracle's storage invariants. The
@@ -180,6 +181,24 @@ class InvariantOracle {
   void on_dag_node_terminal(std::uint64_t graph, std::size_t node,
                             SimTime now);
 
+  // --- auth/admission invariants (active only after set_admission) -----------
+  // Registers the admission control whose defenses the scan audits:
+  //  * auth-revoked-membership — no identity stays a member past its
+  //    per-RSU CRL horizon (inside the horizon the propagation race is
+  //    legal; past it, eviction was contractually due);
+  //  * auth-revoked-holder — no task, lease or replica is held by an
+  //    identity that is revoked past its horizon, or fabricated and never
+  //    admitted under the verification policy;
+  //  * auth-sybil-admission — fabricated identities among current members
+  //    never exceed the configured unverified-admission tolerance (0 under
+  //    the strict policy: quarantine, never membership);
+  //  * membership-census — every worker is traffic-backed, a known crashed
+  //    zombie, or an explicitly admitted claim (nothing joins membership
+  //    without an accounted-for path).
+  void set_admission(const AdmissionControl* admission) {
+    admission_ = admission;
+  }
+
   // Fires on EVERY reported violation, at the instant report() runs —
   // before control returns to the subsystem that tripped the check. The
   // incident-forensics layer (core::chaos) installs a capture here so the
@@ -209,6 +228,7 @@ class InvariantOracle {
               SimTime at, TaskId task = TaskId{});
   void check_storage(const VehicularCloud& cloud, SimTime now);
   void check_dag(SimTime now);
+  void check_admission(const VehicularCloud& cloud, SimTime now);
 
   // Durability bookkeeping per object: the holders that carried the acked
   // version at the last reset (ack or full health) and how many of them
@@ -237,6 +257,7 @@ class InvariantOracle {
   const DagIntrospection* dag_ = nullptr;
   // (graph, node) pairs whose success was committed (DAG terminal-once).
   std::set<std::pair<std::uint64_t, std::size_t>> dag_node_done_;
+  const AdmissionControl* admission_ = nullptr;
 };
 
 }  // namespace vcl::vcloud

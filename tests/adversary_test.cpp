@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "attack/adversary.h"
+#include "core/system.h"
+#include "vcloud/admission.h"
+#include "vcloud/cloud.h"
+#include "vcloud/invariant_oracle.h"
+
+// ---- AdversaryConfig validation ---------------------------------------------
+
+namespace vcl::attack {
+namespace {
+
+TEST(AdversaryValidation, DisabledConfigIsAlwaysValid) {
+  AdversaryConfig cfg;  // enabled == false
+  cfg.sybil_rate = -5.0;
+  cfg.freshness_window = -1.0;
+  EXPECT_TRUE(validate(cfg, 0).empty());
+  EXPECT_NO_THROW(validate_or_throw(cfg, 0));
+}
+
+TEST(AdversaryValidation, RejectsBadConfigsWithMessages) {
+  const auto problem = [](auto mutate) {
+    AdversaryConfig cfg;
+    cfg.enabled = true;
+    mutate(cfg);
+    return validate(cfg, /*fleet_size=*/20);
+  };
+  EXPECT_EQ(problem([](AdversaryConfig& c) { c.sybil_rate = -0.1; }),
+            "sybil_rate is negative");
+  EXPECT_EQ(problem([](AdversaryConfig& c) { c.revoke_rate = -1.0; }),
+            "revoke_rate is negative");
+  EXPECT_EQ(problem([](AdversaryConfig& c) { c.replay_rate = -1.0; }),
+            "replay_rate is negative");
+  EXPECT_EQ(problem([](AdversaryConfig& c) {
+              c.sybil_rate = 0.1;
+              c.sybil_count = 0;
+            }),
+            "sybil_count must be >= 1");
+  EXPECT_EQ(problem([](AdversaryConfig& c) {
+              c.sybil_rate = 0.1;
+              c.sybil_count = 21;
+            }),
+            "sybil_count exceeds the fleet size");
+  EXPECT_EQ(problem([](AdversaryConfig& c) { c.freshness_window = 0.0; }),
+            "freshness_window must be positive");
+  // A sane attack config passes.
+  EXPECT_TRUE(problem([](AdversaryConfig& c) {
+                c.sybil_rate = 0.05;
+                c.revoke_rate = 0.02;
+                c.replay_rate = 0.02;
+              }).empty());
+  // freshness_window only matters when the defense consults it.
+  EXPECT_TRUE(problem([](AdversaryConfig& c) {
+                c.defend = false;
+                c.freshness_window = 0.0;
+              }).empty());
+}
+
+TEST(AdversaryValidation, ThrowsPrefixedInvalidArgument) {
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.sybil_rate = -0.1;
+  try {
+    validate_or_throw(cfg, 20);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), "AdversaryConfig: sybil_rate is negative");
+  }
+}
+
+}  // namespace
+}  // namespace vcl::attack
+
+// ---- AdmissionControl unit behavior -----------------------------------------
+
+namespace vcl::vcloud {
+namespace {
+
+TEST(AdmissionControl, RevocationInvisibleUntilCrlDelivery) {
+  AdmissionControl adm(AdmissionConfig{});
+  const VehicleId v{7};
+  adm.note_revoked(v, 1.0);
+  // Authority-side truth only: no RSU holds the CRL yet, so nothing is
+  // visible, evictable or horizon-bounded — this gap IS the §IV race.
+  EXPECT_FALSE(adm.revoked_visible(v, 100.0));
+  EXPECT_FALSE(adm.should_evict(v, 100.0));
+  EXPECT_TRUE(std::isinf(adm.revocation_horizon(v)));
+  EXPECT_EQ(adm.stats().revocations, 1u);
+
+  adm.deliver_crl(v, /*visible_at=*/5.0, /*horizon_at=*/9.0, 5.0);
+  EXPECT_FALSE(adm.revoked_visible(v, 4.999));
+  // Revocation landing exactly at a refresh tick evicts on THAT refresh —
+  // the boundary is inclusive, the member does not survive one extra round.
+  EXPECT_TRUE(adm.revoked_visible(v, 5.0));
+  EXPECT_TRUE(adm.should_evict(v, 5.0));
+  EXPECT_DOUBLE_EQ(adm.revocation_horizon(v), 9.0);
+}
+
+TEST(AdmissionControl, RevokedArrivalIsRefusedAndCounted) {
+  AdmissionControl adm(AdmissionConfig{});
+  const VehicleId v{3};
+  EXPECT_TRUE(adm.allow_arrival(v, 1.0));
+  adm.deliver_crl(v, 2.0, 6.0, 2.0);
+  EXPECT_FALSE(adm.allow_arrival(v, 2.0));
+  EXPECT_EQ(adm.stats().arrivals_rejected, 1u);
+  // Revoked claims are rejected outright, never quarantined.
+  EXPECT_EQ(adm.offer_claim(v, /*fabricated=*/false, 3.0),
+            AdmissionControl::ClaimOutcome::kRejected);
+}
+
+TEST(AdmissionControl, SupersededCrlReadmits) {
+  AdmissionControl adm(AdmissionConfig{});
+  const VehicleId v{9};
+  adm.deliver_crl(v, 2.0, 6.0, 2.0);
+  ASSERT_TRUE(adm.revoked_visible(v, 3.0));
+
+  // A superseding CRL clears the entry. The Bloom filter is append-only so
+  // it still answers "maybe revoked" — the erased exact map must override.
+  adm.lift_revocation(v);
+  EXPECT_TRUE(adm.crl().is_revoked(v.value()));  // stale Bloom positive
+  EXPECT_FALSE(adm.revoked_visible(v, 100.0));
+  EXPECT_TRUE(std::isinf(adm.revocation_horizon(v)));
+  EXPECT_TRUE(adm.allow_arrival(v, 100.0));
+  EXPECT_EQ(adm.offer_claim(v, /*fabricated=*/false, 100.0),
+            AdmissionControl::ClaimOutcome::kAdmitted);
+  EXPECT_TRUE(adm.was_admitted_claim(v));
+}
+
+TEST(AdmissionControl, ReplayFreshnessBoundaryIsStrict) {
+  AdmissionConfig cfg;
+  cfg.freshness_window = 2.0;
+  AdmissionControl adm(cfg);
+  // Age exactly equal to the window is NOT stale (strict-staleness
+  // boundary): the message squeaks through.
+  EXPECT_TRUE(adm.accept_replay(/*original_ts=*/8.0, /*nonce=*/1, 10.0));
+  // One tick past the window dies at the door.
+  EXPECT_FALSE(adm.accept_replay(7.9, 2, 10.0));
+  EXPECT_EQ(adm.stats().replays_seen, 2u);
+  EXPECT_EQ(adm.stats().replays_accepted, 1u);
+  EXPECT_EQ(adm.stats().replays_rejected, 1u);
+}
+
+TEST(AdmissionControl, RememberedNonceDiesEvenInsideWindow) {
+  AdmissionConfig cfg;
+  cfg.freshness_window = 2.0;
+  AdmissionControl adm(cfg);
+  EXPECT_TRUE(adm.accept_replay(9.5, /*nonce=*/5, 10.0));
+  // Same capture re-sent fresh: the nonce memory alone kills it.
+  EXPECT_FALSE(adm.accept_replay(9.6, 5, 10.1));
+  EXPECT_EQ(adm.stats().replays_rejected, 1u);
+}
+
+TEST(AdmissionControl, StrictPolicyQuarantinesEverySybil) {
+  AdmissionControl adm(AdmissionConfig{});  // max_unverified_admissions == 0
+  const VehicleId fake{(1ULL << 48) | 1};
+  adm.note_fabricated(fake);
+  EXPECT_TRUE(adm.is_fabricated(fake));
+  EXPECT_EQ(adm.offer_claim(fake, /*fabricated=*/true, 1.0),
+            AdmissionControl::ClaimOutcome::kQuarantined);
+  EXPECT_TRUE(adm.is_quarantined(fake));
+  EXPECT_EQ(adm.quarantined_count(), 1u);
+  EXPECT_FALSE(adm.was_admitted_claim(fake));
+  EXPECT_EQ(adm.stats().sybil_claims, 1u);
+  EXPECT_EQ(adm.stats().sybil_quarantined, 1u);
+  EXPECT_EQ(adm.stats().sybil_admitted, 0u);
+}
+
+TEST(AdmissionControl, UnverifiedToleranceAdmitsUpToBound) {
+  AdmissionConfig cfg;
+  cfg.max_unverified_admissions = 1;
+  AdmissionControl adm(cfg);
+  const VehicleId a{(1ULL << 48) | 1}, b{(1ULL << 48) | 2};
+  EXPECT_EQ(adm.offer_claim(a, true, 1.0),
+            AdmissionControl::ClaimOutcome::kAdmitted);
+  EXPECT_TRUE(adm.was_admitted_claim(a));
+  EXPECT_EQ(adm.offer_claim(b, true, 2.0),
+            AdmissionControl::ClaimOutcome::kQuarantined);
+  EXPECT_EQ(adm.stats().sybil_admitted, 1u);
+  EXPECT_EQ(adm.stats().sybil_quarantined, 1u);
+}
+
+TEST(AdmissionControl, DefenseOffOpensTheDoorButKeepsBooks) {
+  AdmissionConfig cfg;
+  cfg.defend = false;
+  AdmissionControl adm(cfg);
+  const VehicleId fake{(1ULL << 48) | 4}, v{11};
+  // Claims become members, stale replays pass, revocations evict nobody —
+  // the E24 vulnerable baseline.
+  EXPECT_EQ(adm.offer_claim(fake, true, 1.0),
+            AdmissionControl::ClaimOutcome::kAdmitted);
+  EXPECT_TRUE(adm.accept_replay(/*original_ts=*/0.0, 1, 100.0));
+  adm.deliver_crl(v, 2.0, 6.0, 2.0);
+  EXPECT_FALSE(adm.should_evict(v, 50.0));
+  EXPECT_TRUE(adm.allow_arrival(v, 50.0));
+  // ...but the pollution stays measurable.
+  EXPECT_EQ(adm.stats().sybil_claims, 1u);
+  EXPECT_EQ(adm.stats().sybil_admitted, 1u);
+  EXPECT_EQ(adm.stats().replays_seen, 1u);
+  EXPECT_EQ(adm.stats().replays_accepted, 1u);
+  EXPECT_EQ(adm.stats().crl_deliveries, 1u);
+}
+
+}  // namespace
+}  // namespace vcl::vcloud
+
+// ---- oracle auth invariants over a live cloud -------------------------------
+
+namespace vcl::vcloud {
+namespace {
+
+class AdmissionOracleFixture : public ::testing::Test {
+ protected:
+  AdmissionOracleFixture()
+      : road_(geo::make_manhattan_grid(3, 3, 200.0)),
+        traffic_(road_, Rng(1)),
+        net_(sim_, traffic_, net::ChannelConfig{}, Rng(2)) {}
+
+  std::unique_ptr<VehicularCloud> make_stationary_cloud(int members) {
+    for (int i = 0; i < members; ++i) {
+      traffic_.spawn_parked(LinkId{0}, 10.0 * i);
+    }
+    net_.refresh();
+    auto cloud = std::make_unique<VehicularCloud>(
+        CloudId{1}, net_, stationary_membership(traffic_, {100, 0}, 400.0),
+        fixed_region({100, 0}, 400.0),
+        std::make_unique<GreedyResourceScheduler>(), CloudConfig{}, Rng(3));
+    cloud->refresh();
+    return cloud;
+  }
+
+  geo::RoadNetwork road_;
+  sim::Simulator sim_;
+  mobility::TrafficModel traffic_;
+  net::Network net_;
+};
+
+// With the defense off a fabricated claim becomes a member; the armed
+// oracle flags the pollution the moment it exceeds the policy bound.
+TEST_F(AdmissionOracleFixture, SybilMemberBeyondBoundIsAViolation) {
+  auto cloud = make_stationary_cloud(4);
+  AdmissionConfig cfg;
+  cfg.defend = false;  // door open: the claim will actually land
+  AdmissionControl adm(cfg);
+  cloud->set_admission(&adm);
+  InvariantOracle oracle(42);
+  oracle.set_admission(&adm);
+
+  oracle.check(*cloud, 1.0);
+  ASSERT_TRUE(oracle.ok()) << oracle.violations()[0].to_string();
+
+  const VehicleId fake{(1ULL << 48) | 1};
+  adm.note_fabricated(fake);
+  ASSERT_TRUE(cloud->offer_join(fake, /*fabricated=*/true));
+  ASSERT_TRUE(cloud->is_worker(fake));
+
+  oracle.check(*cloud, 2.0);
+  ASSERT_FALSE(oracle.ok());
+  bool saw = false;
+  for (const auto& v : oracle.violations()) {
+    saw |= v.invariant == "auth-sybil-admission";
+  }
+  EXPECT_TRUE(saw);
+}
+
+// Inside the CRL propagation horizon a revoked member is legal; strictly
+// past it, surviving membership is the safety violation.
+TEST_F(AdmissionOracleFixture, RevokedMemberPastHorizonIsAViolation) {
+  auto cloud = make_stationary_cloud(4);
+  AdmissionConfig cfg;
+  cfg.defend = false;  // eviction sweep off: the member WILL outlive it
+  AdmissionControl adm(cfg);
+  cloud->set_admission(&adm);
+  InvariantOracle oracle(42);
+  oracle.set_admission(&adm);
+
+  const VehicleId victim = cloud->worker_ids().front();
+  adm.note_revoked(victim, 4.0);
+  adm.deliver_crl(victim, /*visible_at=*/5.0, /*horizon_at=*/9.0, 5.0);
+
+  oracle.check(*cloud, 9.0);  // exactly AT the horizon: still legal
+  ASSERT_TRUE(oracle.ok()) << oracle.violations()[0].to_string();
+
+  oracle.check(*cloud, 9.5);  // strictly past: contractually evicted by now
+  ASSERT_FALSE(oracle.ok());
+  bool saw = false;
+  for (const auto& v : oracle.violations()) {
+    saw |= v.invariant == "auth-revoked-membership";
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace vcl::vcloud
+
+// ---- system wiring ----------------------------------------------------------
+
+namespace vcl::core {
+namespace {
+
+TEST(AdversarySystem, DisabledAdversaryBuildsNothing) {
+  SystemConfig cfg;
+  cfg.scenario.vehicles = 10;
+  VehicularCloudSystem system(cfg);
+  system.start();
+  EXPECT_EQ(system.admission(), nullptr);
+  EXPECT_EQ(system.adversary(), nullptr);
+  EXPECT_EQ(system.cloud().admission(), nullptr);
+}
+
+TEST(AdversarySystem, WiringValidatesTheConfig) {
+  SystemConfig cfg;
+  cfg.scenario.vehicles = 10;
+  cfg.adversary.enabled = true;
+  cfg.adversary.sybil_rate = -0.1;
+  VehicularCloudSystem system(cfg);
+  EXPECT_THROW(system.start(), std::invalid_argument);
+}
+
+TEST(AdversarySystem, DefendedSybilClaimIsQuarantinedNotDispatched) {
+  SystemConfig cfg;
+  cfg.scenario.environment = Environment::kParkingLot;
+  cfg.scenario.vehicles = 20;
+  cfg.scenario.vehicles_parked = true;
+  cfg.architecture = CloudArchitecture::kStationary;
+  cfg.stationary_radius = 2000.0;
+  cfg.adversary.enabled = true;  // defend defaults to true
+  VehicularCloudSystem system(cfg);
+  system.start();
+  ASSERT_NE(system.admission(), nullptr);
+
+  const VehicleId fake = AdversaryDriver::sybil_identity(1);
+  system.admission()->note_fabricated(fake);
+  EXPECT_FALSE(system.cloud().offer_join(fake, /*fabricated=*/true));
+  EXPECT_FALSE(system.cloud().is_worker(fake));
+  EXPECT_TRUE(system.admission()->is_quarantined(fake));
+  // Graceful degradation: quarantine costs capacity, never membership.
+  system.run_for(10.0);
+  EXPECT_FALSE(system.cloud().is_worker(fake));
+  EXPECT_EQ(system.admission()->stats().sybil_quarantined, 1u);
+}
+
+}  // namespace
+}  // namespace vcl::core

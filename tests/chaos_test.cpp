@@ -36,11 +36,25 @@ bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
         a[i].vehicle != b[i].vehicle || a[i].rsu != b[i].rsu ||
         a[i].repair_after != b[i].repair_after ||
         a[i].center.x != b[i].center.x || a[i].center.y != b[i].center.y ||
-        a[i].radius != b[i].radius || a[i].duration != b[i].duration) {
+        a[i].radius != b[i].radius || a[i].duration != b[i].duration ||
+        a[i].attack_tag != b[i].attack_tag ||
+        a[i].crl_horizon_after != b[i].crl_horizon_after ||
+        a[i].replay_age != b[i].replay_age || a[i].group != b[i].group) {
       return false;
     }
   }
   return true;
+}
+
+ChaosConfig attack_storm_config() {
+  ChaosConfig cfg;
+  cfg.base.horizon = 100.0;
+  cfg.base.blackout_lo = {0, 0};
+  cfg.base.blackout_hi = {1000, 1000};
+  cfg.storms.sybil_rate = 0.05;
+  cfg.storms.revoke_rate = 0.05;
+  cfg.storms.replay_rate = 0.05;
+  return cfg;
 }
 
 TEST(ChaosPlanner, DeterministicPerSeed) {
@@ -114,6 +128,83 @@ TEST(ChaosPlanner, FlapStormHitsOneExplicitRsu) {
   }
 }
 
+TEST(ChaosPlanner, AttackStormShapes) {
+  const ChaosPlanner planner(attack_storm_config());
+  bool saw_sybil = false, saw_revoke_pair = false, saw_replay = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const FaultPlan plan = planner.plan(seed);
+    for (const FaultEvent& e : plan) {
+      switch (e.kind) {
+        case FaultKind::kSybilJoin:
+          // Fabricated joins fire inside a same-group blackout window.
+          EXPECT_NE(e.attack_tag, 0u);
+          ASSERT_NE(e.group, 0u);
+          {
+            bool covered = false;
+            for (const FaultEvent& other : plan) {
+              if (other.kind == FaultKind::kRadioBlackout &&
+                  other.group == e.group) {
+                covered |= e.at >= other.at &&
+                           e.at <= other.at + other.duration;
+              }
+            }
+            EXPECT_TRUE(covered) << "sybil join outside its blackout";
+            saw_sybil = true;
+          }
+          break;
+        case FaultKind::kRevokeIdentity: {
+          // Every revoke has exactly one later same-group CRL delivery.
+          ASSERT_NE(e.group, 0u);
+          std::size_t deliveries = 0;
+          for (const FaultEvent& other : plan) {
+            if (other.kind == FaultKind::kCrlDeliver &&
+                other.group == e.group) {
+              ++deliveries;
+              EXPECT_GT(other.at, e.at);
+              EXPECT_GT(other.crl_horizon_after, 0.0);
+            }
+          }
+          EXPECT_EQ(deliveries, 1u);
+          saw_revoke_pair = deliveries == 1;
+          break;
+        }
+        case FaultKind::kReplayInject:
+          EXPECT_NE(e.group, 0u);
+          EXPECT_NE(e.attack_tag, 0u);
+          EXPECT_GT(e.replay_age, 0.0);
+          saw_replay = true;
+          break;
+        default: break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_sybil);
+  EXPECT_TRUE(saw_revoke_pair);
+  EXPECT_TRUE(saw_replay);
+}
+
+TEST(ChaosPlanner, AttackStormsAreDeterministicAndIndependent) {
+  const ChaosPlanner planner(attack_storm_config());
+  EXPECT_TRUE(plans_equal(planner.plan(9), planner.plan(9)));
+
+  // Fork independence: enabling attack storms must not reshuffle the
+  // benign storms' schedules (they draw from their own streams).
+  ChaosConfig benign = storm_config();
+  ChaosConfig with_attacks = storm_config();
+  with_attacks.storms.sybil_rate = 0.05;
+  with_attacks.storms.revoke_rate = 0.05;
+  with_attacks.storms.replay_rate = 0.05;
+  const FaultPlan before = ChaosPlanner(benign).plan(21);
+  FaultPlan after = ChaosPlanner(with_attacks).plan(21);
+  after.erase(std::remove_if(after.begin(), after.end(),
+                             [](const FaultEvent& e) {
+                               return e.group != 0;
+                             }),
+              after.end());
+  EXPECT_TRUE(plans_equal(before, after))
+      << "attack storms reshuffled the benign schedule";
+}
+
 TEST(ChaosValidation, RejectsBadConfigs) {
   // Base-config problems surface through the chaos validator too.
   ChaosConfig negative = storm_config();
@@ -137,6 +228,26 @@ TEST(ChaosValidation, RejectsBadConfigs) {
 
   EXPECT_TRUE(validate(storm_config()).empty());
   EXPECT_THROW(ChaosPlanner{negative}, std::invalid_argument);
+
+  // Attack-storm problems surface too.
+  ChaosConfig sybil_no_box;
+  sybil_no_box.base.horizon = 10.0;
+  sybil_no_box.storms.sybil_rate = 0.1;  // blackout box required
+  EXPECT_FALSE(validate(sybil_no_box).empty());
+
+  ChaosConfig zero_replays = attack_storm_config();
+  zero_replays.storms.replay_count = 0;
+  EXPECT_FALSE(validate(zero_replays).empty());
+
+  ChaosConfig stale_window = attack_storm_config();
+  stale_window.storms.replay_window = 0.0;
+  EXPECT_FALSE(validate(stale_window).empty());
+
+  ChaosConfig negative_horizon = attack_storm_config();
+  negative_horizon.storms.revoke_crl_horizon = -1.0;
+  EXPECT_FALSE(validate(negative_horizon).empty());
+
+  EXPECT_TRUE(validate(attack_storm_config()).empty());
 }
 
 TEST(FaultPlanValidation, RejectsBadConfigs) {
@@ -180,6 +291,26 @@ TEST(FaultPlanJsonl, RoundTripsPlanAndMeta) {
   EXPECT_DOUBLE_EQ(parsed_meta.get("vehicles", 0.0), 40.0);
   EXPECT_DOUBLE_EQ(parsed_meta.get("intensity", 0.0), 1.5);
   EXPECT_DOUBLE_EQ(parsed_meta.get("absent", -1.0), -1.0);
+}
+
+TEST(FaultPlanJsonl, RoundTripsAttackEventsAndGroups) {
+  const ChaosPlanner planner(attack_storm_config());
+  FaultPlan plan;
+  for (std::uint64_t seed = 1; plan.empty() && seed <= 16; ++seed) {
+    plan = planner.plan(seed);
+  }
+  ASSERT_FALSE(plan.empty());
+  bool any_group = false;
+  for (const FaultEvent& e : plan) any_group |= e.group != 0;
+  ASSERT_TRUE(any_group);
+
+  std::stringstream ss;
+  write_fault_plan_jsonl(plan, FaultPlanMeta{}, ss);
+  FaultPlan parsed;
+  FaultPlanMeta meta;
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan_jsonl(ss, parsed, meta, &error)) << error;
+  EXPECT_TRUE(plans_equal(plan, parsed));
 }
 
 TEST(FaultPlanJsonl, RejectsGarbage) {
@@ -231,6 +362,70 @@ TEST(Shrinker, AlwaysFailingPredicateShrinksToEmpty) {
   const FaultPlan minimal = shrink_fault_plan(
       synthetic_plan(10), [](const FaultPlan&) { return true; });
   EXPECT_TRUE(minimal.empty());
+}
+
+TEST(Shrinker, GroupedEventsShrinkAtomically) {
+  // 30 noise events plus a causal pair (revoke at index ~10, delivery at
+  // ~25) sharing group 7. Failure requires BOTH halves of the pair — the
+  // chunking must never strip one without the other, and the minimal plan
+  // is exactly the pair, interleaving order preserved.
+  FaultPlan plan = synthetic_plan(30);
+  FaultEvent revoke;
+  revoke.kind = FaultKind::kRevokeIdentity;
+  revoke.at = 10.5;
+  revoke.group = 7;
+  FaultEvent deliver;
+  deliver.kind = FaultKind::kCrlDeliver;
+  deliver.at = 25.5;
+  deliver.crl_horizon_after = 4.0;
+  deliver.group = 7;
+  plan.insert(plan.begin() + 11, revoke);
+  plan.insert(plan.begin() + 26, deliver);
+
+  std::size_t half_pair_seen = 0;
+  const auto still_fails = [&](const FaultPlan& candidate) {
+    bool has_revoke = false, has_deliver = false;
+    for (const FaultEvent& e : candidate) {
+      has_revoke |= e.kind == FaultKind::kRevokeIdentity;
+      has_deliver |= e.kind == FaultKind::kCrlDeliver;
+    }
+    if (has_revoke != has_deliver) ++half_pair_seen;
+    return has_revoke && has_deliver;
+  };
+  const FaultPlan minimal = shrink_fault_plan(plan, still_fails);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0].kind, FaultKind::kRevokeIdentity);
+  EXPECT_EQ(minimal[1].kind, FaultKind::kCrlDeliver);
+  EXPECT_EQ(minimal[1].crl_horizon_after, 4.0);
+  // The shrinker never even PROPOSED a candidate holding half the pair.
+  EXPECT_EQ(half_pair_seen, 0u);
+}
+
+TEST(Shrinker, DistinctGroupsShrinkIndependently) {
+  // Two causal pairs; only group 1 matters. Group 2 must be stripped whole.
+  FaultPlan plan;
+  for (std::uint64_t g = 1; g <= 2; ++g) {
+    FaultEvent revoke;
+    revoke.kind = FaultKind::kRevokeIdentity;
+    revoke.at = static_cast<SimTime>(g);
+    revoke.group = g;
+    FaultEvent deliver;
+    deliver.kind = FaultKind::kCrlDeliver;
+    deliver.at = static_cast<SimTime>(g) + 10.0;
+    deliver.group = g;
+    plan.push_back(revoke);
+    plan.push_back(deliver);
+  }
+  sort_fault_plan(plan);
+  const FaultPlan minimal = shrink_fault_plan(plan, [](const FaultPlan& p) {
+    for (const FaultEvent& e : p) {
+      if (e.group == 1 && e.kind == FaultKind::kCrlDeliver) return true;
+    }
+    return false;
+  });
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0].group, 1u);
+  EXPECT_EQ(minimal[1].group, 1u);
 }
 
 }  // namespace
@@ -291,6 +486,26 @@ TEST(ChaosEpisode, ReproFileRoundTrips) {
   EXPECT_EQ(loaded_plan.size(), plan.size());
 }
 
+// Adversary scenario knobs ride in the repro meta record too: one file
+// re-creates the exact failing adversarial episode, bug arming included.
+TEST(ChaosEpisode, ReproFileRoundTripsAdversaryKnobs) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.adversary = true;
+  cfg.inject_revoked_bug = true;
+  const fault::ChaosPlanner planner(chaos_config_for(cfg));
+  const fault::FaultPlan plan = planner.plan(cfg.seed);
+
+  std::stringstream ss;
+  write_chaos_repro(cfg, plan, ss);
+  ChaosScenarioConfig loaded;
+  fault::FaultPlan loaded_plan;
+  std::string error;
+  ASSERT_TRUE(load_chaos_repro(ss, loaded, loaded_plan, &error)) << error;
+  EXPECT_TRUE(loaded.adversary);
+  EXPECT_TRUE(loaded.inject_revoked_bug);
+  EXPECT_EQ(loaded_plan.size(), plan.size());
+}
+
 // The end-to-end demo the chaos engine exists for: arm the deliberate
 // lost-task bug (crash recovery "forgets" to requeue), let the oracle catch
 // it mid-soak, then shrink the fault schedule to a minimal repro.
@@ -319,6 +534,109 @@ TEST(ChaosEpisode, SeededBugIsCaughtAndShrinksSmall) {
   EXPECT_LE(minimal.size(), 5u);
   EXPECT_GE(minimal.size(), 1u);
   EXPECT_FALSE(run_chaos_episode(cfg, minimal).ok());
+}
+
+// Adversarial episode: the §IV attack storms run against the defended
+// admission path with the auth invariants armed — and stay clean, with
+// every attack shape actually exercised somewhere across a few seeds.
+TEST(ChaosEpisode, AdversaryDefendedRunsClean) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.adversary = true;
+  cfg.duration = 60.0;
+  std::size_t claims = 0, replays = 0, revocations = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    cfg.seed = seed;
+    const ChaosEpisode episode = run_chaos_episode(cfg);
+    EXPECT_TRUE(episode.ok()) << (episode.violations.empty()
+                                      ? "?"
+                                      : episode.violations[0].to_string());
+    // Graceful degradation, not membership pollution: every fabricated
+    // claim lands in quarantine under the strict policy.
+    EXPECT_EQ(episode.sybil_admitted, 0u);
+    EXPECT_EQ(episode.sybil_quarantined, episode.sybil_claims);
+    // Storm replays are minted stale by construction: all rejected.
+    EXPECT_EQ(episode.replays_rejected, episode.replays_seen);
+    // Revoked members were evicted, and the work survived: progress holds.
+    EXPECT_EQ(episode.revoked_evictions, episode.revocations);
+    EXPECT_GT(episode.completed, 0u);
+    claims += episode.sybil_claims;
+    replays += episode.replays_seen;
+    revocations += episode.revocations;
+  }
+  EXPECT_GT(claims, 0u);
+  EXPECT_GT(replays, 0u);
+  EXPECT_GT(revocations, 0u);
+}
+
+TEST(ChaosEpisode, AdversaryEpisodeIsDeterministic) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.adversary = true;
+  const ChaosEpisode a = run_chaos_episode(cfg);
+  const ChaosEpisode b = run_chaos_episode(cfg);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.sybil_claims, b.sybil_claims);
+  EXPECT_EQ(a.replays_seen, b.replays_seen);
+  EXPECT_EQ(a.revocations, b.revocations);
+  EXPECT_EQ(a.plan.size(), b.plan.size());
+}
+
+// The adversary toggle preserves the inertness contract: an episode with
+// adversary OFF produces exactly the same outcome as before the adversary
+// subsystem existed (same plan, same counters, byte-identical behavior).
+TEST(ChaosEpisode, DisabledAdversaryDoesNotPerturbEpisodes) {
+  const ChaosScenarioConfig cfg = short_episode();
+  const ChaosEpisode off = run_chaos_episode(cfg);
+  EXPECT_EQ(off.sybil_claims, 0u);
+  EXPECT_EQ(off.replays_seen, 0u);
+  EXPECT_EQ(off.revocations, 0u);
+  // No attack kinds in a benign plan, and no groups either (ungrouped
+  // plans keep the pre-adversary serialization byte for byte).
+  for (const fault::FaultEvent& e : off.plan) {
+    EXPECT_EQ(e.group, 0u);
+    EXPECT_EQ(e.attack_tag, 0u);
+  }
+}
+
+// The end-to-end §IV demo: arm the deliberate dropped-requeue bug in the
+// revocation eviction sweep, let the oracle catch the stranded task, then
+// shrink — the minimal plan keeps the revoke/deliver pair intact.
+TEST(ChaosEpisode, SeededRevokedBugIsCaughtAndShrinksToCausalPair) {
+  ChaosScenarioConfig cfg = short_episode();
+  cfg.adversary = true;
+  cfg.inject_revoked_bug = true;
+  ChaosEpisode bad;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    cfg.seed = seed;
+    bad = run_chaos_episode(cfg);
+    found = !bad.ok();
+  }
+  ASSERT_TRUE(found) << "seeded revocation bug never tripped the oracle";
+  ASSERT_FALSE(bad.violations.empty());
+  EXPECT_EQ(bad.violations[0].seed, cfg.seed);
+
+  const fault::FaultPlan minimal = fault::shrink_fault_plan(
+      bad.plan, [&](const fault::FaultPlan& candidate) {
+        return !run_chaos_episode(cfg, candidate).ok();
+      });
+  ASSERT_GE(minimal.size(), 2u);
+  EXPECT_LE(minimal.size(), 6u);
+  // The causal pair survived shrinking together.
+  bool has_revoke = false, has_deliver = false;
+  for (const fault::FaultEvent& e : minimal) {
+    has_revoke |= e.kind == fault::FaultKind::kRevokeIdentity;
+    has_deliver |= e.kind == fault::FaultKind::kCrlDeliver;
+  }
+  EXPECT_TRUE(has_revoke);
+  EXPECT_TRUE(has_deliver);
+  EXPECT_FALSE(run_chaos_episode(cfg, minimal).ok());
+
+  // Same schedule, bug disarmed: clean — the defense, not the oracle, was
+  // broken.
+  cfg.inject_revoked_bug = false;
+  EXPECT_TRUE(run_chaos_episode(cfg, minimal).ok());
 }
 
 // Same schedule, bug disarmed: the oracle runs the whole episode clean —

@@ -46,6 +46,8 @@ struct Options {
   bool inject_repair_bug = false;
   bool dag = false;
   bool inject_dag_bug = false;
+  bool adversary = false;
+  bool inject_revoked_bug = false;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string out_dir = "chaos-out";
   std::string repro_path;  // non-empty = repro mode
@@ -74,11 +76,19 @@ int usage(const char* argv0) {
       << "                    under the chaos, with the DAG invariants armed\n"
       << "                    and the critical-path-chasing storm shape in\n"
       << "                    the schedule\n"
+      << "  --adversary       run the SS-IV adversary under the chaos: sybil\n"
+      << "                    bursts inside blackouts, CRL-propagation races,\n"
+      << "                    replay floods — against the revocation-aware\n"
+      << "                    admission/eviction defenses, with the auth\n"
+      << "                    invariants armed\n"
       << "  --inject-requeue-bug  arm the deliberate requeue test-fixture bug\n"
       << "  --inject-repair-bug   arm the deliberate storage-repair bug\n"
       << "                        (implies --storage)\n"
       << "  --inject-dag-bug      arm the deliberate stranded-node DAG bug\n"
       << "                        (implies --dag)\n"
+      << "  --inject-revoked-bug  arm the deliberate dropped-requeue bug in\n"
+      << "                        the revocation eviction sweep (implies\n"
+      << "                        --adversary)\n"
       << "\n"
       << "exit codes:\n"
       << "  soak mode:   0 = all episodes clean\n"
@@ -103,6 +113,8 @@ core::ChaosScenarioConfig episode_config(const Options& opt,
   cfg.inject_repair_bug = opt.inject_repair_bug;
   cfg.dag = opt.dag;
   cfg.inject_dag_bug = opt.inject_dag_bug;
+  cfg.adversary = opt.adversary;
+  cfg.inject_revoked_bug = opt.inject_revoked_bug;
   return cfg;
 }
 
@@ -154,6 +166,15 @@ int run_repro(const Options& opt) {
               << episode.dag_nodes_succeeded << " nodes succeeded, "
               << episode.dag_backups << " backups\n";
   }
+  if (cfg.adversary) {
+    std::cout << "adversary: " << episode.sybil_claims << " sybil claims ("
+              << episode.sybil_quarantined << " quarantined, "
+              << episode.sybil_admitted << " admitted), "
+              << episode.replays_seen << " replays ("
+              << episode.replays_rejected << " rejected), "
+              << episode.revocations << " revocations ("
+              << episode.revoked_evictions << " evictions)\n";
+  }
   if (episode.ok()) {
     std::cout << "repro is CLEAN (the failure no longer reproduces)\n";
     return 0;
@@ -178,7 +199,8 @@ int run_soak(const Options& opt) {
             << " vehicles, " << opt.duration << " s load, intensity "
             << opt.intensity << (opt.storms ? ", storms on" : ", storms off")
             << (opt.storage ? ", storage on" : "")
-            << (opt.dag ? ", dag on" : "") << ") on " << jobs
+            << (opt.dag ? ", dag on" : "")
+            << (opt.adversary ? ", adversary on" : "") << ") on " << jobs
             << " threads\n";
 
   std::vector<core::ChaosEpisode> episodes(opt.episodes);
@@ -235,6 +257,22 @@ int run_soak(const Options& opt) {
       }
       std::cout << "dag: " << graphs << " graphs (" << done << " completed, "
                 << failed << " failed), " << backups << " backups\n";
+    }
+    if (opt.adversary) {
+      std::size_t claims = 0, quarantined = 0, replays = 0, rejected = 0,
+                   revoked = 0, evicted = 0;
+      for (const core::ChaosEpisode& e : episodes) {
+        claims += e.sybil_claims;
+        quarantined += e.sybil_quarantined;
+        replays += e.replays_seen;
+        rejected += e.replays_rejected;
+        revoked += e.revocations;
+        evicted += e.revoked_evictions;
+      }
+      std::cout << "adversary: " << claims << " sybil claims (" << quarantined
+                << " quarantined), " << replays << " replays (" << rejected
+                << " rejected), " << revoked << " revocations (" << evicted
+                << " evictions)\n";
     }
     return 0;
   }
@@ -337,6 +375,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--inject-dag-bug") {
       opt.inject_dag_bug = true;
       opt.dag = true;  // the bug lives in the DAG resubmit path
+    } else if (arg == "--adversary") {
+      opt.adversary = true;
+    } else if (arg == "--inject-revoked-bug") {
+      opt.inject_revoked_bug = true;
+      opt.adversary = true;  // the bug lives in the revocation sweep
     } else {
       return usage(argv[0]);
     }
